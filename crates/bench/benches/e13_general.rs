@@ -1,0 +1,41 @@
+//! E13 — §5.2 / C.4: general-workflow LP with privatization costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sv_gen::random::{random_general, InstanceParams};
+use sv_gen::reductions::setcover_to_general;
+use sv_gen::setcover::SetCover;
+use sv_optimize::{exact_general, general};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_general");
+    g.sample_size(10);
+    for n in [3usize, 4, 5] {
+        let inst = random_general(
+            &mut StdRng::seed_from_u64(n as u64),
+            &InstanceParams {
+                n_modules: n,
+                attrs_per_module: 4,
+                ..Default::default()
+            },
+            3,
+            5,
+        );
+        g.bench_with_input(BenchmarkId::new("lp_rounding", n), &n, |bch, _| {
+            bch.iter(|| general::solve_rounding(&inst).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("exact_enumeration", n), &n, |bch, _| {
+            bch.iter(|| exact_general(&inst));
+        });
+    }
+    let sc = SetCover::random(&mut StdRng::seed_from_u64(2), 5, 3, 0.4);
+    let red = setcover_to_general(&sc);
+    g.bench_function("c2_gadget_rounding", |bch| {
+        bch.iter(|| general::solve_rounding(&red.instance).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E9 — Theorem 5: cardinality-constraint optimizers. LP solve +
+//! Algorithm-1 rounding vs exact enumeration vs exact IP, n sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sv_gen::random::{random_cardinality, InstanceParams};
+use sv_optimize::{cardinality, exact_cardinality};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_cardinality");
+    g.sample_size(10);
+    for n in [3usize, 5, 6] {
+        let p = InstanceParams {
+            n_modules: n,
+            attrs_per_module: 4,
+            ..Default::default()
+        };
+        let inst = random_cardinality(&mut StdRng::seed_from_u64(n as u64), &p);
+        g.bench_with_input(BenchmarkId::new("lp_rounding", n), &n, |bch, _| {
+            let mut rng = StdRng::seed_from_u64(99);
+            bch.iter(|| cardinality::solve_rounding(&inst, &mut rng).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("exact_enumeration", n), &n, |bch, _| {
+            bch.iter(|| exact_cardinality(&inst));
+        });
+    }
+    let p = InstanceParams {
+        n_modules: 3,
+        attrs_per_module: 4,
+        ..Default::default()
+    };
+    let inst = random_cardinality(&mut StdRng::seed_from_u64(7), &p);
+    g.bench_function("exact_ip_branch_bound_n3", |bch| {
+        bch.iter(|| cardinality::exact_ip(&inst, 1 << 18));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

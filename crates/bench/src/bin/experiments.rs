@@ -1,0 +1,13 @@
+//! Prints every quality-metric experiment table (E1–E14 of DESIGN.md's
+//! index). The numbers recorded in EXPERIMENTS.md come from this
+//! binary:
+//!
+//! ```sh
+//! cargo run --release -p sv-bench --bin experiments
+//! ```
+
+fn main() {
+    for line in sv_bench::experiments::run_all() {
+        println!("{line}");
+    }
+}

@@ -1,0 +1,12 @@
+//! # sv-bench — benchmark harness for `secure-view`
+//!
+//! One Criterion bench per experiment of DESIGN.md's experiment index
+//! (runtime scaling), plus the [`experiments`] support code backing
+//! `src/bin/experiments.rs`, which prints the quality tables
+//! (approximation ratios, oracle-call counts, world counts) recorded in
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

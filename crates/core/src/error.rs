@@ -1,0 +1,83 @@
+//! Error type for the privacy core.
+
+use std::fmt;
+
+/// Errors raised by privacy checking and world enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Input/output attribute sets do not partition the relation schema.
+    BadAttributeSplit {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The relation violates its module FD `I -> O`.
+    NotAFunction,
+    /// An enumeration (worlds, subsets, executions) exceeds its budget.
+    BudgetExceeded {
+        /// What was being enumerated.
+        what: &'static str,
+        /// Required count.
+        required: u128,
+        /// The caller's budget.
+        budget: u128,
+    },
+    /// A workflow-level operation failed in the workflow substrate.
+    Workflow(sv_workflow::WorkflowError),
+    /// Too many attributes for dense subset enumeration.
+    TooManyAttributes {
+        /// Number of attributes.
+        k: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadAttributeSplit { reason } => write!(f, "bad attribute split: {reason}"),
+            Self::NotAFunction => write!(f, "relation violates its FD I -> O"),
+            Self::BudgetExceeded {
+                what,
+                required,
+                budget,
+            } => write!(f, "{what}: requires {required}, budget {budget}"),
+            Self::Workflow(e) => write!(f, "workflow error: {e}"),
+            Self::TooManyAttributes { k, max } => {
+                write!(f, "{k} attributes exceed dense-enumeration maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Workflow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sv_workflow::WorkflowError> for CoreError {
+    fn from(e: sv_workflow::WorkflowError) -> Self {
+        Self::Workflow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::BudgetExceeded {
+            what: "worlds",
+            required: 100,
+            budget: 10,
+        };
+        assert!(e.to_string().contains("worlds"));
+        let e: CoreError = sv_workflow::WorkflowError::Cyclic.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,41 @@
+//! # sv-core — privacy core of `secure-view`
+//!
+//! Implements the privacy machinery of *Provenance Views for Module
+//! Privacy* (PODS 2011):
+//!
+//! * [`StandaloneModule`] — a module relation `R` with designated input
+//!   and output attributes, plus the **Γ-standalone-privacy** checker
+//!   (Definition 2) implemented via the exact grouped-counting condition
+//!   of the paper's Algorithm 2 / Lemma 4;
+//! * [`worlds`] — brute-force possible-world enumeration
+//!   (`Worlds(R, V)`, Definition 1) for tiny modules, used as a test
+//!   oracle for the fast checker;
+//! * [`standalone`] — the **standalone Secure-View** problem (§3):
+//!   minimum-cost safe attribute subsets, enumeration of all minimal
+//!   safe hidden sets;
+//! * [`requirements`] — deriving a module's *set constraints* and
+//!   *cardinality constraints* requirement lists (§4.2);
+//! * [`compose`] — Theorem 4: assembling workflow privacy from
+//!   standalone guarantees in all-private workflows, plus the exhaustive
+//!   workflow-privacy verifier over function-generated possible worlds;
+//! * [`flip`] — the tuple/function **flipping** construction of
+//!   Lemma 1/2 (Appendix B.3), as an executable witness generator;
+//! * [`public`] — §5: privatization of public modules and the Theorem-8
+//!   composition for general workflows;
+//! * [`oracle`] — instrumented data suppliers and Safe-View oracles for
+//!   the communication-complexity experiments (Theorems 1 and 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+mod error;
+pub mod flip;
+pub mod oracle;
+pub mod public;
+pub mod requirements;
+pub mod standalone;
+pub mod worlds;
+
+pub use error::CoreError;
+pub use standalone::StandaloneModule;

@@ -1,0 +1,287 @@
+//! Deriving a module's privacy **requirement lists** (§4.2).
+//!
+//! The workflow Secure-View problem consumes, per module, either
+//!
+//! * **set constraints** — an explicit list
+//!   `L_i = ⟨(I_i^1, O_i^1), …⟩` of hidden input/output attribute pairs,
+//!   each sufficient for Γ-standalone-privacy; we produce the complete
+//!   antichain of ⊆-minimal safe hidden sets, or
+//! * **cardinality constraints** — a list of pairs `(α, β)` meaning
+//!   "hiding *any* `α` inputs and *any* `β` outputs suffices"
+//!   (the succinct form motivated by Example 6: one-one and majority
+//!   modules have exponentially many safe subsets but a two-pair
+//!   cardinality list).
+
+use crate::error::CoreError;
+use crate::standalone::StandaloneModule;
+use sv_relation::{AttrId, AttrSet};
+
+/// One set-constraint alternative: hide these inputs and outputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SetRequirement {
+    /// Hidden input attributes `I_i^j` (module-local ids).
+    pub hidden_inputs: AttrSet,
+    /// Hidden output attributes `O_i^j` (module-local ids).
+    pub hidden_outputs: AttrSet,
+}
+
+impl SetRequirement {
+    /// The full hidden set `I_i^j ∪ O_i^j`.
+    #[must_use]
+    pub fn hidden(&self) -> AttrSet {
+        self.hidden_inputs.union(&self.hidden_outputs)
+    }
+}
+
+/// One cardinality-constraint alternative `(α, β)`: hiding any `α`
+/// inputs and any `β` outputs suffices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CardRequirement {
+    /// Minimum hidden-input count `α`.
+    pub alpha: usize,
+    /// Minimum hidden-output count `β`.
+    pub beta: usize,
+}
+
+/// Computes the module's set-constraints list: all ⊆-minimal safe hidden
+/// sets, split into input and output parts (module-local ids).
+///
+/// # Errors
+/// Propagates enumeration limits from the standalone solver.
+pub fn set_constraints(
+    m: &StandaloneModule,
+    gamma: u128,
+) -> Result<Vec<SetRequirement>, CoreError> {
+    Ok(m.minimal_safe_hidden_sets(gamma)?
+        .into_iter()
+        .map(|h| SetRequirement {
+            hidden_inputs: h.intersection(m.inputs()),
+            hidden_outputs: h.intersection(m.outputs()),
+        })
+        .collect())
+}
+
+/// Whether hiding **any** `α` inputs and `β` outputs guarantees
+/// Γ-standalone-privacy (checked over all
+/// `C(|I|, α) · C(|O|, β)` subset pairs).
+#[must_use]
+pub fn cardinality_valid(m: &StandaloneModule, alpha: usize, beta: usize, gamma: u128) -> bool {
+    let ins: Vec<AttrId> = m.inputs().iter().collect();
+    let outs: Vec<AttrId> = m.outputs().iter().collect();
+    if alpha > ins.len() || beta > outs.len() {
+        return false;
+    }
+    let in_choices = combinations(&ins, alpha);
+    let out_choices = combinations(&outs, beta);
+    for ic in &in_choices {
+        for oc in &out_choices {
+            let mut hidden = AttrSet::from_iter(ic.iter().copied());
+            hidden.union_with(&AttrSet::from_iter(oc.iter().copied()));
+            if !m.is_safe_hidden(&hidden, gamma) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Computes the module's cardinality-constraints list: the Pareto
+/// frontier of valid `(α, β)` pairs (validity is monotone in both
+/// coordinates, by Proposition 1).
+///
+/// Returns an empty list iff even `(|I|, |O|)` (hide everything) fails.
+pub fn cardinality_constraints(m: &StandaloneModule, gamma: u128) -> Vec<CardRequirement> {
+    let ni = m.inputs().len();
+    let no = m.outputs().len();
+    let mut frontier: Vec<CardRequirement> = Vec::new();
+    // For each α ascending, find the least β that works; monotonicity
+    // makes β non-increasing in α, so frontier construction is direct.
+    let mut beta_hi = no + 1; // sentinel: "none found yet"
+    for alpha in 0..=ni {
+        let mut found = None;
+        let upper = if beta_hi == no + 1 { no } else { beta_hi };
+        for beta in 0..=upper {
+            if cardinality_valid(m, alpha, beta, gamma) {
+                found = Some(beta);
+                break;
+            }
+        }
+        if let Some(beta) = found {
+            // Keep only Pareto-minimal entries: a new (α, β) dominates
+            // nothing previous (α is larger), and is dominated iff some
+            // previous entry has the same β.
+            if frontier.last().is_none_or(|l| beta < l.beta) {
+                frontier.push(CardRequirement { alpha, beta });
+            }
+            beta_hi = beta;
+            if beta == 0 {
+                break; // (α, 0) valid: larger α adds nothing.
+            }
+        }
+    }
+    frontier
+}
+
+/// All `size`-element combinations of `items` (small-k utility).
+fn combinations(items: &[AttrId], size: usize) -> Vec<Vec<AttrId>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(size);
+    fn rec(
+        items: &[AttrId],
+        size: usize,
+        start: usize,
+        cur: &mut Vec<AttrId>,
+        out: &mut Vec<Vec<AttrId>>,
+    ) {
+        if cur.len() == size {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..items.len() {
+            cur.push(items[i]);
+            rec(items, size, i + 1, cur, out);
+            cur.pop();
+        }
+    }
+    rec(items, size, 0, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_workflow::{library, ModuleId, Visibility, WorkflowBuilder};
+
+    fn m1() -> StandaloneModule {
+        StandaloneModule::from_workflow_module(&library::fig1_workflow(), ModuleId(0), 1 << 20)
+            .unwrap()
+    }
+
+    /// Majority module over 2k boolean inputs as a standalone module.
+    fn majority(k: usize) -> StandaloneModule {
+        let mut b = WorkflowBuilder::new();
+        let ins = b.bool_attrs("x", 2 * k);
+        let out = b.attr("y", sv_relation::Domain::boolean());
+        b.module(
+            "maj",
+            &ins,
+            &[out],
+            Visibility::Private,
+            library::majority_fn(),
+        );
+        let w = b.build().unwrap();
+        StandaloneModule::from_workflow_module(&w, ModuleId(0), 1 << 20).unwrap()
+    }
+
+    /// One-one module (bitwise negation) over k boolean wires.
+    fn one_one(k: usize) -> StandaloneModule {
+        let w = library::one_one_chain(1, k);
+        StandaloneModule::from_workflow_module(&w, ModuleId(0), 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn m1_set_constraints_cover_example_3() {
+        let reqs = set_constraints(&m1(), 4).unwrap();
+        // Hiding {a4, a5} (local output ids 3, 4) must be listed.
+        assert!(reqs.iter().any(|r| {
+            r.hidden_inputs.is_empty() && r.hidden_outputs == AttrSet::from_indices(&[3, 4])
+        }));
+        // No requirement consists of inputs only (Example 3: inputs-only
+        // hiding is not safe for Γ = 4).
+        assert!(reqs.iter().all(|r| !r.hidden_outputs.is_empty()
+            || !r.hidden_inputs.is_empty() && !r.hidden().is_empty()));
+        let inputs_only = reqs
+            .iter()
+            .any(|r| r.hidden_outputs.is_empty() && !r.hidden_inputs.is_empty());
+        assert!(!inputs_only);
+    }
+
+    #[test]
+    fn m1_cardinality_frontier() {
+        // Derived in Example 3's terms: (α,β) = (0,2) and (1,1) are the
+        // minimal valid pairs for Γ = 4; (2,0) is invalid.
+        let f = cardinality_constraints(&m1(), 4);
+        assert_eq!(
+            f,
+            vec![
+                CardRequirement { alpha: 0, beta: 2 },
+                CardRequirement { alpha: 1, beta: 1 },
+            ]
+        );
+        assert!(!cardinality_valid(&m1(), 2, 0, 4));
+        assert!(cardinality_valid(&m1(), 1, 1, 4));
+    }
+
+    #[test]
+    fn majority_example_6() {
+        // Example 6: majority on 2k inputs; hiding k+1 inputs or the
+        // output gives 2-privacy.
+        let m = majority(2); // 4 inputs
+        let f = cardinality_constraints(&m, 2);
+        assert_eq!(
+            f,
+            vec![
+                CardRequirement { alpha: 0, beta: 1 },
+                CardRequirement { alpha: 3, beta: 0 },
+            ]
+        );
+        assert!(!cardinality_valid(&m, 2, 0, 2));
+    }
+
+    #[test]
+    fn one_one_example_6() {
+        // Example 6: a one-one function with k in/out bits; hiding any
+        // k inputs or any k outputs gives 2^k-privacy.
+        let k = 3;
+        let m = one_one(k);
+        let gamma = 1 << k;
+        assert!(cardinality_valid(&m, k, 0, gamma));
+        assert!(cardinality_valid(&m, 0, k, gamma));
+        assert!(!cardinality_valid(&m, k - 1, 0, gamma));
+        let f = cardinality_constraints(&m, gamma);
+        assert_eq!(
+            f,
+            vec![
+                CardRequirement { alpha: 0, beta: k },
+                CardRequirement { alpha: k, beta: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn one_one_mixed_hiding() {
+        // For one-one modules, Γ = 2^j needs j hidden wires *on one
+        // side*; j split across sides is weaker (hiding 1 input and 1
+        // output of a 2-bit identity gives only Γ = 2, not 4).
+        let m = one_one(2);
+        assert!(cardinality_valid(&m, 1, 1, 2));
+        assert!(!cardinality_valid(&m, 1, 1, 4));
+    }
+
+    #[test]
+    fn frontier_is_antichain_and_sorted() {
+        for m in [m1(), majority(2), one_one(2)] {
+            for gamma in [2u128, 4] {
+                let f = cardinality_constraints(&m, gamma);
+                for w in f.windows(2) {
+                    assert!(w[0].alpha < w[1].alpha);
+                    assert!(w[0].beta > w[1].beta);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_gamma_gives_empty_frontier() {
+        let m = m1(); // |Range| = 8
+        assert!(cardinality_constraints(&m, 9).is_empty());
+    }
+
+    #[test]
+    fn combinations_counts() {
+        let items: Vec<AttrId> = (0..4).map(AttrId).collect();
+        assert_eq!(combinations(&items, 2).len(), 6);
+        assert_eq!(combinations(&items, 0).len(), 1);
+        assert_eq!(combinations(&items, 4).len(), 1);
+    }
+}

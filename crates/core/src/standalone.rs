@@ -1,0 +1,541 @@
+//! Standalone module privacy (§3 of the paper).
+//!
+//! A [`StandaloneModule`] packages a module relation `R` with its
+//! input/output split `(I, O)`. The key operations are:
+//!
+//! * [`StandaloneModule::is_safe`] — the exact Γ-standalone-privacy test
+//!   (Definition 2) via the grouped-counting condition of the paper's
+//!   Algorithm 2 (proved necessary and sufficient in Lemma 4 of
+//!   Appendix A.4);
+//! * [`StandaloneModule::min_cost_safe_hidden`] — the standalone
+//!   **Secure-View** optimization (minimum-cost hidden subset), by
+//!   budget-pruned subset enumeration (the paper shows `2^Ω(k)` oracle
+//!   calls are unavoidable, Theorem 3, so enumeration is the honest
+//!   baseline);
+//! * [`StandaloneModule::minimal_safe_hidden_sets`] — all ⊆-minimal safe
+//!   hidden subsets, i.e. the module's *set-constraints* requirement
+//!   list `L_i` (§4.2).
+
+use crate::error::CoreError;
+use sv_relation::{group_count_distinct, AttrSet, Fd, Relation, Schema, Tuple, Value};
+use sv_workflow::{ModuleId, Workflow};
+
+/// Maximum `k = |I| + |O|` supported by dense subset enumeration.
+pub const MAX_DENSE_ATTRS: usize = 28;
+
+/// A standalone module: relation `R` over `I ∪ O` with `I -> O`.
+///
+/// Attribute ids refer to the relation's **own** schema (the module
+/// sub-schema), not to any enclosing workflow; see
+/// [`crate::compose::ModuleLens`] for the translation.
+#[derive(Clone, Debug)]
+pub struct StandaloneModule {
+    relation: Relation,
+    inputs: AttrSet,
+    outputs: AttrSet,
+}
+
+impl StandaloneModule {
+    /// Wraps a relation, validating that `(inputs, outputs)` partition
+    /// its schema and that the FD `inputs -> outputs` holds.
+    ///
+    /// # Errors
+    /// [`CoreError::BadAttributeSplit`] or [`CoreError::NotAFunction`].
+    pub fn new(relation: Relation, inputs: AttrSet, outputs: AttrSet) -> Result<Self, CoreError> {
+        if !inputs.is_disjoint(&outputs) {
+            return Err(CoreError::BadAttributeSplit {
+                reason: "inputs and outputs overlap".into(),
+            });
+        }
+        let all = inputs.union(&outputs);
+        if all != relation.schema().all_attrs() {
+            return Err(CoreError::BadAttributeSplit {
+                reason: "inputs ∪ outputs must cover the schema".into(),
+            });
+        }
+        let m = Self {
+            relation,
+            inputs,
+            outputs,
+        };
+        if !m.relation.satisfies(&m.fd()) {
+            return Err(CoreError::NotAFunction);
+        }
+        Ok(m)
+    }
+
+    /// Extracts module `id` of `workflow` as a standalone module by
+    /// materializing its full relation (`R_i`, §4).
+    ///
+    /// Attribute ids in the result refer to the module sub-schema
+    /// (the module's attributes in global id order).
+    ///
+    /// # Errors
+    /// Propagates enumeration-budget and structural errors.
+    pub fn from_workflow_module(
+        workflow: &Workflow,
+        id: ModuleId,
+        budget: u128,
+    ) -> Result<Self, CoreError> {
+        let m = workflow.module(id)?;
+        let rel = m.standalone_relation(workflow.schema(), budget)?;
+        // Module attrs sorted by global id = sub-schema order.
+        let order: Vec<_> = m.attr_set().iter().collect();
+        let mut inputs = AttrSet::new();
+        let mut outputs = AttrSet::new();
+        for (local, &global) in order.iter().enumerate() {
+            let local_id = sv_relation::AttrId(local as u32);
+            if m.input_set().contains(global) {
+                inputs.insert(local_id);
+            } else {
+                outputs.insert(local_id);
+            }
+        }
+        Self::new(rel, inputs, outputs)
+    }
+
+    /// The module relation `R`.
+    #[must_use]
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// The relation's schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        self.relation.schema()
+    }
+
+    /// Input attributes `I`.
+    #[must_use]
+    pub fn inputs(&self) -> &AttrSet {
+        &self.inputs
+    }
+
+    /// Output attributes `O`.
+    #[must_use]
+    pub fn outputs(&self) -> &AttrSet {
+        &self.outputs
+    }
+
+    /// Total number of attributes `k = |I| + |O|`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.schema().len()
+    }
+
+    /// The FD `I -> O`.
+    #[must_use]
+    pub fn fd(&self) -> Fd {
+        Fd::new(self.inputs.clone(), self.outputs.clone())
+    }
+
+    /// **Γ-standalone-privacy test** (Definition 2), decided by the exact
+    /// condition of Algorithm 2 / Lemma 4:
+    ///
+    /// `V` is safe for `Γ` iff for every value of the visible inputs
+    /// `I ∩ V` appearing in `R`, the rows of that group take at least
+    /// `⌈Γ / ∏_{a ∈ O\V} |Δ_a|⌉` distinct values on the visible outputs
+    /// `O ∩ V` — each visible-output value extends to
+    /// `∏_{a ∈ O\V} |Δ_a|` full outputs by arbitrary hidden-output
+    /// assignments.
+    ///
+    /// Runs in `O(N)` hashing time for a single `V` (the paper's
+    /// `O(2^k N^2)` bound covers all subsets with a naive inner loop).
+    #[must_use]
+    pub fn is_safe(&self, visible: &AttrSet, gamma: u128) -> bool {
+        if gamma <= 1 {
+            return true;
+        }
+        if self.relation.is_empty() {
+            // No executions recorded: vacuously safe (no x ∈ π_I(R)).
+            return true;
+        }
+        let vis_in = self.inputs.intersection(visible);
+        let vis_out = self.outputs.intersection(visible);
+        let hidden_out = self.outputs.difference(visible);
+        let h = self.schema().domain_product(&hidden_out);
+        if h >= gamma {
+            return true; // hidden outputs alone give Γ alternatives
+        }
+        // Need every group to reach `need` distinct visible outputs.
+        let need = gamma.div_ceil(h);
+        let counts = group_count_distinct(&self.relation, &vis_in, &vis_out);
+        counts.values().all(|&d| (d as u128) >= need)
+    }
+
+    /// Safety test phrased on the hidden set `V̄` (`V = A \ V̄`).
+    #[must_use]
+    pub fn is_safe_hidden(&self, hidden: &AttrSet, gamma: u128) -> bool {
+        self.is_safe(&hidden.complement(self.k()), gamma)
+    }
+
+    /// The achievable output-diversity bound per visible input group:
+    /// minimum over groups of `distinct_visible_outputs × ∏ hidden
+    /// output domain sizes`. A set `V` is safe for `Γ` iff this is `≥ Γ`.
+    ///
+    /// Exposed so benches can chart the *actual* privacy level a view
+    /// attains, not just a yes/no answer.
+    #[must_use]
+    pub fn privacy_level(&self, visible: &AttrSet) -> u128 {
+        if self.relation.is_empty() {
+            return u128::MAX;
+        }
+        let vis_in = self.inputs.intersection(visible);
+        let vis_out = self.outputs.intersection(visible);
+        let hidden_out = self.outputs.difference(visible);
+        let h = self.schema().domain_product(&hidden_out);
+        let counts = group_count_distinct(&self.relation, &vis_in, &vis_out);
+        counts
+            .values()
+            .map(|&d| (d as u128).saturating_mul(h))
+            .min()
+            .unwrap_or(u128::MAX)
+    }
+
+    /// Standalone **Secure-View**: minimum-cost hidden subset `V̄` such
+    /// that the module is Γ-private w.r.t. `V = A \ V̄`.
+    ///
+    /// `costs[a]` is the penalty `c(a)` of hiding attribute `a` (additive
+    /// cost model, §2.2). Returns the hidden set and its cost, or `None`
+    /// if even hiding everything fails (possible only for `Γ` larger
+    /// than the full output diversity).
+    ///
+    /// # Errors
+    /// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
+    pub fn min_cost_safe_hidden(
+        &self,
+        costs: &[u64],
+        gamma: u128,
+    ) -> Result<Option<(AttrSet, u64)>, CoreError> {
+        let k = self.k();
+        if k > MAX_DENSE_ATTRS {
+            return Err(CoreError::TooManyAttributes {
+                k,
+                max: MAX_DENSE_ATTRS,
+            });
+        }
+        assert_eq!(costs.len(), k, "one cost per attribute");
+        let mut best: Option<(AttrSet, u64)> = None;
+        for mask in 0u32..(1u32 << k) {
+            let cost: u64 = (0..k)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| costs[i])
+                .sum();
+            if let Some((_, b)) = &best {
+                if cost >= *b {
+                    continue;
+                }
+            }
+            let hidden = mask_to_set(mask, k);
+            if self.is_safe_hidden(&hidden, gamma) {
+                best = Some((hidden, cost));
+            }
+        }
+        Ok(best)
+    }
+
+    /// All ⊆-minimal safe hidden subsets — the module's set-constraints
+    /// requirement list `L_i` (§4.2). Safety is monotone in the hidden
+    /// set (Proposition 1), so these form an antichain generating all
+    /// safe hidden sets by superset closure.
+    ///
+    /// # Errors
+    /// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
+    pub fn minimal_safe_hidden_sets(&self, gamma: u128) -> Result<Vec<AttrSet>, CoreError> {
+        let k = self.k();
+        if k > MAX_DENSE_ATTRS {
+            return Err(CoreError::TooManyAttributes {
+                k,
+                max: MAX_DENSE_ATTRS,
+            });
+        }
+        // Enumerate by increasing popcount: a safe set is minimal iff no
+        // previously found (smaller) safe set is a subset of it.
+        let mut masks: Vec<u32> = (0..(1u32 << k)).collect();
+        masks.sort_by_key(|m| m.count_ones());
+        let mut minimal: Vec<u32> = Vec::new();
+        for mask in masks {
+            #[allow(clippy::manual_contains)] // subset test, not equality
+            if minimal.iter().any(|&m| m & mask == m) {
+                continue; // superset of a known minimal safe set
+            }
+            if self.is_safe_hidden(&mask_to_set(mask, k), gamma) {
+                minimal.push(mask);
+            }
+        }
+        Ok(minimal.into_iter().map(|m| mask_to_set(m, k)).collect())
+    }
+
+    /// The actual output `m(x)` recorded in `R` for input `x`, if any.
+    #[must_use]
+    pub fn output_for(&self, x: &Tuple) -> Option<Tuple> {
+        self.relation
+            .rows()
+            .iter()
+            .find(|t| &t.project(&self.inputs) == x)
+            .map(|t| t.project(&self.outputs))
+    }
+
+    /// All distinct inputs `π_I(R)`.
+    #[must_use]
+    pub fn input_tuples(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self
+            .relation
+            .rows()
+            .iter()
+            .map(|t| t.project(&self.inputs))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Dense enumeration of the full input domain `Dom = ∏_{a∈I} Δ_a`
+    /// (inputs in local id order).
+    #[must_use]
+    pub fn input_domain(&self) -> Vec<Vec<Value>> {
+        let sizes: Vec<u32> = self
+            .inputs
+            .iter()
+            .map(|a| self.schema().attr(a).domain.size())
+            .collect();
+        enumerate_mixed_radix(&sizes)
+    }
+
+    /// Dense enumeration of the full output range `∏_{a∈O} Δ_a`.
+    #[must_use]
+    pub fn output_range(&self) -> Vec<Vec<Value>> {
+        let sizes: Vec<u32> = self
+            .outputs
+            .iter()
+            .map(|a| self.schema().attr(a).domain.size())
+            .collect();
+        enumerate_mixed_radix(&sizes)
+    }
+}
+
+/// Enumerates all assignments over the given domain sizes in
+/// mixed-radix order (first coordinate most significant).
+#[must_use]
+pub fn enumerate_mixed_radix(sizes: &[u32]) -> Vec<Vec<Value>> {
+    let total: usize = sizes.iter().map(|&s| s as usize).product();
+    let mut out = Vec::with_capacity(total);
+    let mut cur = vec![0u32; sizes.len()];
+    loop {
+        out.push(cur.clone());
+        let mut done = true;
+        for i in (0..cur.len()).rev() {
+            cur[i] += 1;
+            if cur[i] < sizes[i] {
+                done = false;
+                break;
+            }
+            cur[i] = 0;
+        }
+        if done {
+            break;
+        }
+    }
+    out
+}
+
+fn mask_to_set(mask: u32, k: usize) -> AttrSet {
+    AttrSet::from_iter(
+        (0..k)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| sv_relation::AttrId(i as u32)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_workflow::library::fig1_workflow;
+
+    /// Module m1 of Figure 1 as a standalone module (attrs a1..a5 →
+    /// local ids 0..4).
+    fn m1() -> StandaloneModule {
+        let w = fig1_workflow();
+        StandaloneModule::from_workflow_module(&w, ModuleId(0), 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn m1_shape() {
+        let m = m1();
+        assert_eq!(m.k(), 5);
+        assert_eq!(m.inputs(), &AttrSet::from_indices(&[0, 1]));
+        assert_eq!(m.outputs(), &AttrSet::from_indices(&[2, 3, 4]));
+        assert_eq!(m.relation().len(), 4);
+    }
+
+    #[test]
+    fn example3_safe_subsets() {
+        // Example 3 of the paper, verbatim:
+        let m = m1();
+        // V = {a1, a3, a5} is safe for Γ = 4.
+        let v = AttrSet::from_indices(&[0, 2, 4]);
+        assert!(m.is_safe(&v, 4));
+        // Hiding any two output attributes gives Γ = 4 …
+        for pair in [[2u32, 3], [2, 4], [3, 4]] {
+            assert!(m.is_safe_hidden(&AttrSet::from_indices(&pair), 4));
+        }
+        // … but V = {a3,a4,a5} (inputs hidden) is NOT safe for Γ = 4:
+        // only three distinct outputs exist.
+        let v = AttrSet::from_indices(&[2, 3, 4]);
+        assert!(!m.is_safe(&v, 4));
+        assert!(m.is_safe(&v, 3)); // exactly 3 distinct outputs
+        assert_eq!(m.privacy_level(&v), 3);
+    }
+
+    #[test]
+    fn privacy_level_matches_is_safe() {
+        let m = m1();
+        for mask in 0u32..(1 << 5) {
+            let hidden = mask_to_set(mask, 5);
+            let v = hidden.complement(5);
+            let level = m.privacy_level(&v);
+            for gamma in 1..=9u128 {
+                assert_eq!(
+                    m.is_safe(&v, gamma),
+                    level >= gamma,
+                    "mask={mask:#b} gamma={gamma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hiding_everything_is_maximally_safe() {
+        let m = m1();
+        // All 5 attributes hidden: privacy = |Range| = 8 candidates,
+        // but only via hidden-output product 2^3 = 8.
+        assert!(m.is_safe(&AttrSet::new(), 8));
+        assert!(!m.is_safe(&AttrSet::new(), 9));
+    }
+
+    #[test]
+    fn gamma_one_always_safe() {
+        let m = m1();
+        assert!(m.is_safe(&m.schema().all_attrs(), 1));
+    }
+
+    #[test]
+    fn min_cost_uniform_costs() {
+        let m = m1();
+        // Unit costs: cheapest safe hidden set for Γ=4 has 2 attributes
+        // (two outputs, per Example 3).
+        let (hidden, cost) = m.min_cost_safe_hidden(&[1; 5], 4).unwrap().unwrap();
+        assert_eq!(cost, 2);
+        assert!(m.is_safe_hidden(&hidden, 4));
+    }
+
+    #[test]
+    fn min_cost_respects_weights() {
+        let m = m1();
+        // Make outputs expensive; hiding {a2, a4} (cost 3+2) is the
+        // paper's Example-3 alternative V = {a1,a3,a5}.
+        let costs = [10, 3, 9, 2, 9];
+        let (hidden, cost) = m.min_cost_safe_hidden(&costs, 4).unwrap().unwrap();
+        assert!(m.is_safe_hidden(&hidden, 4));
+        assert_eq!(cost, 5);
+        assert_eq!(hidden, AttrSet::from_indices(&[1, 3]));
+    }
+
+    #[test]
+    fn min_cost_unsatisfiable_gamma() {
+        let m = m1();
+        // Γ = 9 exceeds |Range| = 8: impossible even hiding everything.
+        assert!(m.min_cost_safe_hidden(&[1; 5], 9).unwrap().is_none());
+    }
+
+    #[test]
+    fn minimal_safe_sets_form_antichain_and_generate() {
+        let m = m1();
+        let minimal = m.minimal_safe_hidden_sets(4).unwrap();
+        assert!(!minimal.is_empty());
+        // Antichain.
+        for (i, a) in minimal.iter().enumerate() {
+            for (j, b) in minimal.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subset(b), "{a:?} ⊆ {b:?}");
+                }
+            }
+        }
+        // Exactness: a hidden set is safe iff it contains some minimal set.
+        for mask in 0u32..(1 << 5) {
+            let hidden = mask_to_set(mask, 5);
+            let safe = m.is_safe_hidden(&hidden, 4);
+            let generated = minimal.iter().any(|s| s.is_subset(&hidden));
+            assert_eq!(safe, generated, "mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn monotonicity_proposition_1() {
+        // Hiding more attributes never hurts (Proposition 1).
+        let m = m1();
+        for mask in 0u32..(1 << 5) {
+            let hidden = mask_to_set(mask, 5);
+            if m.is_safe_hidden(&hidden, 4) {
+                for extra in 0..5u32 {
+                    let mut bigger = hidden.clone();
+                    bigger.insert(sv_relation::AttrId(extra));
+                    assert!(m.is_safe_hidden(&bigger, 4));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_for_and_inputs() {
+        let m = m1();
+        let y = m.output_for(&Tuple::new(vec![0, 0])).unwrap();
+        assert_eq!(y, Tuple::new(vec![0, 1, 1]));
+        assert!(m.output_for(&Tuple::new(vec![9, 9])).is_none());
+        assert_eq!(m.input_tuples().len(), 4);
+        assert_eq!(m.input_domain().len(), 4);
+        assert_eq!(m.output_range().len(), 8);
+    }
+
+    #[test]
+    fn rejects_bad_splits() {
+        let m = m1();
+        let r = m.relation().clone();
+        let err = StandaloneModule::new(
+            r.clone(),
+            AttrSet::from_indices(&[0, 1]),
+            AttrSet::from_indices(&[1, 2, 3, 4]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadAttributeSplit { .. }));
+        let err = StandaloneModule::new(
+            r.clone(),
+            AttrSet::from_indices(&[0]),
+            AttrSet::from_indices(&[2, 3, 4]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadAttributeSplit { .. }));
+        // a5 -> rest is not a function (a5 takes value 1 twice with
+        // different rows) ⇒ NotAFunction.
+        let err = StandaloneModule::new(
+            r,
+            AttrSet::from_indices(&[4]),
+            AttrSet::from_indices(&[0, 1, 2, 3]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::NotAFunction));
+    }
+
+    #[test]
+    fn mixed_radix_enumeration() {
+        assert_eq!(
+            enumerate_mixed_radix(&[2, 3]).len(),
+            6,
+        );
+        assert_eq!(enumerate_mixed_radix(&[]), vec![Vec::<u32>::new()]);
+        let e = enumerate_mixed_radix(&[2, 2]);
+        assert_eq!(e[0], vec![0, 0]);
+        assert_eq!(e[3], vec![1, 1]);
+    }
+}

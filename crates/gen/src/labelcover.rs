@@ -1,0 +1,227 @@
+//! Minimum label cover: instances and solvers.
+//!
+//! Source problem of the set-constraints hardness (Theorem 6, B.5.2)
+//! and the general-workflow cardinality hardness (Theorem 10, C.3).
+//! An instance is a bipartite graph `H = (U, U′, E)` with a label set
+//! `L` and a non-empty relation `R_{uw} ⊆ L × L` per edge; a feasible
+//! assignment gives each vertex a label set such that every edge has a
+//! satisfying pair; the objective is the total number of assigned
+//! labels.
+
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// One edge of a label-cover instance: `(u, w, R_uw)`.
+pub type LcEdge = (usize, usize, Vec<(usize, usize)>);
+
+/// A label-cover instance.
+#[derive(Clone, Debug)]
+pub struct LabelCover {
+    /// Left vertex count `|U|`.
+    pub n_left: usize,
+    /// Right vertex count `|U′|`.
+    pub n_right: usize,
+    /// Label count `|L|`.
+    pub n_labels: usize,
+    /// Edges `(u, w, R_uw)` with `u ∈ [0, n_left)`, `w ∈ [0, n_right)`.
+    pub edges: Vec<LcEdge>,
+}
+
+/// A label assignment: per left vertex and per right vertex, the label
+/// set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Labels per left vertex.
+    pub left: Vec<BTreeSet<usize>>,
+    /// Labels per right vertex.
+    pub right: Vec<BTreeSet<usize>>,
+}
+
+impl Assignment {
+    /// Total cost `Σ_u |A(u)|`.
+    #[must_use]
+    pub fn cost(&self) -> usize {
+        self.left.iter().chain(self.right.iter()).map(BTreeSet::len).sum()
+    }
+}
+
+impl LabelCover {
+    /// Validates ranges and non-emptiness of relations.
+    ///
+    /// # Panics
+    /// Panics on out-of-range vertices/labels or empty relations.
+    #[must_use]
+    pub fn new(
+        n_left: usize,
+        n_right: usize,
+        n_labels: usize,
+        edges: Vec<LcEdge>,
+    ) -> Self {
+        for (u, w, rel) in &edges {
+            assert!(*u < n_left && *w < n_right, "edge endpoint out of range");
+            assert!(!rel.is_empty(), "relations must be non-empty");
+            for &(l1, l2) in rel {
+                assert!(l1 < n_labels && l2 < n_labels, "label out of range");
+            }
+        }
+        Self {
+            n_left,
+            n_right,
+            n_labels,
+            edges,
+        }
+    }
+
+    /// Whether the assignment satisfies every edge.
+    #[must_use]
+    pub fn is_feasible(&self, a: &Assignment) -> bool {
+        self.edges.iter().all(|(u, w, rel)| {
+            rel.iter()
+                .any(|&(l1, l2)| a.left[*u].contains(&l1) && a.right[*w].contains(&l2))
+        })
+    }
+
+    /// Exact minimum assignment by enumerating, per edge, the chosen
+    /// satisfying pair (product over edges of `|R_uw|` candidates).
+    /// Works for small instances; the candidate count is capped.
+    ///
+    /// # Panics
+    /// Panics if the search space exceeds `2^22` combinations.
+    #[must_use]
+    pub fn exact(&self) -> Assignment {
+        let space: u64 = self
+            .edges
+            .iter()
+            .map(|(_, _, r)| r.len() as u64)
+            .product();
+        assert!(space <= 1 << 22, "label-cover exact search too large");
+        let mut best: Option<Assignment> = None;
+        let mut choice = vec![0usize; self.edges.len()];
+        loop {
+            let mut a = Assignment {
+                left: vec![BTreeSet::new(); self.n_left],
+                right: vec![BTreeSet::new(); self.n_right],
+            };
+            for (e, &(u, w, ref rel)) in self.edges.iter().enumerate() {
+                let (l1, l2) = rel[choice[e]];
+                a.left[u].insert(l1);
+                a.right[w].insert(l2);
+            }
+            if best.as_ref().is_none_or(|b| a.cost() < b.cost()) {
+                debug_assert!(self.is_feasible(&a));
+                best = Some(a);
+            }
+            // Next choice vector.
+            let mut done = true;
+            for (e, c) in choice.iter_mut().enumerate() {
+                *c += 1;
+                if *c < self.edges[e].2.len() {
+                    done = false;
+                    break;
+                }
+                *c = 0;
+            }
+            if done {
+                break;
+            }
+        }
+        best.expect("relations are non-empty, so a feasible assignment exists")
+    }
+
+    /// Greedy heuristic: per edge, pick the pair whose labels are
+    /// already most covered.
+    #[must_use]
+    pub fn greedy(&self) -> Assignment {
+        let mut a = Assignment {
+            left: vec![BTreeSet::new(); self.n_left],
+            right: vec![BTreeSet::new(); self.n_right],
+        };
+        for (u, w, rel) in &self.edges {
+            let best = rel
+                .iter()
+                .max_by_key(|&&(l1, l2)| {
+                    usize::from(a.left[*u].contains(&l1)) + usize::from(a.right[*w].contains(&l2))
+                })
+                .expect("non-empty relation");
+            a.left[*u].insert(best.0);
+            a.right[*w].insert(best.1);
+        }
+        debug_assert!(self.is_feasible(&a));
+        a
+    }
+
+    /// Random instance: complete-ish bipartite graph with `rel_size`
+    /// random pairs per edge.
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        n_left: usize,
+        n_right: usize,
+        n_labels: usize,
+        edge_prob: f64,
+        rel_size: usize,
+    ) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..n_left {
+            for w in 0..n_right {
+                // Guarantee every left vertex has at least one edge so
+                // the instance is non-trivial.
+                if rng.gen_bool(edge_prob) || w == u % n_right {
+                    let mut rel = BTreeSet::new();
+                    while rel.len() < rel_size {
+                        rel.insert((rng.gen_range(0..n_labels), rng.gen_range(0..n_labels)));
+                    }
+                    edges.push((u, w, rel.into_iter().collect()));
+                }
+            }
+        }
+        Self::new(n_left, n_right, n_labels, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> LabelCover {
+        // Two edges sharing the left vertex 0; both satisfiable with
+        // label 0 on the left: optimal cost 3 (0:{0}, right 0:{1},
+        // right 1:{0}).
+        LabelCover::new(
+            1,
+            2,
+            2,
+            vec![
+                (0, 0, vec![(0, 1), (1, 0)]),
+                (0, 1, vec![(0, 0), (1, 1)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_minimum() {
+        let lc = small();
+        let a = lc.exact();
+        assert!(lc.is_feasible(&a));
+        assert_eq!(a.cost(), 3);
+    }
+
+    #[test]
+    fn greedy_feasible_not_better_than_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let lc = LabelCover::random(&mut rng, 3, 3, 3, 0.4, 2);
+            let g = lc.greedy();
+            let e = lc.exact();
+            assert!(lc.is_feasible(&g));
+            assert!(g.cost() >= e.cost());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_relation_rejected() {
+        let _ = LabelCover::new(1, 1, 1, vec![(0, 0, vec![])]);
+    }
+}

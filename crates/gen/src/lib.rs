@@ -1,0 +1,35 @@
+//! # sv-gen — hardness gadgets, reductions, and workload generators
+//!
+//! Everything the paper's lower-bound proofs and our benchmarks need:
+//!
+//! * [`setcover`] / [`labelcover`] / [`vertexcover`] — the source
+//!   problems of the paper's reductions, with reference solvers
+//!   (greedy `ln n` set cover, 2-approximation and exact vertex cover,
+//!   exact label cover for small instances);
+//! * [`reductions`] — the paper's five reductions as executable
+//!   instance transformers with tested solution correspondences:
+//!   set cover → cardinality constraints (B.4.2, Theorem 5 hardness),
+//!   label cover → set constraints (B.5.2 / Figure 4, Lemma 5),
+//!   cubic vertex cover → cardinality, no sharing (B.6.2 / Figure 5,
+//!   Lemma 6), set cover → general workflows without data sharing
+//!   (C.2, Theorem 9), label cover → general workflows (C.3 / Figure 6,
+//!   Lemma 8);
+//! * [`adversary`] — the Theorem-3 oracle adversary (`m_1` vs `m_2`
+//!   with a hidden special subset) and the Theorem-1 set-disjointness
+//!   module and Theorem-2 CNF module;
+//! * [`gadgets`] — the Example-5 fan workflow (`Ω(n)` gap between the
+//!   union of standalone optima and the workflow optimum) and the
+//!   Proposition-2 one-one chain with exact world counts;
+//! * [`random`] — seeded random instances and workflows for parameter
+//!   sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod gadgets;
+pub mod labelcover;
+pub mod random;
+pub mod reductions;
+pub mod setcover;
+pub mod vertexcover;

@@ -1,0 +1,245 @@
+//! Seeded random instances and workflows for parameter sweeps.
+//!
+//! All generators take a caller-supplied RNG so sweeps are exactly
+//! reproducible; the benchmarks fix seeds per experiment.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sv_optimize::{
+    CardModule, CardinalityInstance, GeneralInstance, PublicSpec, SetInstance, SetModule,
+};
+use sv_relation::AttrSet;
+use sv_workflow::{ModuleFn, Visibility, Workflow, WorkflowBuilder};
+
+/// Parameters for random Secure-View instances.
+#[derive(Clone, Debug)]
+pub struct InstanceParams {
+    /// Number of private modules.
+    pub n_modules: usize,
+    /// Attributes per module (inputs + outputs).
+    pub attrs_per_module: usize,
+    /// Data-sharing degree target: each module reuses this many
+    /// attributes of earlier modules as inputs.
+    pub shared_inputs: usize,
+    /// Maximum requirement-list length `ℓ_i`.
+    pub max_list: usize,
+    /// Maximum attribute cost (costs drawn uniformly from `1..=max`).
+    pub max_cost: u64,
+}
+
+impl Default for InstanceParams {
+    fn default() -> Self {
+        Self {
+            n_modules: 5,
+            attrs_per_module: 4,
+            shared_inputs: 1,
+            max_list: 3,
+            max_cost: 5,
+        }
+    }
+}
+
+/// Random cardinality-constraints instance.
+///
+/// Attribute ids are allocated per module (its private block) plus
+/// `shared_inputs` attributes borrowed from earlier modules' blocks,
+/// giving a controllable data-sharing degree.
+pub fn random_cardinality<R: Rng>(rng: &mut R, p: &InstanceParams) -> CardinalityInstance {
+    let mut modules = Vec::with_capacity(p.n_modules);
+    let mut all_attrs: Vec<u32> = Vec::new();
+    let mut next = 0u32;
+    for _ in 0..p.n_modules {
+        let own: Vec<u32> = (0..p.attrs_per_module)
+            .map(|_| {
+                let a = next;
+                next += 1;
+                a
+            })
+            .collect();
+        let n_in = rng.gen_range(1..p.attrs_per_module.max(2));
+        let mut inputs: Vec<u32> = own[..n_in].to_vec();
+        let outputs: Vec<u32> = own[n_in..].to_vec();
+        for _ in 0..p.shared_inputs {
+            if let Some(&b) = all_attrs.choose(rng) {
+                if !inputs.contains(&b) {
+                    inputs.push(b);
+                }
+            }
+        }
+        all_attrs.extend(&own);
+        let li = rng.gen_range(1..=p.max_list);
+        let mut list: Vec<(usize, usize)> = (0..li)
+            .map(|_| {
+                (
+                    rng.gen_range(0..=inputs.len()),
+                    rng.gen_range(0..=outputs.len()),
+                )
+            })
+            .filter(|&(a, b)| a + b > 0)
+            .collect();
+        if list.is_empty() {
+            list.push((1.min(inputs.len()), usize::from(inputs.is_empty())));
+        }
+        modules.push(CardModule {
+            inputs,
+            outputs,
+            list,
+        });
+    }
+    let n_attrs = next as usize;
+    let costs = (0..n_attrs).map(|_| rng.gen_range(1..=p.max_cost)).collect();
+    CardinalityInstance {
+        n_attrs,
+        costs,
+        modules,
+    }
+}
+
+/// Random set-constraints instance (entries drawn from each module's
+/// own attribute block plus shared attributes).
+pub fn random_set<R: Rng>(rng: &mut R, p: &InstanceParams) -> SetInstance {
+    let card = random_cardinality(rng, p);
+    let modules = card
+        .modules
+        .iter()
+        .map(|m| {
+            let pool: Vec<u32> = m.inputs.iter().chain(m.outputs.iter()).copied().collect();
+            let li = rng.gen_range(1..=p.max_list);
+            let list = (0..li)
+                .map(|_| {
+                    let sz = rng.gen_range(1..=pool.len().min(3));
+                    let mut pick = pool.clone();
+                    pick.shuffle(rng);
+                    AttrSet::from_indices(&pick[..sz])
+                })
+                .collect();
+            SetModule { list }
+        })
+        .collect();
+    SetInstance {
+        n_attrs: card.n_attrs,
+        costs: card.costs,
+        modules,
+    }
+}
+
+/// Random general instance: a random set instance plus random public
+/// modules with footprints over the attribute space.
+pub fn random_general<R: Rng>(
+    rng: &mut R,
+    p: &InstanceParams,
+    n_publics: usize,
+    max_public_cost: u64,
+) -> GeneralInstance {
+    let base = random_set(rng, p);
+    let publics = (0..n_publics)
+        .map(|_| {
+            let sz = rng.gen_range(1..=3.min(base.n_attrs));
+            let mut pool: Vec<u32> = (0..base.n_attrs as u32).collect();
+            pool.shuffle(rng);
+            PublicSpec {
+                attrs: AttrSet::from_indices(&pool[..sz]),
+                cost: rng.gen_range(1..=max_public_cost),
+            }
+        })
+        .collect();
+    GeneralInstance { base, publics }
+}
+
+/// A random layered boolean workflow: `layers × width` private modules,
+/// each with `fan_in` inputs drawn from the previous layer's outputs
+/// (first layer reads the initial inputs) and one output, computed by a
+/// random truth table.
+pub fn random_layered_workflow<R: Rng>(
+    rng: &mut R,
+    layers: usize,
+    width: usize,
+    fan_in: usize,
+) -> Workflow {
+    assert!(layers >= 1 && width >= 1 && fan_in >= 1);
+    let mut b = WorkflowBuilder::new();
+    let mut prev = b.bool_attrs("in", width.max(fan_in));
+    for layer in 0..layers {
+        let mut next_attrs = Vec::with_capacity(width);
+        for m in 0..width {
+            let out = b.attr(&format!("l{layer}m{m}"), sv_relation::Domain::boolean());
+            let mut ins = prev.clone();
+            ins.shuffle(rng);
+            ins.truncate(fan_in);
+            let table: Vec<Vec<u32>> = (0..(1usize << fan_in))
+                .map(|_| vec![u32::from(rng.gen_bool(0.5))])
+                .collect();
+            b.module(
+                &format!("m{layer}_{m}"),
+                &ins,
+                &[out],
+                Visibility::Private,
+                ModuleFn::table(vec![2; fan_in], table),
+            );
+            next_attrs.push(out);
+        }
+        prev = next_attrs;
+    }
+    b.build().expect("layered workflow is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sv_optimize::exact::{exact_cardinality, exact_set};
+
+    #[test]
+    fn random_cardinality_is_solvable_and_reproducible() {
+        let p = InstanceParams::default();
+        let a = random_cardinality(&mut StdRng::seed_from_u64(1), &p);
+        let b = random_cardinality(&mut StdRng::seed_from_u64(1), &p);
+        assert_eq!(a.n_attrs, b.n_attrs);
+        assert_eq!(a.modules, b.modules);
+        assert!(a.n_attrs <= 26);
+        // Feasible at the full set (requirement bounds respect sizes).
+        assert!(a.feasible(&AttrSet::full(a.n_attrs)));
+        let _ = exact_cardinality(&a).unwrap();
+    }
+
+    #[test]
+    fn random_set_is_solvable() {
+        let p = InstanceParams::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let inst = random_set(&mut rng, &p);
+            assert!(inst.feasible(&AttrSet::full(inst.n_attrs)));
+            let s = exact_set(&inst).unwrap();
+            assert!(inst.feasible(&s.hidden));
+        }
+    }
+
+    #[test]
+    fn random_general_has_publics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_general(&mut rng, &InstanceParams::default(), 3, 4);
+        assert_eq!(g.publics.len(), 3);
+        assert!(g.publics.iter().all(|p| !p.attrs.is_empty()));
+    }
+
+    #[test]
+    fn layered_workflow_runs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = random_layered_workflow(&mut rng, 2, 3, 2);
+        assert_eq!(w.len(), 6);
+        assert!(w.is_all_private());
+        let r = w.provenance_relation(1 << 12).unwrap();
+        assert_eq!(r.len() as u128, w.input_space_size());
+        r.check_fds(&w.fds()).unwrap();
+    }
+
+    #[test]
+    fn layered_workflow_reproducible() {
+        let w1 = random_layered_workflow(&mut StdRng::seed_from_u64(9), 2, 2, 2);
+        let w2 = random_layered_workflow(&mut StdRng::seed_from_u64(9), 2, 2, 2);
+        let r1 = w1.provenance_relation(1 << 12).unwrap();
+        let r2 = w2.provenance_relation(1 << 12).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

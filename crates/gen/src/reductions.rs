@@ -1,0 +1,429 @@
+//! The paper's hardness reductions as executable instance transformers.
+//!
+//! Each reduction returns both the Secure-View instance and the
+//! attribute/module index maps needed to translate solutions back, so
+//! the correspondence lemmas (B.4.2's equivalence, Lemma 5, Lemma 6,
+//! C.2's equivalence, Lemma 8) are tested end-to-end:
+//!
+//! | reduction | paper | hardness implied |
+//! |-----------|-------|------------------|
+//! | set cover → cardinality constraints | B.4.2 | `Ω(log n)` (Thm 5) |
+//! | label cover → set constraints (Fig 4) | B.5.2 | `ℓ_max^ε` (Thm 6) |
+//! | cubic vertex cover → cardinality, γ = 1 (Fig 5) | B.6.2 | APX (Thm 7) |
+//! | set cover → general, no sharing | C.2 | `Ω(log n)` (Thm 9) |
+//! | label cover → general (Fig 6) | C.3 | `Ω(2^{log^{1-γ} n})` (Thm 10) |
+
+use crate::labelcover::LabelCover;
+use crate::setcover::SetCover;
+use crate::vertexcover::CubicGraph;
+use sv_optimize::{
+    CardModule, CardinalityInstance, GeneralInstance, PublicSpec, SetInstance, SetModule,
+};
+use sv_relation::AttrSet;
+
+/// Result of the B.4.2 reduction (set cover → cardinality constraints).
+pub struct SetCoverCard {
+    /// The Secure-View instance.
+    pub instance: CardinalityInstance,
+    /// Attribute id of `a_i` (the data shared by set `S_i`'s edges).
+    pub a_attr: Vec<u32>,
+}
+
+/// B.4.2: set cover → Secure-View with cardinality constraints.
+///
+/// Module `z` produces one shared datum `a_i` per set; module `f_j` per
+/// element consumes `{a_i : u_j ∈ S_i}`. `L_z = ⟨(0,1)⟩`,
+/// `L_j = ⟨(1,0)⟩`; unit costs. Minimum solutions hide exactly the
+/// `a_i` of a minimum cover (cover size = solution cost).
+#[must_use]
+pub fn setcover_to_cardinality(sc: &SetCover) -> SetCoverCard {
+    let m = sc.sets.len();
+    let n = sc.n_elements;
+    // Attr ids: 0 = b_s (z's input); 1..=m: a_i; m+1..m+n: b_j.
+    let a_attr: Vec<u32> = (1..=m as u32).collect();
+    let mut modules = Vec::with_capacity(1 + n);
+    modules.push(CardModule {
+        inputs: vec![0],
+        outputs: a_attr.clone(),
+        list: vec![(0, 1)],
+    });
+    for j in 0..n {
+        let inputs: Vec<u32> = sc
+            .sets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.contains(&j))
+            .map(|(i, _)| a_attr[i])
+            .collect();
+        modules.push(CardModule {
+            inputs,
+            outputs: vec![(m + 1 + j) as u32],
+            list: vec![(1, 0)],
+        });
+    }
+    SetCoverCard {
+        instance: CardinalityInstance {
+            n_attrs: 1 + m + n,
+            costs: vec![1; 1 + m + n],
+            modules,
+        },
+        a_attr,
+    }
+}
+
+/// Result of the B.5.2 reduction (label cover → set constraints).
+pub struct LabelCoverSet {
+    /// The Secure-View instance.
+    pub instance: SetInstance,
+    /// `b_attr_left[u][ℓ]` — attribute id of `b_{u,ℓ}` for `u ∈ U`.
+    pub b_attr_left: Vec<Vec<u32>>,
+    /// `b_attr_right[w][ℓ]` — attribute id of `b_{w,ℓ}` for `w ∈ U′`.
+    pub b_attr_right: Vec<Vec<u32>>,
+}
+
+/// B.5.2 / Figure 4: label cover → Secure-View with set constraints.
+///
+/// Module `z` produces `b_{u,ℓ}` for every vertex and label
+/// (`L_z` = all singletons); module `x_{uw}` per edge requires hiding
+/// `{b_{u,ℓ1}, b_{w,ℓ2}}` for some `(ℓ1, ℓ2) ∈ R_{uw}` (Lemma 5:
+/// assignments of cost `K` ↔ solutions of cost `K`).
+#[must_use]
+pub fn labelcover_to_set(lc: &LabelCover) -> LabelCoverSet {
+    let l = lc.n_labels;
+    // Attr ids: 0 = b_z; then left (u,ℓ); then right (w,ℓ); then
+    // per-edge final outputs b_uw.
+    let mut next = 1u32;
+    let b_attr_left: Vec<Vec<u32>> = (0..lc.n_left)
+        .map(|_| {
+            (0..l)
+                .map(|_| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+                .collect()
+        })
+        .collect();
+    let b_attr_right: Vec<Vec<u32>> = (0..lc.n_right)
+        .map(|_| {
+            (0..l)
+                .map(|_| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+                .collect()
+        })
+        .collect();
+    let n_attrs = next as usize + lc.edges.len(); // + b_uw finals
+    let mut modules = Vec::with_capacity(1 + lc.edges.len());
+    // z: hide any single b_{u,ℓ}.
+    let z_list: Vec<AttrSet> = b_attr_left
+        .iter()
+        .chain(b_attr_right.iter())
+        .flat_map(|row| row.iter().map(|&a| AttrSet::from_indices(&[a])))
+        .collect();
+    modules.push(SetModule { list: z_list });
+    for (u, w, rel) in &lc.edges {
+        let list: Vec<AttrSet> = rel
+            .iter()
+            .map(|&(l1, l2)| {
+                AttrSet::from_indices(&[b_attr_left[*u][l1], b_attr_right[*w][l2]])
+            })
+            .collect();
+        modules.push(SetModule { list });
+    }
+    LabelCoverSet {
+        instance: SetInstance {
+            n_attrs,
+            costs: vec![1; n_attrs],
+            modules,
+        },
+        b_attr_left,
+        b_attr_right,
+    }
+}
+
+/// Result of the B.6.2 reduction (cubic vertex cover → cardinality).
+pub struct VertexCoverCard {
+    /// The Secure-View instance (γ = 1: no data sharing).
+    pub instance: CardinalityInstance,
+    /// Attribute id of the edge `(y_v, z)` per vertex `v`.
+    pub yz_attr: Vec<u32>,
+    /// Number of graph edges `m′` (solutions cost `m′ + K`).
+    pub m_edges: usize,
+}
+
+/// B.6.2 / Figure 5: vertex cover in cubic graphs → Secure-View with
+/// cardinality constraints and **no data sharing**.
+///
+/// Per graph edge `(u,v)` a module `x_{uv}` (hide one outgoing edge);
+/// per vertex a module `y_v` (hide all `d_v` incoming edges or its
+/// outgoing edge to `z`); `z` hides one incoming edge. Lemma 6: covers
+/// of size `K` ↔ solutions of cost `m′ + K`.
+#[must_use]
+pub fn vertexcover_to_cardinality(g: &CubicGraph) -> VertexCoverCard {
+    let m = g.edges.len();
+    // Attr ids: per edge e: s_e (initial input to x_e) = 3e,
+    // e_to_u = 3e+1, e_to_v = 3e+2. Then per vertex v: f_v = 3m + v.
+    // Final output of z: 3m + n.
+    let n = g.n;
+    let f_attr: Vec<u32> = (0..n).map(|v| (3 * m + v) as u32).collect();
+    let n_attrs = 3 * m + n + 1;
+    let mut modules = Vec::new();
+    let mut incoming: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (e, &(u, v)) in g.edges.iter().enumerate() {
+        let to_u = (3 * e + 1) as u32;
+        let to_v = (3 * e + 2) as u32;
+        incoming[u].push(to_u);
+        incoming[v].push(to_v);
+        modules.push(CardModule {
+            inputs: vec![(3 * e) as u32],
+            outputs: vec![to_u, to_v],
+            list: vec![(0, 1)],
+        });
+    }
+    for v in 0..n {
+        let dv = incoming[v].len();
+        modules.push(CardModule {
+            inputs: incoming[v].clone(),
+            outputs: vec![f_attr[v]],
+            list: if dv > 0 {
+                vec![(dv, 0), (0, 1)]
+            } else {
+                vec![(0, 1)]
+            },
+        });
+    }
+    modules.push(CardModule {
+        inputs: f_attr.clone(),
+        outputs: vec![(3 * m + n) as u32],
+        list: vec![(1, 0)],
+    });
+    VertexCoverCard {
+        instance: CardinalityInstance {
+            n_attrs,
+            costs: vec![1; n_attrs],
+            modules,
+        },
+        yz_attr: f_attr,
+        m_edges: m,
+    }
+}
+
+/// Result of the C.2 reduction (set cover → general workflows).
+pub struct SetCoverGeneral {
+    /// The Secure-View instance (attribute costs 0, privatizing a set
+    /// module costs 1).
+    pub instance: GeneralInstance,
+}
+
+/// C.2: set cover → Secure-View in general workflows **without data
+/// sharing**: public module per set, private module per element; hiding
+/// a membership edge is free but forces privatizing its set module.
+/// Covers of size `K` ↔ solutions of cost `K` (Theorem 9's `Ω(log n)`).
+#[must_use]
+pub fn setcover_to_general(sc: &SetCover) -> SetCoverGeneral {
+    let m = sc.sets.len();
+    let n = sc.n_elements;
+    // Attr ids: a_i per set: 0..m. b_{ij} per membership: assigned next.
+    // b_j finals: last n.
+    let mut next = m as u32;
+    let mut edge_attr: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n]; // per element: (set, attr)
+    let mut set_attrs: Vec<AttrSet> = (0..m)
+        .map(|i| AttrSet::from_indices(&[i as u32]))
+        .collect();
+    for (i, s) in sc.sets.iter().enumerate() {
+        for &j in s {
+            edge_attr[j].push((i, next));
+            set_attrs[i].insert(sv_relation::AttrId(next));
+            next += 1;
+        }
+    }
+    let n_attrs = next as usize + n;
+    let modules: Vec<SetModule> = (0..n)
+        .map(|j| SetModule {
+            list: edge_attr[j]
+                .iter()
+                .map(|&(_, a)| AttrSet::from_indices(&[a]))
+                .collect(),
+        })
+        .collect();
+    let publics: Vec<PublicSpec> = set_attrs
+        .into_iter()
+        .map(|attrs| PublicSpec { attrs, cost: 1 })
+        .collect();
+    SetCoverGeneral {
+        instance: GeneralInstance {
+            base: SetInstance {
+                n_attrs,
+                costs: vec![0; n_attrs],
+                modules,
+            },
+            publics,
+        },
+    }
+}
+
+/// Result of the C.3 reduction (label cover → general workflows).
+pub struct LabelCoverGeneral {
+    /// The Secure-View instance (attribute costs 0, privatizing
+    /// `z_{u,ℓ}` costs 1).
+    pub instance: GeneralInstance,
+}
+
+/// C.3 / Figure 6: label cover → Secure-View in general workflows.
+/// Private modules `v`, `y_{ℓ1ℓ2}`, `x_{uw}`; public modules `z_{u,ℓ}`
+/// per vertex/label. Hiding `d_{u,w,ℓ1,ℓ2}` (free) satisfies `x_{uw}`
+/// but privatizes `z_{u,ℓ1}` and `z_{w,ℓ2}` (cost 1 each). Lemma 8:
+/// assignments of cost `K` ↔ solutions of cost `K`.
+#[must_use]
+pub fn labelcover_to_general(lc: &LabelCover) -> LabelCoverGeneral {
+    let l = lc.n_labels;
+    // Attr 0: d_v (v's output, input to every y). Then d_{u,w,ℓ1,ℓ2}
+    // per edge/pair. (d_s and the final outputs are irrelevant to
+    // feasibility and never hidden; we omit them from the attribute
+    // space to keep exact search tractable — they carry cost 0 and
+    // belong to no requirement, so this preserves all solution costs.)
+    let mut next = 1u32;
+    let mut x_modules: Vec<SetModule> = Vec::new();
+    // Footprints of publics: left (u,ℓ) and right (w,ℓ).
+    let mut left_fp: Vec<Vec<AttrSet>> = vec![vec![AttrSet::new(); l]; lc.n_left];
+    let mut right_fp: Vec<Vec<AttrSet>> = vec![vec![AttrSet::new(); l]; lc.n_right];
+    for (u, w, rel) in &lc.edges {
+        let mut list = Vec::with_capacity(rel.len());
+        for &(l1, l2) in rel {
+            let a = next;
+            next += 1;
+            list.push(AttrSet::from_indices(&[a]));
+            left_fp[*u][l1].insert(sv_relation::AttrId(a));
+            right_fp[*w][l2].insert(sv_relation::AttrId(a));
+        }
+        x_modules.push(SetModule { list });
+    }
+    let n_attrs = next as usize;
+    // v and the y_{ℓ1ℓ2} family: all satisfied by hiding d_v (attr 0,
+    // cost 0, touching no public module).
+    let mut modules = vec![SetModule {
+        list: vec![AttrSet::from_indices(&[0])],
+    }];
+    modules.extend(x_modules);
+    let publics: Vec<PublicSpec> = left_fp
+        .into_iter()
+        .flatten()
+        .chain(right_fp.into_iter().flatten())
+        .map(|attrs| PublicSpec { attrs, cost: 1 })
+        .collect();
+    LabelCoverGeneral {
+        instance: GeneralInstance {
+            base: SetInstance {
+                n_attrs,
+                costs: vec![0; n_attrs],
+                modules,
+            },
+            publics,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sv_optimize::exact::{exact_cardinality, exact_general, exact_set};
+    use sv_optimize::greedy::greedy_cardinality;
+    use crate::vertexcover::cover_size;
+
+    #[test]
+    fn b42_cover_size_equals_solution_cost() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let sc = SetCover::random(&mut rng, 6, 5, 0.4);
+            let red = setcover_to_cardinality(&sc);
+            let opt = exact_cardinality(&red.instance).unwrap();
+            let cover = sc.exact().unwrap();
+            assert_eq!(opt.cost as usize, cover.len(), "B.4.2 correspondence");
+            // The hidden attrs are a_i's of a valid cover.
+            let chosen: Vec<usize> = red
+                .a_attr
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| opt.hidden.contains(sv_relation::AttrId(a)))
+                .map(|(i, _)| i)
+                .collect();
+            assert!(sc.is_cover(&chosen));
+        }
+    }
+
+    #[test]
+    fn b52_label_cover_correspondence_lemma5() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            let lc = LabelCover::random(&mut rng, 2, 2, 2, 0.5, 2);
+            let red = labelcover_to_set(&lc);
+            let opt = exact_set(&red.instance).unwrap();
+            let asg = lc.exact();
+            assert_eq!(opt.cost as usize, asg.cost(), "Lemma 5");
+        }
+    }
+
+    #[test]
+    fn b62_vertex_cover_correspondence_lemma6() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..3 {
+            // Keep 3m + n + 1 ≤ 26 for the exact baseline.
+            let g = CubicGraph::random(&mut rng, 5, 0);
+            let red = vertexcover_to_cardinality(&g);
+            // γ = 1: no attribute feeds two modules.
+            let opt = exact_cardinality(&red.instance).unwrap();
+            let k = cover_size(&g.exact());
+            assert_eq!(opt.cost as usize, red.m_edges + k, "Lemma 6");
+            // Bounded sharing: greedy is a 2-approximation here.
+            let gr = greedy_cardinality(&red.instance).unwrap();
+            assert!(gr.cost <= 2 * opt.cost);
+        }
+    }
+
+    #[test]
+    fn c2_general_cover_correspondence() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..4 {
+            let sc = SetCover::random(&mut rng, 5, 4, 0.3);
+            let red = setcover_to_general(&sc);
+            if red.instance.base.n_attrs > 26 {
+                continue; // exact baseline cap
+            }
+            let opt = exact_general(&red.instance).unwrap();
+            let cover = sc.exact().unwrap();
+            assert_eq!(opt.cost as usize, cover.len(), "C.2 correspondence");
+        }
+    }
+
+    #[test]
+    fn c3_label_cover_general_correspondence_lemma8() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..3 {
+            let lc = LabelCover::random(&mut rng, 2, 2, 2, 0.5, 2);
+            let red = labelcover_to_general(&lc);
+            let opt = exact_general(&red.instance).unwrap();
+            let asg = lc.exact();
+            assert_eq!(opt.cost as usize, asg.cost(), "Lemma 8");
+        }
+    }
+
+    #[test]
+    fn b42_lp_rounding_stays_logarithmic() {
+        // Sanity: Algorithm 1 on the set-cover gadget returns feasible
+        // solutions within the analysed band.
+        let mut rng = StdRng::seed_from_u64(23);
+        let sc = SetCover::random(&mut rng, 8, 6, 0.35);
+        let red = setcover_to_cardinality(&sc);
+        let opt = exact_cardinality(&red.instance).unwrap();
+        let sol = sv_optimize::cardinality::solve_rounding(&red.instance, &mut rng).unwrap();
+        assert!(red.instance.feasible(&sol.hidden));
+        let n = red.instance.n_modules() as f64;
+        let bound = (16.0 * n.ln() + 2.0) * opt.cost as f64 + 4.0;
+        assert!((sol.cost as f64) <= bound);
+    }
+}

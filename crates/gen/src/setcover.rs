@@ -1,0 +1,182 @@
+//! Minimum set cover: instances, the greedy `H_n`-approximation, and an
+//! exact solver for small instances.
+//!
+//! Source problem of two of the paper's reductions: Theorem 5's
+//! `Ω(log n)` hardness for cardinality constraints (B.4.2) and
+//! Theorem 9's `Ω(log n)` hardness for general workflows without data
+//! sharing (C.2).
+
+use rand::Rng;
+
+/// A set-cover instance: universe `{0, …, n_elements-1}` and subsets.
+#[derive(Clone, Debug)]
+pub struct SetCover {
+    /// Universe size.
+    pub n_elements: usize,
+    /// The subsets `S_1, …, S_M` (element indices).
+    pub sets: Vec<Vec<usize>>,
+}
+
+impl SetCover {
+    /// Validates element indices.
+    ///
+    /// # Panics
+    /// Panics on out-of-range elements.
+    #[must_use]
+    pub fn new(n_elements: usize, sets: Vec<Vec<usize>>) -> Self {
+        for s in &sets {
+            for &e in s {
+                assert!(e < n_elements, "element {e} out of universe");
+            }
+        }
+        Self { n_elements, sets }
+    }
+
+    /// Whether the chosen set indices cover the universe.
+    #[must_use]
+    pub fn is_cover(&self, chosen: &[usize]) -> bool {
+        let mut covered = vec![false; self.n_elements];
+        for &i in chosen {
+            for &e in &self.sets[i] {
+                covered[e] = true;
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+
+    /// The greedy algorithm: repeatedly pick the set covering the most
+    /// uncovered elements (`H_n ≤ ln n + 1` approximation).
+    ///
+    /// Returns the chosen set indices, or `None` if no cover exists.
+    #[must_use]
+    pub fn greedy(&self) -> Option<Vec<usize>> {
+        let mut covered = vec![false; self.n_elements];
+        let mut remaining = self.n_elements;
+        let mut chosen = Vec::new();
+        while remaining > 0 {
+            let (best, gain) = self
+                .sets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.iter().filter(|&&e| !covered[e]).count()))
+                .max_by_key(|&(_, g)| g)?;
+            if gain == 0 {
+                return None;
+            }
+            chosen.push(best);
+            for &e in &self.sets[best] {
+                if !covered[e] {
+                    covered[e] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        Some(chosen)
+    }
+
+    /// Exact minimum cover by subset enumeration over sets
+    /// (requires `sets.len() ≤ 24`).
+    #[must_use]
+    pub fn exact(&self) -> Option<Vec<usize>> {
+        let m = self.sets.len();
+        assert!(m <= 24, "exact set cover supports ≤ 24 sets");
+        let mut best: Option<Vec<usize>> = None;
+        for mask in 0u32..(1 << m) {
+            let chosen: Vec<usize> = (0..m).filter(|&i| mask & (1 << i) != 0).collect();
+            if let Some(b) = &best {
+                if chosen.len() >= b.len() {
+                    continue;
+                }
+            }
+            if self.is_cover(&chosen) {
+                best = Some(chosen);
+            }
+        }
+        best
+    }
+
+    /// Random instance: `m` sets, each including every element
+    /// independently with probability `density`; a final "patch" set
+    /// covers any stray uncovered elements so a cover always exists.
+    pub fn random<R: Rng>(rng: &mut R, n_elements: usize, m: usize, density: f64) -> Self {
+        let mut sets: Vec<Vec<usize>> = (0..m)
+            .map(|_| {
+                (0..n_elements)
+                    .filter(|_| rng.gen_bool(density))
+                    .collect()
+            })
+            .collect();
+        let mut covered = vec![false; n_elements];
+        for s in &sets {
+            for &e in s {
+                covered[e] = true;
+            }
+        }
+        let stray: Vec<usize> = (0..n_elements).filter(|&e| !covered[e]).collect();
+        if !stray.is_empty() {
+            sets.push(stray);
+        }
+        Self::new(n_elements, sets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> SetCover {
+        // Optimal cover: {0,1} with sets {0,1,2} and {2,3}.
+        SetCover::new(
+            4,
+            vec![vec![0, 1, 2], vec![2, 3], vec![0], vec![1], vec![3]],
+        )
+    }
+
+    #[test]
+    fn exact_finds_minimum() {
+        let sc = small();
+        let e = sc.exact().unwrap();
+        assert_eq!(e.len(), 2);
+        assert!(sc.is_cover(&e));
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_bounded() {
+        let sc = small();
+        let g = sc.greedy().unwrap();
+        assert!(sc.is_cover(&g));
+        // H_4 ≈ 2.08: greedy ≤ 3 here.
+        assert!(g.len() <= 3);
+    }
+
+    #[test]
+    fn greedy_logn_worst_case_shape() {
+        // Classic greedy-vs-optimal gap family: elements 0..2^k-1,
+        // two "half" sets (evens/odds of a specific split) vs chained
+        // doubling sets. Keep it simple: verify greedy never beats exact
+        // and both cover.
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let sc = SetCover::random(&mut rng, 12, 8, 0.3);
+            let g = sc.greedy().unwrap();
+            let e = sc.exact().unwrap();
+            assert!(sc.is_cover(&g));
+            assert!(g.len() >= e.len());
+        }
+    }
+
+    #[test]
+    fn uncoverable_detected() {
+        let sc = SetCover::new(3, vec![vec![0], vec![1]]);
+        assert!(sc.greedy().is_none());
+        assert!(sc.exact().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn bad_elements_rejected() {
+        let _ = SetCover::new(2, vec![vec![5]]);
+    }
+}

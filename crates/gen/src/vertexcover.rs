@@ -1,0 +1,167 @@
+//! Minimum vertex cover in (sub)cubic graphs: instances and solvers.
+//!
+//! Source problem of the APX-hardness of bounded-data-sharing
+//! Secure-View (Theorem 7, Appendix B.6.2 / Figure 5). Vertex cover in
+//! cubic graphs is APX-hard [Alimonti–Kann]; the reduction maps covers
+//! of size `K` to Secure-View solutions of cost `m′ + K` (Lemma 6).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An undirected graph with max degree ≤ 3 (validated).
+#[derive(Clone, Debug)]
+pub struct CubicGraph {
+    /// Vertex count.
+    pub n: usize,
+    /// Edge list (u < v).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl CubicGraph {
+    /// Validates degrees and endpoint ranges.
+    ///
+    /// # Panics
+    /// Panics if a vertex exceeds degree 3 or an endpoint is out of
+    /// range.
+    #[must_use]
+    pub fn new(n: usize, edges: Vec<(usize, usize)>) -> Self {
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &edges {
+            assert!(u < n && v < n && u != v, "bad edge ({u},{v})");
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        assert!(
+            deg.iter().all(|&d| d <= 3),
+            "graph must have max degree ≤ 3"
+        );
+        Self { n, edges }
+    }
+
+    /// Vertex degrees.
+    #[must_use]
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        deg
+    }
+
+    /// Whether `cover` covers every edge.
+    #[must_use]
+    pub fn is_cover(&self, cover: &[bool]) -> bool {
+        self.edges.iter().all(|&(u, v)| cover[u] || cover[v])
+    }
+
+    /// 2-approximation via maximal matching: take both endpoints of a
+    /// greedily chosen maximal matching.
+    #[must_use]
+    pub fn two_approx(&self) -> Vec<bool> {
+        let mut cover = vec![false; self.n];
+        for &(u, v) in &self.edges {
+            if !cover[u] && !cover[v] {
+                cover[u] = true;
+                cover[v] = true;
+            }
+        }
+        cover
+    }
+
+    /// Exact minimum vertex cover by subset enumeration (`n ≤ 24`).
+    #[must_use]
+    pub fn exact(&self) -> Vec<bool> {
+        assert!(self.n <= 24, "exact vertex cover supports ≤ 24 vertices");
+        let mut best: Option<(u32, u32)> = None; // (popcount, mask)
+        for mask in 0u32..(1 << self.n) {
+            let pc = mask.count_ones();
+            if let Some((bpc, _)) = best {
+                if pc >= bpc {
+                    continue;
+                }
+            }
+            let cover: Vec<bool> = (0..self.n).map(|i| mask & (1 << i) != 0).collect();
+            if self.is_cover(&cover) {
+                best = Some((pc, mask));
+            }
+        }
+        let (_, mask) = best.expect("empty cover works for empty edge set");
+        (0..self.n).map(|i| mask & (1 << i) != 0).collect()
+    }
+
+    /// Random graph with max degree ≤ 3: a random perfect-ish matching
+    /// plus a random cycle, trimmed to the degree bound.
+    pub fn random<R: Rng>(rng: &mut R, n: usize, extra_edges: usize) -> Self {
+        let mut deg = vec![0usize; n];
+        let mut edges = Vec::new();
+        let mut verts: Vec<usize> = (0..n).collect();
+        verts.shuffle(rng);
+        // Cycle through the shuffled vertices (degree 2 each).
+        for i in 0..n {
+            let (u, v) = (verts[i], verts[(i + 1) % n]);
+            if u != v && !edges.contains(&(u.min(v), u.max(v))) {
+                edges.push((u.min(v), u.max(v)));
+                deg[u] += 1;
+                deg[v] += 1;
+            }
+        }
+        // Extra random chords while respecting degree 3.
+        for _ in 0..extra_edges {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            let e = (u.min(v), u.max(v));
+            if u != v && deg[u] < 3 && deg[v] < 3 && !edges.contains(&e) {
+                edges.push(e);
+                deg[u] += 1;
+                deg[v] += 1;
+            }
+        }
+        Self::new(n, edges)
+    }
+}
+
+/// Number of true entries (cover size).
+#[must_use]
+pub fn cover_size(cover: &[bool]) -> usize {
+    cover.iter().filter(|&&b| b).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn triangle_cover() {
+        let g = CubicGraph::new(3, vec![(0, 1), (1, 2), (0, 2)]);
+        let e = g.exact();
+        assert_eq!(cover_size(&e), 2);
+        assert!(g.is_cover(&e));
+        let a = g.two_approx();
+        assert!(g.is_cover(&a));
+        assert!(cover_size(&a) <= 2 * 2);
+    }
+
+    #[test]
+    fn random_graphs_respect_degree_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let g = CubicGraph::random(&mut rng, 10, 5);
+            assert!(g.degrees().iter().all(|&d| d <= 3));
+            let e = g.exact();
+            let a = g.two_approx();
+            assert!(g.is_cover(&e) && g.is_cover(&a));
+            assert!(cover_size(&a) <= 2 * cover_size(&e));
+            // Cubic graphs: any cover ≥ m/3 (each vertex covers ≤ 3).
+            assert!(3 * cover_size(&e) >= g.edges.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max degree")]
+    fn degree_bound_enforced() {
+        let _ = CubicGraph::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+    }
+}

@@ -1,0 +1,368 @@
+//! Secure-View with **cardinality constraints** (Theorem 5, Appendix
+//! B.4): the Figure-3 integer program, its LP relaxation, and the
+//! Algorithm-1 randomized rounding giving an `O(log n)`-approximation.
+//!
+//! The IP (variables as in the paper):
+//!
+//! * `x_b = 1` iff data `b` is hidden (cost `c_b`);
+//! * `r_{ij} = 1` iff list entry `j` satisfies module `m_i`;
+//! * `y_{bij} / z_{bij} = 1` iff `b` counts towards `α_i^j` / `β_i^j`;
+//! * constraints (1)–(8) exactly as printed, including the two families
+//!   the paper proves necessary: the *cap* constraints (6)–(7)
+//!   (`y_{bij} ≤ r_{ij}`) and the *summed* link constraints (4)–(5)
+//!   (`Σ_j y_{bij} ≤ x_b`). [`CardLpVariant`] exposes ablated
+//!   relaxations whose integrality gaps are unbounded / `Ω(ℓ)`
+//!   (reproduced in `bench_ip_ablation`).
+
+use crate::instance::{CardinalityInstance, Solution};
+use rand::Rng;
+use sv_lp::{solve_integer, Cmp, LpError, LpProblem, VarId};
+use sv_relation::{AttrId, AttrSet};
+
+/// Which relaxation to build (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CardLpVariant {
+    /// The full Figure-3 relaxation.
+    Full,
+    /// Constraints (6)–(7) dropped (unbounded integrality gap, B.4).
+    WithoutCaps,
+    /// Link constraints per-entry instead of summed over `j`
+    /// (`Ω(ℓ_max)` integrality gap, B.4).
+    WithoutSums,
+}
+
+/// The built LP with variable handles for rounding.
+pub struct CardLp {
+    /// The LP.
+    pub problem: LpProblem,
+    /// `x_b` per attribute.
+    pub x: Vec<VarId>,
+    /// `r_{ij}`: per module, per list entry.
+    pub r: Vec<Vec<VarId>>,
+    /// `y_{bij}`: per module, per list entry, per input position.
+    pub y: Vec<Vec<Vec<VarId>>>,
+    /// `z_{bij}`: per module, per list entry, per output position.
+    pub z: Vec<Vec<Vec<VarId>>>,
+}
+
+/// Builds the Figure-3 LP relaxation (or an ablated variant).
+#[must_use]
+pub fn build_lp(inst: &CardinalityInstance, variant: CardLpVariant) -> CardLp {
+    let mut p = LpProblem::new();
+    let x: Vec<VarId> = (0..inst.n_attrs)
+        .map(|b| p.add_unit_var(&format!("x{b}"), inst.costs[b] as f64))
+        .collect();
+    let mut r = Vec::with_capacity(inst.modules.len());
+    let mut y = Vec::with_capacity(inst.modules.len());
+    let mut z = Vec::with_capacity(inst.modules.len());
+
+    for (i, m) in inst.modules.iter().enumerate() {
+        let li = m.list.len();
+        let ri: Vec<VarId> = (0..li)
+            .map(|j| p.add_unit_var(&format!("r{i}_{j}"), 0.0))
+            .collect();
+        // (1) Σ_j r_ij ≥ 1.
+        let terms: Vec<(VarId, f64)> = ri.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&terms, Cmp::Ge, 1.0);
+
+        let yi: Vec<Vec<VarId>> = (0..li)
+            .map(|j| {
+                m.inputs
+                    .iter()
+                    .map(|b| p.add_unit_var(&format!("y{b}_{i}_{j}"), 0.0))
+                    .collect()
+            })
+            .collect();
+        let zi: Vec<Vec<VarId>> = (0..li)
+            .map(|j| {
+                m.outputs
+                    .iter()
+                    .map(|b| p.add_unit_var(&format!("z{b}_{i}_{j}"), 0.0))
+                    .collect()
+            })
+            .collect();
+
+        for j in 0..li {
+            let (alpha, beta) = m.list[j];
+            // (2) Σ_b y_bij ≥ r_ij · α_i^j.
+            let mut terms: Vec<(VarId, f64)> = yi[j].iter().map(|&v| (v, 1.0)).collect();
+            terms.push((ri[j], -(alpha as f64)));
+            p.add_constraint(&terms, Cmp::Ge, 0.0);
+            // (3) Σ_b z_bij ≥ r_ij · β_i^j.
+            let mut terms: Vec<(VarId, f64)> = zi[j].iter().map(|&v| (v, 1.0)).collect();
+            terms.push((ri[j], -(beta as f64)));
+            p.add_constraint(&terms, Cmp::Ge, 0.0);
+            if variant != CardLpVariant::WithoutCaps {
+                // (6)/(7) y_bij ≤ r_ij, z_bij ≤ r_ij.
+                for &v in yi[j].iter().chain(zi[j].iter()) {
+                    p.add_constraint(&[(v, 1.0), (ri[j], -1.0)], Cmp::Le, 0.0);
+                }
+            }
+        }
+        // (4)/(5): link y/z to x.
+        match variant {
+            CardLpVariant::WithoutSums => {
+                for j in 0..li {
+                    for (pos, &b) in m.inputs.iter().enumerate() {
+                        p.add_constraint(
+                            &[(yi[j][pos], 1.0), (x[b as usize], -1.0)],
+                            Cmp::Le,
+                            0.0,
+                        );
+                    }
+                    for (pos, &b) in m.outputs.iter().enumerate() {
+                        p.add_constraint(
+                            &[(zi[j][pos], 1.0), (x[b as usize], -1.0)],
+                            Cmp::Le,
+                            0.0,
+                        );
+                    }
+                }
+            }
+            _ => {
+                for (pos, &b) in m.inputs.iter().enumerate() {
+                    let mut terms: Vec<(VarId, f64)> =
+                        (0..li).map(|j| (yi[j][pos], 1.0)).collect();
+                    terms.push((x[b as usize], -1.0));
+                    p.add_constraint(&terms, Cmp::Le, 0.0);
+                }
+                for (pos, &b) in m.outputs.iter().enumerate() {
+                    let mut terms: Vec<(VarId, f64)> =
+                        (0..li).map(|j| (zi[j][pos], 1.0)).collect();
+                    terms.push((x[b as usize], -1.0));
+                    p.add_constraint(&terms, Cmp::Le, 0.0);
+                }
+            }
+        }
+        r.push(ri);
+        y.push(yi);
+        z.push(zi);
+    }
+    CardLp { problem: p, x, r, y, z }
+}
+
+/// Optimal value of the (full) LP relaxation — a lower bound on the
+/// Secure-View optimum.
+///
+/// # Errors
+/// LP solver errors (infeasibility means some module's list is
+/// unsatisfiable even fractionally).
+pub fn lp_lower_bound(inst: &CardinalityInstance) -> Result<f64, LpError> {
+    let lp = build_lp(inst, CardLpVariant::Full);
+    Ok(lp.problem.solve()?.objective)
+}
+
+/// The module's minimum-cost deterministic bundle `B_i^min` (Algorithm 1
+/// step 3): over list entries `j`, the `α_i^j` cheapest inputs plus the
+/// `β_i^j` cheapest outputs, minimized by total cost.
+#[must_use]
+pub fn b_min(inst: &CardinalityInstance, i: usize) -> AttrSet {
+    let m = &inst.modules[i];
+    let mut best: Option<(u64, AttrSet)> = None;
+    let mut ins: Vec<u32> = m.inputs.clone();
+    let mut outs: Vec<u32> = m.outputs.clone();
+    ins.sort_by_key(|&b| inst.costs[b as usize]);
+    outs.sort_by_key(|&b| inst.costs[b as usize]);
+    for &(alpha, beta) in &m.list {
+        if alpha > ins.len() || beta > outs.len() {
+            continue;
+        }
+        let chosen: AttrSet = ins[..alpha]
+            .iter()
+            .chain(outs[..beta].iter())
+            .map(|&b| AttrId(b))
+            .collect();
+        let cost: u64 = chosen.iter().map(|a| inst.costs[a.index()]).sum();
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((cost, chosen));
+        }
+    }
+    best.map(|(_, s)| s).unwrap_or_default()
+}
+
+/// **Algorithm 1**: randomized rounding of the Figure-3 LP relaxation.
+///
+/// Each attribute `b` is hidden with probability
+/// `min{1, 16·x_b·ln n}`; any module left unsatisfied is repaired with
+/// its deterministic bundle `B_i^min`. Expected cost is `O(log n)` times
+/// the LP lower bound (Theorem 5 / Corollary 1).
+///
+/// # Errors
+/// LP solver errors.
+pub fn solve_rounding<R: Rng>(
+    inst: &CardinalityInstance,
+    rng: &mut R,
+) -> Result<Solution, LpError> {
+    let lp = build_lp(inst, CardLpVariant::Full);
+    let sol = lp.problem.solve()?;
+    let n = inst.modules.len().max(2) as f64;
+    let scale = 16.0 * n.ln();
+    let mut hidden = AttrSet::new();
+    for (b, &v) in lp.x.iter().enumerate() {
+        let pr = (sol.value(v) * scale).min(1.0);
+        if rng.gen_bool(pr.clamp(0.0, 1.0)) {
+            hidden.insert(AttrId(b as u32));
+        }
+    }
+    // Step 3: deterministic repair.
+    for (i, m) in inst.modules.iter().enumerate() {
+        if !m.satisfied_by(&hidden) {
+            hidden.union_with(&b_min(inst, i));
+        }
+    }
+    Ok(Solution::checked_card(inst, hidden))
+}
+
+/// Exact optimum via branch-and-bound on the full IP (all variables
+/// binary). Used as a cross-check of the dense-enumeration baseline.
+///
+/// # Errors
+/// [`LpError::Infeasible`] when no feasible hiding exists;
+/// [`LpError::Numerical`] if `node_limit` is exhausted.
+pub fn exact_ip(inst: &CardinalityInstance, node_limit: u64) -> Result<Solution, LpError> {
+    let lp = build_lp(inst, CardLpVariant::Full);
+    let mut ints: Vec<VarId> = lp.x.clone();
+    for ri in &lp.r {
+        ints.extend(ri.iter().copied());
+    }
+    for yi in &lp.y {
+        for yj in yi {
+            ints.extend(yj.iter().copied());
+        }
+    }
+    for zi in &lp.z {
+        for zj in zi {
+            ints.extend(zj.iter().copied());
+        }
+    }
+    let s = solve_integer(&lp.problem, &ints, node_limit)?;
+    let hidden: AttrSet = lp
+        .x
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| s.value(v) > 0.5)
+        .map(|(b, _)| AttrId(b as u32))
+        .collect();
+    Ok(Solution::checked_card(inst, hidden))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_cardinality;
+    use crate::instance::CardModule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> CardinalityInstance {
+        // Three modules over 6 attrs; sharing on attr 2.
+        CardinalityInstance {
+            n_attrs: 6,
+            costs: vec![1, 2, 1, 3, 1, 2],
+            modules: vec![
+                CardModule {
+                    inputs: vec![0, 1],
+                    outputs: vec![2],
+                    list: vec![(1, 0), (0, 1)],
+                },
+                CardModule {
+                    inputs: vec![2, 3],
+                    outputs: vec![4],
+                    list: vec![(1, 0), (0, 1)],
+                },
+                CardModule {
+                    inputs: vec![4],
+                    outputs: vec![5],
+                    list: vec![(1, 1)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lp_bounds_the_optimum() {
+        let inst = toy();
+        let opt = exact_cardinality(&inst).unwrap();
+        let lb = lp_lower_bound(&inst).unwrap();
+        assert!(lb <= opt.cost as f64 + 1e-6, "lb {lb} > opt {}", opt.cost);
+        assert!(lb > 0.0);
+    }
+
+    #[test]
+    fn rounding_is_feasible_and_close_on_toy() {
+        let inst = toy();
+        let opt = exact_cardinality(&inst).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let s = solve_rounding(&inst, &mut rng).unwrap();
+            assert!(inst.feasible(&s.hidden));
+            // Theorem-5 guarantee is O(log n)·OPT in expectation; on
+            // this toy a generous sanity band suffices.
+            assert!(s.cost <= 16 * opt.cost, "cost {} vs opt {}", s.cost, opt.cost);
+        }
+    }
+
+    #[test]
+    fn exact_ip_matches_enumeration() {
+        let inst = toy();
+        let a = exact_cardinality(&inst).unwrap();
+        let b = exact_ip(&inst, 1 << 18).unwrap();
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn b_min_picks_cheapest_bundle() {
+        let inst = toy();
+        // Module 0: (1,0) cheapest input = attr 0 (cost 1);
+        // (0,1) output attr 2 (cost 1). Tie → first found (entry order).
+        let b = b_min(&inst, 0);
+        let cost: u64 = b.iter().map(|a| inst.costs[a.index()]).sum();
+        assert_eq!(cost, 1);
+        // Module 2 must take both its attrs: {4, 5}.
+        assert_eq!(b_min(&inst, 2), AttrSet::from_indices(&[4, 5]));
+    }
+
+    #[test]
+    fn ablated_lp_without_caps_is_cheaper() {
+        // Mixing two list entries is allowed without (6)/(7): LP value
+        // can drop strictly below the faithful relaxation.
+        let inst = CardinalityInstance {
+            n_attrs: 4,
+            costs: vec![1, 1, 1, 1],
+            modules: vec![CardModule {
+                inputs: vec![0, 1],
+                outputs: vec![2, 3],
+                // Either hide both inputs or both outputs.
+                list: vec![(2, 0), (0, 2)],
+            }],
+        };
+        let full = build_lp(&inst, CardLpVariant::Full)
+            .problem
+            .solve()
+            .unwrap()
+            .objective;
+        let ablated = build_lp(&inst, CardLpVariant::WithoutCaps)
+            .problem
+            .solve()
+            .unwrap()
+            .objective;
+        assert!(ablated <= full + 1e-9);
+        let opt = exact_cardinality(&inst).unwrap().cost as f64;
+        assert!(full <= opt + 1e-9);
+    }
+
+    #[test]
+    fn unsatisfiable_module_infeasible_everywhere() {
+        let inst = CardinalityInstance {
+            n_attrs: 2,
+            costs: vec![1, 1],
+            modules: vec![CardModule {
+                inputs: vec![0],
+                outputs: vec![1],
+                list: vec![(2, 0)], // needs 2 hidden inputs, has 1
+            }],
+        };
+        assert!(exact_cardinality(&inst).is_none());
+        assert!(matches!(exact_ip(&inst, 1 << 12), Err(LpError::Infeasible)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Secure-View in **general workflows** (§5.2, Appendix C.4): the LP
+//! (19)–(23) with privatization variables and its `ℓ_max`-rounding.
+//!
+//! Additional variables `w_i` per public module (`w_i = 1` iff the
+//! module is privatized) with constraint (21) `w_i ≥ x_b` for every
+//! attribute `b` of the module: hiding any of a public module's data
+//! forces hiding the module's identity. Rounding hides attributes with
+//! `x_b ≥ 1/ℓ_max` and privatizes exactly the publics they touch, giving
+//! an `ℓ_max`-approximation for the set-constraints version (the
+//! cardinality version in general workflows is
+//! `Ω(2^{log^{1-γ} n})`-hard, Theorem 10, so no analogous rounding is
+//! offered there — use [`crate::exact`] or greedy baselines).
+
+use crate::instance::{GeneralInstance, Solution};
+use sv_lp::{solve_integer, Cmp, LpError, LpProblem, VarId};
+use sv_relation::{AttrId, AttrSet};
+
+/// The built LP with handles.
+pub struct GeneralLp {
+    /// The LP.
+    pub problem: LpProblem,
+    /// `x_b` per attribute.
+    pub x: Vec<VarId>,
+    /// `r_{ij}` per private module, per list entry.
+    pub r: Vec<Vec<VarId>>,
+    /// `w_i` per public module.
+    pub w: Vec<VarId>,
+}
+
+/// Builds the relaxation (19)–(23).
+#[must_use]
+pub fn build_lp(inst: &GeneralInstance) -> GeneralLp {
+    let mut p = LpProblem::new();
+    let x: Vec<VarId> = (0..inst.base.n_attrs)
+        .map(|b| p.add_unit_var(&format!("x{b}"), inst.base.costs[b] as f64))
+        .collect();
+    let w: Vec<VarId> = inst
+        .publics
+        .iter()
+        .enumerate()
+        .map(|(i, pm)| p.add_unit_var(&format!("w{i}"), pm.cost as f64))
+        .collect();
+    let mut r = Vec::with_capacity(inst.base.modules.len());
+    for (i, m) in inst.base.modules.iter().enumerate() {
+        let ri: Vec<VarId> = (0..m.list.len())
+            .map(|j| p.add_unit_var(&format!("r{i}_{j}"), 0.0))
+            .collect();
+        // (19) Σ_j r_ij ≥ 1 (private modules only).
+        let terms: Vec<(VarId, f64)> = ri.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&terms, Cmp::Ge, 1.0);
+        // (20) x_b ≥ r_ij.
+        for (j, entry) in m.list.iter().enumerate() {
+            for a in entry.iter() {
+                p.add_constraint(&[(x[a.index()], 1.0), (ri[j], -1.0)], Cmp::Ge, 0.0);
+            }
+        }
+        r.push(ri);
+    }
+    // (21) w_i ≥ x_b for b in the public module's footprint.
+    for (i, pm) in inst.publics.iter().enumerate() {
+        for a in pm.attrs.iter() {
+            p.add_constraint(&[(w[i], 1.0), (x[a.index()], -1.0)], Cmp::Ge, 0.0);
+        }
+    }
+    GeneralLp { problem: p, x, r, w }
+}
+
+/// Optimal LP value — a lower bound on the general Secure-View optimum.
+///
+/// # Errors
+/// LP solver errors.
+pub fn lp_lower_bound(inst: &GeneralInstance) -> Result<f64, LpError> {
+    Ok(build_lp(inst).problem.solve()?.objective)
+}
+
+/// The `ℓ_max`-rounding of Appendix C.4: hide attributes with
+/// `x_b ≥ 1/ℓ_max`; the privatized set is induced (every public module
+/// touching a hidden attribute).
+///
+/// # Errors
+/// LP solver errors.
+pub fn solve_rounding(inst: &GeneralInstance) -> Result<Solution, LpError> {
+    let lmax = inst.l_max().max(1);
+    let lp = build_lp(inst);
+    let sol = lp.problem.solve()?;
+    let thr = 1.0 / lmax as f64 - 1e-9;
+    let hidden: AttrSet = lp
+        .x
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| sol.value(v) >= thr)
+        .map(|(b, _)| AttrId(b as u32))
+        .collect();
+    Ok(Solution::checked_general(inst, hidden))
+}
+
+/// Exact optimum via branch-and-bound on the IP (19)–(22).
+///
+/// # Errors
+/// [`LpError::Infeasible`] when no feasible hiding exists;
+/// [`LpError::Numerical`] if `node_limit` is exhausted.
+pub fn exact_ip(inst: &GeneralInstance, node_limit: u64) -> Result<Solution, LpError> {
+    let lp = build_lp(inst);
+    let mut ints: Vec<VarId> = lp.x.clone();
+    ints.extend(lp.w.iter().copied());
+    for ri in &lp.r {
+        ints.extend(ri.iter().copied());
+    }
+    let s = solve_integer(&lp.problem, &ints, node_limit)?;
+    let hidden: AttrSet = lp
+        .x
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| s.value(v) > 0.5)
+        .map(|(b, _)| AttrId(b as u32))
+        .collect();
+    Ok(Solution::checked_general(inst, hidden))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_general;
+    use crate::instance::{PublicSpec, SetInstance, SetModule};
+
+    fn toy() -> GeneralInstance {
+        GeneralInstance {
+            base: SetInstance {
+                n_attrs: 4,
+                costs: vec![0, 0, 2, 2],
+                modules: vec![SetModule {
+                    list: vec![
+                        AttrSet::from_indices(&[0]),
+                        AttrSet::from_indices(&[2, 3]),
+                    ],
+                }],
+            },
+            publics: vec![
+                PublicSpec {
+                    attrs: AttrSet::from_indices(&[0, 1]),
+                    cost: 3,
+                },
+                PublicSpec {
+                    attrs: AttrSet::from_indices(&[1]),
+                    cost: 100,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn exact_trades_attrs_against_privatization() {
+        // Hiding {0}: attr cost 0 + privatize public 0 (cost 3) = 3.
+        // Hiding {2,3}: attr cost 4, no privatization = 4. Optimum: 3.
+        let s = exact_general(&toy()).unwrap();
+        assert_eq!(s.cost, 3);
+        assert_eq!(s.hidden, AttrSet::from_indices(&[0]));
+    }
+
+    #[test]
+    fn lp_bounds_and_rounding_guarantee() {
+        let inst = toy();
+        let opt = exact_general(&inst).unwrap();
+        let lb = lp_lower_bound(&inst).unwrap();
+        assert!(lb <= opt.cost as f64 + 1e-6);
+        let rounded = solve_rounding(&inst).unwrap();
+        assert!(inst.feasible(&rounded.hidden));
+        assert!(
+            rounded.cost as f64 <= inst.l_max() as f64 * opt.cost as f64 + 1e-6,
+            "rounded {} vs ℓ_max·opt {}",
+            rounded.cost,
+            inst.l_max() as u64 * opt.cost
+        );
+    }
+
+    #[test]
+    fn exact_ip_matches_enumeration() {
+        let inst = toy();
+        assert_eq!(
+            exact_general(&inst).unwrap().cost,
+            exact_ip(&inst, 1 << 16).unwrap().cost
+        );
+    }
+
+    #[test]
+    fn zero_cost_publics_do_not_distort() {
+        let mut inst = toy();
+        inst.publics[0].cost = 0;
+        // Now hiding {0} costs 0 total.
+        let s = exact_general(&inst).unwrap();
+        assert_eq!(s.cost, 0);
+        let r = solve_rounding(&inst).unwrap();
+        assert_eq!(r.cost, 0);
+    }
+
+    #[test]
+    fn no_publics_reduces_to_set_instance() {
+        let inst = GeneralInstance {
+            base: toy().base,
+            publics: vec![],
+        };
+        let g = exact_general(&inst).unwrap();
+        let s = crate::exact::exact_set(&inst.base).unwrap();
+        assert_eq!(g.cost, s.cost);
+    }
+}

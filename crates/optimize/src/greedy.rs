@@ -1,0 +1,144 @@
+//! Greedy algorithms: the `(γ+1)`-approximation for bounded data
+//! sharing (Theorem 7, Appendix B.6.1) and baselines.
+//!
+//! For each module, independently pick its minimum-cost requirement
+//! (cheapest list entry / cheapest cardinality bundle) and hide the
+//! union. If every attribute feeds at most `γ` modules, any single
+//! attribute serves at most `γ+1` modules' requirements in an optimal
+//! solution (its producer plus up to `γ` consumers), so the union costs
+//! at most `(γ+1)·OPT`. With unbounded sharing the ratio degrades to
+//! `Ω(n)` (Example 5) — measured in `bench_thm7_bounded_sharing`.
+
+use crate::cardinality::b_min;
+use crate::instance::{CardinalityInstance, SetInstance, Solution};
+use sv_relation::AttrSet;
+
+/// Greedy `(γ+1)`-approximation for **set constraints**: union of
+/// per-module minimum-cost list entries.
+///
+/// Returns `None` if some module's list is empty.
+#[must_use]
+pub fn greedy_set(inst: &SetInstance) -> Option<Solution> {
+    let mut hidden = AttrSet::new();
+    for m in &inst.modules {
+        let best = m
+            .list
+            .iter()
+            .min_by_key(|entry| entry.iter().map(|a| inst.costs[a.index()]).sum::<u64>())?;
+        hidden.union_with(best);
+    }
+    Some(Solution::checked_set(inst, hidden))
+}
+
+/// Greedy `(γ+1)`-approximation for **cardinality constraints**: union
+/// of per-module minimum-cost bundles `B_i^min`.
+///
+/// Returns `None` if some module has no satisfiable list entry.
+#[must_use]
+pub fn greedy_cardinality(inst: &CardinalityInstance) -> Option<Solution> {
+    let mut hidden = AttrSet::new();
+    for i in 0..inst.modules.len() {
+        let b = b_min(inst, i);
+        if b.is_empty() && !inst.modules[i].satisfied_by(&b) {
+            return None;
+        }
+        hidden.union_with(&b);
+    }
+    if !inst.feasible(&hidden) {
+        return None;
+    }
+    Some(Solution::checked_card(inst, hidden))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_cardinality, exact_set};
+    use crate::instance::{CardModule, SetModule};
+
+    #[test]
+    fn greedy_respects_gamma_plus_one_bound_without_sharing() {
+        // γ = 1 (no sharing): greedy ≤ 2·OPT.
+        let inst = SetInstance {
+            n_attrs: 6,
+            costs: vec![1, 3, 1, 3, 1, 3],
+            modules: (0..3)
+                .map(|i| SetModule {
+                    list: vec![
+                        AttrSet::from_indices(&[2 * i]),
+                        AttrSet::from_indices(&[2 * i + 1]),
+                    ],
+                })
+                .collect(),
+        };
+        let g = greedy_set(&inst).unwrap();
+        let o = exact_set(&inst).unwrap();
+        assert!(g.cost <= 2 * o.cost);
+        assert_eq!(g.cost, o.cost, "disjoint modules: greedy is optimal");
+    }
+
+    #[test]
+    fn greedy_misses_shared_attributes() {
+        // Example-5 shape: all modules can be satisfied by one shared
+        // attribute (id 0, cost 2) or by private attributes (cost 1
+        // each). Greedy picks the cheap private ones (cost n), optimum
+        // hides the shared one (cost 2).
+        let n = 5;
+        let inst = SetInstance {
+            n_attrs: n + 1,
+            costs: std::iter::once(2)
+                .chain(std::iter::repeat_n(1, n))
+                .collect(),
+            modules: (0..n)
+                .map(|i| SetModule {
+                    list: vec![
+                        AttrSet::from_indices(&[(i + 1) as u32]),
+                        AttrSet::from_indices(&[0]),
+                    ],
+                })
+                .collect(),
+        };
+        let g = greedy_set(&inst).unwrap();
+        let o = exact_set(&inst).unwrap();
+        assert_eq!(o.cost, 2);
+        assert_eq!(g.cost, n as u64, "greedy pays Ω(n)·OPT with sharing");
+    }
+
+    #[test]
+    fn greedy_cardinality_feasible() {
+        let inst = CardinalityInstance {
+            n_attrs: 4,
+            costs: vec![1, 2, 3, 4],
+            modules: vec![
+                CardModule {
+                    inputs: vec![0, 1],
+                    outputs: vec![2],
+                    list: vec![(1, 0), (0, 1)],
+                },
+                CardModule {
+                    inputs: vec![2],
+                    outputs: vec![3],
+                    list: vec![(0, 1)],
+                },
+            ],
+        };
+        let g = greedy_cardinality(&inst).unwrap();
+        assert!(inst.feasible(&g.hidden));
+        let o = exact_cardinality(&inst).unwrap();
+        assert!(g.cost <= 2 * o.cost);
+    }
+
+    #[test]
+    fn greedy_cardinality_unsatisfiable() {
+        let inst = CardinalityInstance {
+            n_attrs: 2,
+            costs: vec![1, 1],
+            modules: vec![CardModule {
+                inputs: vec![0],
+                outputs: vec![1],
+                list: vec![(2, 0)],
+            }],
+        };
+        assert!(greedy_cardinality(&inst).is_none());
+    }
+}

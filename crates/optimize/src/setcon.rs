@@ -1,0 +1,200 @@
+//! Secure-View with **set constraints** (Theorem 6, Appendix B.5): the
+//! LP relaxation (15)–(18) and the threshold rounding that yields an
+//! `ℓ_max`-approximation.
+//!
+//! The LP:
+//! `min Σ c_b x_b` subject to `Σ_j r_{ij} ≥ 1` per module and
+//! `x_b ≥ r_{ij}` for every attribute `b` in list entry `(I_i^j, O_i^j)`.
+//! Rounding hides every attribute with `x_b ≥ 1/ℓ_max`; since some
+//! `r_{ij} ≥ 1/ℓ_i` per module, that entry's attributes are all hidden,
+//! so the result is feasible at cost at most `ℓ_max` times the LP value.
+
+use crate::instance::{SetInstance, Solution};
+use sv_lp::{solve_integer, Cmp, LpError, LpProblem, VarId};
+use sv_relation::{AttrId, AttrSet};
+
+/// The built LP with handles.
+pub struct SetLp {
+    /// The LP.
+    pub problem: LpProblem,
+    /// `x_b` per attribute.
+    pub x: Vec<VarId>,
+    /// `r_{ij}` per module, per list entry.
+    pub r: Vec<Vec<VarId>>,
+}
+
+/// Builds the relaxation (15)–(18).
+#[must_use]
+pub fn build_lp(inst: &SetInstance) -> SetLp {
+    let mut p = LpProblem::new();
+    let x: Vec<VarId> = (0..inst.n_attrs)
+        .map(|b| p.add_unit_var(&format!("x{b}"), inst.costs[b] as f64))
+        .collect();
+    let mut r = Vec::with_capacity(inst.modules.len());
+    for (i, m) in inst.modules.iter().enumerate() {
+        let ri: Vec<VarId> = (0..m.list.len())
+            .map(|j| p.add_unit_var(&format!("r{i}_{j}"), 0.0))
+            .collect();
+        // (15) Σ_j r_ij ≥ 1.
+        let terms: Vec<(VarId, f64)> = ri.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&terms, Cmp::Ge, 1.0);
+        // (16) x_b ≥ r_ij for b in entry j.
+        for (j, entry) in m.list.iter().enumerate() {
+            for a in entry.iter() {
+                p.add_constraint(&[(x[a.index()], 1.0), (ri[j], -1.0)], Cmp::Ge, 0.0);
+            }
+        }
+        r.push(ri);
+    }
+    SetLp { problem: p, x, r }
+}
+
+/// Optimal LP value — a lower bound on the Secure-View optimum.
+///
+/// # Errors
+/// LP solver errors.
+pub fn lp_lower_bound(inst: &SetInstance) -> Result<f64, LpError> {
+    Ok(build_lp(inst).problem.solve()?.objective)
+}
+
+/// The `ℓ_max`-approximation (Appendix B.5.1): solve the LP and hide
+/// every attribute with `x_b ≥ 1/ℓ_max`.
+///
+/// # Errors
+/// LP solver errors ([`LpError::Infeasible`] iff some module's list is
+/// empty/unsatisfiable).
+pub fn solve_rounding(inst: &SetInstance) -> Result<Solution, LpError> {
+    let lmax = inst.l_max().max(1);
+    let lp = build_lp(inst);
+    let sol = lp.problem.solve()?;
+    let thr = 1.0 / lmax as f64 - 1e-9;
+    let hidden: AttrSet = lp
+        .x
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| sol.value(v) >= thr)
+        .map(|(b, _)| AttrId(b as u32))
+        .collect();
+    Ok(Solution::checked_set(inst, hidden))
+}
+
+/// Exact optimum via branch-and-bound on the IP (15)–(17).
+///
+/// # Errors
+/// [`LpError::Infeasible`] when no feasible hiding exists;
+/// [`LpError::Numerical`] if `node_limit` is exhausted.
+pub fn exact_ip(inst: &SetInstance, node_limit: u64) -> Result<Solution, LpError> {
+    let lp = build_lp(inst);
+    let mut ints: Vec<VarId> = lp.x.clone();
+    for ri in &lp.r {
+        ints.extend(ri.iter().copied());
+    }
+    let s = solve_integer(&lp.problem, &ints, node_limit)?;
+    let hidden: AttrSet = lp
+        .x
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| s.value(v) > 0.5)
+        .map(|(b, _)| AttrId(b as u32))
+        .collect();
+    Ok(Solution::checked_set(inst, hidden))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_set;
+    use crate::instance::SetModule;
+
+    fn toy() -> SetInstance {
+        SetInstance {
+            n_attrs: 5,
+            costs: vec![2, 1, 1, 1, 4],
+            modules: vec![
+                SetModule {
+                    list: vec![
+                        AttrSet::from_indices(&[0]),
+                        AttrSet::from_indices(&[1, 2]),
+                    ],
+                },
+                SetModule {
+                    list: vec![
+                        AttrSet::from_indices(&[2, 3]),
+                        AttrSet::from_indices(&[4]),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lp_sandwich() {
+        let inst = toy();
+        let opt = exact_set(&inst).unwrap();
+        let lb = lp_lower_bound(&inst).unwrap();
+        assert!(lb <= opt.cost as f64 + 1e-6);
+        let rounded = solve_rounding(&inst).unwrap();
+        assert!(inst.feasible(&rounded.hidden));
+        // ℓ_max guarantee.
+        assert!(rounded.cost as f64 <= inst.l_max() as f64 * opt.cost as f64 + 1e-6);
+    }
+
+    #[test]
+    fn exact_ip_matches_enumeration() {
+        let inst = toy();
+        assert_eq!(
+            exact_set(&inst).unwrap().cost,
+            exact_ip(&inst, 1 << 16).unwrap().cost
+        );
+    }
+
+    #[test]
+    fn shared_entries_collapse_cost() {
+        // Both modules can be satisfied by hiding {2} ∪ {3}: entries
+        // {2,3} shared — optimum hides 2 attrs of cost 2.
+        let inst = SetInstance {
+            n_attrs: 4,
+            costs: vec![10, 10, 1, 1],
+            modules: vec![
+                SetModule {
+                    list: vec![
+                        AttrSet::from_indices(&[0]),
+                        AttrSet::from_indices(&[2, 3]),
+                    ],
+                },
+                SetModule {
+                    list: vec![
+                        AttrSet::from_indices(&[1]),
+                        AttrSet::from_indices(&[2, 3]),
+                    ],
+                },
+            ],
+        };
+        let s = exact_set(&inst).unwrap();
+        assert_eq!(s.cost, 2);
+        assert_eq!(s.hidden, AttrSet::from_indices(&[2, 3]));
+        let r = solve_rounding(&inst).unwrap();
+        assert_eq!(r.cost, 2, "LP already integral here");
+    }
+
+    #[test]
+    fn singleton_lists_make_lp_integral() {
+        // ℓ_max = 1 ⇒ the LP forces x_b = 1 on every required attribute;
+        // rounding is exact.
+        let inst = SetInstance {
+            n_attrs: 3,
+            costs: vec![1, 5, 2],
+            modules: vec![
+                SetModule {
+                    list: vec![AttrSet::from_indices(&[0, 2])],
+                },
+                SetModule {
+                    list: vec![AttrSet::from_indices(&[2])],
+                },
+            ],
+        };
+        let s = solve_rounding(&inst).unwrap();
+        assert_eq!(s.cost, exact_set(&inst).unwrap().cost);
+        assert_eq!(s.hidden, AttrSet::from_indices(&[0, 2]));
+    }
+}

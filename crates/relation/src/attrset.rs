@@ -1,0 +1,327 @@
+//! Compact attribute bitsets.
+//!
+//! Visible sets `V`, hidden sets `V̄`, module input/output sets `I_i`,
+//! `O_i` — the paper manipulates subsets of attributes constantly, so we
+//! give them a dedicated, allocation-light representation with the usual
+//! set algebra.
+
+use crate::schema::AttrId;
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A set of [`AttrId`]s, stored as a growable bitset.
+///
+/// Operations are `O(words)`; typical workflows in the paper's regime have
+/// tens to a few hundred attributes, so sets are one to a handful of
+/// machine words.
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrSet {
+    words: Vec<u64>,
+}
+
+impl AttrSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set containing the attributes `0..n` (a full universe of
+    /// size `n`).
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::new();
+        for i in 0..n {
+            s.insert(AttrId(i as u32));
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of attribute ids.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator below
+    pub fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+
+    /// Builds a set from raw `u32` indices (test/construction convenience).
+    #[must_use]
+    pub fn from_indices(ids: &[u32]) -> Self {
+        Self::from_iter(ids.iter().map(|&i| AttrId(i)))
+    }
+
+    /// Drops trailing zero words so that derived `Eq`/`Hash`/`Ord` treat
+    /// equal sets as equal values.
+    fn normalize(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
+    fn word_of(a: AttrId) -> (usize, u64) {
+        let i = a.0 as usize;
+        (i / WORD_BITS, 1u64 << (i % WORD_BITS))
+    }
+
+    /// Inserts `a`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, a: AttrId) -> bool {
+        let (w, m) = Self::word_of(a);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & m == 0;
+        self.words[w] |= m;
+        fresh
+    }
+
+    /// Removes `a`; returns `true` if it was present.
+    pub fn remove(&mut self, a: AttrId) -> bool {
+        let (w, m) = Self::word_of(a);
+        if w >= self.words.len() {
+            return false;
+        }
+        let present = self.words[w] & m != 0;
+        self.words[w] &= !m;
+        self.normalize();
+        present
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, a: AttrId) -> bool {
+        let (w, m) = Self::word_of(a);
+        self.words.get(w).is_some_and(|word| word & m != 0)
+    }
+
+    /// Number of attributes in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set union `self ∪ other`.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Self) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, ow) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= ow;
+        }
+    }
+
+    /// Set intersection `self ∩ other`.
+    #[must_use]
+    pub fn intersection(&self, other: &Self) -> Self {
+        let n = self.words.len().min(other.words.len());
+        let words = (0..n).map(|i| self.words[i] & other.words[i]).collect();
+        let mut out = Self { words };
+        out.normalize();
+        out
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (i, w) in out.words.iter_mut().enumerate() {
+            if let Some(ow) = other.words.get(i) {
+                *w &= !ow;
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.words.iter().enumerate().all(|(i, &w)| {
+            let ow = other.words.get(i).copied().unwrap_or(0);
+            w & !ow == 0
+        })
+    }
+
+    /// Whether the two sets share no attribute.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Iterates over members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = wi * WORD_BITS;
+            (0..WORD_BITS).filter_map(move |b| {
+                if w & (1u64 << b) != 0 {
+                    Some(AttrId((base + b) as u32))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Complement relative to a universe of `n` attributes: `{0..n} \ self`.
+    ///
+    /// This is the paper's `V̄ = A \ V` for `|A| = n`.
+    #[must_use]
+    pub fn complement(&self, n: usize) -> Self {
+        Self::full(n).difference(self)
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", a.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        AttrSet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ids: &[u32]) -> AttrSet {
+        AttrSet::from_indices(ids)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = AttrSet::new();
+        assert!(set.insert(AttrId(3)));
+        assert!(!set.insert(AttrId(3)));
+        assert!(set.contains(AttrId(3)));
+        assert!(!set.contains(AttrId(2)));
+        assert!(set.remove(AttrId(3)));
+        assert!(!set.remove(AttrId(3)));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = s(&[0, 1, 2, 70]);
+        let b = s(&[2, 3, 70]);
+        assert_eq!(a.union(&b), s(&[0, 1, 2, 3, 70]));
+        assert_eq!(a.intersection(&b), s(&[2, 70]));
+        assert_eq!(a.difference(&b), s(&[0, 1]));
+        assert_eq!(b.difference(&a), s(&[3]));
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        assert!(s(&[1, 2]).is_subset(&s(&[0, 1, 2, 3])));
+        assert!(!s(&[1, 5]).is_subset(&s(&[0, 1, 2, 3])));
+        assert!(s(&[]).is_subset(&s(&[])));
+        assert!(s(&[0, 64]).is_disjoint(&s(&[1, 65])));
+        assert!(!s(&[64]).is_disjoint(&s(&[64])));
+    }
+
+    #[test]
+    fn complement_in_universe() {
+        let v = s(&[0, 2]);
+        assert_eq!(v.complement(4), s(&[1, 3]));
+        assert_eq!(v.complement(4).complement(4), v);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_len_matches() {
+        let set = s(&[77, 3, 0, 64]);
+        let items: Vec<u32> = set.iter().map(|a| a.0).collect();
+        assert_eq!(items, vec![0, 3, 64, 77]);
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn full_universe() {
+        let u = AttrSet::full(130);
+        assert_eq!(u.len(), 130);
+        assert!(u.contains(AttrId(129)));
+        assert!(!u.contains(AttrId(130)));
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", s(&[1, 3])), "{1,3}");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_set() -> impl Strategy<Value = AttrSet> {
+        proptest::collection::vec(0u32..100, 0..12).prop_map(|v| AttrSet::from_indices(&v))
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_commutative_and_idempotent(a in arb_set(), b in arb_set()) {
+            prop_assert_eq!(a.union(&b), b.union(&a));
+            prop_assert_eq!(a.union(&a), a);
+        }
+
+        #[test]
+        fn de_morgan_within_universe(a in arb_set(), b in arb_set()) {
+            let n = 101;
+            let lhs = a.union(&b).complement(n);
+            let rhs = a.complement(n).intersection(&b.complement(n));
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn difference_partitions(a in arb_set(), b in arb_set()) {
+            let inter = a.intersection(&b);
+            let diff = a.difference(&b);
+            prop_assert!(inter.is_disjoint(&diff));
+            prop_assert_eq!(inter.union(&diff), a.clone());
+            prop_assert_eq!(inter.len() + diff.len(), a.len());
+        }
+
+        #[test]
+        fn subset_consistent_with_union(a in arb_set(), b in arb_set()) {
+            prop_assert!(a.is_subset(&a.union(&b)));
+            prop_assert_eq!(a.is_subset(&b), a.union(&b) == b);
+        }
+
+        #[test]
+        fn iter_roundtrip(a in arb_set()) {
+            let rebuilt: AttrSet = a.iter().collect();
+            prop_assert_eq!(rebuilt, a);
+        }
+    }
+}

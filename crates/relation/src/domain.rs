@@ -1,0 +1,101 @@
+//! Finite attribute domains (`Δ_a` in the paper) and domain values.
+
+use std::fmt;
+
+/// A value drawn from a finite [`Domain`].
+///
+/// Values are dense indices `0..domain.size()`. The paper assumes "the
+/// values of each attribute `a ∈ A` come from a finite but arbitrarily
+/// large domain `Δ_a`" (§2.1); a dense encoding loses no generality and
+/// keeps tuples compact.
+pub type Value = u32;
+
+/// A finite attribute domain `Δ_a`.
+///
+/// The only property the privacy machinery ever needs is the domain
+/// *size* `|Δ_a|` (e.g. the safety condition of Lemma 4 multiplies
+/// distinct visible-output counts by `∏_{a ∈ O\V} |Δ_a|`), so a domain is
+/// a size plus an optional human-readable kind used in diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Domain {
+    size: u32,
+}
+
+impl Domain {
+    /// Creates a domain with `size` distinct values.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`; empty domains make every relation empty and
+    /// are never meaningful in the paper's model.
+    #[must_use]
+    pub fn new(size: u32) -> Self {
+        assert!(size > 0, "attribute domains must be non-empty");
+        Self { size }
+    }
+
+    /// The boolean domain `{0, 1}` used throughout the paper's examples.
+    #[must_use]
+    pub fn boolean() -> Self {
+        Self { size: 2 }
+    }
+
+    /// Number of values in the domain (`|Δ_a|`).
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Whether `v` is a valid value of this domain.
+    #[must_use]
+    pub fn contains(&self, v: Value) -> bool {
+        v < self.size
+    }
+
+    /// Iterates over every value of the domain in increasing order.
+    pub fn values(&self) -> impl Iterator<Item = Value> + Clone {
+        0..self.size
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.size == 2 {
+            write!(f, "bool")
+        } else {
+            write!(f, "[0,{})", self.size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_domain_has_two_values() {
+        let d = Domain::boolean();
+        assert_eq!(d.size(), 2);
+        assert_eq!(d.values().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(d.contains(0) && d.contains(1) && !d.contains(2));
+    }
+
+    #[test]
+    fn large_domain_bounds() {
+        let d = Domain::new(10);
+        assert!(d.contains(9));
+        assert!(!d.contains(10));
+        assert_eq!(d.values().count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_sized_domain_rejected() {
+        let _ = Domain::new(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Domain::boolean().to_string(), "bool");
+        assert_eq!(Domain::new(5).to_string(), "[0,5)");
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for relational operations.
+
+use std::fmt;
+
+/// Errors raised by relation construction and operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A tuple's arity does not match the schema.
+    ArityMismatch {
+        /// Expected number of values (schema length).
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A value falls outside its attribute's domain.
+    ValueOutOfDomain {
+        /// Attribute name.
+        attr: String,
+        /// Offending value.
+        value: u32,
+        /// Domain size.
+        domain_size: u32,
+    },
+    /// A functional dependency is violated by two rows.
+    FdViolation {
+        /// Rendered `I -> O` description.
+        fd: String,
+    },
+    /// Two relations being joined disagree on a shared attribute's domain.
+    JoinSchemaMismatch {
+        /// Attribute name present in both schemas with different domains.
+        attr: String,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity {got} does not match schema arity {expected}")
+            }
+            Self::ValueOutOfDomain {
+                attr,
+                value,
+                domain_size,
+            } => write!(
+                f,
+                "value {value} out of domain [0,{domain_size}) for attribute `{attr}`"
+            ),
+            Self::FdViolation { fd } => {
+                write!(f, "functional dependency violated: {fd}")
+            }
+            Self::JoinSchemaMismatch { attr } => {
+                write!(f, "join schemas disagree on domain of shared attribute `{attr}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RelationError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("arity 2"));
+        let e = RelationError::ValueOutOfDomain {
+            attr: "a1".into(),
+            value: 9,
+            domain_size: 2,
+        };
+        assert!(e.to_string().contains("a1"));
+        let e = RelationError::FdViolation { fd: "I -> O".into() };
+        assert!(e.to_string().contains("I -> O"));
+        let e = RelationError::JoinSchemaMismatch { attr: "x".into() };
+        assert!(e.to_string().contains("`x`"));
+    }
+}

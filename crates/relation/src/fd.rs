@@ -1,0 +1,85 @@
+//! Functional dependencies `I -> O`.
+
+use crate::attrset::AttrSet;
+use crate::schema::Schema;
+use std::fmt;
+
+/// A functional dependency `lhs -> rhs` over a schema's attributes.
+///
+/// Each module `m_i` contributes `I_i -> O_i` to the workflow relation's
+/// dependency set `F` (§2.3). `lhs` and `rhs` must be disjoint, matching
+/// the paper's assumption `I ∩ O = ∅`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Fd {
+    lhs: AttrSet,
+    rhs: AttrSet,
+}
+
+impl Fd {
+    /// Creates `lhs -> rhs`.
+    ///
+    /// # Panics
+    /// Panics if `lhs` and `rhs` overlap.
+    #[must_use]
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
+        assert!(
+            lhs.is_disjoint(&rhs),
+            "FD sides must be disjoint (paper assumes I ∩ O = ∅)"
+        );
+        Self { lhs, rhs }
+    }
+
+    /// Determinant attributes (`I`).
+    #[must_use]
+    pub fn lhs(&self) -> &AttrSet {
+        &self.lhs
+    }
+
+    /// Dependent attributes (`O`).
+    #[must_use]
+    pub fn rhs(&self) -> &AttrSet {
+        &self.rhs
+    }
+
+    /// Renders the FD with attribute names from `schema`.
+    #[must_use]
+    pub fn display(&self, schema: &Schema) -> String {
+        format!(
+            "{} -> {}",
+            schema.names(&self.lhs).join(","),
+            schema.names(&self.rhs).join(",")
+        )
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} -> {:?}", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_access() {
+        let fd = Fd::new(AttrSet::from_indices(&[0, 1]), AttrSet::from_indices(&[2]));
+        assert_eq!(fd.lhs().len(), 2);
+        assert_eq!(fd.rhs().len(), 1);
+        assert_eq!(fd.to_string(), "{0,1} -> {2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_sides_rejected() {
+        let _ = Fd::new(AttrSet::from_indices(&[0, 1]), AttrSet::from_indices(&[1]));
+    }
+
+    #[test]
+    fn display_with_names() {
+        let s = Schema::booleans(&["a1", "a2", "a3"]);
+        let fd = Fd::new(AttrSet::from_indices(&[0, 1]), AttrSet::from_indices(&[2]));
+        assert_eq!(fd.display(&s), "a1,a2 -> a3");
+    }
+}

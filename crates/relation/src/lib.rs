@@ -1,0 +1,41 @@
+//! # sv-relation — relational substrate for `secure-view`
+//!
+//! The PODS 2011 paper *Provenance Views for Module Privacy* (Davidson,
+//! Khanna, Milo, Panigrahi, Roy) models a workflow module as a **finite
+//! relation** over input attributes `I` and output attributes `O`
+//! satisfying the functional dependency `I -> O`, and a workflow as the
+//! input/output join of its module relations (§2.1, §2.3 of the paper).
+//!
+//! This crate provides exactly that substrate:
+//!
+//! * [`Domain`] — finite attribute domains (`Δ_a` in the paper),
+//! * [`Schema`] / [`AttrId`] — ordered attribute sets with names and domains,
+//! * [`Tuple`] and [`Relation`] — dense row storage with set semantics,
+//! * [`AttrSet`] — compact attribute bitsets (visible/hidden sets `V`, `V̄`),
+//! * [`Fd`] — functional dependencies `I -> O` and satisfaction checks,
+//! * projection `π_V(R)`, natural join `R ⋈ S`, grouping and counting
+//!   operators used by the privacy checkers in `sv-core`.
+//!
+//! Everything is deterministic and in-memory; rows are canonically ordered
+//! so that relations compare as sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attrset;
+mod domain;
+mod error;
+mod fd;
+mod ops;
+mod relation;
+mod schema;
+mod tuple;
+
+pub use attrset::AttrSet;
+pub use domain::{Domain, Value};
+pub use error::RelationError;
+pub use fd::Fd;
+pub use ops::{group_count_distinct, natural_join, project};
+pub use relation::Relation;
+pub use schema::{AttrDef, AttrId, Schema};
+pub use tuple::Tuple;

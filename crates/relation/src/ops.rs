@@ -1,0 +1,204 @@
+//! Relational operators: projection, natural join, grouped distinct
+//! counting.
+//!
+//! These three operators are all the paper's machinery needs:
+//! * `π_V(R)` builds views (Definition 1) and provenance projections,
+//! * `R1 ⋈ … ⋈ Rn` builds the workflow provenance relation (§4),
+//! * grouped distinct counting implements the Lemma-4 safety condition.
+
+use crate::attrset::AttrSet;
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::{AttrDef, AttrId, Schema};
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+
+/// Projection `π_set(R)`: restricts every row to `set` (attribute-id
+/// order) and deduplicates.
+///
+/// The resulting schema keeps the projected attributes' names and domains.
+#[must_use]
+pub fn project(r: &Relation, set: &AttrSet) -> Relation {
+    let schema = Schema::new(
+        set.iter()
+            .map(|a| r.schema().attr(a).clone())
+            .collect::<Vec<AttrDef>>(),
+    );
+    let rows = r.rows().iter().map(|t| t.project(set)).collect();
+    Relation::from_rows(schema, rows).expect("projection preserves validity")
+}
+
+/// Natural join `left ⋈ right` on shared attribute *names*.
+///
+/// The paper wires workflows by attribute-name identity: "whenever an
+/// output of a module `m_i` is fed as input to a module `m_j` the
+/// corresponding output and input attributes have the same name" (§2.3).
+/// The result schema is `left`'s attributes followed by `right`'s
+/// non-shared attributes.
+///
+/// # Errors
+/// [`RelationError::JoinSchemaMismatch`] if a shared attribute has
+/// different domains on the two sides.
+pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation, RelationError> {
+    let ls = left.schema();
+    let rs = right.schema();
+
+    // Shared attributes: (left id, right id); right-only attributes.
+    let mut shared: Vec<(AttrId, AttrId)> = Vec::new();
+    let mut right_only: Vec<AttrId> = Vec::new();
+    for (rid, def) in rs.iter() {
+        match ls.by_name(&def.name) {
+            Some(lid) => {
+                if ls.attr(lid).domain != def.domain {
+                    return Err(RelationError::JoinSchemaMismatch {
+                        attr: def.name.clone(),
+                    });
+                }
+                shared.push((lid, rid));
+            }
+            None => right_only.push(rid),
+        }
+    }
+
+    let mut out_attrs: Vec<AttrDef> = ls.iter().map(|(_, d)| d.clone()).collect();
+    out_attrs.extend(right_only.iter().map(|&rid| rs.attr(rid).clone()));
+    let out_schema = Schema::new(out_attrs);
+
+    // Hash the right side on the shared-key projection.
+    let mut index: HashMap<Vec<u32>, Vec<&Tuple>> = HashMap::new();
+    for t in right.rows() {
+        let key: Vec<u32> = shared.iter().map(|&(_, rid)| t.get(rid)).collect();
+        index.entry(key).or_default().push(t);
+    }
+
+    let mut rows = Vec::new();
+    for lt in left.rows() {
+        let key: Vec<u32> = shared.iter().map(|&(lid, _)| lt.get(lid)).collect();
+        if let Some(matches) = index.get(&key) {
+            for rt in matches {
+                let mut vals: Vec<u32> = lt.values().to_vec();
+                vals.extend(right_only.iter().map(|&rid| rt.get(rid)));
+                rows.push(Tuple::new(vals));
+            }
+        }
+    }
+    Relation::from_rows(out_schema, rows)
+}
+
+/// For each distinct value of `key` in `r`, counts the number of distinct
+/// projections onto `probe`.
+///
+/// This is the inner loop of the paper's Algorithm 2 safety check: with
+/// `key = I ∩ V` and `probe = O ∩ V`, a visible set `V` is safe for `Γ`
+/// iff every count is at least `Γ / ∏_{a ∈ O\V} |Δ_a|` (Lemma 4).
+#[must_use]
+pub fn group_count_distinct(r: &Relation, key: &AttrSet, probe: &AttrSet) -> HashMap<Tuple, usize> {
+    let mut groups: HashMap<Tuple, std::collections::HashSet<Tuple>> = HashMap::new();
+    for t in r.rows() {
+        groups
+            .entry(t.project(key))
+            .or_default()
+            .insert(t.project(probe));
+    }
+    groups.into_iter().map(|(k, s)| (k, s.len())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+
+    fn rel(names: &[&str], rows: Vec<Vec<u32>>) -> Relation {
+        Relation::from_values(Schema::booleans(names), rows).unwrap()
+    }
+
+    #[test]
+    fn project_deduplicates() {
+        let r = rel(
+            &["a", "b"],
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]],
+        );
+        let p = project(&r, &AttrSet::from_indices(&[0]));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.schema().len(), 1);
+        assert_eq!(p.schema().attr(AttrId(0)).name, "a");
+    }
+
+    #[test]
+    fn join_on_shared_attribute() {
+        // r1(a,b), r2(b,c): join on b.
+        let r1 = rel(&["a", "b"], vec![vec![0, 1], vec![1, 0]]);
+        let r2 = rel(&["b", "c"], vec![vec![1, 1], vec![1, 0], vec![0, 0]]);
+        let j = natural_join(&r1, &r2).unwrap();
+        assert_eq!(j.schema().len(), 3); // a, b, c
+        assert_eq!(j.schema().attr(AttrId(2)).name, "c");
+        // a=0,b=1 matches two right rows; a=1,b=0 matches one.
+        assert_eq!(j.len(), 3);
+        assert!(j.contains(&Tuple::new(vec![0, 1, 1])));
+        assert!(j.contains(&Tuple::new(vec![0, 1, 0])));
+        assert!(j.contains(&Tuple::new(vec![1, 0, 0])));
+    }
+
+    #[test]
+    fn join_without_shared_attributes_is_cross_product() {
+        let r1 = rel(&["a"], vec![vec![0], vec![1]]);
+        let r2 = rel(&["b"], vec![vec![0], vec![1]]);
+        let j = natural_join(&r1, &r2).unwrap();
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn join_rejects_domain_mismatch() {
+        let s1 = Schema::new(vec![AttrDef {
+            name: "x".into(),
+            domain: Domain::boolean(),
+        }]);
+        let s2 = Schema::new(vec![AttrDef {
+            name: "x".into(),
+            domain: Domain::new(3),
+        }]);
+        let r1 = Relation::from_values(s1, vec![vec![0]]).unwrap();
+        let r2 = Relation::from_values(s2, vec![vec![2]]).unwrap();
+        assert!(matches!(
+            natural_join(&r1, &r2),
+            Err(RelationError::JoinSchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn join_is_associative_on_chain() {
+        // Chain r1(a,b) ⋈ r2(b,c) ⋈ r3(c,d): both association orders agree.
+        let r1 = rel(&["a", "b"], vec![vec![0, 0], vec![1, 1]]);
+        let r2 = rel(&["b", "c"], vec![vec![0, 1], vec![1, 0]]);
+        let r3 = rel(&["c", "d"], vec![vec![1, 1], vec![0, 0]]);
+        let left = natural_join(&natural_join(&r1, &r2).unwrap(), &r3).unwrap();
+        let right = natural_join(&r1, &natural_join(&r2, &r3).unwrap()).unwrap();
+        // Same schema order (a,b,c,d) in both groupings for a chain.
+        assert_eq!(left, right);
+        assert_eq!(left.len(), 2);
+    }
+
+    #[test]
+    fn group_count_distinct_counts_probe_values() {
+        // Fig 1(d) analogue: group by visible input, count visible outputs.
+        let r = rel(
+            &["i", "o1", "o2"],
+            vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 1, 0], vec![1, 1, 1]],
+        );
+        let counts = group_count_distinct(
+            &r,
+            &AttrSet::from_indices(&[0]),
+            &AttrSet::from_indices(&[1, 2]),
+        );
+        assert_eq!(counts[&Tuple::new(vec![0])], 2);
+        assert_eq!(counts[&Tuple::new(vec![1])], 2);
+    }
+
+    #[test]
+    fn group_count_distinct_empty_key_groups_everything() {
+        let r = rel(&["a", "b"], vec![vec![0, 0], vec![1, 0], vec![1, 1]]);
+        let counts = group_count_distinct(&r, &AttrSet::new(), &AttrSet::from_indices(&[1]));
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[&Tuple::new(vec![])], 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! Relations: schema + canonically ordered, duplicate-free rows.
+
+use crate::attrset::AttrSet;
+use crate::error::RelationError;
+use crate::fd::Fd;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A finite relation over a [`Schema`].
+///
+/// Rows are kept sorted and deduplicated so two relations over the same
+/// schema are equal as Rust values iff they are equal as sets — the
+/// property the possible-worlds machinery in `sv-core` relies on
+/// (`π_V(R') = π_V(R)` comparisons, Definition 1/4 of the paper).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `schema`.
+    #[must_use]
+    pub fn empty(schema: Schema) -> Self {
+        Self {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Builds a relation from rows, validating arity and domains, then
+    /// sorting and deduplicating.
+    ///
+    /// # Errors
+    /// [`RelationError::ArityMismatch`] or
+    /// [`RelationError::ValueOutOfDomain`] on invalid rows.
+    pub fn from_rows(schema: Schema, rows: Vec<Tuple>) -> Result<Self, RelationError> {
+        for t in &rows {
+            Self::validate_row(&schema, t)?;
+        }
+        let mut rel = Self { schema, rows };
+        rel.canonicalize();
+        Ok(rel)
+    }
+
+    /// Builds a relation from raw value vectors (construction convenience).
+    ///
+    /// # Errors
+    /// Same as [`from_rows`](Self::from_rows).
+    pub fn from_values(schema: Schema, rows: Vec<Vec<u32>>) -> Result<Self, RelationError> {
+        Self::from_rows(schema, rows.into_iter().map(Tuple::new).collect())
+    }
+
+    fn validate_row(schema: &Schema, t: &Tuple) -> Result<(), RelationError> {
+        if t.arity() != schema.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: schema.len(),
+                got: t.arity(),
+            });
+        }
+        for (a, def) in schema.iter() {
+            let v = t.get(a);
+            if !def.domain.contains(v) {
+                return Err(RelationError::ValueOutOfDomain {
+                    attr: def.name.clone(),
+                    value: v,
+                    domain_size: def.domain.size(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn canonicalize(&mut self) {
+        self.rows.sort_unstable();
+        self.rows.dedup();
+    }
+
+    /// Inserts a row (validated), keeping canonical order.
+    ///
+    /// # Errors
+    /// Same as [`from_rows`](Self::from_rows).
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, RelationError> {
+        Self::validate_row(&self.schema, &t)?;
+        match self.rows.binary_search(&t) {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                self.rows.insert(pos, t);
+                Ok(true)
+            }
+        }
+    }
+
+    /// The relation's schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows (`N` in the paper's complexity bounds).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows in canonical (sorted) order.
+    #[must_use]
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Membership test (binary search).
+    #[must_use]
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.rows.binary_search(t).is_ok()
+    }
+
+    /// Checks whether the relation satisfies `fd` (`I -> O`): no two rows
+    /// agree on `I` but differ on `O`.
+    #[must_use]
+    pub fn satisfies(&self, fd: &Fd) -> bool {
+        let mut seen: HashMap<Tuple, Tuple> = HashMap::with_capacity(self.rows.len());
+        for t in &self.rows {
+            let key = t.project(fd.lhs());
+            let val = t.project(fd.rhs());
+            match seen.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != val {
+                        return false;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(val);
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks all FDs, returning the first violated one as an error.
+    ///
+    /// # Errors
+    /// [`RelationError::FdViolation`] naming the violated dependency.
+    pub fn check_fds(&self, fds: &[Fd]) -> Result<(), RelationError> {
+        for fd in fds {
+            if !self.satisfies(fd) {
+                return Err(RelationError::FdViolation {
+                    fd: fd.display(&self.schema),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Groups rows by their projection onto `key`, returning, per group,
+    /// the key sub-tuple and the row indices in the group.
+    #[must_use]
+    pub fn group_by(&self, key: &AttrSet) -> HashMap<Tuple, Vec<usize>> {
+        let mut groups: HashMap<Tuple, Vec<usize>> = HashMap::new();
+        for (i, t) in self.rows.iter().enumerate() {
+            groups.entry(t.project(key)).or_default().push(i);
+        }
+        groups
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Relation {:?} ({} rows)", self.schema, self.rows.len())?;
+        for t in &self.rows {
+            writeln!(f, "  {t:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bool_schema3() -> Schema {
+        Schema::booleans(&["a", "b", "c"])
+    }
+
+    #[test]
+    fn dedup_and_sort_on_construction() {
+        let r = Relation::from_values(
+            bool_schema3(),
+            vec![vec![1, 1, 0], vec![0, 0, 1], vec![1, 1, 0]],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[0].values(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn set_equality_ignores_insertion_order() {
+        let r1 =
+            Relation::from_values(bool_schema3(), vec![vec![1, 0, 0], vec![0, 1, 0]]).unwrap();
+        let r2 =
+            Relation::from_values(bool_schema3(), vec![vec![0, 1, 0], vec![1, 0, 0]]).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn arity_and_domain_validation() {
+        let err = Relation::from_values(bool_schema3(), vec![vec![1, 0]]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+        let err = Relation::from_values(bool_schema3(), vec![vec![1, 0, 7]]).unwrap_err();
+        assert!(matches!(err, RelationError::ValueOutOfDomain { .. }));
+    }
+
+    #[test]
+    fn insert_maintains_canonical_order() {
+        let mut r = Relation::empty(bool_schema3());
+        assert!(r.insert(Tuple::new(vec![1, 1, 1])).unwrap());
+        assert!(r.insert(Tuple::new(vec![0, 0, 0])).unwrap());
+        assert!(!r.insert(Tuple::new(vec![1, 1, 1])).unwrap());
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&Tuple::new(vec![0, 0, 0])));
+        assert!(!r.contains(&Tuple::new(vec![0, 1, 0])));
+    }
+
+    #[test]
+    fn fd_satisfaction() {
+        // a -> b holds; a -> c fails.
+        let r = Relation::from_values(
+            bool_schema3(),
+            vec![vec![0, 1, 0], vec![0, 1, 1], vec![1, 0, 0]],
+        )
+        .unwrap();
+        let a_to_b = Fd::new(AttrSet::from_indices(&[0]), AttrSet::from_indices(&[1]));
+        let a_to_c = Fd::new(AttrSet::from_indices(&[0]), AttrSet::from_indices(&[2]));
+        assert!(r.satisfies(&a_to_b));
+        assert!(!r.satisfies(&a_to_c));
+        assert!(r.check_fds(std::slice::from_ref(&a_to_b)).is_ok());
+        let err = r.check_fds(&[a_to_b, a_to_c]).unwrap_err();
+        assert!(matches!(err, RelationError::FdViolation { .. }));
+    }
+
+    #[test]
+    fn group_by_key() {
+        let r = Relation::from_values(
+            bool_schema3(),
+            vec![vec![0, 0, 0], vec![0, 1, 1], vec![1, 0, 1]],
+        )
+        .unwrap();
+        let groups = r.group_by(&AttrSet::from_indices(&[0]));
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&Tuple::new(vec![0])].len(), 2);
+        assert_eq!(groups[&Tuple::new(vec![1])].len(), 1);
+    }
+
+    #[test]
+    fn empty_relation_properties() {
+        let r = Relation::empty(bool_schema3());
+        assert!(r.is_empty());
+        assert!(r.satisfies(&Fd::new(
+            AttrSet::from_indices(&[0]),
+            AttrSet::from_indices(&[1, 2])
+        )));
+    }
+}

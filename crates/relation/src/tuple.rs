@@ -1,0 +1,130 @@
+//! Tuples: fixed-width value rows aligned with a [`Schema`](crate::Schema).
+
+use crate::attrset::AttrSet;
+use crate::domain::Value;
+use crate::schema::AttrId;
+use std::fmt;
+
+/// A row of a relation: one [`Value`] per schema attribute, in schema
+/// order.
+///
+/// Projections (`π_V(t)` in the paper) produce *sub-tuples*: shorter
+/// tuples whose positions correspond to the projected attribute set in
+/// increasing id order.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values in schema order.
+    #[must_use]
+    pub fn new(values: Vec<Value>) -> Self {
+        Self {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Number of values.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at attribute `a` (`t[a]` in the paper's notation).
+    #[must_use]
+    pub fn get(&self, a: AttrId) -> Value {
+        self.values[a.index()]
+    }
+
+    /// Replaces the value at attribute `a`, returning the old value.
+    pub fn set(&mut self, a: AttrId, v: Value) -> Value {
+        std::mem::replace(&mut self.values[a.index()], v)
+    }
+
+    /// All values in schema order.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Projection `π_set(t)`: values of the attributes in `set`, in
+    /// increasing attribute-id order.
+    #[must_use]
+    pub fn project(&self, set: &AttrSet) -> Tuple {
+        Tuple::new(set.iter().map(|a| self.get(a)).collect())
+    }
+
+    /// Merges a projected sub-tuple back: for each attribute in `set`
+    /// (id order) take the corresponding value of `sub`, elsewhere keep
+    /// `self`. Inverse of [`project`](Self::project) on `set`.
+    #[must_use]
+    pub fn overwrite(&self, set: &AttrSet, sub: &Tuple) -> Tuple {
+        debug_assert_eq!(set.len(), sub.arity());
+        let mut out = self.clone();
+        for (i, a) in set.iter().enumerate() {
+            out.set(a, sub.values[i]);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tuple::new(vec![1, 0, 1]);
+        assert_eq!(t.get(AttrId(0)), 1);
+        assert_eq!(t.set(AttrId(1), 1), 0);
+        assert_eq!(t.values(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn project_selects_in_id_order() {
+        let t = Tuple::new(vec![7, 8, 9, 10]);
+        let p = t.project(&AttrSet::from_indices(&[3, 0]));
+        assert_eq!(p.values(), &[7, 10]); // id order: 0 then 3
+    }
+
+    #[test]
+    fn overwrite_is_inverse_of_project() {
+        let t = Tuple::new(vec![1, 2, 3, 4]);
+        let set = AttrSet::from_indices(&[1, 3]);
+        let sub = t.project(&set);
+        assert_eq!(t.overwrite(&set, &sub), t);
+        let replaced = t.overwrite(&set, &Tuple::new(vec![9, 9]));
+        assert_eq!(replaced.values(), &[1, 9, 3, 9]);
+    }
+
+    #[test]
+    fn empty_projection() {
+        let t = Tuple::new(vec![1, 2]);
+        assert_eq!(t.project(&AttrSet::new()).arity(), 0);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Tuple::new(vec![0, 1])), "(0,1)");
+    }
+}

@@ -1,0 +1,128 @@
+//! Ergonomic workflow construction.
+
+use crate::error::WorkflowError;
+use crate::module::{Module, ModuleFn, ModuleId, Visibility};
+use crate::workflow::Workflow;
+use sv_relation::{AttrDef, AttrId, Domain, Schema};
+
+/// Incremental builder for [`Workflow`]s.
+///
+/// ```
+/// use sv_workflow::{WorkflowBuilder, Visibility, ModuleFn};
+/// use sv_relation::Domain;
+///
+/// let mut b = WorkflowBuilder::new();
+/// let x = b.attr("x", Domain::boolean());
+/// let y = b.attr("y", Domain::boolean());
+/// b.module(
+///     "not",
+///     &[x],
+///     &[y],
+///     Visibility::Private,
+///     ModuleFn::closure(|v| vec![1 - v[0]]),
+/// );
+/// let w = b.build().unwrap();
+/// assert_eq!(w.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct WorkflowBuilder {
+    attrs: Vec<AttrDef>,
+    modules: Vec<Module>,
+}
+
+impl WorkflowBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an attribute and returns its id.
+    pub fn attr(&mut self, name: &str, domain: Domain) -> AttrId {
+        let id = AttrId(self.attrs.len() as u32);
+        self.attrs.push(AttrDef {
+            name: name.to_string(),
+            domain,
+        });
+        id
+    }
+
+    /// Declares `n` boolean attributes named `{prefix}0 … {prefix}{n-1}`.
+    pub fn bool_attrs(&mut self, prefix: &str, n: usize) -> Vec<AttrId> {
+        (0..n)
+            .map(|i| self.attr(&format!("{prefix}{i}"), Domain::boolean()))
+            .collect()
+    }
+
+    /// Adds a module and returns its id.
+    pub fn module(
+        &mut self,
+        name: &str,
+        inputs: &[AttrId],
+        outputs: &[AttrId],
+        visibility: Visibility,
+        func: ModuleFn,
+    ) -> ModuleId {
+        let id = ModuleId(self.modules.len() as u32);
+        self.modules.push(Module {
+            name: name.to_string(),
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            visibility,
+            func,
+        });
+        id
+    }
+
+    /// Finalizes the workflow, running all structural validation.
+    ///
+    /// # Errors
+    /// See [`Workflow::new`].
+    pub fn build(self) -> Result<Workflow, WorkflowError> {
+        Workflow::new(Schema::new(self.attrs), self.modules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = WorkflowBuilder::new();
+        let a = b.attr("a", Domain::boolean());
+        let c = b.attr("c", Domain::new(3));
+        assert_eq!(a, AttrId(0));
+        assert_eq!(c, AttrId(1));
+        let ids = b.bool_attrs("x", 3);
+        assert_eq!(ids, vec![AttrId(2), AttrId(3), AttrId(4)]);
+    }
+
+    #[test]
+    fn chain_of_two_modules() {
+        let mut b = WorkflowBuilder::new();
+        let x = b.attr("x", Domain::boolean());
+        let y = b.attr("y", Domain::boolean());
+        let z = b.attr("z", Domain::boolean());
+        let m1 = b.module(
+            "inc",
+            &[x],
+            &[y],
+            Visibility::Private,
+            ModuleFn::closure(|v| vec![1 - v[0]]),
+        );
+        let m2 = b.module(
+            "copy",
+            &[y],
+            &[z],
+            Visibility::Public,
+            ModuleFn::closure(|v| vec![v[0]]),
+        );
+        assert_eq!((m1, m2), (ModuleId(0), ModuleId(1)));
+        let w = b.build().unwrap();
+        let t = w.run(&[0]).unwrap();
+        assert_eq!(t.values(), &[0, 1, 1]);
+        assert_eq!(w.private_modules(), vec![ModuleId(0)]);
+        assert_eq!(w.public_modules(), vec![ModuleId(1)]);
+    }
+}

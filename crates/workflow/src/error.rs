@@ -1,0 +1,131 @@
+//! Errors raised by workflow construction and execution.
+
+use std::fmt;
+
+/// Errors raised while building, validating, or executing a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// Two modules produce the same attribute, violating the paper's
+    /// requirement `O_i ∩ O_j = ∅` for `i ≠ j` (§2.3).
+    OutputClash {
+        /// Name of the doubly-produced attribute.
+        attr: String,
+    },
+    /// A module lists the same attribute as both input and output,
+    /// violating `I_i ∩ O_i = ∅`.
+    InputOutputOverlap {
+        /// Module name.
+        module: String,
+        /// Offending attribute name.
+        attr: String,
+    },
+    /// The module graph contains a directed cycle, so it is not a DAG.
+    Cyclic,
+    /// A module function returned the wrong number of outputs.
+    BadFunctionArity {
+        /// Module name.
+        module: String,
+        /// Expected output arity.
+        expected: usize,
+        /// Arity actually returned.
+        got: usize,
+    },
+    /// A module function returned a value outside an output's domain.
+    FunctionValueOutOfDomain {
+        /// Module name.
+        module: String,
+        /// Output attribute name.
+        attr: String,
+        /// Offending value.
+        value: u32,
+    },
+    /// The initial-input assignment has the wrong arity.
+    BadInputArity {
+        /// Expected arity (number of initial inputs).
+        expected: usize,
+        /// Arity supplied.
+        got: usize,
+    },
+    /// A supplied input value is outside its attribute's domain.
+    InputValueOutOfDomain {
+        /// Attribute name.
+        attr: String,
+        /// Offending value.
+        value: u32,
+    },
+    /// Enumerating all executions would exceed the given row budget.
+    DomainTooLarge {
+        /// Number of executions that full enumeration would produce.
+        executions: u128,
+        /// The caller's budget.
+        budget: u128,
+    },
+    /// A referenced module id is out of range.
+    NoSuchModule {
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutputClash { attr } => {
+                write!(f, "attribute `{attr}` is produced by more than one module")
+            }
+            Self::InputOutputOverlap { module, attr } => write!(
+                f,
+                "module `{module}` lists `{attr}` as both input and output"
+            ),
+            Self::Cyclic => write!(f, "module graph is not acyclic"),
+            Self::BadFunctionArity {
+                module,
+                expected,
+                got,
+            } => write!(
+                f,
+                "module `{module}` returned {got} outputs, expected {expected}"
+            ),
+            Self::FunctionValueOutOfDomain {
+                module,
+                attr,
+                value,
+            } => write!(
+                f,
+                "module `{module}` produced out-of-domain value {value} for `{attr}`"
+            ),
+            Self::BadInputArity { expected, got } => {
+                write!(f, "initial input arity {got}, expected {expected}")
+            }
+            Self::InputValueOutOfDomain { attr, value } => {
+                write!(f, "input value {value} out of domain for `{attr}`")
+            }
+            Self::DomainTooLarge { executions, budget } => write!(
+                f,
+                "full enumeration needs {executions} executions, budget is {budget}"
+            ),
+            Self::NoSuchModule { index } => write!(f, "no module with index {index}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_facts() {
+        assert!(WorkflowError::Cyclic.to_string().contains("acyclic"));
+        assert!(WorkflowError::OutputClash { attr: "a3".into() }
+            .to_string()
+            .contains("a3"));
+        assert!(WorkflowError::DomainTooLarge {
+            executions: 1 << 40,
+            budget: 1 << 20
+        }
+        .to_string()
+        .contains("budget"));
+    }
+}

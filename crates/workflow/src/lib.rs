@@ -1,0 +1,33 @@
+//! # sv-workflow — workflow substrate for `secure-view`
+//!
+//! Implements the workflow model of §2.3 of *Provenance Views for Module
+//! Privacy* (PODS 2011):
+//!
+//! * a [`Module`] has input attributes `I_i`, output attributes `O_i`, a
+//!   total function `m_i : ∏ Δ_{I_i} → ∏ Δ_{O_i}`, and a visibility
+//!   ([`Visibility::Private`] or [`Visibility::Public`]);
+//! * a [`Workflow`] connects `n` modules in a DAG by attribute-name
+//!   identity; outputs of distinct modules are disjoint, an attribute may
+//!   feed several modules (*data sharing*, Definition 3);
+//! * executing the workflow on an assignment of the initial inputs `I_0`
+//!   yields one provenance tuple over all attributes `A`; the set of all
+//!   executions is the provenance relation
+//!   `R = R_1 ⋈ R_2 ⋈ … ⋈ R_n` (§4).
+//!
+//! The [`library`] module provides the concrete modules used by the
+//! paper's examples (the Figure-1 gates, one-one functions, constants,
+//! invertible functions, majority, …) plus generic building blocks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+pub mod library;
+mod module;
+mod workflow;
+
+pub use builder::WorkflowBuilder;
+pub use error::WorkflowError;
+pub use module::{Module, ModuleFn, ModuleId, Visibility};
+pub use workflow::Workflow;

@@ -1,0 +1,254 @@
+//! Standard module library: the paper's example modules and reusable
+//! building blocks.
+//!
+//! * [`fig1_workflow`] — the running example of Figure 1 (`m1, m2, m3`
+//!   over boolean attributes `a1 … a7`),
+//! * one-one functions (`identity`, bitwise negation, bit rotation) used
+//!   by Example 6, Example 7, and Proposition 2,
+//! * constant and invertible public modules of Example 7/8,
+//! * the 2k-input majority function of Example 6.
+
+use crate::module::ModuleFn;
+use crate::workflow::Workflow;
+use crate::{Visibility, WorkflowBuilder};
+use sv_relation::{Domain, Value};
+
+/// `a3 = a1 ∨ a2`, `a4 = ¬(a1 ∧ a2)`, `a5 = ¬(a1 ⊕ a2)` — module `m1`
+/// of Example 1.
+#[must_use]
+pub fn m1_fn() -> ModuleFn {
+    ModuleFn::closure(|v| {
+        let (a1, a2) = (v[0], v[1]);
+        vec![a1 | a2, 1 - (a1 & a2), 1 - (a1 ^ a2)]
+    })
+}
+
+/// `a6 = a3 ⊕ a4` — module `m2` of Figure 1. The paper does not state
+/// `m2` in closed form, but XOR is consistent with every row of the
+/// workflow-execution relation in Figure 1(b).
+#[must_use]
+pub fn m2_fn() -> ModuleFn {
+    ModuleFn::closure(|v| vec![v[0] ^ v[1]])
+}
+
+/// `a7 = a4 ⊕ a5` — module `m3` of Figure 1; together with [`m2_fn`] it
+/// reproduces the `(a6, a7)` columns of Figure 1(b) exactly.
+#[must_use]
+pub fn m3_fn() -> ModuleFn {
+    ModuleFn::closure(|v| vec![v[0] ^ v[1]])
+}
+
+/// Builds the paper's Figure-1 workflow:
+/// `m1(a1,a2) → (a3,a4,a5)`, `m2(a3,a4) → a6`, `m3(a4,a5) → a7`,
+/// all modules private, all attributes boolean.
+///
+/// Its provenance relation equals Figure 1(b) row for row.
+#[must_use]
+pub fn fig1_workflow() -> Workflow {
+    let mut b = WorkflowBuilder::new();
+    let a1 = b.attr("a1", Domain::boolean());
+    let a2 = b.attr("a2", Domain::boolean());
+    let a3 = b.attr("a3", Domain::boolean());
+    let a4 = b.attr("a4", Domain::boolean());
+    let a5 = b.attr("a5", Domain::boolean());
+    let a6 = b.attr("a6", Domain::boolean());
+    let a7 = b.attr("a7", Domain::boolean());
+    b.module("m1", &[a1, a2], &[a3, a4, a5], Visibility::Private, m1_fn());
+    b.module("m2", &[a3, a4], &[a6], Visibility::Private, m2_fn());
+    b.module("m3", &[a4, a5], &[a7], Visibility::Private, m3_fn());
+    b.build().expect("fig1 workflow is structurally valid")
+}
+
+/// The k-bit identity function (a one-one module; Proposition 2 uses it
+/// as `m1` of the two-module chain).
+#[must_use]
+pub fn identity_fn() -> ModuleFn {
+    ModuleFn::closure(|v| v.to_vec())
+}
+
+/// Bitwise negation of k boolean inputs (the paper's example of a second
+/// one-one module: "m2 reverses the values of its k inputs",
+/// Proposition 2).
+#[must_use]
+pub fn negate_fn() -> ModuleFn {
+    ModuleFn::closure(|v| v.iter().map(|&x| 1 - x).collect())
+}
+
+/// Left-rotation of k boolean inputs by one position — another one-one
+/// permutation, handy for building distinct invertible public modules.
+#[must_use]
+pub fn rotate_fn() -> ModuleFn {
+    ModuleFn::closure(|v| {
+        let mut out = v.to_vec();
+        out.rotate_left(1);
+        out
+    })
+}
+
+/// The constant function `∀x. m(x) = c` of Example 7 (a public module
+/// that destroys its inputs' entropy).
+#[must_use]
+pub fn constant_fn(c: Vec<Value>) -> ModuleFn {
+    ModuleFn::closure(move |_| c.clone())
+}
+
+/// Majority over `2k` boolean inputs: outputs 1 iff at least `k` inputs
+/// are 1 (Example 6: hiding `k+1` inputs or the single output gives
+/// 2-privacy).
+#[must_use]
+pub fn majority_fn() -> ModuleFn {
+    ModuleFn::closure(|v| {
+        let ones = v.iter().filter(|&&x| x == 1).count();
+        vec![u32::from(2 * ones >= v.len())]
+    })
+}
+
+/// XOR of all inputs — a maximally input-sensitive single-output module.
+#[must_use]
+pub fn xor_all_fn() -> ModuleFn {
+    ModuleFn::closure(|v| vec![v.iter().fold(0, |acc, &x| acc ^ x)])
+}
+
+/// A chain of `n` one-one modules over `k` boolean wires each:
+/// `m_1` is the identity, subsequent modules alternate negation and
+/// rotation. Used by Proposition 2 (`n = 2`) and Example 6.
+///
+/// Attribute names are `w{level}_{bit}`; all modules are private.
+#[must_use]
+pub fn one_one_chain(n: usize, k: usize) -> Workflow {
+    assert!(n >= 1 && k >= 1);
+    let mut b = WorkflowBuilder::new();
+    let mut wires = b.bool_attrs("w0_", k);
+    for level in 1..=n {
+        let next = b.bool_attrs(&format!("w{level}_"), k);
+        let f = match level % 3 {
+            1 => identity_fn(),
+            2 => negate_fn(),
+            _ => rotate_fn(),
+        };
+        b.module(
+            &format!("m{level}"),
+            &wires,
+            &next,
+            Visibility::Private,
+            f,
+        );
+        wires = next;
+    }
+    b.build().expect("one-one chain is structurally valid")
+}
+
+/// The Example-8 chain `m′ → m → m″` over `k` boolean wires:
+/// a **public constant** module, a **private one-one** module (negation),
+/// and a **public invertible one-one** module (rotation).
+///
+/// This is the canonical witness that standalone privacy does not
+/// compose in the presence of public modules (Example 7) and that
+/// privatization restores it (Theorem 8).
+#[must_use]
+pub fn example8_chain(k: usize) -> Workflow {
+    assert!(k >= 1);
+    let mut b = WorkflowBuilder::new();
+    let x = b.bool_attrs("x", k);
+    let y = b.bool_attrs("y", k);
+    let z = b.bool_attrs("z", k);
+    let t = b.bool_attrs("t", k);
+    b.module(
+        "m_const",
+        &x,
+        &y,
+        Visibility::Public,
+        constant_fn(vec![1; k]),
+    );
+    b.module("m_priv", &y, &z, Visibility::Private, negate_fn());
+    b.module("m_inv", &z, &t, Visibility::Public, rotate_fn());
+    b.build().expect("example-8 chain is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_relation::Tuple;
+
+    #[test]
+    fn m1_matches_figure_1c() {
+        // Figure 1(c): the relation R1 of m1.
+        let f = m1_fn();
+        assert_eq!(f.apply(&[0, 0]), vec![0, 1, 1]);
+        assert_eq!(f.apply(&[0, 1]), vec![1, 1, 0]);
+        assert_eq!(f.apply(&[1, 0]), vec![1, 1, 0]);
+        assert_eq!(f.apply(&[1, 1]), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn fig1_runs_all_rows() {
+        let w = fig1_workflow();
+        assert_eq!(
+            w.run(&[0, 0]).unwrap(),
+            Tuple::new(vec![0, 0, 0, 1, 1, 1, 0])
+        );
+        assert_eq!(
+            w.run(&[1, 1]).unwrap(),
+            Tuple::new(vec![1, 1, 1, 0, 1, 1, 1])
+        );
+    }
+
+    #[test]
+    fn one_one_fns_are_permutations() {
+        for f in [identity_fn(), negate_fn(), rotate_fn()] {
+            let mut seen = std::collections::HashSet::new();
+            for x in 0..8u32 {
+                let bits = vec![x >> 2 & 1, x >> 1 & 1, x & 1];
+                assert!(seen.insert(f.apply(&bits)), "not injective");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_threshold() {
+        let f = majority_fn();
+        assert_eq!(f.apply(&[0, 0, 0, 1]), vec![0]);
+        assert_eq!(f.apply(&[0, 1, 0, 1]), vec![1]);
+        assert_eq!(f.apply(&[1, 1, 1, 1]), vec![1]);
+    }
+
+    #[test]
+    fn xor_all() {
+        let f = xor_all_fn();
+        assert_eq!(f.apply(&[1, 1, 1]), vec![1]);
+        assert_eq!(f.apply(&[1, 1]), vec![0]);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let w = one_one_chain(2, 3);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.initial_inputs().len(), 3);
+        assert_eq!(w.final_outputs().len(), 3);
+        assert_eq!(w.data_sharing_degree(), 1);
+        // Executions: 8 distinct inputs → 8 distinct provenance rows.
+        let r = w.provenance_relation(1 << 10).unwrap();
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn example8_chain_shape() {
+        let w = example8_chain(2);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.public_modules().len(), 2);
+        assert_eq!(w.private_modules().len(), 1);
+        // Constant module collapses everything after it.
+        let r = w.provenance_relation(1 << 10).unwrap();
+        assert_eq!(r.len(), 4); // 4 distinct initial inputs
+        let t = w.run(&[0, 1]).unwrap();
+        // y = (1,1); z = ¬y = (0,0); t = rot(z) = (0,0).
+        assert_eq!(t.values()[2..], [1, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn constant_fn_ignores_input() {
+        let f = constant_fn(vec![1, 0]);
+        assert_eq!(f.apply(&[0, 0]), vec![1, 0]);
+        assert_eq!(f.apply(&[1, 1]), vec![1, 0]);
+    }
+}

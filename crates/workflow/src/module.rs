@@ -1,0 +1,387 @@
+//! Modules: relations `R_i` over `I_i ∪ O_i` satisfying `I_i -> O_i`,
+//! represented intensionally as total functions.
+
+use crate::error::WorkflowError;
+use std::fmt;
+use std::sync::Arc;
+use sv_relation::{AttrId, AttrSet, Fd, Relation, Schema, Tuple, Value};
+
+/// Index of a module within a [`Workflow`](crate::Workflow).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModuleId(pub u32);
+
+impl ModuleId {
+    /// The module's positional index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m#{}", self.0)
+    }
+}
+
+/// Whether a module's behaviour is a-priori known to the adversary.
+///
+/// The paper distinguishes **private** modules (the user knows only what
+/// the view reveals — proprietary software) from **public** modules whose
+/// full relation is known (reformatting, sorting; §2.2). Public modules
+/// constrain the possible worlds (Definition 4) unless *privatized*
+/// (hidden) per §5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Visibility {
+    /// Behaviour must be protected: the module carries a Γ requirement.
+    Private,
+    /// Behaviour is known to all users.
+    Public,
+}
+
+/// Shared closure type behind [`ModuleFn::Closure`].
+pub type BoxedFn = Arc<dyn Fn(&[Value]) -> Vec<Value> + Send + Sync>;
+
+/// A module function: a total map from input values (in declared input
+/// order) to output values (in declared output order).
+///
+/// Functions are shared immutably; the enum lets generators store random
+/// modules as explicit tables while library modules stay as closures.
+#[derive(Clone)]
+pub enum ModuleFn {
+    /// Computed by a closure.
+    Closure(BoxedFn),
+    /// Explicit lookup table: `table[dense_input_index] = outputs`.
+    ///
+    /// The dense index of inputs `(v_1, …, v_p)` with domain sizes
+    /// `(d_1, …, d_p)` is the mixed-radix value `((v_1·d_2 + v_2)·d_3 + …)`.
+    Table {
+        /// Domain sizes of the inputs, in declared order.
+        input_sizes: Vec<u32>,
+        /// One output tuple per dense input index.
+        rows: Arc<Vec<Vec<Value>>>,
+    },
+}
+
+impl ModuleFn {
+    /// Wraps a closure.
+    pub fn closure<F>(f: F) -> Self
+    where
+        F: Fn(&[Value]) -> Vec<Value> + Send + Sync + 'static,
+    {
+        Self::Closure(Arc::new(f))
+    }
+
+    /// Builds a table function from an exhaustive row list.
+    ///
+    /// `rows[i]` holds the outputs for the `i`-th input assignment in
+    /// mixed-radix order.
+    #[must_use]
+    pub fn table(input_sizes: Vec<u32>, rows: Vec<Vec<Value>>) -> Self {
+        let expected: usize = input_sizes.iter().map(|&s| s as usize).product();
+        assert_eq!(rows.len(), expected, "table must cover the full domain");
+        Self::Table {
+            input_sizes,
+            rows: Arc::new(rows),
+        }
+    }
+
+    /// Applies the function.
+    #[must_use]
+    pub fn apply(&self, inputs: &[Value]) -> Vec<Value> {
+        match self {
+            Self::Closure(f) => f(inputs),
+            Self::Table { input_sizes, rows } => {
+                debug_assert_eq!(inputs.len(), input_sizes.len());
+                let mut idx: usize = 0;
+                for (v, d) in inputs.iter().zip(input_sizes.iter()) {
+                    idx = idx * (*d as usize) + *v as usize;
+                }
+                rows[idx].clone()
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ModuleFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Closure(_) => write!(f, "ModuleFn::Closure"),
+            Self::Table { rows, .. } => write!(f, "ModuleFn::Table({} rows)", rows.len()),
+        }
+    }
+}
+
+/// A workflow module `m_i`: named, typed, with ordered input/output
+/// attribute lists referring to the owning workflow's global [`Schema`].
+#[derive(Clone, Debug)]
+pub struct Module {
+    /// Human-readable name (`m1`, `blast`, …).
+    pub name: String,
+    /// Input attributes `I_i`, in function-application order.
+    pub inputs: Vec<AttrId>,
+    /// Output attributes `O_i`, in function-result order.
+    pub outputs: Vec<AttrId>,
+    /// Public or private.
+    pub visibility: Visibility,
+    /// The module's function.
+    pub func: ModuleFn,
+}
+
+impl Module {
+    /// Input attributes as a set (`I_i`).
+    #[must_use]
+    pub fn input_set(&self) -> AttrSet {
+        AttrSet::from_iter(self.inputs.iter().copied())
+    }
+
+    /// Output attributes as a set (`O_i`).
+    #[must_use]
+    pub fn output_set(&self) -> AttrSet {
+        AttrSet::from_iter(self.outputs.iter().copied())
+    }
+
+    /// `I_i ∪ O_i`.
+    #[must_use]
+    pub fn attr_set(&self) -> AttrSet {
+        self.input_set().union(&self.output_set())
+    }
+
+    /// The module's functional dependency `I_i -> O_i`.
+    #[must_use]
+    pub fn fd(&self) -> Fd {
+        Fd::new(self.input_set(), self.output_set())
+    }
+
+    /// Applies the module to input values (declared order), validating
+    /// arity and output domains against `schema`.
+    ///
+    /// # Errors
+    /// [`WorkflowError::BadFunctionArity`] or
+    /// [`WorkflowError::FunctionValueOutOfDomain`] on a misbehaving
+    /// function.
+    pub fn apply(&self, schema: &Schema, inputs: &[Value]) -> Result<Vec<Value>, WorkflowError> {
+        debug_assert_eq!(inputs.len(), self.inputs.len());
+        let out = self.func.apply(inputs);
+        if out.len() != self.outputs.len() {
+            return Err(WorkflowError::BadFunctionArity {
+                module: self.name.clone(),
+                expected: self.outputs.len(),
+                got: out.len(),
+            });
+        }
+        for (&a, &v) in self.outputs.iter().zip(out.iter()) {
+            if !schema.attr(a).domain.contains(v) {
+                return Err(WorkflowError::FunctionValueOutOfDomain {
+                    module: self.name.clone(),
+                    attr: schema.attr(a).name.clone(),
+                    value: v,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of input assignments `|Dom| = ∏_{a∈I_i} |Δ_a|`.
+    #[must_use]
+    pub fn domain_size(&self, schema: &Schema) -> u128 {
+        self.inputs
+            .iter()
+            .map(|&a| u128::from(schema.attr(a).domain.size()))
+            .product()
+    }
+
+    /// Materializes the module's **standalone relation** `R_i` over the
+    /// sub-schema `I_i ∪ O_i` by enumerating its full input domain
+    /// (§2.1: "tuples in R describe executions of m").
+    ///
+    /// The resulting schema lists the module's attributes in global
+    /// attribute-id order, matching [`Tuple::project`] conventions.
+    ///
+    /// # Errors
+    /// [`WorkflowError::DomainTooLarge`] if `|Dom| > budget`, or function
+    /// misbehaviour errors.
+    pub fn standalone_relation(
+        &self,
+        schema: &Schema,
+        budget: u128,
+    ) -> Result<Relation, WorkflowError> {
+        let n = self.domain_size(schema);
+        if n > budget {
+            return Err(WorkflowError::DomainTooLarge {
+                executions: n,
+                budget,
+            });
+        }
+
+        let attr_set = self.attr_set();
+        let sub_schema = Schema::new(
+            attr_set
+                .iter()
+                .map(|a| schema.attr(a).clone())
+                .collect::<Vec<_>>(),
+        );
+        // Position of each module attribute inside the sub-schema.
+        let order: Vec<AttrId> = attr_set.iter().collect();
+
+        let mut rows = Vec::with_capacity(n as usize);
+        let sizes: Vec<u32> = self
+            .inputs
+            .iter()
+            .map(|&a| schema.attr(a).domain.size())
+            .collect();
+        let mut assign = vec![0u32; self.inputs.len()];
+        loop {
+            let out = self.apply(schema, &assign)?;
+            let mut vals = vec![0u32; order.len()];
+            for (pos, &a) in order.iter().enumerate() {
+                if let Some(i) = self.inputs.iter().position(|&x| x == a) {
+                    vals[pos] = assign[i];
+                } else {
+                    let o = self
+                        .outputs
+                        .iter()
+                        .position(|&x| x == a)
+                        .expect("attr is input or output");
+                    vals[pos] = out[o];
+                }
+            }
+            rows.push(Tuple::new(vals));
+            // Mixed-radix increment; breaks after the last assignment.
+            let mut carry = true;
+            for i in (0..assign.len()).rev() {
+                assign[i] += 1;
+                if assign[i] < sizes[i] {
+                    carry = false;
+                    break;
+                }
+                assign[i] = 0;
+            }
+            if carry {
+                break;
+            }
+        }
+        Ok(Relation::from_rows(sub_schema, rows).expect("module rows are schema-valid"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_relation::Domain;
+
+    fn xor_module() -> Module {
+        Module {
+            name: "xor".into(),
+            inputs: vec![AttrId(0), AttrId(1)],
+            outputs: vec![AttrId(2)],
+            visibility: Visibility::Private,
+            func: ModuleFn::closure(|v| vec![v[0] ^ v[1]]),
+        }
+    }
+
+    #[test]
+    fn closure_apply() {
+        let s = Schema::booleans(&["a", "b", "c"]);
+        let m = xor_module();
+        assert_eq!(m.apply(&s, &[1, 0]).unwrap(), vec![1]);
+        assert_eq!(m.apply(&s, &[1, 1]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn table_fn_mixed_radix() {
+        // f(x: bool, y: {0,1,2}) = x + y mod 2.
+        let rows: Vec<Vec<Value>> = (0..2u32)
+            .flat_map(|x| (0..3u32).map(move |y| vec![(x + y) % 2]))
+            .collect();
+        let f = ModuleFn::table(vec![2, 3], rows);
+        assert_eq!(f.apply(&[0, 2]), vec![0]);
+        assert_eq!(f.apply(&[1, 2]), vec![1]);
+        assert_eq!(f.apply(&[1, 1]), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full domain")]
+    fn table_must_cover_domain() {
+        let _ = ModuleFn::table(vec![2, 2], vec![vec![0]]);
+    }
+
+    #[test]
+    fn standalone_relation_enumerates_domain() {
+        let s = Schema::booleans(&["a", "b", "c"]);
+        let m = xor_module();
+        let r = m.standalone_relation(&s, 1 << 20).unwrap();
+        assert_eq!(r.len(), 4);
+        assert!(r.satisfies(&Fd::new(
+            AttrSet::from_indices(&[0, 1]),
+            AttrSet::from_indices(&[2])
+        )));
+        assert!(r.contains(&Tuple::new(vec![1, 0, 1])));
+        assert!(r.contains(&Tuple::new(vec![1, 1, 0])));
+    }
+
+    #[test]
+    fn standalone_relation_respects_budget() {
+        let s = Schema::booleans(&["a", "b", "c"]);
+        let m = xor_module();
+        assert!(matches!(
+            m.standalone_relation(&s, 3),
+            Err(WorkflowError::DomainTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn misbehaving_function_detected() {
+        let s = Schema::booleans(&["a", "b"]);
+        let bad_arity = Module {
+            name: "bad".into(),
+            inputs: vec![AttrId(0)],
+            outputs: vec![AttrId(1)],
+            visibility: Visibility::Private,
+            func: ModuleFn::closure(|_| vec![0, 0]),
+        };
+        assert!(matches!(
+            bad_arity.apply(&s, &[0]),
+            Err(WorkflowError::BadFunctionArity { .. })
+        ));
+        let bad_value = Module {
+            name: "bad2".into(),
+            inputs: vec![AttrId(0)],
+            outputs: vec![AttrId(1)],
+            visibility: Visibility::Private,
+            func: ModuleFn::closure(|_| vec![5]),
+        };
+        assert!(matches!(
+            bad_value.apply(&s, &[0]),
+            Err(WorkflowError::FunctionValueOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn domain_size_with_mixed_domains() {
+        let s = Schema::new(vec![
+            sv_relation::AttrDef {
+                name: "x".into(),
+                domain: Domain::new(3),
+            },
+            sv_relation::AttrDef {
+                name: "y".into(),
+                domain: Domain::new(4),
+            },
+            sv_relation::AttrDef {
+                name: "z".into(),
+                domain: Domain::boolean(),
+            },
+        ]);
+        let m = Module {
+            name: "m".into(),
+            inputs: vec![AttrId(0), AttrId(1)],
+            outputs: vec![AttrId(2)],
+            visibility: Visibility::Private,
+            func: ModuleFn::closure(|v| vec![(v[0] + v[1]) % 2]),
+        };
+        assert_eq!(m.domain_size(&s), 12);
+        let r = m.standalone_relation(&s, 100).unwrap();
+        assert_eq!(r.len(), 12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Public modules and privatization (§5, Examples 7–8, Theorem 8).
+//!
+//! Demonstrates the paper's central negative result for general
+//! workflows — standalone privacy does **not** survive composition with
+//! public modules — and the privatization fix:
+//!
+//! 1. In the chain `m′ (public constant) → m (private one-one) →
+//!    m″ (public invertible)`, hiding `m`'s inputs is standalone-safe
+//!    but workflow-broken: the constant `m′` pins the inputs.
+//! 2. Hiding `m`'s outputs fails symmetrically: the invertible `m″`
+//!    reveals them.
+//! 3. Privatizing the offending public module (Definition 6) restores
+//!    Γ-privacy — exactly Theorem 8's recipe — and the general
+//!    Secure-View optimizer trades attribute costs against
+//!    privatization costs.
+//!
+//! Run with: `cargo run --example public_modules`
+
+use secure_view::optimize::{exact_general, general, GeneralInstance};
+use secure_view::privacy::compose::WorldSearch;
+use secure_view::privacy::public::{greedy_general_solution, required_privatizations};
+use secure_view::privacy::StandaloneModule;
+use secure_view::relation::AttrSet;
+use secure_view::workflow::{library::example8_chain, ModuleId};
+use std::collections::BTreeMap;
+
+fn main() {
+    let k = 2;
+    let wf = example8_chain(k);
+    println!("{wf:?}");
+    let gamma = 4u128;
+    let m_priv = ModuleId(1);
+
+    // ── 1. Standalone-safe hiding of the inputs … ────────────────────
+    let sm = StandaloneModule::from_workflow_module(&wf, m_priv, 1 << 20).unwrap();
+    let hide_inputs_local = AttrSet::from_indices(&[0, 1]); // y0, y1 locally
+    assert!(sm.is_safe_hidden(&hide_inputs_local, gamma));
+    println!("Standalone: hiding m's inputs is safe for Γ = {gamma} ✓");
+
+    // … breaks inside the workflow (Example 7).
+    let hide_inputs = AttrSet::from_indices(&[2, 3]); // y0, y1 globally
+    let visible = hide_inputs.complement(wf.schema().len());
+    let broken = WorldSearch::new(&wf, visible.clone()).run(1 << 26).unwrap();
+    println!(
+        "Workflow, no privatization: min |OUT| = {} — privacy destroyed by the public constant",
+        broken.min_out(m_priv)
+    );
+    assert_eq!(broken.min_out(m_priv), 1);
+
+    // ── 2. Theorem 8: privatize the touched public module ───────────
+    let to_privatize = required_privatizations(&wf, &hide_inputs);
+    println!(
+        "Theorem 8 requires privatizing: {:?}",
+        to_privatize
+            .iter()
+            .map(|id| wf.modules()[id.index()].name.as_str())
+            .collect::<Vec<_>>()
+    );
+    let fixed = WorldSearch::new(&wf, visible)
+        .with_privatized(to_privatize)
+        .run(1 << 26)
+        .unwrap();
+    println!(
+        "After privatization: min |OUT| = {} (Γ = {gamma} restored ✓)",
+        fixed.min_out(m_priv)
+    );
+    assert!(fixed.min_out(m_priv) >= gamma);
+
+    // ── 3. Cost-aware optimization over (V̄, P̄) ─────────────────────
+    // Attribute costs: inputs cheap, intermediates pricier; privatizing
+    // the public constant is cheap, the invertible reformatter is a
+    // well-known community tool — hiding its identity is expensive.
+    let attr_costs: Vec<u64> = vec![1, 1, 2, 2, 3, 3, 1, 1];
+    let module_costs: BTreeMap<ModuleId, u64> =
+        [(ModuleId(0), 1u64), (ModuleId(2), 8u64)].into();
+
+    let inst = GeneralInstance::from_workflow(
+        &wf,
+        gamma,
+        &[1, 8], // privatization costs aligned with public_modules() order
+        1 << 20,
+    )
+    .expect("requirements derivable")
+    ;
+    let mut inst = inst;
+    inst.base.costs = attr_costs.clone();
+
+    let opt = exact_general(&inst).expect("feasible");
+    let rounded = general::solve_rounding(&inst).expect("LP solvable");
+    let lb = general::lp_lower_bound(&inst).expect("LP solvable");
+    let (greedy_view, greedy_cost) =
+        greedy_general_solution(&wf, &attr_costs, &module_costs, gamma, 1 << 20).unwrap();
+
+    println!("\nGeneral Secure-View (Γ = {gamma}):");
+    println!("  LP lower bound:       {lb:.2}");
+    println!(
+        "  exact optimum:        {} (hide {:?}, privatize {:?})",
+        opt.cost,
+        wf.schema().names(&opt.hidden),
+        inst.induced_privatizations(&opt.hidden)
+    );
+    println!("  ℓmax-rounding:        {}", rounded.cost);
+    println!(
+        "  greedy (Thm-8 style): {} (hide {:?}, privatize {:?})",
+        greedy_cost,
+        wf.schema().names(&greedy_view.hidden_attrs),
+        greedy_view
+            .privatized
+            .iter()
+            .map(|id| wf.modules()[id.index()].name.as_str())
+            .collect::<Vec<_>>()
+    );
+
+    // Verify the exact optimum semantically.
+    let visible = opt.hidden.complement(wf.schema().len());
+    let priv_ids: Vec<ModuleId> = inst
+        .induced_privatizations(&opt.hidden)
+        .into_iter()
+        .map(|i| wf.public_modules()[i])
+        .collect();
+    let verified = WorldSearch::new(&wf, visible)
+        .with_privatized(priv_ids)
+        .run(1 << 26)
+        .unwrap();
+    assert!(verified.min_out(m_priv) >= gamma);
+    println!("\nOptimal view verified {gamma}-private against possible worlds ✓");
+}

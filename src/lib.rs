@@ -1,0 +1,54 @@
+//! # secure-view
+//!
+//! A complete Rust implementation of **“Provenance Views for Module
+//! Privacy”** (Davidson, Khanna, Milo, Panigrahi, Roy — PODS 2011):
+//! Γ-privacy of module functionality in workflow provenance, safe-view
+//! checking, and the Secure-View cost-minimization algorithms.
+//!
+//! The workspace is organised bottom-up; this crate re-exports the
+//! public API of every layer:
+//!
+//! * [`relation`] — finite-domain relations, FDs, projection/join;
+//! * [`workflow`] — modules, DAG workflows, execution, provenance
+//!   relations, and the paper's example module library;
+//! * [`privacy`] — Γ-standalone/workflow privacy (possible worlds, the
+//!   Lemma-4 safety checker, Theorem-4/8 composition, the flipping
+//!   construction, instrumented oracles);
+//! * [`lp`] — the two-phase simplex / branch-and-bound substrate;
+//! * [`optimize`] — the Secure-View optimizers (Figure-3 IP +
+//!   Algorithm-1 rounding, set-constraint and general-workflow LPs,
+//!   greedy `(γ+1)`-approximation, exact baselines);
+//! * [`gen`] — hardness gadgets, the paper's five reductions, and
+//!   random workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use secure_view::workflow::library::fig1_workflow;
+//! use secure_view::privacy::StandaloneModule;
+//! use secure_view::relation::AttrSet;
+//! use secure_view::workflow::ModuleId;
+//!
+//! // The paper's running example (Figure 1).
+//! let wf = fig1_workflow();
+//! let m1 = StandaloneModule::from_workflow_module(&wf, ModuleId(0), 1 << 20).unwrap();
+//!
+//! // Example 3: V = {a1, a3, a5} is safe for Γ = 4.
+//! let visible = AttrSet::from_indices(&[0, 2, 4]);
+//! assert!(m1.is_safe(&visible, 4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sv_gen as gen;
+pub use sv_lp as lp;
+pub use sv_optimize as optimize;
+pub use sv_relation as relation;
+pub use sv_workflow as workflow;
+
+/// The privacy core (`sv-core`): possible worlds, safety checking,
+/// composition theorems, oracles.
+pub mod privacy {
+    pub use sv_core::*;
+}

@@ -1,0 +1,127 @@
+//! Cross-crate integration tests reproducing the paper's worked
+//! examples end-to-end (workflow → requirements → optimizer →
+//! possible-world verification).
+
+use secure_view::optimize::{
+    cardinality, exact_cardinality, exact_set, setcon, CardinalityInstance, SetInstance,
+};
+use secure_view::privacy::compose::{union_of_standalone_optima, WorldSearch};
+use secure_view::privacy::flip::flip_witness_world;
+use secure_view::privacy::worlds;
+use secure_view::privacy::StandaloneModule;
+use secure_view::relation::{project, AttrSet, Tuple};
+use secure_view::workflow::{library, ModuleId};
+
+/// Figure 1 + Example 3 + the workflow pipeline, end to end.
+#[test]
+fn fig1_pipeline_end_to_end() {
+    let wf = library::fig1_workflow();
+
+    // The provenance relation matches Figure 1(b).
+    let r = wf.provenance_relation(1 << 10).unwrap();
+    assert_eq!(r.len(), 4);
+    assert!(r.contains(&Tuple::new(vec![0, 0, 0, 1, 1, 1, 0])));
+
+    // Derive instances for Γ = 2 and solve with every engine.
+    let card = CardinalityInstance::from_workflow(&wf, 2, 1 << 20).unwrap();
+    let set = SetInstance::from_workflow(&wf, 2, 1 << 20).unwrap();
+    let card_opt = exact_cardinality(&card).unwrap();
+    let set_opt = exact_set(&set).unwrap();
+    // Hiding the shared attribute a4 (id 3) satisfies all three
+    // modules: both optima are 1.
+    assert_eq!(card_opt.cost, 1);
+    assert_eq!(set_opt.cost, 1);
+    assert_eq!(set_opt.hidden, AttrSet::from_indices(&[3]));
+
+    // LP relaxations lower-bound, roundings stay within guarantees.
+    let lb = cardinality::lp_lower_bound(&card).unwrap();
+    assert!(lb <= card_opt.cost as f64 + 1e-6);
+    let rounded = setcon::solve_rounding(&set).unwrap();
+    assert!(rounded.cost <= set.l_max() as u64 * set_opt.cost);
+
+    // Semantics: the optimum is 2-workflow-private for every module.
+    let visible = set_opt.hidden.complement(wf.schema().len());
+    let report = WorldSearch::new(&wf, visible).run(1 << 26).unwrap();
+    assert!(report.is_gamma_private(&wf.private_modules(), 2));
+}
+
+/// Example 3's exact OUT set reproduced through the public API.
+#[test]
+fn example3_out_set_through_api() {
+    let wf = library::fig1_workflow();
+    let m1 = StandaloneModule::from_workflow_module(&wf, ModuleId(0), 1 << 20).unwrap();
+    let v = AttrSet::from_indices(&[0, 2, 4]);
+    let out = worlds::out_set_bruteforce(&m1, &v, &Tuple::new(vec![0, 0]), 1 << 30).unwrap();
+    assert_eq!(out.len(), 4);
+    assert!(out.contains(&Tuple::new(vec![1, 0, 0])));
+}
+
+/// Lemma 1's flipping witness, validated at the workflow level for all
+/// three Figure-1 modules.
+#[test]
+fn flip_witnesses_for_every_module_of_fig1() {
+    let wf = library::fig1_workflow();
+    let orig = wf.provenance_relation(1 << 10).unwrap();
+    // Hide a2 and a4 (so every module has a hidden attribute).
+    let hidden = AttrSet::from_indices(&[1, 3]);
+    let visible = hidden.complement(7);
+    for (mid, x, y) in [
+        (ModuleId(0), vec![0, 0], vec![1, 0, 0]),
+        (ModuleId(1), vec![0, 1], vec![1]),
+        (ModuleId(2), vec![1, 1], vec![0]),
+    ] {
+        if let Some(world) =
+            flip_witness_world(&wf, mid, &x, &y, &visible, 1 << 20).unwrap()
+        {
+            let flipped = world.provenance_relation(1 << 10).unwrap();
+            assert_eq!(
+                project(&orig, &visible),
+                project(&flipped, &visible),
+                "view must be preserved for {mid:?}"
+            );
+        }
+    }
+}
+
+/// Example 5's gap carried through the real optimizer stack.
+#[test]
+fn example5_gap_with_lp_and_greedy() {
+    use secure_view::gen::gadgets::example5_instance;
+    use secure_view::optimize::greedy::greedy_set;
+    let inst = example5_instance(6);
+    let opt = exact_set(&inst).unwrap();
+    let g = greedy_set(&inst).unwrap();
+    assert_eq!(opt.cost, 21);
+    assert_eq!(g.cost, 70);
+    // The set-constraints LP rounding may also be suboptimal here
+    // (ℓ_max = n), but must stay feasible and within ℓ_max·OPT.
+    let r = setcon::solve_rounding(&inst).unwrap();
+    assert!(inst.feasible(&r.hidden));
+    assert!(r.cost <= inst.l_max() as u64 * opt.cost);
+}
+
+/// Theorem 4 via the composition API on a non-trivial chain.
+#[test]
+fn theorem4_union_composition_on_chain() {
+    let wf = library::one_one_chain(3, 2);
+    let costs = vec![1u64; wf.schema().len()];
+    let (hidden, _) = union_of_standalone_optima(&wf, &costs, 2, 1 << 20).unwrap();
+    let visible = hidden.complement(wf.schema().len());
+    let report = WorldSearch::new(&wf, visible).run(1 << 28).unwrap();
+    assert!(report.is_gamma_private(&wf.private_modules(), 2));
+}
+
+/// The one-one and majority cardinality lists of Example 6, through the
+/// instance-derivation API.
+#[test]
+fn example6_cardinality_lists() {
+    use secure_view::privacy::requirements::cardinality_constraints;
+    // One-one over k = 3 wires: lists (k, 0) and (0, k) for Γ = 2^k.
+    let wf = library::one_one_chain(1, 3);
+    let sm = StandaloneModule::from_workflow_module(&wf, ModuleId(0), 1 << 20).unwrap();
+    let f = cardinality_constraints(&sm, 8);
+    assert_eq!(
+        f.iter().map(|c| (c.alpha, c.beta)).collect::<Vec<_>>(),
+        vec![(0, 3), (3, 0)]
+    );
+}

@@ -1,0 +1,178 @@
+//! Property-based tests of the core invariants, across crates.
+//!
+//! * the fast Lemma-4 safety checker equals brute-force possible-world
+//!   semantics on random modules;
+//! * safety is monotone in the hidden set (Proposition 1);
+//! * Theorem 4: union of standalone-safe hidden sets is workflow-safe
+//!   on random layered workflows (verified against function worlds);
+//! * optimizer sandwich: LP ≤ exact ≤ rounding ≤ guarantee·exact;
+//! * relational algebra: projection/join laws the provenance relation
+//!   relies on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secure_view::gen::random::{
+    random_cardinality, random_layered_workflow, random_set, InstanceParams,
+};
+use secure_view::optimize::{cardinality, exact_cardinality, exact_set, setcon};
+use secure_view::privacy::compose::{union_of_standalone_optima, WorldSearch};
+use secure_view::privacy::worlds::min_out_bruteforce;
+use secure_view::privacy::StandaloneModule;
+use secure_view::relation::{AttrSet, Relation, Schema};
+
+/// A random boolean module with 2 inputs / 2 outputs as a truth table
+/// (16 possible output assignments per input → u16 seed).
+fn module_from_seed(seed: u64) -> StandaloneModule {
+    let schema = Schema::booleans(&["i0", "i1", "o0", "o1"]);
+    let rows: Vec<Vec<u32>> = (0..4u32)
+        .map(|x| {
+            let out = (seed >> (x * 2)) & 0b11;
+            vec![x >> 1, x & 1, (out >> 1) as u32, (out & 1) as u32]
+        })
+        .collect();
+    let rel = Relation::from_values(schema, rows).unwrap();
+    StandaloneModule::new(
+        rel,
+        AttrSet::from_indices(&[0, 1]),
+        AttrSet::from_indices(&[2, 3]),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lemma 4: grouped-count privacy level equals min |OUT| over all
+    /// possible worlds, for every visible subset of random modules.
+    #[test]
+    fn privacy_level_equals_bruteforce(seed in 0u64..256) {
+        let m = module_from_seed(seed);
+        for mask in 0u32..16 {
+            let visible = AttrSet::from_iter(
+                (0..4).filter(|i| mask & (1 << i) != 0)
+                    .map(|i| secure_view::relation::AttrId(i as u32)),
+            );
+            let fast = m.privacy_level(&visible);
+            let slow = min_out_bruteforce(&m, &visible, 1 << 22).unwrap();
+            prop_assert_eq!(fast, slow, "seed={} visible={:?}", seed, visible);
+        }
+    }
+
+    /// Proposition 1: monotonicity of safety in the hidden set.
+    #[test]
+    fn safety_monotone(seed in 0u64..1024, gamma in 2u128..5) {
+        let m = module_from_seed(seed);
+        for mask in 0u32..16 {
+            let hidden = AttrSet::from_iter(
+                (0..4).filter(|i| mask & (1 << i) != 0)
+                    .map(|i| secure_view::relation::AttrId(i as u32)),
+            );
+            if m.is_safe_hidden(&hidden, gamma) {
+                for extra in 0..4u32 {
+                    let mut bigger = hidden.clone();
+                    bigger.insert(secure_view::relation::AttrId(extra));
+                    prop_assert!(m.is_safe_hidden(&bigger, gamma));
+                }
+            }
+        }
+    }
+
+    /// The minimal-safe-set antichain exactly generates all safe sets.
+    #[test]
+    fn minimal_sets_generate(seed in 0u64..512) {
+        let m = module_from_seed(seed);
+        let minimal = m.minimal_safe_hidden_sets(2).unwrap();
+        for mask in 0u32..16 {
+            let hidden = AttrSet::from_iter(
+                (0..4).filter(|i| mask & (1 << i) != 0)
+                    .map(|i| secure_view::relation::AttrId(i as u32)),
+            );
+            let safe = m.is_safe_hidden(&hidden, 2);
+            let gen = minimal.iter().any(|s| s.is_subset(&hidden));
+            prop_assert_eq!(safe, gen);
+        }
+    }
+
+    /// Theorem 4 on random layered workflows: the union of per-module
+    /// standalone optima is workflow-Γ-private (function-world check).
+    #[test]
+    fn theorem4_on_random_workflows(seed in 0u64..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wf = random_layered_workflow(&mut rng, 2, 2, 2);
+        let costs = vec![1u64; wf.schema().len()];
+        if let Ok((hidden, _)) = union_of_standalone_optima(&wf, &costs, 2, 1 << 20) {
+            let visible = hidden.complement(wf.schema().len());
+            let report = WorldSearch::new(&wf, visible).run(1 << 26).unwrap();
+            prop_assert!(report.is_gamma_private(&wf.private_modules(), 2),
+                "seed={}", seed);
+        }
+    }
+
+    /// Optimizer sandwich for cardinality constraints.
+    #[test]
+    fn cardinality_sandwich(seed in 0u64..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = InstanceParams { n_modules: 4, attrs_per_module: 4, ..Default::default() };
+        let inst = random_cardinality(&mut rng, &p);
+        if let Some(opt) = exact_cardinality(&inst) {
+            let lb = cardinality::lp_lower_bound(&inst).unwrap();
+            prop_assert!(lb <= opt.cost as f64 + 1e-6,
+                "LP {} must lower-bound OPT {}", lb, opt.cost);
+            let rounded = cardinality::solve_rounding(&inst, &mut rng).unwrap();
+            prop_assert!(inst.feasible(&rounded.hidden));
+            prop_assert!(rounded.cost >= opt.cost);
+        }
+    }
+
+    /// Optimizer sandwich for set constraints, with the ℓ_max guarantee.
+    #[test]
+    fn set_sandwich_with_lmax_guarantee(seed in 0u64..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = InstanceParams { n_modules: 4, attrs_per_module: 4, ..Default::default() };
+        let inst = random_set(&mut rng, &p);
+        if let Some(opt) = exact_set(&inst) {
+            let lb = setcon::lp_lower_bound(&inst).unwrap();
+            prop_assert!(lb <= opt.cost as f64 + 1e-6);
+            let rounded = setcon::solve_rounding(&inst).unwrap();
+            prop_assert!(inst.feasible(&rounded.hidden));
+            prop_assert!(rounded.cost as f64
+                <= inst.l_max() as f64 * opt.cost as f64 + 1e-6,
+                "rounded {} > lmax {} * opt {}", rounded.cost, inst.l_max(), opt.cost);
+        }
+    }
+
+    /// exact-IP (branch & bound) agrees with dense enumeration.
+    #[test]
+    fn exact_ip_agrees_with_enumeration(seed in 0u64..24) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = InstanceParams { n_modules: 3, attrs_per_module: 3, ..Default::default() };
+        let inst = random_set(&mut rng, &p);
+        if let Some(opt) = exact_set(&inst) {
+            let ip = setcon::exact_ip(&inst, 1 << 16).unwrap();
+            prop_assert_eq!(opt.cost, ip.cost);
+        }
+    }
+
+    /// Relational laws: π_V(π_W(R)) = π_V(R) for V ⊆ W, and join with
+    /// self is identity on key-complete relations.
+    #[test]
+    fn projection_composes(rows in proptest::collection::vec(0u32..8, 1..12)) {
+        let schema = Schema::booleans(&["a", "b", "c"]);
+        let rel = Relation::from_values(
+            schema,
+            rows.iter().map(|&r| vec![r >> 2 & 1, r >> 1 & 1, r & 1]).collect(),
+        ).unwrap();
+        let w = AttrSet::from_indices(&[0, 2]);
+        let v = AttrSet::from_indices(&[0]);
+        let via_w = secure_view::relation::project(
+            &secure_view::relation::project(&rel, &w),
+            &v,
+        );
+        let direct = secure_view::relation::project(&rel, &v);
+        prop_assert_eq!(via_w.rows(), direct.rows());
+        // Self-join is identity.
+        let j = secure_view::relation::natural_join(&rel, &rel).unwrap();
+        prop_assert_eq!(j, rel);
+    }
+}
