@@ -1,12 +1,54 @@
 //! E13 — §5.2 / C.4: general-workflow LP with privatization costs.
+//!
+//! Also hosts the general-workflow half of the **kernel-swap**
+//! comparison recorded in `BENCH_kernel.json`: deriving a
+//! [`GeneralInstance`] from an Example-8-shaped workflow through the
+//! row-at-a-time seed semantics vs the interned kernel + memoized
+//! safety oracle.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sv_core::requirements::set_constraints_with;
+use sv_core::safety::NaiveOracle;
+use sv_core::StandaloneModule;
 use sv_gen::random::{random_general, InstanceParams};
 use sv_gen::reductions::setcover_to_general;
 use sv_gen::setcover::SetCover;
-use sv_optimize::{exact_general, general};
+use sv_optimize::{exact_general, general, GeneralInstance};
+use sv_workflow::library;
+
+fn bench_kernel_swap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_kernel_swap");
+    g.sample_size(10);
+    // Example-8 chain over 4 wires: the private one-one module has
+    // k = 8 (2^8 subsets, N = 16 rows); two public modules.
+    let wf = library::example8_chain(4);
+    let gamma = 4u128;
+    g.bench_function("derive_general/naive_rowwise", |bch| {
+        bch.iter(|| {
+            // Seed-semantics replica of the private-module requirement
+            // derivation GeneralInstance::from_workflow performs.
+            let mut total = 0usize;
+            for id in wf.private_modules() {
+                let sm = StandaloneModule::from_workflow_module(&wf, id, 1 << 20).unwrap();
+                let mut o = NaiveOracle::new(sm);
+                total += set_constraints_with(&mut o, gamma).unwrap().len();
+            }
+            total
+        });
+    });
+    g.bench_function("derive_general/interned_plus_memo", |bch| {
+        bch.iter(|| {
+            GeneralInstance::from_workflow(&wf, gamma, &[1, 1], 1 << 20)
+                .unwrap()
+                .base
+                .modules
+                .len()
+        });
+    });
+    g.finish();
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e13_general");
@@ -37,5 +79,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(benches, bench, bench_kernel_swap);
 criterion_main!(benches);

@@ -10,7 +10,13 @@ fn xor_module(k: usize) -> StandaloneModule {
     let mut b = WorkflowBuilder::new();
     let ins = b.bool_attrs("x", k);
     let out = b.attr("y", sv_relation::Domain::boolean());
-    b.module("xor", &ins, &[out], Visibility::Private, library::xor_all_fn());
+    b.module(
+        "xor",
+        &ins,
+        &[out],
+        Visibility::Private,
+        library::xor_all_fn(),
+    );
     StandaloneModule::from_workflow_module(&b.build().unwrap(), ModuleId(0), 1 << 22).unwrap()
 }
 

@@ -1,11 +1,64 @@
 //! E9 — Theorem 5: cardinality-constraint optimizers. LP solve +
 //! Algorithm-1 rounding vs exact enumeration vs exact IP, n sweep.
+//!
+//! Also hosts the **kernel-swap** comparison recorded in
+//! `BENCH_kernel.json`: Γ-requirement derivation (the `is_safe` /
+//! `group_count_distinct` hot path) through the row-at-a-time seed
+//! semantics vs the interned columnar kernel vs the kernel plus the
+//! memoizing safety oracle.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sv_core::requirements::{cardinality_constraints_with, set_constraints_with};
+use sv_core::safety::{KernelOracle, MemoSafetyOracle, NaiveOracle, SafetyOracle};
+use sv_core::StandaloneModule;
 use sv_gen::random::{random_cardinality, InstanceParams};
-use sv_optimize::{cardinality, exact_cardinality};
+use sv_optimize::{cardinality, exact_cardinality, CardinalityInstance};
+use sv_workflow::{library, ModuleId};
+
+/// Full requirement derivation for one module: the set-constraints
+/// lattice sweep followed by the cardinality Pareto frontier — exactly
+/// what `sv-optimize` instance building runs per private module.
+fn derive(oracle: &mut dyn SafetyOracle, gamma: u128) -> (usize, usize) {
+    let s = set_constraints_with(oracle, gamma).unwrap().len();
+    let c = cardinality_constraints_with(oracle, gamma).len();
+    (s, c)
+}
+
+fn bench_kernel_swap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_kernel_swap");
+    g.sample_size(10);
+    // A k = 10 one-one module (5 boolean wires in/out, N = 32 rows):
+    // 2^10 subsets probed by the lattice sweep.
+    let wf = library::one_one_chain(1, 5);
+    let m = StandaloneModule::from_workflow_module(&wf, ModuleId(0), 1 << 20).unwrap();
+    let gamma = 4u128;
+    g.bench_function("derive_requirements/naive_rowwise", |bch| {
+        bch.iter(|| {
+            let mut o = NaiveOracle::new(m.clone());
+            derive(&mut o, gamma)
+        });
+    });
+    g.bench_function("derive_requirements/interned_kernel", |bch| {
+        bch.iter(|| {
+            let mut o = KernelOracle::new(&m);
+            derive(&mut o, gamma)
+        });
+    });
+    g.bench_function("derive_requirements/interned_plus_memo", |bch| {
+        bch.iter(|| {
+            let mut o = MemoSafetyOracle::new(m.clone());
+            derive(&mut o, gamma)
+        });
+    });
+    // End-to-end instance derivation through the shared-oracle path.
+    let fig1 = library::fig1_workflow();
+    g.bench_function("instance_from_workflow/fig1", |bch| {
+        bch.iter(|| CardinalityInstance::from_workflow(&fig1, 2, 1 << 20).unwrap());
+    });
+    g.finish();
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e9_cardinality");
@@ -37,5 +90,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(benches, bench, bench_kernel_swap);
 criterion_main!(benches);

@@ -11,6 +11,7 @@ use sv_core::compose::{union_of_standalone_optima, WorldSearch};
 use sv_core::oracle::{
     decide_safety_streaming, min_cost_via_oracle, CountingSupplier, HonestOracle,
 };
+use sv_core::safety::WorkflowOracles;
 use sv_core::StandaloneModule;
 use sv_gen::adversary::{
     cnf_module, cnf_visible, disjointness_module, disjointness_visible, thm3_costs, thm3_m1,
@@ -74,7 +75,10 @@ pub fn e1_fig1() -> Vec<String> {
 pub fn e2_thm1_calls() -> Vec<String> {
     let mut out = vec![
         "E2  Theorem 1 (supplier calls to decide safety; Omega(N) predicted)".into(),
-        format!("  {:>6} {:>16} {:>16}", "N", "disjoint(calls)", "intersect(calls)"),
+        format!(
+            "  {:>6} {:>16} {:>16}",
+            "N", "disjoint(calls)", "intersect(calls)"
+        ),
     ];
     for n in [64usize, 256, 1024, 4096] {
         let a: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
@@ -252,7 +256,10 @@ pub fn e7_thm4() -> Vec<String> {
 pub fn e8_example5() -> Vec<String> {
     let mut out = vec![
         "E8  Example 5 (union-of-standalone-optima vs optimum; Omega(n) gap)".into(),
-        format!("  {:>4} {:>10} {:>10} {:>8}", "n", "union", "optimum", "ratio"),
+        format!(
+            "  {:>4} {:>10} {:>10} {:>8}",
+            "n", "union", "optimum", "ratio"
+        ),
     ];
     for n in [2usize, 4, 8, 16, 22] {
         let inst = example5_instance(n);
@@ -364,7 +371,9 @@ pub fn e10_setcon() -> Vec<String> {
         let mut cnt = 0;
         for _ in 0..5 {
             let inst = random_set(&mut rng, &p);
-            let Some(opt) = exact_set(&inst) else { continue };
+            let Some(opt) = exact_set(&inst) else {
+                continue;
+            };
             if opt.cost == 0 {
                 continue;
             }
@@ -456,17 +465,23 @@ pub fn e12_public() -> Vec<String> {
     let wf = library::example8_chain(2);
     let m_priv = ModuleId(1);
     let gamma = 4u128;
-    let mut out = vec![
-        "E12 Example 7 / Theorem 8 (public modules and privatization)".into(),
-    ];
+    let mut out = vec!["E12 Example 7 / Theorem 8 (public modules and privatization)".into()];
     for (label, hidden, privatize) in [
-        ("hide inputs, no privatization", AttrSet::from_indices(&[2, 3]), vec![]),
+        (
+            "hide inputs, no privatization",
+            AttrSet::from_indices(&[2, 3]),
+            vec![],
+        ),
         (
             "hide inputs, privatize m_const",
             AttrSet::from_indices(&[2, 3]),
             vec![ModuleId(0)],
         ),
-        ("hide outputs, no privatization", AttrSet::from_indices(&[4, 5]), vec![]),
+        (
+            "hide outputs, no privatization",
+            AttrSet::from_indices(&[4, 5]),
+            vec![],
+        ),
         (
             "hide outputs, privatize m_inv",
             AttrSet::from_indices(&[4, 5]),
@@ -518,7 +533,9 @@ pub fn e13_general() -> Vec<String> {
             3,
             5,
         );
-        let Some(opt) = exact_general(&inst) else { continue };
+        let Some(opt) = exact_general(&inst) else {
+            continue;
+        };
         if opt.cost == 0 {
             continue;
         }
@@ -591,9 +608,14 @@ pub fn e14_ablation() -> Vec<String> {
             ..Default::default()
         };
         let inst = random_cardinality(&mut rng, &p);
-        let Some(opt) = exact_cardinality(&inst) else { continue };
+        let Some(opt) = exact_cardinality(&inst) else {
+            continue;
+        };
         let solve = |v: CardLpVariant| -> f64 {
-            build_lp(&inst, v).problem.solve().map_or(f64::NAN, |s| s.objective)
+            build_lp(&inst, v)
+                .problem
+                .solve()
+                .map_or(f64::NAN, |s| s.objective)
         };
         out.push(format!(
             "  {:>6} {:>10.3} {:>12.3} {:>12.3} {:>8}",
@@ -616,7 +638,10 @@ pub fn e14_ablation() -> Vec<String> {
         }],
     };
     let solve = |v: CardLpVariant| -> f64 {
-        build_lp(&inst, v).problem.solve().map_or(f64::NAN, |s| s.objective)
+        build_lp(&inst, v)
+            .problem
+            .solve()
+            .map_or(f64::NAN, |s| s.objective)
     };
     out.push(format!(
         "  witness (3,0)/(0,3): full {:.3}, w/o caps {:.3}, OPT {}",
@@ -625,6 +650,41 @@ pub fn e14_ablation() -> Vec<String> {
         exact_cardinality(&inst).unwrap().cost
     ));
     out
+}
+
+/// E15 — the memoized safety-oracle layer: identical safety queries are
+/// answered once per module instance regardless of which derivation
+/// asks. Derives the set-constraints instance (full subset-lattice
+/// sweep) and then the cardinality instance from the **same** oracles:
+/// the second derivation must add zero kernel evaluations.
+#[must_use]
+pub fn e15_oracle_memo() -> Vec<String> {
+    let wf = library::fig1_workflow();
+    let gammas = vec![2u128; wf.private_modules().len()];
+    let mut oracles = WorkflowOracles::for_workflow(&wf, 1 << 20).unwrap();
+    let set = sv_optimize::SetInstance::from_oracles(&wf, &mut oracles, &gammas).unwrap();
+    let (calls_set, misses_set) = (oracles.total_calls(), oracles.total_misses());
+    let card = CardinalityInstance::from_oracles(&wf, &mut oracles, &gammas).unwrap();
+    let (calls_all, misses_all) = (oracles.total_calls(), oracles.total_misses());
+    vec![
+        "E15 Memoized safety oracle (each distinct V evaluated once per module)".into(),
+        format!(
+            "  set-constraints derivation:  {} probes, {} kernel evaluations",
+            calls_set, misses_set
+        ),
+        format!(
+            "  + cardinality derivation:    {} probes, {} kernel evaluations ({} new)",
+            calls_all,
+            misses_all,
+            misses_all - misses_set
+        ),
+        format!(
+            "  instances: {} set modules, {} card modules; lattice of {} subsets per module",
+            set.n_modules(),
+            card.n_modules(),
+            1 << 5
+        ),
+    ]
 }
 
 /// Runs every experiment in order, returning all lines.
@@ -645,6 +705,7 @@ pub fn run_all() -> Vec<String> {
         e12_public(),
         e13_general(),
         e14_ablation(),
+        e15_oracle_memo(),
     ] {
         out.extend(section);
         out.push(String::new());
@@ -675,5 +736,11 @@ mod tests {
         let lines = e12_public().join("\n");
         assert_eq!(lines.matches("BROKEN").count(), 2);
         assert_eq!(lines.matches(": private").count(), 2);
+    }
+
+    #[test]
+    fn e15_cardinality_derivation_is_free_after_set_derivation() {
+        let lines = e15_oracle_memo().join("\n");
+        assert!(lines.contains("(0 new)"), "{lines}");
     }
 }

@@ -24,7 +24,7 @@
 //! generated or not), so the verifier is decisive there too.
 
 use crate::error::CoreError;
-use crate::standalone::{enumerate_mixed_radix, StandaloneModule};
+use crate::standalone::enumerate_mixed_radix;
 use std::collections::{BTreeMap, BTreeSet};
 use sv_relation::{AttrId, AttrSet, Tuple, Value};
 use sv_workflow::{ModuleId, Visibility, Workflow};
@@ -106,18 +106,38 @@ pub fn union_of_standalone_optima(
     gamma: u128,
     budget: u128,
 ) -> Result<(AttrSet, u64), CoreError> {
+    let mut oracles = crate::safety::WorkflowOracles::for_workflow(workflow, budget)?;
+    union_of_standalone_optima_with(workflow, &mut oracles, costs, gamma)
+}
+
+/// [`union_of_standalone_optima`] against caller-owned per-module
+/// safety oracles — repeated assemblies (cost sweeps, Γ sweeps) over
+/// the same workflow share one memo.
+///
+/// # Errors
+/// As [`union_of_standalone_optima`].
+pub fn union_of_standalone_optima_with(
+    workflow: &Workflow,
+    oracles: &mut crate::safety::WorkflowOracles,
+    costs: &[u64],
+    gamma: u128,
+) -> Result<(AttrSet, u64), CoreError> {
     assert_eq!(costs.len(), workflow.schema().len());
     let mut hidden = AttrSet::new();
     for id in workflow.private_modules() {
         let lens = ModuleLens::new(workflow, id)?;
-        let sm = StandaloneModule::from_workflow_module(workflow, id, budget)?;
         let local_costs: Vec<u64> = workflow
             .module(id)?
             .attr_set()
             .iter()
             .map(|a| costs[a.index()])
             .collect();
-        let Some((local_hidden, _)) = sm.min_cost_safe_hidden(&local_costs, gamma)? else {
+        let oracle = oracles
+            .oracle_mut(id)
+            .ok_or(CoreError::MissingOracle { module: id.index() })?;
+        let Some((local_hidden, _)) =
+            crate::safety::min_cost_safe_hidden(oracle, &local_costs, gamma)?
+        else {
             return Err(CoreError::BudgetExceeded {
                 what: "no safe standalone subset exists for a module",
                 required: gamma,
@@ -241,10 +261,7 @@ impl<'a> WorldSearch<'a> {
         let n_rows = inputs.len();
 
         // Original provenance rows (visible-projection targets).
-        let orig: Vec<Tuple> = inputs
-            .iter()
-            .map(|x| w.run(x))
-            .collect::<Result<_, _>>()?;
+        let orig: Vec<Tuple> = inputs.iter().map(|x| w.run(x)).collect::<Result<_, _>>()?;
 
         // Candidate function tables per module, in topo order.
         let topo: Vec<ModuleId> = w.topo_order().to_vec();

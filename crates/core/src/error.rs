@@ -30,6 +30,13 @@ pub enum CoreError {
         /// Supported maximum.
         max: usize,
     },
+    /// A [`crate::safety::WorkflowOracles`] set does not cover a
+    /// requested private module (it was built for a different
+    /// workflow).
+    MissingOracle {
+        /// Index of the uncovered module.
+        module: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +52,12 @@ impl fmt::Display for CoreError {
             Self::Workflow(e) => write!(f, "workflow error: {e}"),
             Self::TooManyAttributes { k, max } => {
                 write!(f, "{k} attributes exceed dense-enumeration maximum {max}")
+            }
+            Self::MissingOracle { module } => {
+                write!(
+                    f,
+                    "oracle set has no entry for private module {module} (built for a different workflow?)"
+                )
             }
         }
     }

@@ -121,7 +121,11 @@ pub fn flip_witness_world(
     let schema = workflow.schema();
     let m = workflow.module(target)?;
     assert_eq!(x.len(), m.inputs.len(), "x must cover the target's inputs");
-    assert_eq!(y.len(), m.outputs.len(), "y must cover the target's outputs");
+    assert_eq!(
+        y.len(),
+        m.outputs.len(),
+        "y must cover the target's outputs"
+    );
 
     let vis_in: Vec<AttrId> = m
         .inputs
@@ -255,21 +259,13 @@ mod tests {
         let visible = AttrSet::from_indices(&[0, 2, 4]); // hide a2, a4
         let m = crate::StandaloneModule::from_workflow_module(&w, ModuleId(0), 1 << 20).unwrap();
         let local_visible = AttrSet::from_indices(&[0, 2, 4]); // same ids for m1
-        let outs =
-            crate::worlds::out_sets_bruteforce(&m, &local_visible, 1 << 30).unwrap();
+        let outs = crate::worlds::out_sets_bruteforce(&m, &local_visible, 1 << 30).unwrap();
         let orig = w.provenance_relation(1 << 10).unwrap();
         for (x, out_set) in &outs {
             for y in m.output_range() {
                 let y_t = Tuple::new(y.clone());
-                let world = flip_witness_world(
-                    &w,
-                    ModuleId(0),
-                    x.values(),
-                    &y,
-                    &visible,
-                    1 << 20,
-                )
-                .unwrap();
+                let world =
+                    flip_witness_world(&w, ModuleId(0), x.values(), &y, &visible, 1 << 20).unwrap();
                 match world {
                     Some(world) => {
                         // Witness ⇒ y is a candidate, and view preserved.
@@ -303,12 +299,7 @@ mod tests {
             q[5] = 1;
             q
         });
-        let g = flipped_module_fn(
-            m3.func.clone(),
-            m3.inputs.clone(),
-            m3.outputs.clone(),
-            spec,
-        );
+        let g = flipped_module_fn(m3.func.clone(), m3.inputs.clone(), m3.outputs.clone(), spec);
         for a4 in 0..2 {
             for a5 in 0..2 {
                 assert_eq!(g.apply(&[a4, a5]), m3.func.apply(&[a4, a5]));

@@ -13,6 +13,13 @@
 //! * [`standalone`] — the **standalone Secure-View** problem (§3):
 //!   minimum-cost safe attribute subsets, enumeration of all minimal
 //!   safe hidden sets;
+//! * [`safety`] — the **safety-oracle layer**: the [`SafetyOracle`]
+//!   trait every upper layer programs against, the memoizing
+//!   [`MemoSafetyOracle`] (each distinct visible set's privacy level is
+//!   computed once on the interned kernel, then every `is_safe(V, Γ)`
+//!   is an O(1) lookup), the naive reference oracle, and
+//!   [`safety::WorkflowOracles`] (one memoized oracle per private
+//!   module, shared by all requirement-list and instance derivations);
 //! * [`requirements`] — deriving a module's *set constraints* and
 //!   *cardinality constraints* requirement lists (§4.2);
 //! * [`compose`] — Theorem 4: assembling workflow privacy from
@@ -34,8 +41,10 @@ pub mod flip;
 pub mod oracle;
 pub mod public;
 pub mod requirements;
+pub mod safety;
 pub mod standalone;
 pub mod worlds;
 
 pub use error::CoreError;
+pub use safety::{MemoSafetyOracle, SafetyOracle};
 pub use standalone::StandaloneModule;

@@ -11,7 +11,18 @@
 //!   [`min_cost_via_oracle`] is the generic cost-ordered search whose
 //!   call count the benchmarks chart (the adversarial oracle lives in
 //!   `sv-gen`).
+//!
+//! [`SafeViewOracle`] is the **black-box, Γ-fixed** access model the
+//! lower bounds are stated in; it deliberately hides the module. The
+//! white-box counterpart every real consumer uses is
+//! [`crate::safety::SafetyOracle`], and [`HonestOracle`] bridges the
+//! two: a Γ-fixing adapter over a memoizing
+//! [`crate::safety::MemoSafetyOracle`], so the *count* of oracle
+//! queries (what Theorem 3 bounds) is decoupled from the *cost* of
+//! answering them (which the memo collapses to O(1) after first
+//! answer).
 
+use crate::safety::{MemoSafetyOracle, SafetyOracle as _};
 use crate::standalone::StandaloneModule;
 use sv_relation::{AttrId, AttrSet, Tuple, Value};
 use sv_workflow::ModuleFn;
@@ -165,9 +176,11 @@ pub trait SafeViewOracle {
     fn calls(&self) -> u64;
 }
 
-/// The honest oracle: wraps a concrete module and Γ.
+/// The honest oracle: a Γ-fixing adapter over a memoizing
+/// [`MemoSafetyOracle`]. Query counts follow the Theorem-3 access
+/// model; answering a repeated query costs one cache lookup.
 pub struct HonestOracle {
-    module: StandaloneModule,
+    inner: MemoSafetyOracle,
     gamma: u128,
     calls: u64,
 }
@@ -177,21 +190,27 @@ impl HonestOracle {
     #[must_use]
     pub fn new(module: StandaloneModule, gamma: u128) -> Self {
         Self {
-            module,
+            inner: MemoSafetyOracle::new(module),
             gamma,
             calls: 0,
         }
+    }
+
+    /// The memoizing safety oracle underneath (hit-rate introspection).
+    #[must_use]
+    pub fn memo(&self) -> &MemoSafetyOracle {
+        &self.inner
     }
 }
 
 impl SafeViewOracle for HonestOracle {
     fn k(&self) -> usize {
-        self.module.k()
+        self.inner.module().k()
     }
 
     fn is_safe(&mut self, visible: &AttrSet) -> bool {
         self.calls += 1;
-        self.module.is_safe(visible, self.gamma)
+        self.inner.is_safe(visible, self.gamma)
     }
 
     fn calls(&self) -> u64 {

@@ -156,8 +156,7 @@ mod tests {
         let visible = hidden.complement(w.schema().len());
 
         // Standalone: safe for Γ = 4.
-        let sm =
-            StandaloneModule::from_workflow_module(&w, ModuleId(1), 1 << 20).unwrap();
+        let sm = StandaloneModule::from_workflow_module(&w, ModuleId(1), 1 << 20).unwrap();
         let local_hidden = AttrSet::from_indices(&[0, 1]); // y0,y1 locally
         assert!(sm.is_safe_hidden(&local_hidden, 4));
 

@@ -13,6 +13,7 @@
 //!   cardinality list).
 
 use crate::error::CoreError;
+use crate::safety::{self, KernelOracle, SafetyOracle};
 use crate::standalone::StandaloneModule;
 use sv_relation::{AttrId, AttrSet};
 
@@ -46,13 +47,32 @@ pub struct CardRequirement {
 /// Computes the module's set-constraints list: all ⊆-minimal safe hidden
 /// sets, split into input and output parts (module-local ids).
 ///
+/// One-shot form of [`set_constraints_with`]; callers deriving several
+/// requirement lists from the same module should share a
+/// [`crate::safety::MemoSafetyOracle`] instead.
+///
 /// # Errors
 /// Propagates enumeration limits from the standalone solver.
 pub fn set_constraints(
     m: &StandaloneModule,
     gamma: u128,
 ) -> Result<Vec<SetRequirement>, CoreError> {
-    Ok(m.minimal_safe_hidden_sets(gamma)?
+    set_constraints_with(&mut KernelOracle::new(m), gamma)
+}
+
+/// [`set_constraints`] through an explicit safety oracle, so that
+/// repeated probes (and later derivations against the same oracle) hit
+/// the memo instead of the kernel.
+///
+/// # Errors
+/// Propagates enumeration limits from the standalone solver.
+pub fn set_constraints_with(
+    oracle: &mut dyn SafetyOracle,
+    gamma: u128,
+) -> Result<Vec<SetRequirement>, CoreError> {
+    let minimal = safety::minimal_safe_hidden_sets(oracle, gamma)?;
+    let m = oracle.module();
+    Ok(minimal
         .into_iter()
         .map(|h| SetRequirement {
             hidden_inputs: h.intersection(m.inputs()),
@@ -66,8 +86,20 @@ pub fn set_constraints(
 /// `C(|I|, α) · C(|O|, β)` subset pairs).
 #[must_use]
 pub fn cardinality_valid(m: &StandaloneModule, alpha: usize, beta: usize, gamma: u128) -> bool {
-    let ins: Vec<AttrId> = m.inputs().iter().collect();
-    let outs: Vec<AttrId> = m.outputs().iter().collect();
+    cardinality_valid_with(&mut KernelOracle::new(m), alpha, beta, gamma)
+}
+
+/// [`cardinality_valid`] through an explicit safety oracle.
+pub fn cardinality_valid_with(
+    oracle: &mut dyn SafetyOracle,
+    alpha: usize,
+    beta: usize,
+    gamma: u128,
+) -> bool {
+    let (ins, outs): (Vec<AttrId>, Vec<AttrId>) = {
+        let m = oracle.module();
+        (m.inputs().iter().collect(), m.outputs().iter().collect())
+    };
     if alpha > ins.len() || beta > outs.len() {
         return false;
     }
@@ -77,7 +109,7 @@ pub fn cardinality_valid(m: &StandaloneModule, alpha: usize, beta: usize, gamma:
         for oc in &out_choices {
             let mut hidden = AttrSet::from_iter(ic.iter().copied());
             hidden.union_with(&AttrSet::from_iter(oc.iter().copied()));
-            if !m.is_safe_hidden(&hidden, gamma) {
+            if !oracle.is_safe_hidden(&hidden, gamma) {
                 return false;
             }
         }
@@ -91,8 +123,19 @@ pub fn cardinality_valid(m: &StandaloneModule, alpha: usize, beta: usize, gamma:
 ///
 /// Returns an empty list iff even `(|I|, |O|)` (hide everything) fails.
 pub fn cardinality_constraints(m: &StandaloneModule, gamma: u128) -> Vec<CardRequirement> {
-    let ni = m.inputs().len();
-    let no = m.outputs().len();
+    cardinality_constraints_with(&mut KernelOracle::new(m), gamma)
+}
+
+/// [`cardinality_constraints`] through an explicit safety oracle. When
+/// the oracle is a memoizing one that already served
+/// [`set_constraints_with`] (which sweeps the full subset lattice),
+/// every probe here is answered from the cache.
+pub fn cardinality_constraints_with(
+    oracle: &mut dyn SafetyOracle,
+    gamma: u128,
+) -> Vec<CardRequirement> {
+    let ni = oracle.module().inputs().len();
+    let no = oracle.module().outputs().len();
     let mut frontier: Vec<CardRequirement> = Vec::new();
     // For each α ascending, find the least β that works; monotonicity
     // makes β non-increasing in α, so frontier construction is direct.
@@ -101,7 +144,7 @@ pub fn cardinality_constraints(m: &StandaloneModule, gamma: u128) -> Vec<CardReq
         let mut found = None;
         let upper = if beta_hi == no + 1 { no } else { beta_hi };
         for beta in 0..=upper {
-            if cardinality_valid(m, alpha, beta, gamma) {
+            if cardinality_valid_with(oracle, alpha, beta, gamma) {
                 found = Some(beta);
                 break;
             }

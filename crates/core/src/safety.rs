@@ -1,0 +1,513 @@
+//! The **safety-oracle layer**: one narrow trait every upper layer
+//! programs against, plus a memoizing implementation that answers each
+//! distinct safety question **once per module instance** no matter which
+//! optimizer asks.
+//!
+//! The paper's stack asks the same question everywhere: *"what privacy
+//! level does visible set `V` give module `m`?"* — standalone checking
+//! (Definition 2 via Lemma 4), the requirement-list derivations (§4.2),
+//! the Secure-View optimizers, and the Theorem-1/3 experiments. The key
+//! structural fact is that the full **privacy level**
+//! `min_x |OUT_x| = min-group-distinct × ∏ hidden-output domains`
+//! determines `is_safe(V, Γ)` for *every* `Γ` at once, so a per-`V`
+//! level cache subsumes all Γ-specific probes.
+//!
+//! Layering:
+//!
+//! * [`SafetyOracle`] — the trait: `privacy_level` / `is_safe` /
+//!   `is_safe_hidden`, with a bitmask-word probe
+//!   ([`SafetyOracle::is_safe_hidden_word`]) used by the dense subset
+//!   enumerations;
+//! * [`KernelOracle`] — uninstrumented pass-through to the interned
+//!   columnar kernel (no memo; what the one-shot
+//!   [`StandaloneModule`] methods use);
+//! * [`MemoSafetyOracle`] — the memoizing oracle: a word-keyed
+//!   `V → level` cache makes repeated queries O(1) lookups with zero
+//!   allocation;
+//! * [`NaiveOracle`] — the row-at-a-time seed semantics
+//!   (`ops::reference`), kept as the property-test specification and
+//!   benchmark baseline;
+//! * [`WorkflowOracles`] — one memoized oracle per private module of a
+//!   workflow, materialized once and shared by every requirement-list /
+//!   instance derivation (`sv-optimize`) and the bench harness.
+//!
+//! The instrumented black-box interface of the Theorem-3 experiments
+//! ([`crate::oracle::SafeViewOracle`]) sits *on top* of this layer:
+//! [`crate::oracle::HonestOracle`] is a Γ-fixing adapter around a
+//! [`MemoSafetyOracle`].
+
+use crate::error::CoreError;
+use crate::standalone::{StandaloneModule, MAX_DENSE_ATTRS};
+use std::collections::HashMap;
+use sv_relation::AttrSet;
+use sv_workflow::{ModuleId, Workflow};
+
+/// Bitmask of the low `k` bits (`k ≤ 64`).
+fn low_mask(k: usize) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// The standalone-privacy question, asked through one interface by
+/// every layer above the kernel.
+///
+/// Implementations are instrumented (`calls`) so experiments can chart
+/// query counts, and may memoize — hence `&mut self` on the probes.
+pub trait SafetyOracle {
+    /// The module the oracle answers for.
+    fn module(&self) -> &StandaloneModule;
+
+    /// Number of attributes `k = |I| + |O|`.
+    fn k(&self) -> usize {
+        self.module().k()
+    }
+
+    /// The privacy level of `visible`: `min_x |OUT_x|`
+    /// (`u128::MAX` on an empty relation). Determines
+    /// [`is_safe`](Self::is_safe) for every Γ.
+    fn privacy_level(&mut self, visible: &AttrSet) -> u128;
+
+    /// Γ-standalone-privacy (Definition 2 / Lemma 4).
+    fn is_safe(&mut self, visible: &AttrSet, gamma: u128) -> bool {
+        gamma <= 1 || self.privacy_level(visible) >= gamma
+    }
+
+    /// Safety phrased on the hidden set `V̄` (`V = A \ V̄`).
+    fn is_safe_hidden(&mut self, hidden: &AttrSet, gamma: u128) -> bool {
+        if gamma <= 1 {
+            return true;
+        }
+        if self.k() <= 64 {
+            if let Some(hw) = hidden.as_word() {
+                return self.is_safe_hidden_word(hw, gamma);
+            }
+        }
+        let visible = hidden.complement(self.k());
+        self.is_safe(&visible, gamma)
+    }
+
+    /// Word-encoded [`is_safe_hidden`](Self::is_safe_hidden) — the form
+    /// the dense subset enumerations use. The word can only name
+    /// attributes `0..64`; for wider modules the probe falls back to
+    /// the set-based path (complementing over all `k` attributes), so
+    /// the answer stays correct.
+    fn is_safe_hidden_word(&mut self, hidden_word: u64, gamma: u128) -> bool {
+        if self.k() > 64 {
+            let visible = AttrSet::from_word(hidden_word).complement(self.k());
+            return self.is_safe(&visible, gamma);
+        }
+        let visible = AttrSet::from_word(!hidden_word & low_mask(self.k()));
+        self.is_safe(&visible, gamma)
+    }
+
+    /// Number of probes answered so far.
+    fn calls(&self) -> u64;
+}
+
+/// Uninstrumented pass-through oracle over the interned kernel —
+/// correct and fast, but re-evaluates every probe.
+pub struct KernelOracle<'a> {
+    module: &'a StandaloneModule,
+    calls: u64,
+}
+
+impl<'a> KernelOracle<'a> {
+    /// Borrows `module`.
+    #[must_use]
+    pub fn new(module: &'a StandaloneModule) -> Self {
+        Self { module, calls: 0 }
+    }
+}
+
+impl SafetyOracle for KernelOracle<'_> {
+    fn module(&self) -> &StandaloneModule {
+        self.module
+    }
+
+    fn privacy_level(&mut self, visible: &AttrSet) -> u128 {
+        self.calls += 1;
+        self.module.privacy_level(visible)
+    }
+
+    fn is_safe(&mut self, visible: &AttrSet, gamma: u128) -> bool {
+        self.calls += 1;
+        self.module.is_safe(visible, gamma)
+    }
+
+    fn is_safe_hidden_word(&mut self, hidden_word: u64, gamma: u128) -> bool {
+        self.calls += 1;
+        let k = self.module.k();
+        if let Some(safe) = self.module.is_safe_word(!hidden_word & low_mask(k), gamma) {
+            return safe;
+        }
+        self.module
+            .is_safe_hidden(&AttrSet::from_word(hidden_word & low_mask(k)), gamma)
+    }
+
+    fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+/// The row-at-a-time seed semantics as an oracle — the executable
+/// specification ([`sv_relation::ops::reference`]) and the benchmark
+/// baseline the interned kernel is measured against.
+pub struct NaiveOracle {
+    module: StandaloneModule,
+    calls: u64,
+}
+
+impl NaiveOracle {
+    /// Wraps `module`.
+    #[must_use]
+    pub fn new(module: StandaloneModule) -> Self {
+        Self { module, calls: 0 }
+    }
+}
+
+impl SafetyOracle for NaiveOracle {
+    fn module(&self) -> &StandaloneModule {
+        &self.module
+    }
+
+    fn privacy_level(&mut self, visible: &AttrSet) -> u128 {
+        self.calls += 1;
+        self.module.privacy_level_naive(visible)
+    }
+
+    fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+/// The memoizing oracle: per visible set, the full privacy level is
+/// computed once on the interned kernel and cached (word-keyed for
+/// `k ≤ 64`, [`AttrSet`]-keyed beyond). Repeated `is_safe` queries —
+/// for any Γ — are O(1) hash lookups with no allocation.
+pub struct MemoSafetyOracle {
+    module: StandaloneModule,
+    word_levels: HashMap<u64, u128>,
+    wide_levels: HashMap<AttrSet, u128>,
+    calls: u64,
+    misses: u64,
+}
+
+impl MemoSafetyOracle {
+    /// Wraps `module` with an empty cache.
+    #[must_use]
+    pub fn new(module: StandaloneModule) -> Self {
+        Self {
+            module,
+            word_levels: HashMap::new(),
+            wide_levels: HashMap::new(),
+            calls: 0,
+            misses: 0,
+        }
+    }
+
+    /// Probes that missed the cache (kernel evaluations).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached distinct visible sets.
+    #[must_use]
+    pub fn cached_levels(&self) -> usize {
+        self.word_levels.len() + self.wide_levels.len()
+    }
+
+    /// Consumes the oracle, returning the module.
+    #[must_use]
+    pub fn into_module(self) -> StandaloneModule {
+        self.module
+    }
+
+    /// Memoized level for a masked visible word (`k ≤ 64` path).
+    fn level_word(&mut self, visible_word: u64) -> u128 {
+        if let Some(&l) = self.word_levels.get(&visible_word) {
+            return l;
+        }
+        self.misses += 1;
+        let level = self
+            .module
+            .privacy_level_word(visible_word)
+            .unwrap_or_else(|| self.module.privacy_level(&AttrSet::from_word(visible_word)));
+        self.word_levels.insert(visible_word, level);
+        level
+    }
+
+    /// Memoized level through the wide ([`AttrSet`]-keyed) cache.
+    fn level_wide(&mut self, visible: &AttrSet) -> u128 {
+        // Canonicalize so sets differing only outside the schema share
+        // a cache line.
+        let canonical = visible.intersection(&self.module.schema().all_attrs());
+        if let Some(&l) = self.wide_levels.get(&canonical) {
+            return l;
+        }
+        self.misses += 1;
+        let level = self.module.privacy_level(&canonical);
+        self.wide_levels.insert(canonical, level);
+        level
+    }
+}
+
+impl SafetyOracle for MemoSafetyOracle {
+    fn module(&self) -> &StandaloneModule {
+        &self.module
+    }
+
+    fn privacy_level(&mut self, visible: &AttrSet) -> u128 {
+        self.calls += 1;
+        if self.module.k() <= 64 {
+            if let Some(vw) = visible.as_word() {
+                return self.level_word(vw & low_mask(self.module.k()));
+            }
+        }
+        self.level_wide(visible)
+    }
+
+    fn is_safe_hidden_word(&mut self, hidden_word: u64, gamma: u128) -> bool {
+        self.calls += 1;
+        if gamma <= 1 {
+            return true;
+        }
+        let k = self.module.k();
+        if k > 64 {
+            // The word cannot name attrs ≥ 64: complement over all k
+            // attributes and take the wide path.
+            let visible = AttrSet::from_word(hidden_word).complement(k);
+            return self.level_wide(&visible) >= gamma;
+        }
+        self.level_word(!hidden_word & low_mask(k)) >= gamma
+    }
+
+    fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+/// Standalone **Secure-View** through an oracle: minimum-cost hidden
+/// subset `V̄` such that the module is Γ-private w.r.t. `V = A \ V̄`,
+/// by budget-pruned dense subset enumeration.
+///
+/// # Errors
+/// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
+///
+/// # Panics
+/// Panics unless `costs.len() == k`.
+pub fn min_cost_safe_hidden(
+    oracle: &mut dyn SafetyOracle,
+    costs: &[u64],
+    gamma: u128,
+) -> Result<Option<(AttrSet, u64)>, CoreError> {
+    let k = oracle.k();
+    if k > MAX_DENSE_ATTRS {
+        return Err(CoreError::TooManyAttributes {
+            k,
+            max: MAX_DENSE_ATTRS,
+        });
+    }
+    assert_eq!(costs.len(), k, "one cost per attribute");
+    let mut best: Option<(u64, u64)> = None; // (mask, cost)
+    for mask in 0u64..(1u64 << k) {
+        let cost: u64 = (0..k)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| costs[i])
+            .sum();
+        if let Some((_, b)) = best {
+            if cost >= b {
+                continue;
+            }
+        }
+        if oracle.is_safe_hidden_word(mask, gamma) {
+            best = Some((mask, cost));
+        }
+    }
+    Ok(best.map(|(mask, cost)| (AttrSet::from_word(mask), cost)))
+}
+
+/// All ⊆-minimal safe hidden subsets through an oracle — the module's
+/// set-constraints requirement list `L_i` (§4.2). Safety is monotone in
+/// the hidden set (Proposition 1), so these form an antichain
+/// generating all safe hidden sets by superset closure.
+///
+/// # Errors
+/// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
+pub fn minimal_safe_hidden_sets(
+    oracle: &mut dyn SafetyOracle,
+    gamma: u128,
+) -> Result<Vec<AttrSet>, CoreError> {
+    let k = oracle.k();
+    if k > MAX_DENSE_ATTRS {
+        return Err(CoreError::TooManyAttributes {
+            k,
+            max: MAX_DENSE_ATTRS,
+        });
+    }
+    // Enumerate by increasing popcount: a safe set is minimal iff no
+    // previously found (smaller) safe set is a subset of it.
+    let mut masks: Vec<u64> = (0..(1u64 << k)).collect();
+    masks.sort_by_key(|m| m.count_ones());
+    let mut minimal: Vec<u64> = Vec::new();
+    for mask in masks {
+        #[allow(clippy::manual_contains)] // subset test, not equality
+        if minimal.iter().any(|&m| m & mask == m) {
+            continue; // superset of a known minimal safe set
+        }
+        if oracle.is_safe_hidden_word(mask, gamma) {
+            minimal.push(mask);
+        }
+    }
+    Ok(minimal.into_iter().map(AttrSet::from_word).collect())
+}
+
+/// One memoized safety oracle per **private** module of a workflow,
+/// materialized once and shared across every consumer — requirement
+/// lists, instance derivations, optimizers, benches. This is what makes
+/// "identical safety queries are answered once per instance, regardless
+/// of which optimizer asks" true end-to-end.
+pub struct WorkflowOracles {
+    entries: Vec<(ModuleId, MemoSafetyOracle)>,
+}
+
+impl WorkflowOracles {
+    /// Materializes each private module's relation (budget-capped) and
+    /// wraps it in a [`MemoSafetyOracle`].
+    ///
+    /// # Errors
+    /// Propagates module-materialization failures
+    /// ([`CoreError::Workflow`] budget errors).
+    pub fn for_workflow(workflow: &Workflow, budget: u128) -> Result<Self, CoreError> {
+        let mut entries = Vec::new();
+        for id in workflow.private_modules() {
+            let sm = StandaloneModule::from_workflow_module(workflow, id, budget)?;
+            entries.push((id, MemoSafetyOracle::new(sm)));
+        }
+        Ok(Self { entries })
+    }
+
+    /// The covered module ids, in `private_modules()` order.
+    #[must_use]
+    pub fn module_ids(&self) -> Vec<ModuleId> {
+        self.entries.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Mutable access to one module's oracle.
+    #[must_use]
+    pub fn oracle_mut(&mut self, id: ModuleId) -> Option<&mut MemoSafetyOracle> {
+        self.entries
+            .iter_mut()
+            .find(|(mid, _)| *mid == id)
+            .map(|(_, o)| o)
+    }
+
+    /// Iterates `(id, oracle)` mutably, in `private_modules()` order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ModuleId, &mut MemoSafetyOracle)> {
+        self.entries.iter_mut().map(|(id, o)| (*id, o))
+    }
+
+    /// Total probes across all oracles.
+    #[must_use]
+    pub fn total_calls(&self) -> u64 {
+        self.entries.iter().map(|(_, o)| o.calls()).sum()
+    }
+
+    /// Total cache misses (kernel evaluations) across all oracles.
+    #[must_use]
+    pub fn total_misses(&self) -> u64 {
+        self.entries.iter().map(|(_, o)| o.misses()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_workflow::library::fig1_workflow;
+
+    fn m1() -> StandaloneModule {
+        StandaloneModule::from_workflow_module(&fig1_workflow(), ModuleId(0), 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn memo_agrees_with_kernel_and_naive_on_all_subsets() {
+        let m = m1();
+        let mut memo = MemoSafetyOracle::new(m.clone());
+        let mut naive = NaiveOracle::new(m.clone());
+        let mut kernel = KernelOracle::new(&m);
+        for mask in 0u32..(1 << 5) {
+            let visible = AttrSet::from_word(u64::from(mask));
+            let a = memo.privacy_level(&visible);
+            let b = naive.privacy_level(&visible);
+            let c = kernel.privacy_level(&visible);
+            assert_eq!(a, b, "mask={mask:#b}");
+            assert_eq!(a, c, "mask={mask:#b}");
+            for gamma in 1..=9u128 {
+                assert_eq!(memo.is_safe(&visible, gamma), a >= gamma || gamma <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn memo_answers_repeats_without_reevaluating() {
+        let mut memo = MemoSafetyOracle::new(m1());
+        let v = AttrSet::from_indices(&[0, 2, 4]);
+        let first = memo.privacy_level(&v);
+        let misses_after_first = memo.misses();
+        for gamma in 1..=8u128 {
+            let _ = memo.is_safe(&v, gamma);
+        }
+        let _ = memo.privacy_level(&v);
+        assert_eq!(memo.privacy_level(&v), first);
+        assert_eq!(memo.misses(), misses_after_first, "no further kernel work");
+        assert!(memo.calls() > misses_after_first);
+        assert_eq!(memo.cached_levels(), 1);
+    }
+
+    #[test]
+    fn hidden_word_probes_share_the_cache_with_visible_probes() {
+        let mut memo = MemoSafetyOracle::new(m1());
+        // V = {0,2,4} ⇔ hidden {1,3}.
+        let v = AttrSet::from_indices(&[0, 2, 4]);
+        let level = memo.privacy_level(&v);
+        let m0 = memo.misses();
+        assert_eq!(memo.is_safe_hidden_word(0b01010, 4), level >= 4);
+        assert_eq!(memo.misses(), m0, "word probe hits the same cache line");
+    }
+
+    #[test]
+    fn oracle_enumerations_match_module_methods() {
+        let m = m1();
+        let mut memo = MemoSafetyOracle::new(m.clone());
+        let (h1, c1) = min_cost_safe_hidden(&mut memo, &[10, 3, 9, 2, 9], 4)
+            .unwrap()
+            .unwrap();
+        let (h2, c2) = m
+            .min_cost_safe_hidden(&[10, 3, 9, 2, 9], 4)
+            .unwrap()
+            .unwrap();
+        assert_eq!((h1, c1), (h2, c2));
+        let a = minimal_safe_hidden_sets(&mut memo, 4).unwrap();
+        let b = m.minimal_safe_hidden_sets(4).unwrap();
+        assert_eq!(a, b);
+        // The second enumeration re-used the first's cache: the lattice
+        // has 32 subsets, so misses are bounded by 32.
+        assert!(memo.misses() <= 32, "misses = {}", memo.misses());
+        assert!(memo.calls() > memo.misses());
+    }
+
+    #[test]
+    fn workflow_oracles_cover_private_modules() {
+        let w = fig1_workflow();
+        let mut oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+        assert_eq!(oracles.module_ids().len(), 3);
+        let o = oracles.oracle_mut(ModuleId(0)).unwrap();
+        assert!(o.is_safe(&AttrSet::from_indices(&[0, 2, 4]), 4));
+        assert!(oracles.total_calls() >= 1);
+        assert!(oracles.oracle_mut(ModuleId(9)).is_none());
+        assert!(oracles.total_misses() <= oracles.total_calls());
+    }
+}

@@ -17,7 +17,8 @@
 //!   list `L_i` (§4.2).
 
 use crate::error::CoreError;
-use sv_relation::{group_count_distinct, AttrSet, Fd, Relation, Schema, Tuple, Value};
+use std::sync::Arc;
+use sv_relation::{ops, AttrSet, Fd, InternedRelation, Relation, Schema, Tuple, Value};
 use sv_workflow::{ModuleId, Workflow};
 
 /// Maximum `k = |I| + |O|` supported by dense subset enumeration.
@@ -28,11 +29,24 @@ pub const MAX_DENSE_ATTRS: usize = 28;
 /// Attribute ids refer to the relation's **own** schema (the module
 /// sub-schema), not to any enclosing workflow; see
 /// [`crate::compose::ModuleLens`] for the translation.
+///
+/// Alongside the canonical [`Relation`], the module holds the
+/// [`InternedRelation`] kernel view (shared through an `Arc`, so clones
+/// share warm group caches). All safety probes run on the kernel; the
+/// row-at-a-time seed semantics remain available as
+/// [`privacy_level_naive`](Self::privacy_level_naive) /
+/// [`is_safe_naive`](Self::is_safe_naive) for property tests and
+/// benchmark baselines.
 #[derive(Clone, Debug)]
 pub struct StandaloneModule {
     relation: Relation,
     inputs: AttrSet,
     outputs: AttrSet,
+    kernel: Arc<InternedRelation>,
+    /// `inputs` as a bitmask word when every id is `< 64`.
+    inputs_word: Option<u64>,
+    /// `outputs` as a bitmask word when every id is `< 64`.
+    outputs_word: Option<u64>,
 }
 
 impl StandaloneModule {
@@ -53,10 +67,16 @@ impl StandaloneModule {
                 reason: "inputs ∪ outputs must cover the schema".into(),
             });
         }
+        let kernel = Arc::new(InternedRelation::from_relation(&relation));
+        let inputs_word = inputs.as_word().filter(|_| kernel.fits_word());
+        let outputs_word = outputs.as_word().filter(|_| kernel.fits_word());
         let m = Self {
             relation,
             inputs,
             outputs,
+            kernel,
+            inputs_word,
+            outputs_word,
         };
         if !m.relation.satisfies(&m.fd()) {
             return Err(CoreError::NotAFunction);
@@ -100,6 +120,12 @@ impl StandaloneModule {
         &self.relation
     }
 
+    /// The interned columnar kernel view of `R` (shared across clones).
+    #[must_use]
+    pub fn kernel(&self) -> &InternedRelation {
+        &self.kernel
+    }
+
     /// The relation's schema.
     #[must_use]
     pub fn schema(&self) -> &Schema {
@@ -140,8 +166,11 @@ impl StandaloneModule {
     /// `∏_{a ∈ O\V} |Δ_a|` full outputs by arbitrary hidden-output
     /// assignments.
     ///
-    /// Runs in `O(N)` hashing time for a single `V` (the paper's
-    /// `O(2^k N^2)` bound covers all subsets with a naive inner loop).
+    /// Runs on the interned kernel: after the per-attribute-set group
+    /// indexes are warm, a probe is two cache lookups plus one pass over
+    /// dense `u32` id columns — **zero heap allocation** on the
+    /// bitmask-word path (`k ≤ 64`, which [`MAX_DENSE_ATTRS`]
+    /// guarantees for every enumerable module).
     #[must_use]
     pub fn is_safe(&self, visible: &AttrSet, gamma: u128) -> bool {
         if gamma <= 1 {
@@ -151,6 +180,12 @@ impl StandaloneModule {
             // No executions recorded: vacuously safe (no x ∈ π_I(R)).
             return true;
         }
+        if let Some(vw) = visible.as_word() {
+            if let Some(safe) = self.is_safe_word(vw, gamma) {
+                return safe;
+            }
+        }
+        // Wide-schema fallback.
         let vis_in = self.inputs.intersection(visible);
         let vis_out = self.outputs.intersection(visible);
         let hidden_out = self.outputs.difference(visible);
@@ -158,10 +193,28 @@ impl StandaloneModule {
         if h >= gamma {
             return true; // hidden outputs alone give Γ alternatives
         }
-        // Need every group to reach `need` distinct visible outputs.
-        let need = gamma.div_ceil(h);
-        let counts = group_count_distinct(&self.relation, &vis_in, &vis_out);
-        counts.values().all(|&d| (d as u128) >= need)
+        let d = self.kernel.min_group_distinct(&vis_in, &vis_out);
+        (d as u128).saturating_mul(h) >= gamma
+    }
+
+    /// Word-encoded safety probe (visible set as a bitmask). Returns
+    /// `None` when the module does not fit the ≤ 64-attribute word fast
+    /// path; bits outside the schema are ignored.
+    #[must_use]
+    pub fn is_safe_word(&self, visible_word: u64, gamma: u128) -> Option<bool> {
+        if gamma <= 1 || self.relation.is_empty() {
+            return Some(true);
+        }
+        let (iw, ow) = (self.inputs_word?, self.outputs_word?);
+        let hidden_out = ow & !visible_word;
+        let h = self.schema().domain_product_word(hidden_out);
+        if h >= gamma {
+            return Some(true);
+        }
+        let d = self
+            .kernel
+            .min_group_distinct_words(iw & visible_word, ow & visible_word);
+        Some((d as u128).saturating_mul(h) >= gamma)
     }
 
     /// Safety test phrased on the hidden set `V̄` (`V = A \ V̄`).
@@ -175,9 +228,50 @@ impl StandaloneModule {
     /// output domain sizes`. A set `V` is safe for `Γ` iff this is `≥ Γ`.
     ///
     /// Exposed so benches can chart the *actual* privacy level a view
-    /// attains, not just a yes/no answer.
+    /// attains, not just a yes/no answer — and because the level
+    /// determines `is_safe(V, Γ)` for every Γ, it is what the memoizing
+    /// [`crate::safety::MemoSafetyOracle`] caches per visible set.
     #[must_use]
     pub fn privacy_level(&self, visible: &AttrSet) -> u128 {
+        if self.relation.is_empty() {
+            return u128::MAX;
+        }
+        if let Some(vw) = visible.as_word() {
+            if let Some(level) = self.privacy_level_word(vw) {
+                return level;
+            }
+        }
+        let vis_in = self.inputs.intersection(visible);
+        let vis_out = self.outputs.intersection(visible);
+        let hidden_out = self.outputs.difference(visible);
+        let h = self.schema().domain_product(&hidden_out);
+        let d = self.kernel.min_group_distinct(&vis_in, &vis_out);
+        if d == usize::MAX {
+            return u128::MAX;
+        }
+        (d as u128).saturating_mul(h)
+    }
+
+    /// Word-encoded [`privacy_level`](Self::privacy_level). Returns
+    /// `None` when the module does not fit the word fast path.
+    #[must_use]
+    pub fn privacy_level_word(&self, visible_word: u64) -> Option<u128> {
+        if self.relation.is_empty() {
+            return Some(u128::MAX);
+        }
+        let (iw, ow) = (self.inputs_word?, self.outputs_word?);
+        let h = self.schema().domain_product_word(ow & !visible_word);
+        let d = self
+            .kernel
+            .min_group_distinct_words(iw & visible_word, ow & visible_word);
+        Some((d as u128).saturating_mul(h))
+    }
+
+    /// Row-at-a-time privacy level — the seed semantics
+    /// ([`ops::reference`]), kept as the executable specification for
+    /// property tests and as the benchmark baseline for the kernel.
+    #[must_use]
+    pub fn privacy_level_naive(&self, visible: &AttrSet) -> u128 {
         if self.relation.is_empty() {
             return u128::MAX;
         }
@@ -185,12 +279,19 @@ impl StandaloneModule {
         let vis_out = self.outputs.intersection(visible);
         let hidden_out = self.outputs.difference(visible);
         let h = self.schema().domain_product(&hidden_out);
-        let counts = group_count_distinct(&self.relation, &vis_in, &vis_out);
+        let counts = ops::reference::group_count_distinct(&self.relation, &vis_in, &vis_out);
         counts
             .values()
             .map(|&d| (d as u128).saturating_mul(h))
             .min()
             .unwrap_or(u128::MAX)
+    }
+
+    /// Row-at-a-time safety test (seed semantics; see
+    /// [`privacy_level_naive`](Self::privacy_level_naive)).
+    #[must_use]
+    pub fn is_safe_naive(&self, visible: &AttrSet, gamma: u128) -> bool {
+        gamma <= 1 || self.privacy_level_naive(visible) >= gamma
     }
 
     /// Standalone **Secure-View**: minimum-cost hidden subset `V̄` such
@@ -208,31 +309,8 @@ impl StandaloneModule {
         costs: &[u64],
         gamma: u128,
     ) -> Result<Option<(AttrSet, u64)>, CoreError> {
-        let k = self.k();
-        if k > MAX_DENSE_ATTRS {
-            return Err(CoreError::TooManyAttributes {
-                k,
-                max: MAX_DENSE_ATTRS,
-            });
-        }
-        assert_eq!(costs.len(), k, "one cost per attribute");
-        let mut best: Option<(AttrSet, u64)> = None;
-        for mask in 0u32..(1u32 << k) {
-            let cost: u64 = (0..k)
-                .filter(|&i| mask & (1 << i) != 0)
-                .map(|i| costs[i])
-                .sum();
-            if let Some((_, b)) = &best {
-                if cost >= *b {
-                    continue;
-                }
-            }
-            let hidden = mask_to_set(mask, k);
-            if self.is_safe_hidden(&hidden, gamma) {
-                best = Some((hidden, cost));
-            }
-        }
-        Ok(best)
+        let mut oracle = crate::safety::KernelOracle::new(self);
+        crate::safety::min_cost_safe_hidden(&mut oracle, costs, gamma)
     }
 
     /// All ⊆-minimal safe hidden subsets — the module's set-constraints
@@ -243,28 +321,8 @@ impl StandaloneModule {
     /// # Errors
     /// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
     pub fn minimal_safe_hidden_sets(&self, gamma: u128) -> Result<Vec<AttrSet>, CoreError> {
-        let k = self.k();
-        if k > MAX_DENSE_ATTRS {
-            return Err(CoreError::TooManyAttributes {
-                k,
-                max: MAX_DENSE_ATTRS,
-            });
-        }
-        // Enumerate by increasing popcount: a safe set is minimal iff no
-        // previously found (smaller) safe set is a subset of it.
-        let mut masks: Vec<u32> = (0..(1u32 << k)).collect();
-        masks.sort_by_key(|m| m.count_ones());
-        let mut minimal: Vec<u32> = Vec::new();
-        for mask in masks {
-            #[allow(clippy::manual_contains)] // subset test, not equality
-            if minimal.iter().any(|&m| m & mask == m) {
-                continue; // superset of a known minimal safe set
-            }
-            if self.is_safe_hidden(&mask_to_set(mask, k), gamma) {
-                minimal.push(mask);
-            }
-        }
-        Ok(minimal.into_iter().map(|m| mask_to_set(m, k)).collect())
+        let mut oracle = crate::safety::KernelOracle::new(self);
+        crate::safety::minimal_safe_hidden_sets(&mut oracle, gamma)
     }
 
     /// The actual output `m(x)` recorded in `R` for input `x`, if any.
@@ -340,6 +398,7 @@ pub fn enumerate_mixed_radix(sizes: &[u32]) -> Vec<Vec<Value>> {
     out
 }
 
+#[cfg(test)]
 fn mask_to_set(mask: u32, k: usize) -> AttrSet {
     AttrSet::from_iter(
         (0..k)
@@ -529,10 +588,7 @@ mod tests {
 
     #[test]
     fn mixed_radix_enumeration() {
-        assert_eq!(
-            enumerate_mixed_radix(&[2, 3]).len(),
-            6,
-        );
+        assert_eq!(enumerate_mixed_radix(&[2, 3]).len(), 6,);
         assert_eq!(enumerate_mixed_radix(&[]), vec![Vec::<u32>::new()]);
         let e = enumerate_mixed_radix(&[2, 2]);
         assert_eq!(e[0], vec![0, 0]);

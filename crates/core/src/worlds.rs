@@ -275,15 +275,10 @@ mod tests {
         let m = m1();
         let v = AttrSet::from_indices(&[0, 2, 4]);
         let out = out_set_bruteforce(&m, &v, &Tuple::new(vec![0, 0]), 1 << 30).unwrap();
-        let expect: BTreeSet<Tuple> = [
-            vec![0, 0, 1],
-            vec![0, 1, 1],
-            vec![1, 0, 0],
-            vec![1, 1, 0],
-        ]
-        .into_iter()
-        .map(Tuple::new)
-        .collect();
+        let expect: BTreeSet<Tuple> = [vec![0, 0, 1], vec![0, 1, 1], vec![1, 0, 0], vec![1, 1, 0]]
+            .into_iter()
+            .map(Tuple::new)
+            .collect();
         assert_eq!(out, expect);
     }
 

@@ -213,7 +213,10 @@ impl AdversarialOracle {
     /// Panics unless `ℓ ≥ 4` and `4 | ℓ`.
     #[must_use]
     pub fn new(l: usize) -> Self {
-        assert!(l >= 4 && l.is_multiple_of(4), "ℓ must be a positive multiple of 4");
+        assert!(
+            l >= 4 && l.is_multiple_of(4),
+            "ℓ must be a positive multiple of 4"
+        );
         let total_candidates = (Self::ln_choose(l, l / 2)).exp();
         let per_query_elimination = (Self::ln_choose(3 * l / 4, l / 4)).exp();
         Self {
@@ -430,10 +433,7 @@ mod tests {
         // documented in the module docs.
         let l = 8;
         let m1 = thm3_m1(l);
-        let (_, cost) = m1
-            .min_cost_safe_hidden(&thm3_costs(l), 2)
-            .unwrap()
-            .unwrap();
+        let (_, cost) = m1.min_cost_safe_hidden(&thm3_costs(l), 2).unwrap().unwrap();
         assert_eq!(cost, (3 * l / 4 + 1) as u64);
     }
 

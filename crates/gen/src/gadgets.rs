@@ -191,9 +191,7 @@ mod tests {
     fn prop2_ratio_is_doubly_exponential() {
         // log₂(ratio) = 2^k · (log₂ Γ − log₂(Γ!)/Γ): the ratio itself
         // is doubly exponential in k. The log doubles with each k.
-        let r = |k: usize| {
-            prop2_standalone_worlds_log2(k, 4) - prop2_workflow_worlds_log2(k, 4)
-        };
+        let r = |k: usize| prop2_standalone_worlds_log2(k, 4) - prop2_workflow_worlds_log2(k, 4);
         assert!(r(3) > 0.0, "standalone worlds dominate");
         assert!((r(4) - 2.0 * r(3)).abs() < 1e-9);
         assert!((r(8) - 16.0 * r(4)).abs() < 1e-6);

@@ -41,7 +41,11 @@ impl Assignment {
     /// Total cost `Σ_u |A(u)|`.
     #[must_use]
     pub fn cost(&self) -> usize {
-        self.left.iter().chain(self.right.iter()).map(BTreeSet::len).sum()
+        self.left
+            .iter()
+            .chain(self.right.iter())
+            .map(BTreeSet::len)
+            .sum()
     }
 }
 
@@ -51,12 +55,7 @@ impl LabelCover {
     /// # Panics
     /// Panics on out-of-range vertices/labels or empty relations.
     #[must_use]
-    pub fn new(
-        n_left: usize,
-        n_right: usize,
-        n_labels: usize,
-        edges: Vec<LcEdge>,
-    ) -> Self {
+    pub fn new(n_left: usize, n_right: usize, n_labels: usize, edges: Vec<LcEdge>) -> Self {
         for (u, w, rel) in &edges {
             assert!(*u < n_left && *w < n_right, "edge endpoint out of range");
             assert!(!rel.is_empty(), "relations must be non-empty");
@@ -89,11 +88,7 @@ impl LabelCover {
     /// Panics if the search space exceeds `2^22` combinations.
     #[must_use]
     pub fn exact(&self) -> Assignment {
-        let space: u64 = self
-            .edges
-            .iter()
-            .map(|(_, _, r)| r.len() as u64)
-            .product();
+        let space: u64 = self.edges.iter().map(|(_, _, r)| r.len() as u64).product();
         assert!(space <= 1 << 22, "label-cover exact search too large");
         let mut best: Option<Assignment> = None;
         let mut choice = vec![0usize; self.edges.len()];
@@ -192,10 +187,7 @@ mod tests {
             1,
             2,
             2,
-            vec![
-                (0, 0, vec![(0, 1), (1, 0)]),
-                (0, 1, vec![(0, 0), (1, 1)]),
-            ],
+            vec![(0, 0, vec![(0, 1), (1, 0)]), (0, 1, vec![(0, 0), (1, 1)])],
         )
     }
 

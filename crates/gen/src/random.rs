@@ -87,7 +87,9 @@ pub fn random_cardinality<R: Rng>(rng: &mut R, p: &InstanceParams) -> Cardinalit
         });
     }
     let n_attrs = next as usize;
-    let costs = (0..n_attrs).map(|_| rng.gen_range(1..=p.max_cost)).collect();
+    let costs = (0..n_attrs)
+        .map(|_| rng.gen_range(1..=p.max_cost))
+        .collect();
     CardinalityInstance {
         n_attrs,
         costs,

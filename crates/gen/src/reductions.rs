@@ -127,9 +127,7 @@ pub fn labelcover_to_set(lc: &LabelCover) -> LabelCoverSet {
     for (u, w, rel) in &lc.edges {
         let list: Vec<AttrSet> = rel
             .iter()
-            .map(|&(l1, l2)| {
-                AttrSet::from_indices(&[b_attr_left[*u][l1], b_attr_right[*w][l2]])
-            })
+            .map(|&(l1, l2)| AttrSet::from_indices(&[b_attr_left[*u][l1], b_attr_right[*w][l2]]))
             .collect();
         modules.push(SetModule { list });
     }
@@ -230,9 +228,7 @@ pub fn setcover_to_general(sc: &SetCover) -> SetCoverGeneral {
     // b_j finals: last n.
     let mut next = m as u32;
     let mut edge_attr: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n]; // per element: (set, attr)
-    let mut set_attrs: Vec<AttrSet> = (0..m)
-        .map(|i| AttrSet::from_indices(&[i as u32]))
-        .collect();
+    let mut set_attrs: Vec<AttrSet> = (0..m).map(|i| AttrSet::from_indices(&[i as u32])).collect();
     for (i, s) in sc.sets.iter().enumerate() {
         for &j in s {
             edge_attr[j].push((i, next));
@@ -329,11 +325,11 @@ pub fn labelcover_to_general(lc: &LabelCover) -> LabelCoverGeneral {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vertexcover::cover_size;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sv_optimize::exact::{exact_cardinality, exact_general, exact_set};
     use sv_optimize::greedy::greedy_cardinality;
-    use crate::vertexcover::cover_size;
 
     #[test]
     fn b42_cover_size_equals_solution_cost() {

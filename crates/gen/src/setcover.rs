@@ -100,11 +100,7 @@ impl SetCover {
     /// covers any stray uncovered elements so a cover always exists.
     pub fn random<R: Rng>(rng: &mut R, n_elements: usize, m: usize, density: f64) -> Self {
         let mut sets: Vec<Vec<usize>> = (0..m)
-            .map(|_| {
-                (0..n_elements)
-                    .filter(|_| rng.gen_bool(density))
-                    .collect()
-            })
+            .map(|_| (0..n_elements).filter(|_| rng.gen_bool(density)).collect())
             .collect();
         let mut covered = vec![false; n_elements];
         for s in &sets {

@@ -213,7 +213,9 @@ mod tests {
     fn fractional_lp_vs_integer_gap() {
         // Odd-cycle vertex cover: LP optimum 1.5 (all ½), IP optimum 2.
         let mut p = LpProblem::new();
-        let x: Vec<VarId> = (0..3).map(|i| p.add_unit_var(&format!("v{i}"), 1.0)).collect();
+        let x: Vec<VarId> = (0..3)
+            .map(|i| p.add_unit_var(&format!("v{i}"), 1.0))
+            .collect();
         for i in 0..3 {
             p.add_constraint(&[(x[i], 1.0), (x[(i + 1) % 3], 1.0)], Cmp::Ge, 1.0);
         }

@@ -104,31 +104,21 @@ pub fn build_lp(inst: &CardinalityInstance, variant: CardLpVariant) -> CardLp {
             CardLpVariant::WithoutSums => {
                 for j in 0..li {
                     for (pos, &b) in m.inputs.iter().enumerate() {
-                        p.add_constraint(
-                            &[(yi[j][pos], 1.0), (x[b as usize], -1.0)],
-                            Cmp::Le,
-                            0.0,
-                        );
+                        p.add_constraint(&[(yi[j][pos], 1.0), (x[b as usize], -1.0)], Cmp::Le, 0.0);
                     }
                     for (pos, &b) in m.outputs.iter().enumerate() {
-                        p.add_constraint(
-                            &[(zi[j][pos], 1.0), (x[b as usize], -1.0)],
-                            Cmp::Le,
-                            0.0,
-                        );
+                        p.add_constraint(&[(zi[j][pos], 1.0), (x[b as usize], -1.0)], Cmp::Le, 0.0);
                     }
                 }
             }
             _ => {
                 for (pos, &b) in m.inputs.iter().enumerate() {
-                    let mut terms: Vec<(VarId, f64)> =
-                        (0..li).map(|j| (yi[j][pos], 1.0)).collect();
+                    let mut terms: Vec<(VarId, f64)> = (0..li).map(|j| (yi[j][pos], 1.0)).collect();
                     terms.push((x[b as usize], -1.0));
                     p.add_constraint(&terms, Cmp::Le, 0.0);
                 }
                 for (pos, &b) in m.outputs.iter().enumerate() {
-                    let mut terms: Vec<(VarId, f64)> =
-                        (0..li).map(|j| (zi[j][pos], 1.0)).collect();
+                    let mut terms: Vec<(VarId, f64)> = (0..li).map(|j| (zi[j][pos], 1.0)).collect();
                     terms.push((x[b as usize], -1.0));
                     p.add_constraint(&terms, Cmp::Le, 0.0);
                 }
@@ -138,7 +128,13 @@ pub fn build_lp(inst: &CardinalityInstance, variant: CardLpVariant) -> CardLp {
         y.push(yi);
         z.push(zi);
     }
-    CardLp { problem: p, x, r, y, z }
+    CardLp {
+        problem: p,
+        x,
+        r,
+        y,
+        z,
+    }
 }
 
 /// Optimal value of the (full) LP relaxation — a lower bound on the
@@ -236,13 +232,12 @@ pub fn exact_ip(inst: &CardinalityInstance, node_limit: u64) -> Result<Solution,
         }
     }
     let s = solve_integer(&lp.problem, &ints, node_limit)?;
-    let hidden: AttrSet = lp
-        .x
-        .iter()
-        .enumerate()
-        .filter(|(_, &v)| s.value(v) > 0.5)
-        .map(|(b, _)| AttrId(b as u32))
-        .collect();
+    let hidden: AttrSet =
+        lp.x.iter()
+            .enumerate()
+            .filter(|(_, &v)| s.value(v) > 0.5)
+            .map(|(b, _)| AttrId(b as u32))
+            .collect();
     Ok(Solution::checked_card(inst, hidden))
 }
 
@@ -298,7 +293,12 @@ mod tests {
             assert!(inst.feasible(&s.hidden));
             // Theorem-5 guarantee is O(log n)·OPT in expectation; on
             // this toy a generous sanity band suffices.
-            assert!(s.cost <= 16 * opt.cost, "cost {} vs opt {}", s.cost, opt.cost);
+            assert!(
+                s.cost <= 16 * opt.cost,
+                "cost {} vs opt {}",
+                s.cost,
+                opt.cost
+            );
         }
     }
 

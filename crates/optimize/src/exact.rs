@@ -24,7 +24,10 @@ fn mask_to_set(mask: u32, n: usize) -> AttrSet {
 }
 
 fn enumerate<F: Fn(&AttrSet) -> Option<u64>>(n: usize, eval: F) -> Option<Solution> {
-    assert!(n <= MAX_EXACT_ATTRS, "too many attributes for dense enumeration");
+    assert!(
+        n <= MAX_EXACT_ATTRS,
+        "too many attributes for dense enumeration"
+    );
     let mut best: Option<Solution> = None;
     for mask in 0u64..(1u64 << n) {
         let hidden = mask_to_set(mask as u32, n);
@@ -124,10 +127,7 @@ mod tests {
             costs: vec![3, 1, 1, 1],
             modules: vec![
                 SetModule {
-                    list: vec![
-                        AttrSet::from_indices(&[0]),
-                        AttrSet::from_indices(&[1, 2]),
-                    ],
+                    list: vec![AttrSet::from_indices(&[0]), AttrSet::from_indices(&[1, 2])],
                 },
                 SetModule {
                     list: vec![AttrSet::from_indices(&[2, 3])],
@@ -163,10 +163,7 @@ mod tests {
                 n_attrs: 2,
                 costs: vec![0, 2],
                 modules: vec![SetModule {
-                    list: vec![
-                        AttrSet::from_indices(&[0]),
-                        AttrSet::from_indices(&[1]),
-                    ],
+                    list: vec![AttrSet::from_indices(&[0]), AttrSet::from_indices(&[1])],
                 }],
             },
             publics: vec![PublicSpec {

@@ -62,7 +62,12 @@ pub fn build_lp(inst: &GeneralInstance) -> GeneralLp {
             p.add_constraint(&[(w[i], 1.0), (x[a.index()], -1.0)], Cmp::Ge, 0.0);
         }
     }
-    GeneralLp { problem: p, x, r, w }
+    GeneralLp {
+        problem: p,
+        x,
+        r,
+        w,
+    }
 }
 
 /// Optimal LP value — a lower bound on the general Secure-View optimum.
@@ -84,13 +89,12 @@ pub fn solve_rounding(inst: &GeneralInstance) -> Result<Solution, LpError> {
     let lp = build_lp(inst);
     let sol = lp.problem.solve()?;
     let thr = 1.0 / lmax as f64 - 1e-9;
-    let hidden: AttrSet = lp
-        .x
-        .iter()
-        .enumerate()
-        .filter(|(_, &v)| sol.value(v) >= thr)
-        .map(|(b, _)| AttrId(b as u32))
-        .collect();
+    let hidden: AttrSet =
+        lp.x.iter()
+            .enumerate()
+            .filter(|(_, &v)| sol.value(v) >= thr)
+            .map(|(b, _)| AttrId(b as u32))
+            .collect();
     Ok(Solution::checked_general(inst, hidden))
 }
 
@@ -107,13 +111,12 @@ pub fn exact_ip(inst: &GeneralInstance, node_limit: u64) -> Result<Solution, LpE
         ints.extend(ri.iter().copied());
     }
     let s = solve_integer(&lp.problem, &ints, node_limit)?;
-    let hidden: AttrSet = lp
-        .x
-        .iter()
-        .enumerate()
-        .filter(|(_, &v)| s.value(v) > 0.5)
-        .map(|(b, _)| AttrId(b as u32))
-        .collect();
+    let hidden: AttrSet =
+        lp.x.iter()
+            .enumerate()
+            .filter(|(_, &v)| s.value(v) > 0.5)
+            .map(|(b, _)| AttrId(b as u32))
+            .collect();
     Ok(Solution::checked_general(inst, hidden))
 }
 
@@ -129,10 +132,7 @@ mod tests {
                 n_attrs: 4,
                 costs: vec![0, 0, 2, 2],
                 modules: vec![SetModule {
-                    list: vec![
-                        AttrSet::from_indices(&[0]),
-                        AttrSet::from_indices(&[2, 3]),
-                    ],
+                    list: vec![AttrSet::from_indices(&[0]), AttrSet::from_indices(&[2, 3])],
                 }],
             },
             publics: vec![

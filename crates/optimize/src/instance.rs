@@ -10,8 +10,9 @@
 
 use crate::exact;
 use sv_core::compose::ModuleLens;
-use sv_core::requirements::{cardinality_constraints, set_constraints};
-use sv_core::{CoreError, StandaloneModule};
+use sv_core::requirements::{cardinality_constraints_with, set_constraints_with};
+use sv_core::safety::WorkflowOracles;
+use sv_core::CoreError;
 use sv_relation::AttrSet;
 use sv_workflow::Workflow;
 
@@ -143,7 +144,11 @@ impl CardinalityInstance {
     /// # Errors
     /// Propagates requirement-derivation failures; fails if some module
     /// has an empty frontier (no safe hiding exists).
-    pub fn from_workflow(workflow: &Workflow, gamma: u128, budget: u128) -> Result<Self, CoreError> {
+    pub fn from_workflow(
+        workflow: &Workflow,
+        gamma: u128,
+        budget: u128,
+    ) -> Result<Self, CoreError> {
         let gammas = vec![gamma; workflow.private_modules().len()];
         Self::from_workflow_with_gammas(workflow, &gammas, budget)
     }
@@ -160,12 +165,31 @@ impl CardinalityInstance {
         gammas: &[u128],
         budget: u128,
     ) -> Result<Self, CoreError> {
+        let mut oracles = WorkflowOracles::for_workflow(workflow, budget)?;
+        Self::from_oracles(workflow, &mut oracles, gammas)
+    }
+
+    /// Like [`from_workflow_with_gammas`](Self::from_workflow_with_gammas)
+    /// but against caller-owned per-module safety oracles, so the
+    /// modules are materialized once and every probe already answered —
+    /// by this derivation, a sibling [`SetInstance`] derivation, or any
+    /// optimizer — is served from the memo.
+    ///
+    /// # Errors
+    /// Propagates requirement-derivation failures.
+    pub fn from_oracles(
+        workflow: &Workflow,
+        oracles: &mut WorkflowOracles,
+        gammas: &[u128],
+    ) -> Result<Self, CoreError> {
         assert_eq!(gammas.len(), workflow.private_modules().len());
         let n_attrs = workflow.schema().len();
         let mut modules = Vec::new();
         for (id, &gamma) in workflow.private_modules().iter().copied().zip(gammas) {
-            let sm = StandaloneModule::from_workflow_module(workflow, id, budget)?;
-            let list: Vec<(usize, usize)> = cardinality_constraints(&sm, gamma)
+            let oracle = oracles
+                .oracle_mut(id)
+                .ok_or(CoreError::MissingOracle { module: id.index() })?;
+            let list: Vec<(usize, usize)> = cardinality_constraints_with(oracle, gamma)
                 .into_iter()
                 .map(|c| (c.alpha, c.beta))
                 .collect();
@@ -231,7 +255,11 @@ impl SetInstance {
     /// # Errors
     /// Propagates requirement-derivation failures; fails on modules with
     /// no safe hiding.
-    pub fn from_workflow(workflow: &Workflow, gamma: u128, budget: u128) -> Result<Self, CoreError> {
+    pub fn from_workflow(
+        workflow: &Workflow,
+        gamma: u128,
+        budget: u128,
+    ) -> Result<Self, CoreError> {
         let gammas = vec![gamma; workflow.private_modules().len()];
         Self::from_workflow_with_gammas(workflow, &gammas, budget)
     }
@@ -246,13 +274,31 @@ impl SetInstance {
         gammas: &[u128],
         budget: u128,
     ) -> Result<Self, CoreError> {
+        let mut oracles = WorkflowOracles::for_workflow(workflow, budget)?;
+        Self::from_oracles(workflow, &mut oracles, gammas)
+    }
+
+    /// Like [`from_workflow_with_gammas`](Self::from_workflow_with_gammas)
+    /// but against caller-owned per-module safety oracles (see
+    /// [`CardinalityInstance::from_oracles`]); the full-lattice sweep
+    /// here warms the memo every later consumer hits.
+    ///
+    /// # Errors
+    /// Propagates requirement-derivation failures.
+    pub fn from_oracles(
+        workflow: &Workflow,
+        oracles: &mut WorkflowOracles,
+        gammas: &[u128],
+    ) -> Result<Self, CoreError> {
         assert_eq!(gammas.len(), workflow.private_modules().len());
         let n_attrs = workflow.schema().len();
         let mut modules = Vec::new();
         for (id, &gamma) in workflow.private_modules().iter().copied().zip(gammas) {
-            let sm = StandaloneModule::from_workflow_module(workflow, id, budget)?;
             let lens = ModuleLens::new(workflow, id)?;
-            let list: Vec<AttrSet> = set_constraints(&sm, gamma)?
+            let oracle = oracles
+                .oracle_mut(id)
+                .ok_or(CoreError::MissingOracle { module: id.index() })?;
+            let list: Vec<AttrSet> = set_constraints_with(oracle, gamma)?
                 .into_iter()
                 .map(|r| lens.to_global(&r.hidden()))
                 .collect();
@@ -330,7 +376,24 @@ impl GeneralInstance {
         public_costs: &[u64],
         budget: u128,
     ) -> Result<Self, CoreError> {
-        let base = SetInstance::from_workflow(workflow, gamma, budget)?;
+        let mut oracles = WorkflowOracles::for_workflow(workflow, budget)?;
+        Self::from_oracles(workflow, &mut oracles, gamma, public_costs)
+    }
+
+    /// Like [`from_workflow`](Self::from_workflow) but against
+    /// caller-owned per-module safety oracles (see
+    /// [`CardinalityInstance::from_oracles`]).
+    ///
+    /// # Errors
+    /// Propagates requirement-derivation failures.
+    pub fn from_oracles(
+        workflow: &Workflow,
+        oracles: &mut WorkflowOracles,
+        gamma: u128,
+        public_costs: &[u64],
+    ) -> Result<Self, CoreError> {
+        let gammas = vec![gamma; workflow.private_modules().len()];
+        let base = SetInstance::from_oracles(workflow, oracles, &gammas)?;
         let publics: Vec<PublicSpec> = workflow
             .public_modules()
             .into_iter()
@@ -445,10 +508,7 @@ mod tests {
     #[test]
     fn set_module_satisfaction_logic() {
         let m = SetModule {
-            list: vec![
-                AttrSet::from_indices(&[0, 1]),
-                AttrSet::from_indices(&[3]),
-            ],
+            list: vec![AttrSet::from_indices(&[0, 1]), AttrSet::from_indices(&[3])],
         };
         assert!(m.satisfied_by(&AttrSet::from_indices(&[3, 9])));
         assert!(m.satisfied_by(&AttrSet::from_indices(&[0, 1])));

@@ -68,13 +68,12 @@ pub fn solve_rounding(inst: &SetInstance) -> Result<Solution, LpError> {
     let lp = build_lp(inst);
     let sol = lp.problem.solve()?;
     let thr = 1.0 / lmax as f64 - 1e-9;
-    let hidden: AttrSet = lp
-        .x
-        .iter()
-        .enumerate()
-        .filter(|(_, &v)| sol.value(v) >= thr)
-        .map(|(b, _)| AttrId(b as u32))
-        .collect();
+    let hidden: AttrSet =
+        lp.x.iter()
+            .enumerate()
+            .filter(|(_, &v)| sol.value(v) >= thr)
+            .map(|(b, _)| AttrId(b as u32))
+            .collect();
     Ok(Solution::checked_set(inst, hidden))
 }
 
@@ -90,13 +89,12 @@ pub fn exact_ip(inst: &SetInstance, node_limit: u64) -> Result<Solution, LpError
         ints.extend(ri.iter().copied());
     }
     let s = solve_integer(&lp.problem, &ints, node_limit)?;
-    let hidden: AttrSet = lp
-        .x
-        .iter()
-        .enumerate()
-        .filter(|(_, &v)| s.value(v) > 0.5)
-        .map(|(b, _)| AttrId(b as u32))
-        .collect();
+    let hidden: AttrSet =
+        lp.x.iter()
+            .enumerate()
+            .filter(|(_, &v)| s.value(v) > 0.5)
+            .map(|(b, _)| AttrId(b as u32))
+            .collect();
     Ok(Solution::checked_set(inst, hidden))
 }
 
@@ -112,16 +110,10 @@ mod tests {
             costs: vec![2, 1, 1, 1, 4],
             modules: vec![
                 SetModule {
-                    list: vec![
-                        AttrSet::from_indices(&[0]),
-                        AttrSet::from_indices(&[1, 2]),
-                    ],
+                    list: vec![AttrSet::from_indices(&[0]), AttrSet::from_indices(&[1, 2])],
                 },
                 SetModule {
-                    list: vec![
-                        AttrSet::from_indices(&[2, 3]),
-                        AttrSet::from_indices(&[4]),
-                    ],
+                    list: vec![AttrSet::from_indices(&[2, 3]), AttrSet::from_indices(&[4])],
                 },
             ],
         }
@@ -157,16 +149,10 @@ mod tests {
             costs: vec![10, 10, 1, 1],
             modules: vec![
                 SetModule {
-                    list: vec![
-                        AttrSet::from_indices(&[0]),
-                        AttrSet::from_indices(&[2, 3]),
-                    ],
+                    list: vec![AttrSet::from_indices(&[0]), AttrSet::from_indices(&[2, 3])],
                 },
                 SetModule {
-                    list: vec![
-                        AttrSet::from_indices(&[1]),
-                        AttrSet::from_indices(&[2, 3]),
-                    ],
+                    list: vec![AttrSet::from_indices(&[1]), AttrSet::from_indices(&[2, 3])],
                 },
             ],
         };

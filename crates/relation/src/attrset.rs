@@ -190,6 +190,32 @@ impl AttrSet {
     pub fn complement(&self, n: usize) -> Self {
         Self::full(n).difference(self)
     }
+
+    /// The set as a single bitmask word, if every member id is `< 64`.
+    ///
+    /// This is the fast path the interned kernel and the memoized
+    /// safety oracle key their caches on: module sub-schemas have
+    /// `k ≤ 64` attributes, so visible/hidden sets collapse to one
+    /// machine word and set algebra to bitwise ops.
+    #[must_use]
+    pub fn as_word(&self) -> Option<u64> {
+        match self.words.len() {
+            0 => Some(0),
+            1 => Some(self.words[0]),
+            _ => None,
+        }
+    }
+
+    /// Builds the set from a bitmask word (inverse of
+    /// [`as_word`](Self::as_word)).
+    #[must_use]
+    pub fn from_word(word: u64) -> Self {
+        let mut s = Self::new();
+        if word != 0 {
+            s.words.push(word);
+        }
+        s
+    }
 }
 
 impl fmt::Debug for AttrSet {
@@ -282,46 +308,68 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn arb_set() -> impl Strategy<Value = AttrSet> {
-        proptest::collection::vec(0u32..100, 0..12).prop_map(|v| AttrSet::from_indices(&v))
+    /// Random set over ids `0..100` with up to 12 members.
+    fn rand_set(rng: &mut StdRng) -> AttrSet {
+        let n = rng.gen_range(0usize..12);
+        let ids: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..100)).collect();
+        AttrSet::from_indices(&ids)
     }
 
-    proptest! {
-        #[test]
-        fn union_is_commutative_and_idempotent(a in arb_set(), b in arb_set()) {
-            prop_assert_eq!(a.union(&b), b.union(&a));
-            prop_assert_eq!(a.union(&a), a);
+    #[test]
+    fn union_is_commutative_and_idempotent() {
+        let mut rng = StdRng::seed_from_u64(0xA5A5);
+        for _ in 0..256 {
+            let (a, b) = (rand_set(&mut rng), rand_set(&mut rng));
+            assert_eq!(a.union(&b), b.union(&a));
+            assert_eq!(a.union(&a), a);
         }
+    }
 
-        #[test]
-        fn de_morgan_within_universe(a in arb_set(), b in arb_set()) {
+    #[test]
+    fn de_morgan_within_universe() {
+        let mut rng = StdRng::seed_from_u64(0xDE11);
+        for _ in 0..256 {
+            let (a, b) = (rand_set(&mut rng), rand_set(&mut rng));
             let n = 101;
             let lhs = a.union(&b).complement(n);
             let rhs = a.complement(n).intersection(&b.complement(n));
-            prop_assert_eq!(lhs, rhs);
+            assert_eq!(lhs, rhs, "a={a:?} b={b:?}");
         }
+    }
 
-        #[test]
-        fn difference_partitions(a in arb_set(), b in arb_set()) {
+    #[test]
+    fn difference_partitions() {
+        let mut rng = StdRng::seed_from_u64(0xD1FF);
+        for _ in 0..256 {
+            let (a, b) = (rand_set(&mut rng), rand_set(&mut rng));
             let inter = a.intersection(&b);
             let diff = a.difference(&b);
-            prop_assert!(inter.is_disjoint(&diff));
-            prop_assert_eq!(inter.union(&diff), a.clone());
-            prop_assert_eq!(inter.len() + diff.len(), a.len());
+            assert!(inter.is_disjoint(&diff));
+            assert_eq!(inter.union(&diff), a);
+            assert_eq!(inter.len() + diff.len(), a.len());
         }
+    }
 
-        #[test]
-        fn subset_consistent_with_union(a in arb_set(), b in arb_set()) {
-            prop_assert!(a.is_subset(&a.union(&b)));
-            prop_assert_eq!(a.is_subset(&b), a.union(&b) == b);
+    #[test]
+    fn subset_consistent_with_union() {
+        let mut rng = StdRng::seed_from_u64(0x5AB5);
+        for _ in 0..256 {
+            let (a, b) = (rand_set(&mut rng), rand_set(&mut rng));
+            assert!(a.is_subset(&a.union(&b)));
+            assert_eq!(a.is_subset(&b), a.union(&b) == b);
         }
+    }
 
-        #[test]
-        fn iter_roundtrip(a in arb_set()) {
+    #[test]
+    fn iter_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x17E2);
+        for _ in 0..256 {
+            let a = rand_set(&mut rng);
             let rebuilt: AttrSet = a.iter().collect();
-            prop_assert_eq!(rebuilt, a);
+            assert_eq!(rebuilt, a);
         }
     }
 }

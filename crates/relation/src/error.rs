@@ -37,7 +37,10 @@ impl fmt::Display for RelationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity {got} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected}"
+                )
             }
             Self::ValueOutOfDomain {
                 attr,
@@ -51,7 +54,10 @@ impl fmt::Display for RelationError {
                 write!(f, "functional dependency violated: {fd}")
             }
             Self::JoinSchemaMismatch { attr } => {
-                write!(f, "join schemas disagree on domain of shared attribute `{attr}`")
+                write!(
+                    f,
+                    "join schemas disagree on domain of shared attribute `{attr}`"
+                )
             }
         }
     }
@@ -76,7 +82,9 @@ mod tests {
             domain_size: 2,
         };
         assert!(e.to_string().contains("a1"));
-        let e = RelationError::FdViolation { fd: "I -> O".into() };
+        let e = RelationError::FdViolation {
+            fd: "I -> O".into(),
+        };
         assert!(e.to_string().contains("I -> O"));
         let e = RelationError::JoinSchemaMismatch { attr: "x".into() };
         assert!(e.to_string().contains("`x`"));

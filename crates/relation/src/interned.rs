@@ -1,0 +1,600 @@
+//! The interned columnar relation kernel.
+//!
+//! Every algorithm in the paper bottoms out in three relational
+//! operators over a module relation `R`: projection, natural join, and
+//! grouped distinct counting (the Lemma-4 safety condition). The seed
+//! implementation evaluated them row-at-a-time over heap-allocated
+//! [`Tuple`] rows with `HashMap<Tuple, _>` grouping, so every
+//! `is_safe(V, Γ)` probe re-hashed full sub-tuples. This module replaces
+//! that hot path:
+//!
+//! * [`InternedRelation`] stores the relation **columnar**
+//!   (`cols[attr][row]`) and maps, per attribute set `S`, each row's
+//!   projected sub-tuple `π_S(t)` to a **dense `u32` group id**. The
+//!   per-set [`GroupIndex`] is computed once and memoized (keyed by the
+//!   set's bitmask word for schemas of ≤ 64 attributes, by [`AttrSet`]
+//!   beyond that).
+//! * [`InternedRelation::min_group_distinct`] — the entire Lemma-4 inner
+//!   loop — walks two cached id columns through a reusable scratch
+//!   buffer: **zero heap allocation per probe** once the group indexes
+//!   are warm.
+//! * [`ValueInterner`] is the generic sub-tuple → dense-id map used by
+//!   the interned natural join (provenance assembly, §4) and by group
+//!   computation when mixed-radix codes would overflow `u64`.
+//!
+//! Sub-tuple ids are assigned in ascending code order, so for the
+//! mixed-radix path group ids sort exactly like the canonical [`Tuple`]
+//! order — representatives materialize already-sorted relations.
+
+use crate::attrset::AttrSet;
+use crate::domain::Value;
+use crate::relation::Relation;
+use crate::schema::{AttrDef, AttrId, Schema};
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Interns value slices (projected sub-tuples) as dense `u32` ids.
+///
+/// Ids are assigned in first-seen order; [`resolve`](Self::resolve)
+/// recovers the slice. Lookups with [`get`](Self::get) borrow the probe
+/// buffer — no allocation on the probe path.
+#[derive(Clone, Debug, Default)]
+pub struct ValueInterner {
+    map: HashMap<Box<[Value]>, u32>,
+    rev: Vec<Box<[Value]>>,
+}
+
+impl ValueInterner {
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `key`, inserting it if new.
+    pub fn intern(&mut self, key: &[Value]) -> u32 {
+        if let Some(&id) = self.map.get(key) {
+            return id;
+        }
+        let id = u32::try_from(self.rev.len()).expect("more than u32::MAX distinct sub-tuples");
+        let boxed: Box<[Value]> = key.into();
+        self.rev.push(boxed.clone());
+        self.map.insert(boxed, id);
+        id
+    }
+
+    /// The id of `key`, if already interned (no allocation).
+    #[must_use]
+    pub fn get(&self, key: &[Value]) -> Option<u32> {
+        self.map.get(key).copied()
+    }
+
+    /// The slice behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this interner.
+    #[must_use]
+    pub fn resolve(&self, id: u32) -> &[Value] {
+        &self.rev[id as usize]
+    }
+
+    /// Number of distinct interned sub-tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rev.len()
+    }
+
+    /// Whether nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rev.is_empty()
+    }
+}
+
+/// Dense grouping of a relation's rows by one attribute set.
+#[derive(Clone, Debug)]
+pub struct GroupIndex {
+    /// `row_group[row]` = the row's dense group id (`0..n_groups`).
+    pub row_group: Vec<u32>,
+    /// Number of distinct projected sub-tuples.
+    pub n_groups: u32,
+    /// `representative[group]` = index of the first row of the group
+    /// (in ascending sub-tuple order for the mixed-radix path).
+    pub representative: Vec<u32>,
+}
+
+/// A columnar, interning view of a [`Relation`] — the kernel every
+/// safety probe runs on.
+///
+/// Construction is `O(attrs × rows)`; each distinct attribute set pays
+/// one `O(rows log rows)` grouping pass, after which probes touching it
+/// are allocation-free (cache lookups borrow their keys, the pair
+/// scratch buffer is reused under a lock).
+pub struct InternedRelation {
+    schema: Schema,
+    n_rows: usize,
+    cols: Vec<Vec<Value>>,
+    /// Group cache for schemas of ≤ 64 attributes, keyed by bitmask word.
+    word_groups: RwLock<HashMap<u64, Arc<GroupIndex>>>,
+    /// Group cache for wider schemas.
+    wide_groups: RwLock<HashMap<AttrSet, Arc<GroupIndex>>>,
+    /// Reusable `(key_gid, probe_gid)` code buffer.
+    scratch: Mutex<Vec<u64>>,
+}
+
+impl Clone for InternedRelation {
+    fn clone(&self) -> Self {
+        Self {
+            schema: self.schema.clone(),
+            n_rows: self.n_rows,
+            cols: self.cols.clone(),
+            word_groups: RwLock::new(self.word_groups.read().expect("lock").clone()),
+            wide_groups: RwLock::new(self.wide_groups.read().expect("lock").clone()),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for InternedRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "InternedRelation({:?}, {} rows, {} cached groupings)",
+            self.schema,
+            self.n_rows,
+            self.word_groups.read().expect("lock").len()
+                + self.wide_groups.read().expect("lock").len()
+        )
+    }
+}
+
+impl InternedRelation {
+    /// Builds the columnar kernel view of `r`.
+    #[must_use]
+    pub fn from_relation(r: &Relation) -> Self {
+        let schema = r.schema().clone();
+        let n_rows = r.len();
+        let n_attrs = schema.len();
+        let mut cols: Vec<Vec<Value>> = (0..n_attrs).map(|_| Vec::with_capacity(n_rows)).collect();
+        for t in r.rows() {
+            for (col, &v) in cols.iter_mut().zip(t.values()) {
+                col.push(v);
+            }
+        }
+        Self {
+            schema,
+            n_rows,
+            cols,
+            word_groups: RwLock::new(HashMap::new()),
+            wide_groups: RwLock::new(HashMap::new()),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The underlying schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Value of attribute `a` in row `row` (columnar access).
+    #[must_use]
+    pub fn value(&self, row: usize, a: AttrId) -> Value {
+        self.cols[a.index()][row]
+    }
+
+    /// Whether the schema fits the bitmask-word fast path.
+    #[must_use]
+    pub fn fits_word(&self) -> bool {
+        self.schema.len() <= 64
+    }
+
+    fn mask(&self) -> u64 {
+        if self.schema.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.schema.len()) - 1
+        }
+    }
+
+    /// Computes the dense grouping for the attributes in `attrs`
+    /// (ascending attribute indices).
+    fn compute_group(&self, attrs: &[usize]) -> GroupIndex {
+        let n = self.n_rows;
+        if n == 0 {
+            return GroupIndex {
+                row_group: Vec::new(),
+                n_groups: 0,
+                representative: Vec::new(),
+            };
+        }
+        // Mixed-radix fast path: one u64 code per row when the projected
+        // domain product fits.
+        let mut sizes: Vec<u64> = Vec::with_capacity(attrs.len());
+        let mut product: u128 = 1;
+        for &a in attrs {
+            let s = u64::from(self.schema.attr(AttrId(a as u32)).domain.size());
+            product = product.saturating_mul(u128::from(s));
+            sizes.push(s);
+        }
+        let codes: Vec<u64> = if product <= u128::from(u64::MAX) {
+            (0..n)
+                .map(|row| {
+                    let mut c: u64 = 0;
+                    for (&a, &s) in attrs.iter().zip(sizes.iter()) {
+                        c = c * s + u64::from(self.cols[a][row]);
+                    }
+                    c
+                })
+                .collect()
+        } else {
+            // Wide-domain fallback: intern the materialized sub-tuples.
+            let mut interner = ValueInterner::new();
+            let mut buf: Vec<Value> = Vec::with_capacity(attrs.len());
+            (0..n)
+                .map(|row| {
+                    buf.clear();
+                    buf.extend(attrs.iter().map(|&a| self.cols[a][row]));
+                    u64::from(interner.intern(&buf))
+                })
+                .collect()
+        };
+        // Densify: group id = rank of the row's code.
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let row_group: Vec<u32> = codes
+            .iter()
+            .map(|c| sorted.binary_search(c).expect("own code") as u32)
+            .collect();
+        let mut representative = vec![u32::MAX; sorted.len()];
+        for (row, &g) in row_group.iter().enumerate() {
+            let slot = &mut representative[g as usize];
+            if *slot == u32::MAX {
+                *slot = row as u32;
+            }
+        }
+        GroupIndex {
+            row_group,
+            n_groups: sorted.len() as u32,
+            representative,
+        }
+    }
+
+    /// The (memoized) group index for the attribute set encoded as a
+    /// bitmask word. Requires a schema of ≤ 64 attributes.
+    ///
+    /// # Panics
+    /// Panics if the schema has more than 64 attributes.
+    #[must_use]
+    pub fn group_index_word(&self, word: u64) -> Arc<GroupIndex> {
+        assert!(self.fits_word(), "schema too wide for the word fast path");
+        let word = word & self.mask();
+        if let Some(g) = self.word_groups.read().expect("lock").get(&word) {
+            return Arc::clone(g);
+        }
+        let attrs: Vec<usize> = (0..self.schema.len())
+            .filter(|&i| word & (1u64 << i) != 0)
+            .collect();
+        let g = Arc::new(self.compute_group(&attrs));
+        self.word_groups
+            .write()
+            .expect("lock")
+            .entry(word)
+            .or_insert_with(|| Arc::clone(&g));
+        g
+    }
+
+    /// The (memoized) group index for an [`AttrSet`]. Dispatches to the
+    /// word cache when the schema fits 64 attributes.
+    #[must_use]
+    pub fn group_index(&self, set: &AttrSet) -> Arc<GroupIndex> {
+        if self.fits_word() {
+            if let Some(w) = set.as_word() {
+                return self.group_index_word(w);
+            }
+            // The set mentions ids ≥ 64 that cannot be schema attributes;
+            // drop them and use the word path.
+            let w = set
+                .iter()
+                .filter(|a| a.index() < self.schema.len())
+                .fold(0u64, |acc, a| acc | (1u64 << a.index()));
+            return self.group_index_word(w);
+        }
+        if let Some(g) = self.wide_groups.read().expect("lock").get(set) {
+            return Arc::clone(g);
+        }
+        let attrs: Vec<usize> = set
+            .iter()
+            .map(AttrId::index)
+            .filter(|&i| i < self.schema.len())
+            .collect();
+        let g = Arc::new(self.compute_group(&attrs));
+        self.wide_groups
+            .write()
+            .expect("lock")
+            .entry(set.clone())
+            .or_insert_with(|| Arc::clone(&g));
+        g
+    }
+
+    /// Lemma-4 inner loop: over the `key` groups, the **minimum** number
+    /// of distinct `probe` sub-tuples, or `usize::MAX` on an empty
+    /// relation.
+    ///
+    /// Allocation-free once both group indexes are cached: the pair
+    /// codes go through a reusable scratch buffer.
+    #[must_use]
+    pub fn min_group_distinct(&self, key: &AttrSet, probe: &AttrSet) -> usize {
+        let kg = self.group_index(key);
+        let pg = self.group_index(probe);
+        self.min_group_distinct_indexed(&kg, &pg)
+    }
+
+    /// Word-keyed variant of [`min_group_distinct`](Self::min_group_distinct)
+    /// for schemas of ≤ 64 attributes.
+    #[must_use]
+    pub fn min_group_distinct_words(&self, key: u64, probe: u64) -> usize {
+        let kg = self.group_index_word(key);
+        let pg = self.group_index_word(probe);
+        self.min_group_distinct_indexed(&kg, &pg)
+    }
+
+    fn min_group_distinct_indexed(&self, kg: &GroupIndex, pg: &GroupIndex) -> usize {
+        if self.n_rows == 0 {
+            return usize::MAX;
+        }
+        let pn = u64::from(pg.n_groups);
+        let mut scratch = self.scratch.lock().expect("lock");
+        scratch.clear();
+        scratch.extend(
+            kg.row_group
+                .iter()
+                .zip(pg.row_group.iter())
+                .map(|(&k, &p)| u64::from(k) * pn + u64::from(p)),
+        );
+        scratch.sort_unstable();
+        scratch.dedup();
+        let mut min = usize::MAX;
+        let mut cur_key = scratch[0] / pn;
+        let mut count = 0usize;
+        for &code in scratch.iter() {
+            let k = code / pn;
+            if k == cur_key {
+                count += 1;
+            } else {
+                min = min.min(count);
+                cur_key = k;
+                count = 1;
+            }
+        }
+        min.min(count)
+    }
+
+    /// Grouped distinct counting with materialized keys — the
+    /// compatibility form of the Lemma-4 condition
+    /// (`π_key`-group → number of distinct `π_probe` values).
+    #[must_use]
+    pub fn group_count_distinct(&self, key: &AttrSet, probe: &AttrSet) -> HashMap<Tuple, usize> {
+        let kg = self.group_index(key);
+        let pg = self.group_index(probe);
+        let pn = u64::from(pg.n_groups);
+        let mut counts: HashMap<Tuple, usize> = HashMap::with_capacity(kg.n_groups as usize);
+        if self.n_rows == 0 {
+            return counts;
+        }
+        let mut scratch = self.scratch.lock().expect("lock");
+        scratch.clear();
+        scratch.extend(
+            kg.row_group
+                .iter()
+                .zip(pg.row_group.iter())
+                .map(|(&k, &p)| u64::from(k) * pn + u64::from(p)),
+        );
+        scratch.sort_unstable();
+        scratch.dedup();
+        let key_attrs: Vec<AttrId> = key
+            .iter()
+            .filter(|a| a.index() < self.schema.len())
+            .collect();
+        let mut i = 0usize;
+        while i < scratch.len() {
+            let g = scratch[i] / pn;
+            let mut j = i;
+            while j < scratch.len() && scratch[j] / pn == g {
+                j += 1;
+            }
+            let row = kg.representative[g as usize] as usize;
+            let key_tuple = Tuple::new(key_attrs.iter().map(|&a| self.value(row, a)).collect());
+            counts.insert(key_tuple, j - i);
+            i = j;
+        }
+        counts
+    }
+
+    /// Projection `π_set` materialized through the group index: one row
+    /// per distinct sub-tuple, gathered from group representatives.
+    #[must_use]
+    pub fn project(&self, set: &AttrSet) -> Relation {
+        let attrs: Vec<AttrId> = set
+            .iter()
+            .filter(|a| a.index() < self.schema.len())
+            .collect();
+        let schema = Schema::new(
+            attrs
+                .iter()
+                .map(|&a| self.schema.attr(a).clone())
+                .collect::<Vec<AttrDef>>(),
+        );
+        let g = self.group_index(set);
+        let rows: Vec<Tuple> = g
+            .representative
+            .iter()
+            .map(|&row| Tuple::new(attrs.iter().map(|&a| self.value(row as usize, a)).collect()))
+            .collect();
+        Relation::from_rows(schema, rows).expect("projection preserves validity")
+    }
+
+    /// Number of cached group indexes (diagnostics / tests).
+    #[must_use]
+    pub fn cached_groupings(&self) -> usize {
+        self.word_groups.read().expect("lock").len() + self.wide_groups.read().expect("lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    fn rel(names: &[&str], rows: Vec<Vec<u32>>) -> Relation {
+        Relation::from_values(Schema::booleans(names), rows).unwrap()
+    }
+
+    #[test]
+    fn interner_roundtrip() {
+        let mut it = ValueInterner::new();
+        assert!(it.is_empty());
+        let a = it.intern(&[1, 2, 3]);
+        let b = it.intern(&[0]);
+        assert_eq!(it.intern(&[1, 2, 3]), a);
+        assert_ne!(a, b);
+        assert_eq!(it.resolve(a), &[1, 2, 3]);
+        assert_eq!(it.get(&[0]), Some(b));
+        assert_eq!(it.get(&[9]), None);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn group_index_matches_distinct_subtuples() {
+        let r = rel(
+            &["a", "b", "c"],
+            vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0], vec![1, 1, 1]],
+        );
+        let ir = InternedRelation::from_relation(&r);
+        let g = ir.group_index(&AttrSet::from_indices(&[0]));
+        assert_eq!(g.n_groups, 2);
+        assert_eq!(g.row_group, vec![0, 0, 1, 1]);
+        // Representatives are the first rows of each group.
+        assert_eq!(g.representative, vec![0, 2]);
+        // Full-set grouping: every row its own group.
+        let g = ir.group_index(&AttrSet::from_indices(&[0, 1, 2]));
+        assert_eq!(g.n_groups, 4);
+        // Empty set: one group holding everything.
+        let g = ir.group_index(&AttrSet::new());
+        assert_eq!(g.n_groups, 1);
+    }
+
+    #[test]
+    fn group_cache_is_hit() {
+        let r = rel(&["a", "b"], vec![vec![0, 1], vec![1, 0]]);
+        let ir = InternedRelation::from_relation(&r);
+        let s = AttrSet::from_indices(&[1]);
+        let g1 = ir.group_index(&s);
+        let g2 = ir.group_index(&s);
+        assert!(Arc::ptr_eq(&g1, &g2));
+        assert_eq!(ir.cached_groupings(), 1);
+    }
+
+    #[test]
+    fn min_group_distinct_matches_reference() {
+        let r = rel(
+            &["i", "o1", "o2"],
+            vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 1, 0], vec![1, 1, 1]],
+        );
+        let ir = InternedRelation::from_relation(&r);
+        let key = AttrSet::from_indices(&[0]);
+        let probe = AttrSet::from_indices(&[1, 2]);
+        assert_eq!(ir.min_group_distinct(&key, &probe), 2);
+        let counts = ir.group_count_distinct(&key, &probe);
+        assert_eq!(
+            counts,
+            ops::reference::group_count_distinct(&r, &key, &probe)
+        );
+    }
+
+    #[test]
+    fn empty_relation_probes() {
+        let r = Relation::empty(Schema::booleans(&["a", "b"]));
+        let ir = InternedRelation::from_relation(&r);
+        assert_eq!(
+            ir.min_group_distinct(&AttrSet::from_indices(&[0]), &AttrSet::from_indices(&[1])),
+            usize::MAX
+        );
+        assert!(ir
+            .group_count_distinct(&AttrSet::from_indices(&[0]), &AttrSet::from_indices(&[1]))
+            .is_empty());
+        assert!(ir.project(&AttrSet::from_indices(&[0])).is_empty());
+    }
+
+    #[test]
+    fn projection_matches_reference() {
+        let r = rel(
+            &["a", "b", "c"],
+            vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0], vec![0, 0, 0]],
+        );
+        let ir = InternedRelation::from_relation(&r);
+        for ids in [vec![0u32], vec![0, 2], vec![1, 2], vec![], vec![0, 1, 2]] {
+            let set = AttrSet::from_indices(&ids);
+            assert_eq!(
+                ir.project(&set),
+                ops::reference::project(&r, &set),
+                "{set:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_schema_ids_are_ignored() {
+        let r = rel(&["a", "b"], vec![vec![0, 1], vec![1, 1]]);
+        let ir = InternedRelation::from_relation(&r);
+        // Id 70 forces the multi-word AttrSet representation.
+        let mut set = AttrSet::from_indices(&[0]);
+        set.insert(AttrId(70));
+        let g = ir.group_index(&set);
+        assert_eq!(g.n_groups, 2, "bit 70 is outside the schema and dropped");
+    }
+
+    #[test]
+    fn wide_domain_falls_back_to_interner() {
+        // Domain sizes big enough that three attributes overflow u64
+        // mixed-radix codes.
+        let schema = Schema::new(
+            ["x", "y", "z"]
+                .iter()
+                .map(|n| AttrDef {
+                    name: (*n).to_string(),
+                    domain: crate::domain::Domain::new(u32::MAX),
+                })
+                .collect(),
+        );
+        let r = Relation::from_values(
+            schema,
+            vec![
+                vec![4_000_000_000, 1, 2],
+                vec![4_000_000_000, 1, 3],
+                vec![5, 1, 2],
+            ],
+        )
+        .unwrap();
+        let ir = InternedRelation::from_relation(&r);
+        let key = AttrSet::from_indices(&[0]);
+        let probe = AttrSet::from_indices(&[1, 2]);
+        assert_eq!(
+            ir.group_index(&AttrSet::from_indices(&[0, 1, 2])).n_groups,
+            3
+        );
+        assert_eq!(ir.min_group_distinct(&key, &probe), 1);
+        assert_eq!(
+            ir.group_count_distinct(&key, &probe),
+            ops::reference::group_count_distinct(&r, &key, &probe)
+        );
+    }
+}

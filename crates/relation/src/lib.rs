@@ -16,6 +16,27 @@
 //! * projection `π_V(R)`, natural join `R ⋈ S`, grouping and counting
 //!   operators used by the privacy checkers in `sv-core`.
 //!
+//! ## Layering: the interned columnar kernel
+//!
+//! The crate is split into two layers:
+//!
+//! 1. **Value layer** — [`Relation`] / [`Tuple`]: canonical sorted row
+//!    storage with set semantics, used for construction, equality, FD
+//!    checking, and the possible-worlds ground truth in `sv-core`.
+//! 2. **Kernel layer** — [`InternedRelation`]: a columnar view that
+//!    interns projected sub-tuples to dense `u32` ids
+//!    ([`ValueInterner`], [`GroupIndex`]) and memoizes one grouping per
+//!    attribute set. The Lemma-4 probe
+//!    ([`InternedRelation::min_group_distinct`]) runs with **zero
+//!    per-probe heap allocation** once warm; projection and join
+//!    operate on interned ids. The row-at-a-time seed semantics are
+//!    preserved in [`ops::reference`] as the executable specification
+//!    (property-tested equivalent, benchmark baseline).
+//!
+//! `sv-core` builds its safety checkers and the memoized
+//! `SafetyOracle` layer directly on the kernel; everything above
+//! (`sv-optimize`, `sv-bench`) programs against those oracles.
+//!
 //! Everything is deterministic and in-memory; rows are canonically ordered
 //! so that relations compare as sets.
 
@@ -26,7 +47,8 @@ mod attrset;
 mod domain;
 mod error;
 mod fd;
-mod ops;
+mod interned;
+pub mod ops;
 mod relation;
 mod schema;
 mod tuple;
@@ -35,6 +57,7 @@ pub use attrset::AttrSet;
 pub use domain::{Domain, Value};
 pub use error::RelationError;
 pub use fd::Fd;
+pub use interned::{GroupIndex, InternedRelation, ValueInterner};
 pub use ops::{group_count_distinct, natural_join, project};
 pub use relation::Relation;
 pub use schema::{AttrDef, AttrId, Schema};

@@ -5,27 +5,35 @@
 //! * `π_V(R)` builds views (Definition 1) and provenance projections,
 //! * `R1 ⋈ … ⋈ Rn` builds the workflow provenance relation (§4),
 //! * grouped distinct counting implements the Lemma-4 safety condition.
+//!
+//! All three run on the interned columnar kernel
+//! ([`crate::InternedRelation`]): sub-tuples are mapped to dense `u32`
+//! ids once, and the operators walk id columns instead of hashing
+//! heap-allocated [`Tuple`]s. The original row-at-a-time
+//! implementations are preserved in [`reference`] as the semantic
+//! ground truth the property tests compare against — with one
+//! deliberate behavioral change on both paths: attribute ids outside
+//! the schema are **ignored** by projection/grouping, where the seed
+//! panicked on out-of-range indexing.
 
 use crate::attrset::AttrSet;
 use crate::error::RelationError;
+use crate::interned::{InternedRelation, ValueInterner};
 use crate::relation::Relation;
 use crate::schema::{AttrDef, AttrId, Schema};
 use crate::tuple::Tuple;
 use std::collections::HashMap;
 
 /// Projection `π_set(R)`: restricts every row to `set` (attribute-id
-/// order) and deduplicates.
+/// order) and deduplicates, via a one-shot interned grouping.
 ///
-/// The resulting schema keeps the projected attributes' names and domains.
+/// The resulting schema keeps the projected attributes' names and
+/// domains. Callers projecting the same relation repeatedly should hold
+/// an [`InternedRelation`] and use [`InternedRelation::project`], which
+/// memoizes the grouping per attribute set.
 #[must_use]
 pub fn project(r: &Relation, set: &AttrSet) -> Relation {
-    let schema = Schema::new(
-        set.iter()
-            .map(|a| r.schema().attr(a).clone())
-            .collect::<Vec<AttrDef>>(),
-    );
-    let rows = r.rows().iter().map(|t| t.project(set)).collect();
-    Relation::from_rows(schema, rows).expect("projection preserves validity")
+    InternedRelation::from_relation(r).project(set)
 }
 
 /// Natural join `left ⋈ right` on shared attribute *names*.
@@ -35,6 +43,10 @@ pub fn project(r: &Relation, set: &AttrSet) -> Relation {
 /// corresponding output and input attributes have the same name" (§2.3).
 /// The result schema is `left`'s attributes followed by `right`'s
 /// non-shared attributes.
+///
+/// Join keys are interned to dense ids ([`ValueInterner`]); the right
+/// side is bucketed as packed `Vec<u32>` row-index columns and the left
+/// side probes with a reused key buffer — no per-row key allocation.
 ///
 /// # Errors
 /// [`RelationError::JoinSchemaMismatch`] if a shared attribute has
@@ -64,18 +76,27 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation, Relat
     out_attrs.extend(right_only.iter().map(|&rid| rs.attr(rid).clone()));
     let out_schema = Schema::new(out_attrs);
 
-    // Hash the right side on the shared-key projection.
-    let mut index: HashMap<Vec<u32>, Vec<&Tuple>> = HashMap::new();
-    for t in right.rows() {
-        let key: Vec<u32> = shared.iter().map(|&(_, rid)| t.get(rid)).collect();
-        index.entry(key).or_default().push(t);
+    // Intern right-side keys; bucket row indices per key id.
+    let mut interner = ValueInterner::new();
+    let mut buckets: Vec<Vec<u32>> = Vec::new();
+    let mut key_buf: Vec<u32> = Vec::with_capacity(shared.len());
+    for (ri, t) in right.rows().iter().enumerate() {
+        key_buf.clear();
+        key_buf.extend(shared.iter().map(|&(_, rid)| t.get(rid)));
+        let id = interner.intern(&key_buf) as usize;
+        if id == buckets.len() {
+            buckets.push(Vec::new());
+        }
+        buckets[id].push(ri as u32);
     }
 
     let mut rows = Vec::new();
     for lt in left.rows() {
-        let key: Vec<u32> = shared.iter().map(|&(lid, _)| lt.get(lid)).collect();
-        if let Some(matches) = index.get(&key) {
-            for rt in matches {
+        key_buf.clear();
+        key_buf.extend(shared.iter().map(|&(lid, _)| lt.get(lid)));
+        if let Some(id) = interner.get(&key_buf) {
+            for &ri in &buckets[id as usize] {
+                let rt = &right.rows()[ri as usize];
                 let mut vals: Vec<u32> = lt.values().to_vec();
                 vals.extend(right_only.iter().map(|&rid| rt.get(rid)));
                 rows.push(Tuple::new(vals));
@@ -86,21 +107,64 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation, Relat
 }
 
 /// For each distinct value of `key` in `r`, counts the number of distinct
-/// projections onto `probe`.
+/// projections onto `probe`, via a one-shot interned grouping.
 ///
 /// This is the inner loop of the paper's Algorithm 2 safety check: with
 /// `key = I ∩ V` and `probe = O ∩ V`, a visible set `V` is safe for `Γ`
 /// iff every count is at least `Γ / ∏_{a ∈ O\V} |Δ_a|` (Lemma 4).
+/// Hot-path callers (the safety oracles in `sv-core`) keep a persistent
+/// [`InternedRelation`] and use
+/// [`InternedRelation::min_group_distinct`], which answers the Lemma-4
+/// condition with zero per-probe allocation.
 #[must_use]
 pub fn group_count_distinct(r: &Relation, key: &AttrSet, probe: &AttrSet) -> HashMap<Tuple, usize> {
-    let mut groups: HashMap<Tuple, std::collections::HashSet<Tuple>> = HashMap::new();
-    for t in r.rows() {
-        groups
-            .entry(t.project(key))
-            .or_default()
-            .insert(t.project(probe));
+    InternedRelation::from_relation(r).group_count_distinct(key, probe)
+}
+
+/// Row-at-a-time reference implementations (the seed semantics, plus
+/// the ignore-out-of-schema-ids rule noted in the module docs).
+///
+/// Kept as the executable specification of the interned kernel: the
+/// property suites assert `interned ≡ reference` on random relations,
+/// and the benchmark baselines measure the kernel speedup against these.
+pub mod reference {
+    use super::{AttrDef, AttrSet, HashMap, Relation, Schema, Tuple};
+
+    /// Row-at-a-time projection (specification of
+    /// [`project`](super::project)).
+    #[must_use]
+    pub fn project(r: &Relation, set: &AttrSet) -> Relation {
+        let schema = Schema::new(
+            set.iter()
+                .filter(|a| a.index() < r.schema().len())
+                .map(|a| r.schema().attr(a).clone())
+                .collect::<Vec<AttrDef>>(),
+        );
+        let keep: AttrSet = set
+            .iter()
+            .filter(|a| a.index() < r.schema().len())
+            .collect();
+        let rows = r.rows().iter().map(|t| t.project(&keep)).collect();
+        Relation::from_rows(schema, rows).expect("projection preserves validity")
     }
-    groups.into_iter().map(|(k, s)| (k, s.len())).collect()
+
+    /// Row-at-a-time grouped distinct counting (specification of
+    /// [`group_count_distinct`](super::group_count_distinct)).
+    #[must_use]
+    pub fn group_count_distinct(
+        r: &Relation,
+        key: &AttrSet,
+        probe: &AttrSet,
+    ) -> HashMap<Tuple, usize> {
+        let mut groups: HashMap<Tuple, std::collections::HashSet<Tuple>> = HashMap::new();
+        for t in r.rows() {
+            groups
+                .entry(t.project(key))
+                .or_default()
+                .insert(t.project(probe));
+        }
+        groups.into_iter().map(|(k, s)| (k, s.len())).collect()
+    }
 }
 
 #[cfg(test)]
@@ -200,5 +264,36 @@ mod tests {
         let counts = group_count_distinct(&r, &AttrSet::new(), &AttrSet::from_indices(&[1]));
         assert_eq!(counts.len(), 1);
         assert_eq!(counts[&Tuple::new(vec![])], 2);
+    }
+
+    #[test]
+    fn interned_ops_match_reference_on_randomish_relations() {
+        // Dense sweep over all 3-attribute boolean relations of ≤ 4 rows
+        // derived from a counter (cheap deterministic "random").
+        for seed in 0u32..64 {
+            let rows: Vec<Vec<u32>> = (0..4)
+                .filter(|i| seed & (1 << i) != 0)
+                .map(|i| {
+                    let v = (seed.rotate_left(i * 3)) ^ i;
+                    vec![v & 1, (v >> 1) & 1, (v >> 2) & 1]
+                })
+                .collect();
+            let r = rel(&["a", "b", "c"], rows);
+            for key_mask in 0u32..8 {
+                for probe_mask in 0u32..8 {
+                    let key = AttrSet::from_word(u64::from(key_mask));
+                    let probe = AttrSet::from_word(u64::from(probe_mask));
+                    assert_eq!(
+                        group_count_distinct(&r, &key, &probe),
+                        reference::group_count_distinct(&r, &key, &probe),
+                        "seed={seed} key={key:?} probe={probe:?}"
+                    );
+                }
+            }
+            for mask in 0u32..8 {
+                let set = AttrSet::from_word(u64::from(mask));
+                assert_eq!(project(&r, &set), reference::project(&r, &set));
+            }
+        }
     }
 }

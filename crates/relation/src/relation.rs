@@ -203,10 +203,8 @@ mod tests {
 
     #[test]
     fn set_equality_ignores_insertion_order() {
-        let r1 =
-            Relation::from_values(bool_schema3(), vec![vec![1, 0, 0], vec![0, 1, 0]]).unwrap();
-        let r2 =
-            Relation::from_values(bool_schema3(), vec![vec![0, 1, 0], vec![1, 0, 0]]).unwrap();
+        let r1 = Relation::from_values(bool_schema3(), vec![vec![1, 0, 0], vec![0, 1, 0]]).unwrap();
+        let r2 = Relation::from_values(bool_schema3(), vec![vec![0, 1, 0], vec![1, 0, 0]]).unwrap();
         assert_eq!(r1, r2);
     }
 

@@ -126,13 +126,7 @@ pub fn one_one_chain(n: usize, k: usize) -> Workflow {
             2 => negate_fn(),
             _ => rotate_fn(),
         };
-        b.module(
-            &format!("m{level}"),
-            &wires,
-            &next,
-            Visibility::Private,
-            f,
-        );
+        b.module(&format!("m{level}"), &wires, &next, Visibility::Private, f);
         wires = next;
     }
     b.build().expect("one-one chain is structurally valid")

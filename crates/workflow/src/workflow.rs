@@ -162,9 +162,7 @@ impl Workflow {
     pub fn final_outputs(&self) -> Vec<AttrId> {
         (0..self.schema.len())
             .map(|i| AttrId(i as u32))
-            .filter(|a| {
-                self.producer[a.index()].is_some() && self.consumers[a.index()].is_empty()
-            })
+            .filter(|a| self.producer[a.index()].is_some() && self.consumers[a.index()].is_empty())
             .collect()
     }
 
@@ -399,11 +397,7 @@ impl Workflow {
                 }
             } else {
                 for c in self.consumers(a) {
-                    let _ = writeln!(
-                        out,
-                        "  {from} -> m{} [label=\"{name}\"{style}];",
-                        c.index()
-                    );
+                    let _ = writeln!(out, "  {from} -> m{} [label=\"{name}\"{style}];", c.index());
                 }
             }
         }
@@ -446,11 +440,15 @@ mod tests {
         assert_eq!(w.len(), 3);
         assert_eq!(w.initial_inputs().len(), 2);
         assert_eq!(
-            w.schema().names(&AttrSet::from_iter(w.initial_inputs().iter().copied())),
+            w.schema()
+                .names(&AttrSet::from_iter(w.initial_inputs().iter().copied())),
             vec!["a1", "a2"]
         );
         let fin = w.final_outputs();
-        assert_eq!(w.schema().names(&AttrSet::from_iter(fin.into_iter())), vec!["a6", "a7"]);
+        assert_eq!(
+            w.schema().names(&AttrSet::from_iter(fin.into_iter())),
+            vec!["a6", "a7"]
+        );
         // a4 feeds m2 and m3 ⇒ γ = 2, as stated after Definition 3.
         assert_eq!(w.data_sharing_degree(), 2);
         assert!(w.is_all_private());
@@ -501,8 +499,7 @@ mod tests {
                 .iter()
                 .map(|n| join.schema().by_name(n).unwrap().index())
                 .collect();
-            let reordered: Vec<Value> =
-                (0..names.len()).map(|i| t.values()[i]).collect();
+            let reordered: Vec<Value> = (0..names.len()).map(|i| t.values()[i]).collect();
             let mut found = false;
             for jt in join.rows() {
                 if perm
@@ -642,6 +639,9 @@ mod dot_tests {
         let hidden = AttrSet::from_indices(&[1]); // y0
         let dot = w.to_dot(&hidden);
         assert!(dot.contains("shape=ellipse"), "public modules as ellipses");
-        assert!(dot.contains("style=dashed, color=red"), "hidden edge marked");
+        assert!(
+            dot.contains("style=dashed, color=red"),
+            "hidden edge marked"
+        );
     }
 }

@@ -17,14 +17,14 @@
 //!
 //! Run with: `cargo run --example genomics_pipeline`
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use secure_view::optimize::{cardinality, exact_cardinality, CardinalityInstance};
 use secure_view::privacy::compose::{union_of_standalone_optima, WorldSearch};
 use secure_view::privacy::requirements::cardinality_constraints;
 use secure_view::privacy::StandaloneModule;
 use secure_view::relation::Domain;
 use secure_view::workflow::{ModuleFn, ModuleId, Visibility, WorkflowBuilder};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // ── Build the pipeline ───────────────────────────────────────────

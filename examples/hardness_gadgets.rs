@@ -16,8 +16,8 @@ use secure_view::gen::reductions::{
 };
 use secure_view::gen::setcover::SetCover;
 use secure_view::gen::vertexcover::{cover_size, CubicGraph};
-use secure_view::optimize::{exact_cardinality, exact_general, exact_set};
 use secure_view::optimize::greedy::greedy_set;
+use secure_view::optimize::{exact_cardinality, exact_general, exact_set};
 use secure_view::privacy::oracle::SafeViewOracle;
 use secure_view::relation::AttrSet;
 
@@ -88,7 +88,10 @@ fn main() {
 
     // ── Example 5: the Ω(n) composition gap ─────────────────────────
     println!("\nExample 5 — union-of-standalone-optima vs workflow optimum:");
-    println!("{:>6} {:>10} {:>10} {:>8}", "n", "greedy", "optimum", "ratio");
+    println!(
+        "{:>6} {:>10} {:>10} {:>8}",
+        "n", "greedy", "optimum", "ratio"
+    );
     for n in [2usize, 4, 8, 12] {
         let inst = example5_instance(n);
         let greedy = greedy_set(&inst).unwrap();
@@ -104,7 +107,10 @@ fn main() {
 
     // ── Theorem 3: the oracle adversary ──────────────────────────────
     println!("\nTheorem 3 — Safe-View oracle adversary (queries to exhaust candidates):");
-    println!("{:>6} {:>22} {:>18}", "ℓ", "required ≥ (4/3)^(ℓ/2)", "exact ratio");
+    println!(
+        "{:>6} {:>22} {:>18}",
+        "ℓ", "required ≥ (4/3)^(ℓ/2)", "exact ratio"
+    );
     for l in [8usize, 16, 32, 64] {
         let oracle = AdversarialOracle::new(l);
         println!(

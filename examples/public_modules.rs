@@ -71,8 +71,7 @@ fn main() {
     // the public constant is cheap, the invertible reformatter is a
     // well-known community tool — hiding its identity is expensive.
     let attr_costs: Vec<u64> = vec![1, 1, 2, 2, 3, 3, 1, 1];
-    let module_costs: BTreeMap<ModuleId, u64> =
-        [(ModuleId(0), 1u64), (ModuleId(2), 8u64)].into();
+    let module_costs: BTreeMap<ModuleId, u64> = [(ModuleId(0), 1u64), (ModuleId(2), 8u64)].into();
 
     let inst = GeneralInstance::from_workflow(
         &wf,
@@ -80,8 +79,7 @@ fn main() {
         &[1, 8], // privatization costs aligned with public_modules() order
         1 << 20,
     )
-    .expect("requirements derivable")
-    ;
+    .expect("requirements derivable");
     let mut inst = inst;
     inst.base.costs = attr_costs.clone();
 

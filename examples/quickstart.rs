@@ -52,18 +52,14 @@ fn main() {
     );
 
     // ── Workflow-wide Secure-View (Γ = 2) ───────────────────────────
-    let inst = SetInstance::from_workflow(&wf, 2, 1 << 20)
-        .expect("all three modules attain Γ = 2");
+    let inst = SetInstance::from_workflow(&wf, 2, 1 << 20).expect("all three modules attain Γ = 2");
     let opt = exact_set(&inst).expect("feasible");
     let lp = setcon::solve_rounding(&inst).expect("LP solvable");
     println!(
         "Workflow Secure-View (Γ=2): exact cost {}, ℓmax-rounding cost {}",
         opt.cost, lp.cost
     );
-    println!(
-        "  exact hides {:?}",
-        wf.schema().names(&opt.hidden)
-    );
+    println!("  exact hides {:?}", wf.schema().names(&opt.hidden));
 
     // ── Semantic verification against possible worlds ───────────────
     let visible = opt.hidden.complement(wf.schema().len());

@@ -8,12 +8,16 @@
 //! The workspace is organised bottom-up; this crate re-exports the
 //! public API of every layer:
 //!
-//! * [`relation`] — finite-domain relations, FDs, projection/join;
+//! * [`relation`] — finite-domain relations, FDs, projection/join, and
+//!   the **interned columnar kernel** (`InternedRelation`) the safety
+//!   hot path runs on;
 //! * [`workflow`] — modules, DAG workflows, execution, provenance
 //!   relations, and the paper's example module library;
 //! * [`privacy`] — Γ-standalone/workflow privacy (possible worlds, the
 //!   Lemma-4 safety checker, Theorem-4/8 composition, the flipping
-//!   construction, instrumented oracles);
+//!   construction, instrumented oracles) and the **memoized
+//!   safety-oracle layer** (`privacy::safety`) every optimizer asks
+//!   through;
 //! * [`lp`] — the two-phase simplex / branch-and-bound substrate;
 //! * [`optimize`] — the Secure-View optimizers (Figure-3 IP +
 //!   Algorithm-1 rounding, set-constraint and general-workflow LPs,

@@ -70,9 +70,7 @@ fn flip_witnesses_for_every_module_of_fig1() {
         (ModuleId(1), vec![0, 1], vec![1]),
         (ModuleId(2), vec![1, 1], vec![0]),
     ] {
-        if let Some(world) =
-            flip_witness_world(&wf, mid, &x, &y, &visible, 1 << 20).unwrap()
-        {
+        if let Some(world) = flip_witness_world(&wf, mid, &x, &y, &visible, 1 << 20).unwrap() {
             let flipped = world.provenance_relation(1 << 10).unwrap();
             assert_eq!(
                 project(&orig, &visible),
