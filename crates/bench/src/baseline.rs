@@ -1,0 +1,332 @@
+//! Bench-regression gating against committed `BENCH_*.json` baselines.
+//!
+//! The CI `bench-gate` job runs the small fixed e9/e13 derivation
+//! workloads, saves their results with the criterion shim's
+//! `--save-baseline`, and then runs the `bench_gate` binary (built on
+//! this module) to compare the fresh numbers against the committed
+//! baseline: any gated id whose time regresses by more than the allowed
+//! ratio fails the job. Ids are matched by prefix so the gate tracks
+//! exactly the derivation benchmarks the kernel-swap baseline recorded.
+
+use criterion::json::Json;
+
+/// One compared benchmark id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateRow {
+    /// The benchmark id (`group/bench` path).
+    pub id: String,
+    /// Baseline value (ns/iter, or a recorded metric).
+    pub baseline: f64,
+    /// Current value, if the fresh run produced this id.
+    pub current: Option<f64>,
+    /// `current / baseline` (`None` when current is missing or the
+    /// baseline is non-positive).
+    pub ratio: Option<f64>,
+}
+
+impl GateRow {
+    /// Whether this row passes under `max_ratio`.
+    #[must_use]
+    pub fn passes(&self, max_ratio: f64) -> bool {
+        self.ratio.is_some_and(|r| r <= max_ratio)
+    }
+}
+
+/// Outcome of one gate run.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    /// All compared rows, in baseline order.
+    pub rows: Vec<GateRow>,
+    /// The ratio threshold the report was evaluated under.
+    pub max_ratio: f64,
+}
+
+impl GateReport {
+    /// Whether every gated id passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        !self.rows.is_empty() && self.rows.iter().all(|r| r.passes(self.max_ratio))
+    }
+
+    /// Human-readable table plus verdict.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            let status = if r.passes(self.max_ratio) {
+                "ok  "
+            } else {
+                "FAIL"
+            };
+            match (r.current, r.ratio) {
+                (Some(c), Some(ratio)) => out.push_str(&format!(
+                    "{status} {:<60} base {:>14.1}  cur {c:>14.1}  ratio {ratio:>6.2}\n",
+                    r.id, r.baseline
+                )),
+                _ => out.push_str(&format!(
+                    "{status} {:<60} base {:>14.1}  cur        MISSING\n",
+                    r.id, r.baseline
+                )),
+            }
+        }
+        if self.rows.is_empty() {
+            out.push_str("FAIL no baseline ids matched the gate prefixes\n");
+        }
+        out.push_str(&format!(
+            "bench-gate: {} (max allowed ratio {:.2})\n",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.max_ratio
+        ));
+        out
+    }
+}
+
+/// Extracts `(id, value)` results from either supported format: a
+/// baseline JSON document (numbers under `"results"`, nested keys
+/// joined with `/`) or raw bench output containing `BENCHJSON {...}`
+/// lines.
+///
+/// # Errors
+/// Fails when the text is neither parseable JSON with a `results`
+/// object nor contains any `BENCHJSON` line.
+pub fn load_results(text: &str) -> Result<Vec<(String, f64)>, String> {
+    if let Ok(doc) = Json::parse(text.trim()) {
+        if let Some(results) = doc.get("results") {
+            return Ok(results.flatten_numbers());
+        }
+        return Err("JSON document has no \"results\" object".into());
+    }
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("BENCHJSON ") else {
+            continue;
+        };
+        let doc = Json::parse(rest).map_err(|e| format!("bad BENCHJSON line: {e}"))?;
+        let id = doc
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("BENCHJSON line without id")?;
+        let v = doc
+            .get("ns_per_iter")
+            .and_then(Json::as_f64)
+            .ok_or("BENCHJSON line without ns_per_iter")?;
+        match out.iter_mut().find(|(k, _)| k == id) {
+            Some(slot) => slot.1 = v,
+            None => out.push((id.to_string(), v)),
+        }
+    }
+    if out.is_empty() {
+        return Err("no results: neither a baseline JSON nor BENCHJSON lines".into());
+    }
+    Ok(out)
+}
+
+/// A **within-run** speedup floor: `slow_id / fast_id ≥ min`, evaluated
+/// on the current results only. Unlike the absolute baseline
+/// comparison, this is machine-independent — both measurements come
+/// from the same run on the same hardware — so it stays meaningful when
+/// CI runners are faster or slower than the machine that produced the
+/// committed baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpeedupCheck {
+    /// Id of the slow (baseline-path) measurement.
+    pub slow: String,
+    /// Id of the fast (optimized-path) measurement.
+    pub fast: String,
+    /// Minimum acceptable `slow / fast` ratio.
+    pub min: f64,
+}
+
+impl SpeedupCheck {
+    /// Parses the CLI form `slow_id,fast_id,min` (ids contain `/`, so
+    /// commas separate the fields).
+    ///
+    /// # Errors
+    /// Fails on a malformed spec.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = spec.split(',').collect();
+        let [slow, fast, min] = parts.as_slice() else {
+            return Err(format!(
+                "--speedup expects slow_id,fast_id,min — got {spec:?}"
+            ));
+        };
+        Ok(Self {
+            slow: (*slow).to_string(),
+            fast: (*fast).to_string(),
+            min: min
+                .parse()
+                .map_err(|e| format!("bad speedup minimum {min:?}: {e}"))?,
+        })
+    }
+
+    /// Evaluates the check: `(actual ratio, passed)`. A missing id or a
+    /// non-positive fast time yields `(None, false)`.
+    #[must_use]
+    pub fn evaluate(&self, current: &[(String, f64)]) -> (Option<f64>, bool) {
+        let find = |id: &str| current.iter().find(|(k, _)| k == id).map(|(_, v)| *v);
+        match (find(&self.slow), find(&self.fast)) {
+            (Some(slow), Some(fast)) if fast > 0.0 => {
+                let ratio = slow / fast;
+                (Some(ratio), ratio >= self.min)
+            }
+            _ => (None, false),
+        }
+    }
+
+    /// One rendered verdict line.
+    #[must_use]
+    pub fn render(&self, current: &[(String, f64)]) -> String {
+        let (ratio, ok) = self.evaluate(current);
+        let status = if ok { "ok  " } else { "FAIL" };
+        match ratio {
+            Some(r) => format!(
+                "{status} speedup {} / {} = {r:.1}x (floor {:.1}x)\n",
+                self.slow, self.fast, self.min
+            ),
+            None => format!(
+                "{status} speedup {} / {}: measurement missing\n",
+                self.slow, self.fast
+            ),
+        }
+    }
+}
+
+/// Compares `current` against `baseline` over the ids matching any of
+/// `prefixes` (all baseline ids when `prefixes` is empty).
+#[must_use]
+pub fn compare(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    prefixes: &[String],
+    max_ratio: f64,
+) -> GateReport {
+    let gated = baseline.iter().filter(|(id, _)| {
+        prefixes.is_empty() || prefixes.iter().any(|p| id.starts_with(p.as_str()))
+    });
+    let rows = gated
+        .map(|(id, base)| {
+            let current = current.iter().find(|(cid, _)| cid == id).map(|(_, v)| *v);
+            let ratio = current.and_then(|c| (*base > 0.0).then(|| c / *base));
+            GateRow {
+                id: id.clone(),
+                baseline: *base,
+                current,
+                ratio,
+            }
+        })
+        .collect();
+    GateReport { rows, max_ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Vec<(String, f64)> {
+        vec![
+            (
+                "e9_kernel_swap/derive_requirements/interned_kernel".into(),
+                100.0,
+            ),
+            (
+                "e13_kernel_swap/derive_general/interned_plus_memo".into(),
+                200.0,
+            ),
+            ("e9_cardinality/lp_rounding/3".into(), 50.0),
+        ]
+    }
+
+    #[test]
+    fn gate_passes_within_ratio_and_fails_beyond() {
+        let current = vec![
+            (
+                "e9_kernel_swap/derive_requirements/interned_kernel".into(),
+                150.0,
+            ),
+            (
+                "e13_kernel_swap/derive_general/interned_plus_memo".into(),
+                390.0,
+            ),
+        ];
+        let prefixes = vec![
+            "e9_kernel_swap/derive".into(),
+            "e13_kernel_swap/derive".into(),
+        ];
+        let report = compare(&baseline(), &current, &prefixes, 2.0);
+        assert_eq!(report.rows.len(), 2, "lp_rounding is not gated");
+        assert!(report.passed(), "{}", report.render());
+
+        let regressed = vec![
+            (
+                "e9_kernel_swap/derive_requirements/interned_kernel".into(),
+                250.0,
+            ),
+            (
+                "e13_kernel_swap/derive_general/interned_plus_memo".into(),
+                150.0,
+            ),
+        ];
+        let report = compare(&baseline(), &regressed, &prefixes, 2.0);
+        assert!(!report.passed());
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn missing_current_id_fails_the_gate() {
+        let report = compare(&baseline(), &[], &["e9_kernel_swap".to_string()], 2.0);
+        assert!(!report.passed());
+        assert!(report.render().contains("MISSING"));
+    }
+
+    #[test]
+    fn empty_prefix_set_gates_everything() {
+        let current = baseline();
+        let report = compare(&baseline(), &current, &[], 2.0);
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn no_matching_ids_is_a_failure_not_a_silent_pass() {
+        let report = compare(&baseline(), &baseline(), &["does_not_exist".into()], 2.0);
+        assert!(report.rows.is_empty());
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn speedup_checks_parse_and_evaluate() {
+        let c = SpeedupCheck::parse("a/slow,a/fast,5.0").unwrap();
+        assert_eq!(
+            (c.slow.as_str(), c.fast.as_str(), c.min),
+            ("a/slow", "a/fast", 5.0)
+        );
+        assert!(SpeedupCheck::parse("only_two,fields").is_err());
+        assert!(SpeedupCheck::parse("a,b,not_a_number").is_err());
+
+        let current = vec![("a/slow".to_string(), 100.0), ("a/fast".to_string(), 10.0)];
+        assert_eq!(c.evaluate(&current), (Some(10.0), true));
+        assert!(c.render(&current).starts_with("ok"));
+        let tight = SpeedupCheck::parse("a/slow,a/fast,20.0").unwrap();
+        assert_eq!(tight.evaluate(&current), (Some(10.0), false));
+        assert!(tight.render(&current).contains("FAIL"));
+        // Missing measurements fail instead of silently passing.
+        assert_eq!(c.evaluate(&[]), (None, false));
+        assert!(c.render(&[]).contains("missing"));
+    }
+
+    #[test]
+    fn load_results_reads_both_formats() {
+        let json =
+            "{\"generated_by\": \"x\", \"results\": {\"a/b\": 10.0, \"nested\": {\"c\": 2}}}";
+        let r = load_results(json).unwrap();
+        assert!(r.contains(&("a/b".into(), 10.0)));
+        assert!(r.contains(&("nested/c".into(), 2.0)));
+
+        let lines = "noise\nBENCHJSON {\"id\": \"a/b\", \"ns_per_iter\": 11.5}\nmore noise\n";
+        let r = load_results(lines).unwrap();
+        assert_eq!(r, vec![("a/b".to_string(), 11.5)]);
+
+        assert!(load_results("garbage with no results").is_err());
+        assert!(load_results("{\"no_results\": 1}").is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! CI bench-regression gate: compares a fresh bench run against a
+//! committed `BENCH_*.json` baseline and exits non-zero on regression.
+//!
+//! ```text
+//! bench_gate --baseline BENCH_kernel.json --current current.json \
+//!            [--max-ratio 2.0] [--prefix e9_kernel_swap/derive_requirements]... \
+//!            [--speedup slow_id,fast_id,min]...
+//! ```
+//!
+//! `--current` accepts either a `--save-baseline`-produced JSON file or
+//! raw bench output containing `BENCHJSON` lines. With no `--prefix`,
+//! every baseline id is gated. `--speedup` checks are evaluated on the
+//! current run alone (`slow/fast ≥ min`), so they hold regardless of
+//! how fast the CI machine is relative to the one that recorded the
+//! committed baseline.
+
+use sv_bench::baseline::{compare, load_results, SpeedupCheck};
+
+struct Args {
+    baseline: String,
+    current: String,
+    max_ratio: f64,
+    prefixes: Vec<String>,
+    speedups: Vec<SpeedupCheck>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut max_ratio = 2.0f64;
+    let mut prefixes = Vec::new();
+    let mut speedups = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--current" => current = Some(value("--current")?),
+            "--max-ratio" => {
+                max_ratio = value("--max-ratio")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-ratio: {e}"))?;
+            }
+            "--prefix" => prefixes.push(value("--prefix")?),
+            "--speedup" => speedups.push(SpeedupCheck::parse(&value("--speedup")?)?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline is required")?,
+        current: current.ok_or("--current is required")?,
+        max_ratio,
+        prefixes,
+        speedups,
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let baseline =
+        load_results(&read(&args.baseline)?).map_err(|e| format!("{}: {e}", args.baseline))?;
+    let current =
+        load_results(&read(&args.current)?).map_err(|e| format!("{}: {e}", args.current))?;
+    let report = compare(&baseline, &current, &args.prefixes, args.max_ratio);
+    print!("{}", report.render());
+    let mut speedups_ok = true;
+    for check in &args.speedups {
+        print!("{}", check.render(&current));
+        speedups_ok &= check.evaluate(&current).1;
+    }
+    Ok(report.passed() && speedups_ok)
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -4,9 +4,12 @@
 //! (runtime scaling), plus the [`experiments`] support code backing
 //! `src/bin/experiments.rs`, which prints the quality tables
 //! (approximation ratios, oracle-call counts, world counts) recorded in
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md, and the [`baseline`] comparison logic behind
+//! `src/bin/bench_gate.rs`, the CI bench-regression gate over the
+//! committed `BENCH_*.json` files.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;

@@ -30,7 +30,8 @@ use sv_relation::{AttrId, AttrSet, Tuple, Value};
 use sv_workflow::{ModuleId, Visibility, Workflow};
 
 /// Translates attribute sets between a module's local sub-schema
-/// (as used by [`StandaloneModule`]) and the workflow's global schema.
+/// (as used by [`crate::StandaloneModule`]) and the workflow's global
+/// schema.
 #[derive(Clone, Debug)]
 pub struct ModuleLens {
     module: ModuleId,
@@ -106,13 +107,35 @@ pub fn union_of_standalone_optima(
     gamma: u128,
     budget: u128,
 ) -> Result<(AttrSet, u64), CoreError> {
-    let mut oracles = crate::safety::WorkflowOracles::for_workflow(workflow, budget)?;
-    union_of_standalone_optima_with(workflow, &mut oracles, costs, gamma)
+    union_of_standalone_optima_sweep(workflow, costs, gamma, budget, crate::SweepConfig::serial())
+        .map(|(hidden, cost, _)| (hidden, cost))
+}
+
+/// [`union_of_standalone_optima`] through the parallel lattice sweep
+/// ([`crate::sweep`]): modules are materialized once, cost slices are
+/// hoisted out of the per-module loop, and each standalone optimum is
+/// found by the work-stealing branch-and-bound sweep. Also returns the
+/// merged visited/pruned counters for observability.
+///
+/// # Errors
+/// As [`union_of_standalone_optima`].
+pub fn union_of_standalone_optima_sweep(
+    workflow: &Workflow,
+    costs: &[u64],
+    gamma: u128,
+    budget: u128,
+    config: crate::SweepConfig,
+) -> Result<(AttrSet, u64, crate::SweepStats), CoreError> {
+    let sweeper = crate::WorkflowSweeper::for_workflow(workflow, budget, config)?;
+    let localized = sweeper.localize_costs(costs);
+    sweeper.union_of_optima(&localized, gamma)
 }
 
 /// [`union_of_standalone_optima`] against caller-owned per-module
 /// safety oracles — repeated assemblies (cost sweeps, Γ sweeps) over
-/// the same workflow share one memo.
+/// the same workflow share one memo. This is the **serial**
+/// memo-sharing path; cold large-`k` assemblies should prefer
+/// [`union_of_standalone_optima_sweep`].
 ///
 /// # Errors
 /// As [`union_of_standalone_optima`].
@@ -521,6 +544,29 @@ mod tests {
         let visible = hidden.complement(w.schema().len());
         let report = WorldSearch::new(&w, visible).run(1 << 26).unwrap();
         assert!(report.is_gamma_private(&w.private_modules(), 2));
+    }
+
+    #[test]
+    fn union_sweep_parallel_matches_serial_and_reports_counters() {
+        let w = one_one_chain(2, 2);
+        let costs = vec![1u64; w.schema().len()];
+        let serial = union_of_standalone_optima(&w, &costs, 2, 1 << 20).unwrap();
+        for threads in [1usize, 4] {
+            let (hidden, cost, stats) = union_of_standalone_optima_sweep(
+                &w,
+                &costs,
+                2,
+                1 << 20,
+                crate::SweepConfig::parallel(threads),
+            )
+            .unwrap();
+            assert_eq!((hidden, cost), serial, "threads={threads}");
+            assert_eq!(stats.visited + stats.pruned, stats.lattice);
+        }
+        // The memo-sharing oracle path agrees too.
+        let mut oracles = crate::safety::WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+        let via_oracles = union_of_standalone_optima_with(&w, &mut oracles, &costs, 2).unwrap();
+        assert_eq!(via_oracles, serial);
     }
 
     #[test]

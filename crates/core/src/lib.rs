@@ -22,6 +22,11 @@
 //!   module, shared by all requirement-list and instance derivations);
 //! * [`requirements`] — deriving a module's *set constraints* and
 //!   *cardinality constraints* requirement lists (§4.2);
+//! * [`sweep`] — the **parallel work-stealing lattice sweep**: sharded
+//!   subset enumeration with a shared branch-and-bound best-cost bound
+//!   and Proposition-1 antichain pruning, plus [`sweep::WorkflowSweeper`]
+//!   driving per-module sweeps (with hoisted cost slices) for the
+//!   composition and instance-derivation layers;
 //! * [`compose`] — Theorem 4: assembling workflow privacy from
 //!   standalone guarantees in all-private workflows, plus the exhaustive
 //!   workflow-privacy verifier over function-generated possible worlds;
@@ -43,8 +48,10 @@ pub mod public;
 pub mod requirements;
 pub mod safety;
 pub mod standalone;
+pub mod sweep;
 pub mod worlds;
 
 pub use error::CoreError;
 pub use safety::{MemoSafetyOracle, SafetyOracle};
 pub use standalone::StandaloneModule;
+pub use sweep::{SweepConfig, SweepStats, WorkflowSweeper};

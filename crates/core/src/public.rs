@@ -8,9 +8,7 @@
 //! Theorem-4 composition: hide `V̄ = ∪ V̄_i` over private modules and
 //! keep visible only public modules whose attributes are all visible.
 
-use crate::compose::ModuleLens;
 use crate::error::CoreError;
-use crate::standalone::StandaloneModule;
 use std::collections::BTreeMap;
 use sv_relation::AttrSet;
 use sv_workflow::{ModuleId, Workflow};
@@ -97,46 +95,91 @@ pub fn greedy_general_solution(
     gamma: u128,
     budget: u128,
 ) -> Result<(GeneralSafeView, u64), CoreError> {
+    greedy_general_solution_sweep(
+        workflow,
+        attr_costs,
+        module_costs,
+        gamma,
+        budget,
+        crate::SweepConfig::serial(),
+    )
+    .map(|(view, cost, _)| (view, cost))
+}
+
+/// [`greedy_general_solution`] through the parallel lattice sweep
+/// ([`crate::sweep`]), returning the merged visited/pruned counters.
+///
+/// # Errors
+/// Propagates standalone-solver failures.
+pub fn greedy_general_solution_sweep(
+    workflow: &Workflow,
+    attr_costs: &[u64],
+    module_costs: &BTreeMap<ModuleId, u64>,
+    gamma: u128,
+    budget: u128,
+    config: crate::SweepConfig,
+) -> Result<(GeneralSafeView, u64, crate::SweepStats), CoreError> {
+    let sweeper = crate::WorkflowSweeper::for_workflow(workflow, budget, config)?;
+    greedy_general_with_sweeper(workflow, &sweeper, attr_costs, module_costs, gamma)
+}
+
+/// [`greedy_general_solution`] against a caller-owned
+/// [`crate::WorkflowSweeper`]: modules stay materialized across repeated
+/// calls (Γ sweeps, cost sweeps), and the per-attribute induced costs —
+/// attribute cost plus the privatization costs of the public modules the
+/// attribute drags in — are computed **once** over the global schema and
+/// localized through the sweeper's hoisted slices, instead of being
+/// rebuilt per private-module call.
+///
+/// # Errors
+/// Propagates standalone-solver failures.
+pub fn greedy_general_with_sweeper(
+    workflow: &Workflow,
+    sweeper: &crate::WorkflowSweeper,
+    attr_costs: &[u64],
+    module_costs: &BTreeMap<ModuleId, u64>,
+    gamma: u128,
+) -> Result<(GeneralSafeView, u64, crate::SweepStats), CoreError> {
+    // Effective cost of hiding attribute a = its own cost plus the
+    // privatization costs of public modules it newly drags in. The
+    // interaction across choices is what makes the problem hard;
+    // greedily we charge each attribute its full induced cost.
+    let mut induced: Vec<u64> = attr_costs.to_vec();
+    for pid in workflow.public_modules() {
+        let pm = &workflow.modules()[pid.index()];
+        let pc = module_costs.get(&pid).copied().unwrap_or(0);
+        for a in pm.attr_set().iter() {
+            induced[a.index()] += pc;
+        }
+    }
+    let localized = sweeper.localize_costs(&induced);
     let mut per_private: BTreeMap<ModuleId, AttrSet> = BTreeMap::new();
-    for id in workflow.private_modules() {
-        let lens = ModuleLens::new(workflow, id)?;
-        let sm = StandaloneModule::from_workflow_module(workflow, id, budget)?;
-        let local_attrs: Vec<_> = workflow.module(id)?.attr_set().iter().collect();
-        // Effective cost of hiding attribute a = its own cost plus the
-        // privatization costs of public modules it newly drags in. The
-        // interaction across choices is what makes the problem hard;
-        // greedily we charge each attribute its full induced cost.
-        let eff_costs: Vec<u64> = local_attrs
-            .iter()
-            .map(|&g| {
-                let mut c = attr_costs[g.index()];
-                for pid in workflow.public_modules() {
-                    let pm = &workflow.modules()[pid.index()];
-                    if pm.attr_set().contains(g) {
-                        c += module_costs.get(&pid).copied().unwrap_or(0);
-                    }
-                }
-                c
-            })
-            .collect();
-        let Some((local_hidden, _)) = sm.min_cost_safe_hidden(&eff_costs, gamma)? else {
+    let mut stats = crate::SweepStats::default();
+    for id in sweeper.module_ids() {
+        let (found, s) = sweeper.module_min_cost(id, &localized, gamma)?;
+        stats.merge(&s);
+        let Some((local_hidden, _)) = found else {
             return Err(CoreError::BudgetExceeded {
                 what: "no safe standalone subset exists for a private module",
                 required: gamma,
                 budget: 0,
             });
         };
-        per_private.insert(id, lens.to_global(&local_hidden));
+        let global = sweeper
+            .to_global(id, &local_hidden)
+            .ok_or(CoreError::MissingOracle { module: id.index() })?;
+        per_private.insert(id, global);
     }
     let view = assemble_general(workflow, &per_private);
     let cost = view.cost(attr_costs, module_costs);
-    Ok((view, cost))
+    Ok((view, cost, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::compose::WorldSearch;
+    use crate::standalone::StandaloneModule;
     use sv_workflow::library::example8_chain;
 
     /// Example 7/8 chain with k = 2: public constant → private one-one
@@ -235,5 +278,40 @@ mod tests {
             .run(1 << 26)
             .unwrap();
         assert!(report.min_out(ModuleId(1)) >= 4, "Theorem 8 guarantee");
+    }
+
+    #[test]
+    fn greedy_sweep_parallel_matches_serial() {
+        let w = chain();
+        let attr_costs = vec![1u64; w.schema().len()];
+        let mut mcosts = BTreeMap::new();
+        mcosts.insert(ModuleId(0), 1u64);
+        mcosts.insert(ModuleId(2), 1u64);
+        let serial = greedy_general_solution(&w, &attr_costs, &mcosts, 4, 1 << 20).unwrap();
+        for threads in [1usize, 4] {
+            let (view, cost, stats) = greedy_general_solution_sweep(
+                &w,
+                &attr_costs,
+                &mcosts,
+                4,
+                1 << 20,
+                crate::SweepConfig::parallel(threads),
+            )
+            .unwrap();
+            assert_eq!((view, cost), serial.clone(), "threads={threads}");
+            assert_eq!(stats.visited + stats.pruned, stats.lattice);
+        }
+        // A sweeper survives repeated Γ calls without re-materializing.
+        let sweeper =
+            crate::WorkflowSweeper::for_workflow(&w, 1 << 20, crate::SweepConfig::serial())
+                .unwrap();
+        for gamma in [2u128, 4] {
+            let (view, _, _) =
+                greedy_general_with_sweeper(&w, &sweeper, &attr_costs, &mcosts, gamma).unwrap();
+            let direct = greedy_general_solution(&w, &attr_costs, &mcosts, gamma, 1 << 20)
+                .unwrap()
+                .0;
+            assert_eq!(view, direct, "gamma={gamma}");
+        }
     }
 }

@@ -136,15 +136,54 @@ pub fn cardinality_constraints_with(
 ) -> Vec<CardRequirement> {
     let ni = oracle.module().inputs().len();
     let no = oracle.module().outputs().len();
+    pareto_frontier(ni, no, |alpha, beta| {
+        cardinality_valid_with(oracle, alpha, beta, gamma)
+    })
+}
+
+/// [`cardinality_constraints`] recomputed from an already-derived
+/// antichain of ⊆-minimal safe hidden sets (module-local ids) — e.g.
+/// the output of [`crate::sweep::minimal_sets_sweep`]. Because the
+/// antichain generates **all** safe hidden sets by superset closure
+/// (see [`crate::safety`]'s module docs), `(α, β)` validity is pure set
+/// arithmetic: every `α`-input/`β`-output combination must contain some
+/// antichain member. **Zero oracle probes.**
+#[must_use]
+pub fn cardinality_constraints_from_antichain(
+    antichain: &[AttrSet],
+    inputs: &AttrSet,
+    outputs: &AttrSet,
+) -> Vec<CardRequirement> {
+    let ins: Vec<AttrId> = inputs.iter().collect();
+    let outs: Vec<AttrId> = outputs.iter().collect();
+    pareto_frontier(ins.len(), outs.len(), |alpha, beta| {
+        let in_choices = combinations(&ins, alpha);
+        let out_choices = combinations(&outs, beta);
+        in_choices.iter().all(|ic| {
+            out_choices.iter().all(|oc| {
+                let mut hidden = AttrSet::from_iter(ic.iter().copied());
+                hidden.union_with(&AttrSet::from_iter(oc.iter().copied()));
+                antichain.iter().any(|a| a.is_subset(&hidden))
+            })
+        })
+    })
+}
+
+/// Pareto-frontier construction shared by the oracle-probing and
+/// antichain-arithmetic derivations: for each α ascending, the least
+/// valid β (monotonicity makes β non-increasing in α).
+fn pareto_frontier(
+    ni: usize,
+    no: usize,
+    mut valid: impl FnMut(usize, usize) -> bool,
+) -> Vec<CardRequirement> {
     let mut frontier: Vec<CardRequirement> = Vec::new();
-    // For each α ascending, find the least β that works; monotonicity
-    // makes β non-increasing in α, so frontier construction is direct.
     let mut beta_hi = no + 1; // sentinel: "none found yet"
     for alpha in 0..=ni {
         let mut found = None;
         let upper = if beta_hi == no + 1 { no } else { beta_hi };
         for beta in 0..=upper {
-            if cardinality_valid_with(oracle, alpha, beta, gamma) {
+            if valid(alpha, beta) {
                 found = Some(beta);
                 break;
             }
@@ -318,6 +357,20 @@ mod tests {
     fn unsatisfiable_gamma_gives_empty_frontier() {
         let m = m1(); // |Range| = 8
         assert!(cardinality_constraints(&m, 9).is_empty());
+        assert!(cardinality_constraints_from_antichain(&[], m.inputs(), m.outputs()).is_empty());
+    }
+
+    #[test]
+    fn antichain_frontier_matches_oracle_frontier() {
+        for m in [m1(), majority(2), one_one(2), one_one(3)] {
+            for gamma in [2u128, 4, 8] {
+                let antichain = m.minimal_safe_hidden_sets(gamma).unwrap();
+                let via_antichain =
+                    cardinality_constraints_from_antichain(&antichain, m.inputs(), m.outputs());
+                let via_oracle = cardinality_constraints(&m, gamma);
+                assert_eq!(via_antichain, via_oracle, "gamma={gamma}");
+            }
+        }
     }
 
     #[test]

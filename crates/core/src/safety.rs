@@ -35,6 +35,34 @@
 //! ([`crate::oracle::SafeViewOracle`]) sits *on top* of this layer:
 //! [`crate::oracle::HonestOracle`] is a Γ-fixing adapter around a
 //! [`MemoSafetyOracle`].
+//!
+//! ### Serial reference vs. parallel sweep
+//!
+//! The lattice enumerations in this module —
+//! [`min_cost_safe_hidden`] and [`minimal_safe_hidden_sets`] — walk the
+//! `2^k` hidden-set masks **serially** through a `&mut dyn
+//! SafetyOracle`. They are deliberately kept simple: they are the
+//! executable specification the property suites compare the parallel
+//! work-stealing sweep ([`crate::sweep`]) against, and the path of
+//! choice when the caller already owns a warm [`MemoSafetyOracle`]
+//! (repeat derivations over the same module, e.g. a Γ sweep). New
+//! callers that sweep a cold lattice — especially for large `k` —
+//! should go through [`crate::sweep`] instead.
+//!
+//! ### The antichain pruning invariant (Proposition 1)
+//!
+//! Safety is **monotone** in the hidden set: if hiding `V̄` is
+//! Γ-standalone-safe, so is hiding any `V̄' ⊇ V̄` (hiding more never
+//! reveals more). Consequently the ⊆-minimal safe hidden sets form an
+//! **antichain** that generates *all* safe hidden sets by superset
+//! closure, and any lattice search may skip the entire up-set of a
+//! known-safe set without probing it. [`minimal_safe_hidden_sets`]
+//! exploits this by enumerating masks in ascending-popcount order and
+//! skipping supersets of already-found minimal sets; the parallel sweep
+//! strengthens it with a layer cutoff (once a whole popcount layer is
+//! covered by the antichain, every higher layer is covered too and the
+//! remaining up-sets are skipped wholesale — see
+//! [`crate::sweep::minimal_sets_sweep`]).
 
 use crate::error::CoreError;
 use crate::standalone::{StandaloneModule, MAX_DENSE_ATTRS};
@@ -191,6 +219,10 @@ pub struct MemoSafetyOracle {
     module: StandaloneModule,
     word_levels: HashMap<u64, u128>,
     wide_levels: HashMap<AttrSet, u128>,
+    /// Per-oracle probe scratch: cache-miss kernel probes run through
+    /// this buffer instead of the kernel's shared scratch mutex, so one
+    /// oracle per sweep shard means zero cross-thread probe contention.
+    scratch: Vec<u64>,
     calls: u64,
     misses: u64,
 }
@@ -203,6 +235,7 @@ impl MemoSafetyOracle {
             module,
             word_levels: HashMap::new(),
             wide_levels: HashMap::new(),
+            scratch: Vec::new(),
             calls: 0,
             misses: 0,
         }
@@ -234,7 +267,7 @@ impl MemoSafetyOracle {
         self.misses += 1;
         let level = self
             .module
-            .privacy_level_word(visible_word)
+            .privacy_level_word_with(visible_word, &mut self.scratch)
             .unwrap_or_else(|| self.module.privacy_level(&AttrSet::from_word(visible_word)));
         self.word_levels.insert(visible_word, level);
         level

@@ -267,6 +267,28 @@ impl StandaloneModule {
         Some((d as u128).saturating_mul(h))
     }
 
+    /// [`privacy_level_word`](Self::privacy_level_word) through a
+    /// caller-owned probe scratch buffer, so concurrent sweep shards do
+    /// not serialize on the kernel's shared scratch mutex.
+    #[must_use]
+    pub fn privacy_level_word_with(
+        &self,
+        visible_word: u64,
+        scratch: &mut Vec<u64>,
+    ) -> Option<u128> {
+        if self.relation.is_empty() {
+            return Some(u128::MAX);
+        }
+        let (iw, ow) = (self.inputs_word?, self.outputs_word?);
+        let h = self.schema().domain_product_word(ow & !visible_word);
+        let d = self.kernel.min_group_distinct_words_with(
+            iw & visible_word,
+            ow & visible_word,
+            scratch,
+        );
+        Some((d as u128).saturating_mul(h))
+    }
+
     /// Row-at-a-time privacy level — the seed semantics
     /// ([`ops::reference`]), kept as the executable specification for
     /// property tests and as the benchmark baseline for the kernel.
@@ -323,6 +345,37 @@ impl StandaloneModule {
     pub fn minimal_safe_hidden_sets(&self, gamma: u128) -> Result<Vec<AttrSet>, CoreError> {
         let mut oracle = crate::safety::KernelOracle::new(self);
         crate::safety::minimal_safe_hidden_sets(&mut oracle, gamma)
+    }
+
+    /// [`min_cost_safe_hidden`](Self::min_cost_safe_hidden) through the
+    /// parallel work-stealing lattice sweep (branch-and-bound on a
+    /// shared best-cost bound). Returns the solution plus the sweep's
+    /// visited/pruned counters.
+    ///
+    /// # Errors
+    /// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
+    pub fn min_cost_safe_hidden_sweep(
+        &self,
+        costs: &[u64],
+        gamma: u128,
+        config: &crate::sweep::SweepConfig,
+    ) -> Result<(Option<(AttrSet, u64)>, crate::sweep::SweepStats), CoreError> {
+        crate::sweep::min_cost_sweep(self, costs, gamma, config)
+    }
+
+    /// [`minimal_safe_hidden_sets`](Self::minimal_safe_hidden_sets)
+    /// through the parallel layered sweep with Proposition-1 antichain
+    /// pruning. Returns the antichain plus the sweep's visited/pruned
+    /// counters.
+    ///
+    /// # Errors
+    /// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
+    pub fn minimal_safe_hidden_sets_sweep(
+        &self,
+        gamma: u128,
+        config: &crate::sweep::SweepConfig,
+    ) -> Result<(Vec<AttrSet>, crate::sweep::SweepStats), CoreError> {
+        crate::sweep::minimal_sets_sweep(self, gamma, config)
     }
 
     /// The actual output `m(x)` recorded in `R` for input `x`, if any.

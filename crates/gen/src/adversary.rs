@@ -330,6 +330,25 @@ pub fn thm3_costs(l: usize) -> Vec<u64> {
     c
 }
 
+/// The Theorem-3 minimum-cost search on the realizable threshold module
+/// [`thm3_m1`], run through the parallel branch-and-bound lattice sweep
+/// (`sv-core::sweep`). The `2^Ω(ℓ)` lower bound says the *probe count*
+/// cannot be beaten — sharding the probes across threads and cutting
+/// cost-dominated masks is exactly the remaining headroom, which is why
+/// this gadget doubles as the sweep's adversarial benchmark workload.
+///
+/// # Panics
+/// Panics if `ℓ + 1` exceeds the dense-enumeration maximum.
+#[must_use]
+pub fn thm3_min_cost_sweep(
+    l: usize,
+    config: &sv_core::SweepConfig,
+) -> (Option<(AttrSet, u64)>, sv_core::SweepStats) {
+    let m = thm3_m1(l);
+    sv_core::sweep::min_cost_sweep(&m, &thm3_costs(l), 2, config)
+        .expect("thm3 module fits dense enumeration")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +454,19 @@ mod tests {
         let m1 = thm3_m1(l);
         let (_, cost) = m1.min_cost_safe_hidden(&thm3_costs(l), 2).unwrap().unwrap();
         assert_eq!(cost, (3 * l / 4 + 1) as u64);
+    }
+
+    #[test]
+    fn thm3_sweep_matches_serial_across_threads() {
+        let l = 8;
+        let m1 = thm3_m1(l);
+        let serial = m1.min_cost_safe_hidden(&thm3_costs(l), 2).unwrap();
+        for threads in [1usize, 2, 4] {
+            let (found, stats) = thm3_min_cost_sweep(l, &sv_core::SweepConfig::parallel(threads));
+            assert_eq!(found, serial, "threads={threads}");
+            assert_eq!(stats.visited + stats.pruned, stats.lattice);
+            assert_eq!(stats.lattice, 1 << (l + 1));
+        }
     }
 
     #[test]

@@ -10,8 +10,11 @@
 
 use crate::exact;
 use sv_core::compose::ModuleLens;
-use sv_core::requirements::{cardinality_constraints_with, set_constraints_with};
+use sv_core::requirements::{
+    cardinality_constraints_from_antichain, cardinality_constraints_with, set_constraints_with,
+};
 use sv_core::safety::WorkflowOracles;
+use sv_core::sweep::{SweepStats, WorkflowSweeper};
 use sv_core::CoreError;
 use sv_relation::AttrSet;
 use sv_workflow::Workflow;
@@ -214,6 +217,61 @@ impl CardinalityInstance {
         })
     }
 
+    /// Derives the instance through a [`WorkflowSweeper`]: per module,
+    /// the ⊆-minimal safe hidden sets come from the parallel antichain
+    /// sweep, and the cardinality Pareto frontier is then recovered by
+    /// **pure set arithmetic** over that antichain
+    /// ([`cardinality_constraints_from_antichain`]) — zero additional
+    /// oracle probes. Also returns the merged sweep counters.
+    ///
+    /// # Errors
+    /// Propagates sweep failures; fails on modules with no safe hiding.
+    pub fn from_sweeper(
+        sweeper: &WorkflowSweeper,
+        gammas: &[u128],
+    ) -> Result<(Self, SweepStats), CoreError> {
+        assert_eq!(gammas.len(), sweeper.module_ids().len());
+        let n_attrs = sweeper.n_attrs();
+        let mut modules = Vec::new();
+        let mut stats = SweepStats::default();
+        for (id, &gamma) in sweeper.module_ids().into_iter().zip(gammas) {
+            let (antichain, s) = sweeper.module_minimal_sets(id, gamma)?;
+            stats.merge(&s);
+            let m = sweeper
+                .module(id)
+                .ok_or(CoreError::MissingOracle { module: id.index() })?;
+            let list: Vec<(usize, usize)> =
+                cardinality_constraints_from_antichain(&antichain, m.inputs(), m.outputs())
+                    .into_iter()
+                    .map(|c| (c.alpha, c.beta))
+                    .collect();
+            if list.is_empty() {
+                return Err(CoreError::BudgetExceeded {
+                    what: "module admits no safe hiding for gamma",
+                    required: gamma,
+                    budget: 0,
+                });
+            }
+            modules.push(CardModule {
+                inputs: sweeper
+                    .global_inputs(id)
+                    .ok_or(CoreError::MissingOracle { module: id.index() })?,
+                outputs: sweeper
+                    .global_outputs(id)
+                    .ok_or(CoreError::MissingOracle { module: id.index() })?,
+                list,
+            });
+        }
+        Ok((
+            Self {
+                n_attrs,
+                costs: vec![1; n_attrs],
+                modules,
+            },
+            stats,
+        ))
+    }
+
     /// Replaces the unit costs with explicit ones.
     #[must_use]
     pub fn with_costs(mut self, costs: Vec<u64>) -> Self {
@@ -316,6 +374,51 @@ impl SetInstance {
             costs: vec![1; n_attrs],
             modules,
         })
+    }
+
+    /// Derives the instance through a [`WorkflowSweeper`]: each module's
+    /// requirement list is its ⊆-minimal-safe-set antichain from the
+    /// parallel layered sweep, mapped to global ids. Also returns the
+    /// merged sweep counters.
+    ///
+    /// # Errors
+    /// Propagates sweep failures; fails on modules with no safe hiding.
+    pub fn from_sweeper(
+        sweeper: &WorkflowSweeper,
+        gammas: &[u128],
+    ) -> Result<(Self, SweepStats), CoreError> {
+        assert_eq!(gammas.len(), sweeper.module_ids().len());
+        let n_attrs = sweeper.n_attrs();
+        let mut modules = Vec::new();
+        let mut stats = SweepStats::default();
+        for (id, &gamma) in sweeper.module_ids().into_iter().zip(gammas) {
+            let (antichain, s) = sweeper.module_minimal_sets(id, gamma)?;
+            stats.merge(&s);
+            let list: Vec<AttrSet> = antichain
+                .iter()
+                .map(|r| {
+                    sweeper
+                        .to_global(id, r)
+                        .ok_or(CoreError::MissingOracle { module: id.index() })
+                })
+                .collect::<Result<_, _>>()?;
+            if list.is_empty() {
+                return Err(CoreError::BudgetExceeded {
+                    what: "module admits no safe hiding for gamma",
+                    required: gamma,
+                    budget: 0,
+                });
+            }
+            modules.push(SetModule { list });
+        }
+        Ok((
+            Self {
+                n_attrs,
+                costs: vec![1; n_attrs],
+                modules,
+            },
+            stats,
+        ))
     }
 
     /// Replaces the unit costs with explicit ones.
@@ -477,6 +580,29 @@ mod tests {
         let hidden = AttrSet::from_indices(&[3, 4]);
         assert!(inst.modules[0].satisfied_by(&hidden));
         assert!(CardinalityInstance::from_workflow(&w, 4, 1 << 20).is_err());
+    }
+
+    #[test]
+    fn sweeper_derivations_match_oracle_derivations() {
+        let w = fig1_workflow();
+        let gammas = [2u128; 3];
+        for threads in [1usize, 4] {
+            let sweeper =
+                WorkflowSweeper::for_workflow(&w, 1 << 20, sv_core::SweepConfig::parallel(threads))
+                    .unwrap();
+            let (set_inst, s1) = SetInstance::from_sweeper(&sweeper, &gammas).unwrap();
+            let baseline = SetInstance::from_workflow(&w, 2, 1 << 20).unwrap();
+            assert_eq!(set_inst.modules, baseline.modules, "threads={threads}");
+            assert!(s1.visited + s1.pruned == s1.lattice && s1.lattice > 0);
+            let (card_inst, _) = CardinalityInstance::from_sweeper(&sweeper, &gammas).unwrap();
+            let baseline = CardinalityInstance::from_workflow(&w, 2, 1 << 20).unwrap();
+            assert_eq!(card_inst.modules, baseline.modules, "threads={threads}");
+        }
+        // Unsatisfiable Γ errors out, as the oracle path does.
+        let sweeper =
+            WorkflowSweeper::for_workflow(&w, 1 << 20, sv_core::SweepConfig::serial()).unwrap();
+        assert!(SetInstance::from_sweeper(&sweeper, &[4; 3]).is_err());
+        assert!(CardinalityInstance::from_sweeper(&sweeper, &[4; 3]).is_err());
     }
 
     #[test]

@@ -330,7 +330,12 @@ impl InternedRelation {
     /// relation.
     ///
     /// Allocation-free once both group indexes are cached: the pair
-    /// codes go through a reusable scratch buffer.
+    /// codes go through a reusable scratch buffer. This form shares one
+    /// mutex-guarded scratch across all callers; concurrent sweeps
+    /// should use [`min_group_distinct_with`](Self::min_group_distinct_with)
+    /// / [`min_group_distinct_words_with`](Self::min_group_distinct_words_with)
+    /// with a per-thread buffer instead, otherwise every probe
+    /// serializes on the scratch lock.
     #[must_use]
     pub fn min_group_distinct(&self, key: &AttrSet, probe: &AttrSet) -> usize {
         let kg = self.group_index(key);
@@ -347,35 +352,40 @@ impl InternedRelation {
         self.min_group_distinct_indexed(&kg, &pg)
     }
 
+    /// [`min_group_distinct`](Self::min_group_distinct) through a
+    /// caller-owned scratch buffer. Group-index caches are still shared
+    /// (read-mostly `RwLock`), but the per-probe pair-code buffer is the
+    /// caller's — the form the parallel lattice sweep uses, one buffer
+    /// per worker shard.
+    #[must_use]
+    pub fn min_group_distinct_with(
+        &self,
+        key: &AttrSet,
+        probe: &AttrSet,
+        scratch: &mut Vec<u64>,
+    ) -> usize {
+        let kg = self.group_index(key);
+        let pg = self.group_index(probe);
+        min_group_distinct_in(&kg, &pg, self.n_rows, scratch)
+    }
+
+    /// Word-keyed [`min_group_distinct_with`](Self::min_group_distinct_with)
+    /// for schemas of ≤ 64 attributes.
+    #[must_use]
+    pub fn min_group_distinct_words_with(
+        &self,
+        key: u64,
+        probe: u64,
+        scratch: &mut Vec<u64>,
+    ) -> usize {
+        let kg = self.group_index_word(key);
+        let pg = self.group_index_word(probe);
+        min_group_distinct_in(&kg, &pg, self.n_rows, scratch)
+    }
+
     fn min_group_distinct_indexed(&self, kg: &GroupIndex, pg: &GroupIndex) -> usize {
-        if self.n_rows == 0 {
-            return usize::MAX;
-        }
-        let pn = u64::from(pg.n_groups);
         let mut scratch = self.scratch.lock().expect("lock");
-        scratch.clear();
-        scratch.extend(
-            kg.row_group
-                .iter()
-                .zip(pg.row_group.iter())
-                .map(|(&k, &p)| u64::from(k) * pn + u64::from(p)),
-        );
-        scratch.sort_unstable();
-        scratch.dedup();
-        let mut min = usize::MAX;
-        let mut cur_key = scratch[0] / pn;
-        let mut count = 0usize;
-        for &code in scratch.iter() {
-            let k = code / pn;
-            if k == cur_key {
-                count += 1;
-            } else {
-                min = min.min(count);
-                cur_key = k;
-                count = 1;
-            }
-        }
-        min.min(count)
+        min_group_distinct_in(kg, pg, self.n_rows, &mut scratch)
     }
 
     /// Grouped distinct counting with materialized keys — the
@@ -449,6 +459,44 @@ impl InternedRelation {
     }
 }
 
+/// The Lemma-4 pair-code walk over two cached group-id columns, writing
+/// through an arbitrary scratch buffer (shared mutex-guarded or
+/// per-worker).
+fn min_group_distinct_in(
+    kg: &GroupIndex,
+    pg: &GroupIndex,
+    n_rows: usize,
+    scratch: &mut Vec<u64>,
+) -> usize {
+    if n_rows == 0 {
+        return usize::MAX;
+    }
+    let pn = u64::from(pg.n_groups);
+    scratch.clear();
+    scratch.extend(
+        kg.row_group
+            .iter()
+            .zip(pg.row_group.iter())
+            .map(|(&k, &p)| u64::from(k) * pn + u64::from(p)),
+    );
+    scratch.sort_unstable();
+    scratch.dedup();
+    let mut min = usize::MAX;
+    let mut cur_key = scratch[0] / pn;
+    let mut count = 0usize;
+    for &code in scratch.iter() {
+        let k = code / pn;
+        if k == cur_key {
+            count += 1;
+        } else {
+            min = min.min(count);
+            cur_key = k;
+            count = 1;
+        }
+    }
+    min.min(count)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +561,13 @@ mod tests {
         let key = AttrSet::from_indices(&[0]);
         let probe = AttrSet::from_indices(&[1, 2]);
         assert_eq!(ir.min_group_distinct(&key, &probe), 2);
+        // Caller-owned scratch variants agree with the shared-scratch path.
+        let mut scratch = Vec::new();
+        assert_eq!(ir.min_group_distinct_with(&key, &probe, &mut scratch), 2);
+        assert_eq!(
+            ir.min_group_distinct_words_with(0b001, 0b110, &mut scratch),
+            2
+        );
         let counts = ir.group_count_distinct(&key, &probe);
         assert_eq!(
             counts,

@@ -10,7 +10,7 @@
 //! ([`crate::InternedRelation`]): sub-tuples are mapped to dense `u32`
 //! ids once, and the operators walk id columns instead of hashing
 //! heap-allocated [`Tuple`]s. The original row-at-a-time
-//! implementations are preserved in [`reference`] as the semantic
+//! implementations are preserved in [`mod@reference`] as the semantic
 //! ground truth the property tests compare against — with one
 //! deliberate behavioral change on both paths: attribute ids outside
 //! the schema are **ignored** by projection/grouping, where the seed

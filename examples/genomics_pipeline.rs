@@ -114,7 +114,7 @@ fn main() {
     // ── Verify the optimum semantically ──────────────────────────────
     let visible = opt.hidden.complement(wf.schema().len());
     let report = WorldSearch::new(&wf, visible)
-        .run(1 << 28)
+        .run(1 << 33)
         .expect("world space within budget");
     let risk_id = ModuleId(1);
     println!(
