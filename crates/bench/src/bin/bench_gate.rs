@@ -76,9 +76,16 @@ fn run() -> Result<bool, String> {
 fn main() {
     match run() {
         Ok(true) => {}
-        Ok(false) => std::process::exit(1),
+        Ok(false) => {
+            eprintln!(
+                "bench_gate: FAILED — see docs/BENCHMARKS.md for the measurement \
+                 methodology, gate thresholds, and how to refresh a committed \
+                 BENCH_*.json baseline after a deliberate change"
+            );
+            std::process::exit(1);
+        }
         Err(e) => {
-            eprintln!("bench_gate: {e}");
+            eprintln!("bench_gate: {e} (see docs/BENCHMARKS.md)");
             std::process::exit(2);
         }
     }

@@ -23,6 +23,9 @@ pub enum CoreError {
     },
     /// A workflow-level operation failed in the workflow substrate.
     Workflow(sv_workflow::WorkflowError),
+    /// A relational operation (row validation, append) failed in the
+    /// relation substrate.
+    Relation(sv_relation::RelationError),
     /// Too many attributes for dense subset enumeration.
     TooManyAttributes {
         /// Number of attributes.
@@ -50,6 +53,7 @@ impl fmt::Display for CoreError {
                 budget,
             } => write!(f, "{what}: requires {required}, budget {budget}"),
             Self::Workflow(e) => write!(f, "workflow error: {e}"),
+            Self::Relation(e) => write!(f, "relation error: {e}"),
             Self::TooManyAttributes { k, max } => {
                 write!(f, "{k} attributes exceed dense-enumeration maximum {max}")
             }
@@ -67,6 +71,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Workflow(e) => Some(e),
+            Self::Relation(e) => Some(e),
             _ => None,
         }
     }
@@ -75,6 +80,12 @@ impl std::error::Error for CoreError {
 impl From<sv_workflow::WorkflowError> for CoreError {
     fn from(e: sv_workflow::WorkflowError) -> Self {
         Self::Workflow(e)
+    }
+}
+
+impl From<sv_relation::RelationError> for CoreError {
+    fn from(e: sv_relation::RelationError) -> Self {
+        Self::Relation(e)
     }
 }
 

@@ -84,6 +84,24 @@ fn low_mask(k: usize) -> u64 {
 ///
 /// Implementations are instrumented (`calls`) so experiments can chart
 /// query counts, and may memoize — hence `&mut self` on the probes.
+///
+/// # Examples
+/// ```
+/// use sv_core::safety::{KernelOracle, SafetyOracle};
+/// use sv_core::StandaloneModule;
+/// use sv_relation::AttrSet;
+/// use sv_workflow::{library::fig1_workflow, ModuleId};
+///
+/// let m = StandaloneModule::from_workflow_module(&fig1_workflow(), ModuleId(0), 1 << 20)
+///     .unwrap();
+/// let mut oracle = KernelOracle::new(&m);
+/// // Example 3 of the paper: V = {a1, a3, a5} is safe for Γ = 4 —
+/// // and the full privacy level answers every Γ at once.
+/// let v = AttrSet::from_indices(&[0, 2, 4]);
+/// assert!(oracle.is_safe(&v, 4));
+/// assert_eq!(oracle.privacy_level(&v), 4);
+/// assert_eq!(oracle.calls(), 2);
+/// ```
 pub trait SafetyOracle {
     /// The module the oracle answers for.
     fn module(&self) -> &StandaloneModule;
@@ -129,6 +147,17 @@ pub trait SafetyOracle {
         }
         let visible = AttrSet::from_word(!hidden_word & low_mask(self.k()));
         self.is_safe(&visible, gamma)
+    }
+
+    /// The **versioned probe path**: the generation of the module
+    /// relation the oracle currently answers for
+    /// ([`StandaloneModule::epoch`]). Streaming consumers compare this
+    /// against the epoch a derived result (requirement list, sweep
+    /// antichain) was computed at to decide whether it is still
+    /// current; memoizing implementations additionally stamp each cache
+    /// entry with it.
+    fn relation_epoch(&self) -> u64 {
+        self.module().epoch()
     }
 
     /// Number of probes answered so far.
@@ -215,16 +244,61 @@ impl SafetyOracle for NaiveOracle {
 /// computed once on the interned kernel and cached (word-keyed for
 /// `k ≤ 64`, [`AttrSet`]-keyed beyond). Repeated `is_safe` queries —
 /// for any Γ — are O(1) hash lookups with no allocation.
+///
+/// ### Streaming: epoch-stamped entries and the monotone shortcut
+///
+/// Every cache entry carries the relation epoch it was computed at.
+/// When executions are appended
+/// ([`append_execution`](Self::append_execution)), nothing is flushed:
+/// a stale entry is revalidated **lazily** on its next probe, and the
+/// grouped-counting structure of the Lemma-4 condition lets many
+/// entries survive without touching the kernel at all. Appending rows
+/// can only *grow* the distinct-output count of an existing
+/// visible-input group; the privacy level can drop only when an append
+/// creates a **new** visible-input group (a fresh group may contribute
+/// a new, smaller minimum). The kernel tracks exactly that
+/// ([`sv_relation::InternedRelation::group_new_group_epoch_word`]), so
+/// a stale `is_safe(V, Γ)` with a cached level `≥ Γ` whose key grouping
+/// gained no new group since the entry was stamped is answered `true`
+/// from the cache — the cached level is a sound lower bound.
+///
+/// # Examples
+/// ```
+/// use sv_core::{MemoSafetyOracle, SafetyOracle, StandaloneModule};
+/// use sv_relation::{AttrSet, Relation, Schema, Tuple};
+///
+/// let schema = Schema::booleans(&["i1", "i2", "o"]);
+/// let rows = vec![vec![0, 0, 0], vec![0, 1, 1]];
+/// let m = StandaloneModule::new(
+///     Relation::from_values(schema, rows).unwrap(),
+///     AttrSet::from_indices(&[0, 1]),
+///     AttrSet::from_indices(&[2]),
+/// )
+/// .unwrap();
+/// let mut oracle = MemoSafetyOracle::new(m);
+/// // V = {i1, o}: i2 is hidden, so the group i1=0 shows 2 outputs.
+/// let v = AttrSet::from_indices(&[0, 2]);
+/// assert_eq!(oracle.privacy_level(&v), 2);
+///
+/// // Stream a new execution into the oracle's module: the cache entry
+/// // is revalidated lazily, not flushed.
+/// oracle.append_execution(&[Tuple::new(vec![1, 0, 1])]).unwrap();
+/// assert_eq!(oracle.privacy_level(&v), 1, "new input group lowered the level");
+/// ```
 pub struct MemoSafetyOracle {
     module: StandaloneModule,
-    word_levels: HashMap<u64, u128>,
-    wide_levels: HashMap<AttrSet, u128>,
+    /// Visible word → (privacy level, epoch it was computed at).
+    word_levels: HashMap<u64, (u128, u64)>,
+    /// Wide-schema cache: canonical visible set → (level, epoch).
+    wide_levels: HashMap<AttrSet, (u128, u64)>,
     /// Per-oracle probe scratch: cache-miss kernel probes run through
     /// this buffer instead of the kernel's shared scratch mutex, so one
     /// oracle per sweep shard means zero cross-thread probe contention.
     scratch: Vec<u64>,
     calls: u64,
     misses: u64,
+    revalidations: u64,
+    shortcut_hits: u64,
 }
 
 impl MemoSafetyOracle {
@@ -238,6 +312,8 @@ impl MemoSafetyOracle {
             scratch: Vec::new(),
             calls: 0,
             misses: 0,
+            revalidations: 0,
+            shortcut_hits: 0,
         }
     }
 
@@ -245,6 +321,20 @@ impl MemoSafetyOracle {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Kernel evaluations that *refreshed* a stale (pre-append) entry —
+    /// a subset of [`misses`](Self::misses).
+    #[must_use]
+    pub fn revalidations(&self) -> u64 {
+        self.revalidations
+    }
+
+    /// Stale `is_safe` probes answered from the cache via the monotone
+    /// lower bound, with zero kernel work.
+    #[must_use]
+    pub fn monotone_shortcut_hits(&self) -> u64 {
+        self.shortcut_hits
     }
 
     /// Number of cached distinct visible sets.
@@ -259,18 +349,60 @@ impl MemoSafetyOracle {
         self.module
     }
 
+    /// Streams newly observed executions into the wrapped module
+    /// ([`StandaloneModule::append_execution`]). Cached levels are kept
+    /// and revalidated lazily against the new epoch on their next
+    /// probe.
+    ///
+    /// # Errors
+    /// Propagates append validation failures (domains, FD); on error
+    /// the module and cache are unchanged.
+    pub fn append_execution(&mut self, rows: &[sv_relation::Tuple]) -> Result<usize, CoreError> {
+        self.module.append_execution(rows)
+    }
+
     /// Memoized level for a masked visible word (`k ≤ 64` path).
     fn level_word(&mut self, visible_word: u64) -> u128 {
-        if let Some(&l) = self.word_levels.get(&visible_word) {
-            return l;
+        let epoch = self.module.epoch();
+        if let Some(&(l, e)) = self.word_levels.get(&visible_word) {
+            if e == epoch {
+                return l;
+            }
+            self.revalidations += 1;
         }
         self.misses += 1;
         let level = self
             .module
             .privacy_level_word_with(visible_word, &mut self.scratch)
             .unwrap_or_else(|| self.module.privacy_level(&AttrSet::from_word(visible_word)));
-        self.word_levels.insert(visible_word, level);
+        self.word_levels.insert(visible_word, (level, epoch));
         level
+    }
+
+    /// `is_safe` on a masked visible word, taking the monotone shortcut
+    /// for stale entries when it is sound (see the type-level docs).
+    fn safe_word(&mut self, visible_word: u64, gamma: u128) -> bool {
+        if let Some(&(l, e)) = self.word_levels.get(&visible_word) {
+            let epoch = self.module.epoch();
+            if e == epoch {
+                return l >= gamma;
+            }
+            if l >= gamma {
+                // Stale but sufficient: still `true` if the visible-
+                // input grouping gained no new group since the stamp.
+                let iw = self.module.inputs().as_word().unwrap_or(0);
+                if self
+                    .module
+                    .kernel()
+                    .group_new_group_epoch_word(iw & visible_word)
+                    .is_some_and(|ge| ge <= e)
+                {
+                    self.shortcut_hits += 1;
+                    return true;
+                }
+            }
+        }
+        self.level_word(visible_word) >= gamma
     }
 
     /// Memoized level through the wide ([`AttrSet`]-keyed) cache.
@@ -278,13 +410,41 @@ impl MemoSafetyOracle {
         // Canonicalize so sets differing only outside the schema share
         // a cache line.
         let canonical = visible.intersection(&self.module.schema().all_attrs());
-        if let Some(&l) = self.wide_levels.get(&canonical) {
-            return l;
+        let epoch = self.module.epoch();
+        if let Some(&(l, e)) = self.wide_levels.get(&canonical) {
+            if e == epoch {
+                return l;
+            }
+            self.revalidations += 1;
         }
         self.misses += 1;
         let level = self.module.privacy_level(&canonical);
-        self.wide_levels.insert(canonical, level);
+        self.wide_levels.insert(canonical, (level, epoch));
         level
+    }
+
+    /// Wide-path `is_safe` with the monotone shortcut.
+    fn safe_wide(&mut self, visible: &AttrSet, gamma: u128) -> bool {
+        let canonical = visible.intersection(&self.module.schema().all_attrs());
+        if let Some(&(l, e)) = self.wide_levels.get(&canonical) {
+            let epoch = self.module.epoch();
+            if e == epoch {
+                return l >= gamma;
+            }
+            if l >= gamma {
+                let key = self.module.inputs().intersection(&canonical);
+                if self
+                    .module
+                    .kernel()
+                    .group_new_group_epoch(&key)
+                    .is_some_and(|ge| ge <= e)
+                {
+                    self.shortcut_hits += 1;
+                    return true;
+                }
+            }
+        }
+        self.level_wide(&canonical) >= gamma
     }
 }
 
@@ -303,6 +463,19 @@ impl SafetyOracle for MemoSafetyOracle {
         self.level_wide(visible)
     }
 
+    fn is_safe(&mut self, visible: &AttrSet, gamma: u128) -> bool {
+        self.calls += 1;
+        if gamma <= 1 {
+            return true;
+        }
+        if self.module.k() <= 64 {
+            if let Some(vw) = visible.as_word() {
+                return self.safe_word(vw & low_mask(self.module.k()), gamma);
+            }
+        }
+        self.safe_wide(visible, gamma)
+    }
+
     fn is_safe_hidden_word(&mut self, hidden_word: u64, gamma: u128) -> bool {
         self.calls += 1;
         if gamma <= 1 {
@@ -313,9 +486,9 @@ impl SafetyOracle for MemoSafetyOracle {
             // The word cannot name attrs ≥ 64: complement over all k
             // attributes and take the wide path.
             let visible = AttrSet::from_word(hidden_word).complement(k);
-            return self.level_wide(&visible) >= gamma;
+            return self.safe_wide(&visible, gamma);
         }
-        self.level_word(!hidden_word & low_mask(k)) >= gamma
+        self.safe_word(!hidden_word & low_mask(k), gamma)
     }
 
     fn calls(&self) -> u64 {
@@ -404,7 +577,16 @@ pub fn minimal_safe_hidden_sets(
 /// "identical safety queries are answered once per instance, regardless
 /// of which optimizer asks" true end-to-end.
 pub struct WorkflowOracles {
-    entries: Vec<(ModuleId, MemoSafetyOracle)>,
+    entries: Vec<OracleEntry>,
+}
+
+/// One private module's oracle plus the global attribute set needed to
+/// slice workflow-level provenance rows down to the module sub-schema.
+struct OracleEntry {
+    id: ModuleId,
+    /// The module's attributes in **global** (workflow-schema) ids.
+    attrs: AttrSet,
+    oracle: MemoSafetyOracle,
 }
 
 impl WorkflowOracles {
@@ -418,15 +600,88 @@ impl WorkflowOracles {
         let mut entries = Vec::new();
         for id in workflow.private_modules() {
             let sm = StandaloneModule::from_workflow_module(workflow, id, budget)?;
-            entries.push((id, MemoSafetyOracle::new(sm)));
+            entries.push(OracleEntry {
+                id,
+                attrs: workflow.module(id)?.attr_set(),
+                oracle: MemoSafetyOracle::new(sm),
+            });
         }
         Ok(Self { entries })
+    }
+
+    /// The **streaming** constructor: every private module starts with
+    /// an empty relation (no executions recorded) and grows through
+    /// [`ingest_execution`](Self::ingest_execution) /
+    /// [`append_execution`](Self::append_execution) as provenance
+    /// arrives. Privacy answers are with respect to the executions
+    /// recorded so far.
+    ///
+    /// # Errors
+    /// Propagates structural workflow errors.
+    pub fn for_workflow_streaming(workflow: &Workflow) -> Result<Self, CoreError> {
+        let mut entries = Vec::new();
+        for id in workflow.private_modules() {
+            let sm = StandaloneModule::empty_from_workflow_module(workflow, id)?;
+            entries.push(OracleEntry {
+                id,
+                attrs: workflow.module(id)?.attr_set(),
+                oracle: MemoSafetyOracle::new(sm),
+            });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Ingests one workflow execution (a full provenance row over the
+    /// **workflow** schema, e.g. from [`Workflow::run`]): each private
+    /// module appends its projection of the row. Returns the total
+    /// number of new module rows (a module already holding its
+    /// projection contributes 0 — only *its* caches stay fully warm).
+    ///
+    /// Atomic across modules: every projection is validated
+    /// ([`StandaloneModule::validate_executions`]) before any module is
+    /// touched, so a row that is invalid for one module mutates none.
+    ///
+    /// # Errors
+    /// Propagates append validation failures (domains, FD).
+    pub fn ingest_execution(&mut self, row: &sv_relation::Tuple) -> Result<usize, CoreError> {
+        let projections: Vec<sv_relation::Tuple> =
+            self.entries.iter().map(|e| row.project(&e.attrs)).collect();
+        for (e, p) in self.entries.iter().zip(&projections) {
+            e.oracle
+                .module()
+                .validate_executions(std::slice::from_ref(p))?;
+        }
+        let mut added = 0;
+        for (e, p) in self.entries.iter_mut().zip(&projections) {
+            added += e
+                .oracle
+                .append_execution(std::slice::from_ref(p))
+                .expect("validated above");
+        }
+        Ok(added)
+    }
+
+    /// Streams executions (rows over the **module** sub-schema) into
+    /// one module's oracle; see
+    /// [`MemoSafetyOracle::append_execution`].
+    ///
+    /// # Errors
+    /// [`CoreError::MissingOracle`] for an uncovered module id;
+    /// propagates append validation failures.
+    pub fn append_execution(
+        &mut self,
+        id: ModuleId,
+        rows: &[sv_relation::Tuple],
+    ) -> Result<usize, CoreError> {
+        self.oracle_mut(id)
+            .ok_or(CoreError::MissingOracle { module: id.index() })?
+            .append_execution(rows)
     }
 
     /// The covered module ids, in `private_modules()` order.
     #[must_use]
     pub fn module_ids(&self) -> Vec<ModuleId> {
-        self.entries.iter().map(|(id, _)| *id).collect()
+        self.entries.iter().map(|e| e.id).collect()
     }
 
     /// Mutable access to one module's oracle.
@@ -434,25 +689,25 @@ impl WorkflowOracles {
     pub fn oracle_mut(&mut self, id: ModuleId) -> Option<&mut MemoSafetyOracle> {
         self.entries
             .iter_mut()
-            .find(|(mid, _)| *mid == id)
-            .map(|(_, o)| o)
+            .find(|e| e.id == id)
+            .map(|e| &mut e.oracle)
     }
 
     /// Iterates `(id, oracle)` mutably, in `private_modules()` order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (ModuleId, &mut MemoSafetyOracle)> {
-        self.entries.iter_mut().map(|(id, o)| (*id, o))
+        self.entries.iter_mut().map(|e| (e.id, &mut e.oracle))
     }
 
     /// Total probes across all oracles.
     #[must_use]
     pub fn total_calls(&self) -> u64 {
-        self.entries.iter().map(|(_, o)| o.calls()).sum()
+        self.entries.iter().map(|e| e.oracle.calls()).sum()
     }
 
     /// Total cache misses (kernel evaluations) across all oracles.
     #[must_use]
     pub fn total_misses(&self) -> u64 {
-        self.entries.iter().map(|(_, o)| o.misses()).sum()
+        self.entries.iter().map(|e| e.oracle.misses()).sum()
     }
 }
 
@@ -530,6 +785,193 @@ mod tests {
         // has 32 subsets, so misses are bounded by 32.
         assert!(memo.misses() <= 32, "misses = {}", memo.misses());
         assert!(memo.calls() > memo.misses());
+    }
+
+    /// The Figure-1 m1 rows (local schema i1,i2 → o1,o2,o3).
+    fn m1_rows() -> Vec<sv_relation::Tuple> {
+        m1().relation().rows().to_vec()
+    }
+
+    #[test]
+    fn streamed_module_levels_match_batch_build_at_every_step() {
+        let full = m1();
+        let mut streamed = StandaloneModule::new(
+            sv_relation::Relation::empty(full.schema().clone()),
+            full.inputs().clone(),
+            full.outputs().clone(),
+        )
+        .unwrap();
+        let mut memo = MemoSafetyOracle::new(streamed.clone());
+        for (step, row) in m1_rows().into_iter().enumerate() {
+            streamed
+                .append_execution(std::slice::from_ref(&row))
+                .unwrap();
+            memo.append_execution(&[row]).unwrap();
+            assert_eq!(memo.relation_epoch(), (step + 1) as u64);
+            // Prefix-built module from scratch = the streamed one.
+            let prefix = StandaloneModule::new(
+                streamed.relation().clone(),
+                streamed.inputs().clone(),
+                streamed.outputs().clone(),
+            )
+            .unwrap();
+            for mask in 0u32..(1 << 5) {
+                let v = AttrSet::from_word(u64::from(mask));
+                assert_eq!(
+                    memo.privacy_level(&v),
+                    prefix.privacy_level(&v),
+                    "step={step} mask={mask:#b}"
+                );
+            }
+        }
+        assert_eq!(streamed.relation(), full.relation());
+        assert!(memo.revalidations() > 0, "stale entries were refreshed");
+    }
+
+    #[test]
+    fn monotone_shortcut_answers_safe_probes_without_kernel_work() {
+        // (i1, i2) -> o with i2 over a size-3 domain, so executions can
+        // keep arriving inside an existing visible-input group.
+        let schema = sv_relation::Schema::new(vec![
+            sv_relation::AttrDef {
+                name: "i1".into(),
+                domain: sv_relation::Domain::boolean(),
+            },
+            sv_relation::AttrDef {
+                name: "i2".into(),
+                domain: sv_relation::Domain::new(3),
+            },
+            sv_relation::AttrDef {
+                name: "o".into(),
+                domain: sv_relation::Domain::boolean(),
+            },
+        ]);
+        let rel = sv_relation::Relation::from_values(
+            schema,
+            vec![vec![0, 0, 0], vec![0, 1, 1], vec![1, 0, 1], vec![1, 1, 0]],
+        )
+        .unwrap();
+        let m = StandaloneModule::new(
+            rel,
+            AttrSet::from_indices(&[0, 1]),
+            AttrSet::from_indices(&[2]),
+        )
+        .unwrap();
+        let mut memo = MemoSafetyOracle::new(m);
+        // V = {i1, o}: i2 hidden, so each visible-input group holds the
+        // executions of all i2 values.
+        let v = AttrSet::from_indices(&[0, 2]);
+        assert_eq!(memo.privacy_level(&v), 2);
+        let misses = memo.misses();
+        // A new execution lands in the *existing* key group i1=1: no
+        // new group, so the cached `is_safe(V, 2)` stays provably true.
+        memo.append_execution(&[sv_relation::Tuple::new(vec![1, 2, 1])])
+            .unwrap();
+        assert!(memo.is_safe(&v, 2));
+        assert_eq!(memo.misses(), misses, "shortcut: zero kernel work");
+        assert_eq!(memo.monotone_shortcut_hits(), 1);
+        // An exact level query must revalidate (the level may have
+        // changed — here it stays 2).
+        assert_eq!(memo.privacy_level(&v), 2);
+        assert_eq!(memo.misses(), misses + 1);
+        assert_eq!(memo.revalidations(), 1);
+        // An execution opening a *new* key group (i1 never seen… all
+        // i1 values are taken, so extend via a fresh i2 on group 0) —
+        // new *pair*, same groups: shortcut still sound and taken.
+        memo.append_execution(&[sv_relation::Tuple::new(vec![0, 2, 0])])
+            .unwrap();
+        assert!(memo.is_safe(&v, 2));
+        assert_eq!(memo.monotone_shortcut_hits(), 2);
+    }
+
+    #[test]
+    fn append_rejecting_fd_violation_leaves_oracle_consistent() {
+        let mut memo = MemoSafetyOracle::new(m1());
+        let v = AttrSet::from_indices(&[0, 2, 4]);
+        let before = memo.privacy_level(&v);
+        // m1 maps (0,0) ↦ (0,1,1); a contradicting output must fail.
+        let bad = sv_relation::Tuple::new(vec![0, 0, 1, 0, 0]);
+        assert!(matches!(
+            memo.append_execution(&[bad]),
+            Err(CoreError::NotAFunction)
+        ));
+        assert_eq!(memo.relation_epoch(), 0);
+        assert_eq!(memo.privacy_level(&v), before);
+    }
+
+    #[test]
+    fn streaming_workflow_oracles_ingest_provenance_rows() {
+        let w = fig1_workflow();
+        let mut oracles = WorkflowOracles::for_workflow_streaming(&w).unwrap();
+        assert_eq!(oracles.module_ids().len(), 3);
+        // Nothing recorded yet: vacuously safe everywhere.
+        let o = oracles.oracle_mut(ModuleId(0)).unwrap();
+        assert_eq!(o.privacy_level(&AttrSet::new()), u128::MAX);
+        // Ingest every execution of the workflow's input space.
+        let mut total = 0;
+        for x0 in 0..2u32 {
+            for x1 in 0..2u32 {
+                let row = w.run(&[x0, x1]).unwrap();
+                total += oracles.ingest_execution(&row).unwrap();
+            }
+        }
+        assert!(total > 0);
+        // Streamed oracles agree with modules batch-built from the same
+        // observed provenance. (They need *not* agree with the
+        // full-domain materialization of `for_workflow`: streaming
+        // records only executions that actually happened.)
+        for id in oracles.module_ids() {
+            let streamed = oracles.oracle_mut(id).unwrap();
+            let rebuilt = StandaloneModule::new(
+                streamed.module().relation().clone(),
+                streamed.module().inputs().clone(),
+                streamed.module().outputs().clone(),
+            )
+            .unwrap();
+            let k = rebuilt.k();
+            for mask in 0u64..(1 << k) {
+                let v = AttrSet::from_word(mask);
+                assert_eq!(
+                    streamed.privacy_level(&v),
+                    rebuilt.privacy_level(&v),
+                    "module {id:?} mask {mask:#b}"
+                );
+            }
+        }
+        assert!(oracles.append_execution(ModuleId(9), &[]).is_err());
+    }
+
+    #[test]
+    fn ingest_is_atomic_across_modules() {
+        // A row whose projection is *fresh and valid* for m1 but
+        // FD-contradicting for m2 must leave every module untouched.
+        let w = fig1_workflow();
+        let mut oracles = WorkflowOracles::for_workflow_streaming(&w).unwrap();
+        let row1 = w.run(&[0, 0]).unwrap();
+        oracles.ingest_execution(&row1).unwrap();
+
+        // fig1 schema: a1,a2 (m1 inputs), a3..a5 (m1 outputs; a3,a4
+        // feed m2, a4,a5 feed m3), a6 (m2 output), a7 (m3 output).
+        // Fresh m1 input (0,1); m2/m3 inputs copied from row1; m2's
+        // output flipped (contradiction); m3's output kept (duplicate).
+        let mut bad = row1.clone();
+        bad.set(sv_relation::AttrId(1), 1); // a2: (0,0) → (0,1), fresh for m1
+        bad.set(sv_relation::AttrId(5), 1 - row1.get(sv_relation::AttrId(5)));
+        let err = oracles.ingest_execution(&bad).unwrap_err();
+        assert!(matches!(err, CoreError::NotAFunction));
+
+        for id in oracles.module_ids() {
+            let o = oracles.oracle_mut(id).unwrap();
+            assert_eq!(
+                o.module().relation().len(),
+                1,
+                "module {id:?} must be untouched after a failed ingest"
+            );
+            assert_eq!(o.relation_epoch(), 1, "module {id:?} epoch unchanged");
+        }
+        // The corrected row then lands everywhere.
+        let row2 = w.run(&[0, 1]).unwrap();
+        assert!(oracles.ingest_execution(&row2).unwrap() > 0);
     }
 
     #[test]

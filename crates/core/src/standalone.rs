@@ -99,7 +99,41 @@ impl StandaloneModule {
     ) -> Result<Self, CoreError> {
         let m = workflow.module(id)?;
         let rel = m.standalone_relation(workflow.schema(), budget)?;
-        // Module attrs sorted by global id = sub-schema order.
+        let (inputs, outputs) = Self::local_split(workflow, id)?;
+        Self::new(rel, inputs, outputs)
+    }
+
+    /// The **streaming** counterpart of
+    /// [`from_workflow_module`](Self::from_workflow_module): the module
+    /// starts with an *empty* relation over its sub-schema — no
+    /// executions recorded yet, so every view is vacuously safe — and
+    /// grows row-at-a-time through
+    /// [`append_execution`](Self::append_execution) as provenance
+    /// arrives. Privacy answers are always with respect to the
+    /// executions recorded so far, the live-deployment reading of the
+    /// paper's module relation `R`.
+    ///
+    /// # Errors
+    /// Propagates structural workflow errors (unknown module id).
+    pub fn empty_from_workflow_module(
+        workflow: &Workflow,
+        id: ModuleId,
+    ) -> Result<Self, CoreError> {
+        let m = workflow.module(id)?;
+        let sub_schema = Schema::new(
+            m.attr_set()
+                .iter()
+                .map(|a| workflow.schema().attr(a).clone())
+                .collect::<Vec<_>>(),
+        );
+        let (inputs, outputs) = Self::local_split(workflow, id)?;
+        Self::new(Relation::empty(sub_schema), inputs, outputs)
+    }
+
+    /// Local (sub-schema) input/output split of workflow module `id`:
+    /// module attrs sorted by global id = sub-schema order.
+    fn local_split(workflow: &Workflow, id: ModuleId) -> Result<(AttrSet, AttrSet), CoreError> {
+        let m = workflow.module(id)?;
         let order: Vec<_> = m.attr_set().iter().collect();
         let mut inputs = AttrSet::new();
         let mut outputs = AttrSet::new();
@@ -111,7 +145,7 @@ impl StandaloneModule {
                 outputs.insert(local_id);
             }
         }
-        Self::new(rel, inputs, outputs)
+        Ok((inputs, outputs))
     }
 
     /// The module relation `R`.
@@ -154,6 +188,114 @@ impl StandaloneModule {
     #[must_use]
     pub fn fd(&self) -> Fd {
         Fd::new(self.inputs.clone(), self.outputs.clone())
+    }
+
+    /// The relation's generation counter
+    /// ([`InternedRelation::epoch`]): `0` at construction, bumped by
+    /// every [`append_execution`](Self::append_execution) that records
+    /// at least one new row. [`crate::safety::MemoSafetyOracle`] stamps
+    /// its privacy-level cache with this.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.kernel.epoch()
+    }
+
+    /// Appends newly observed executions (full rows over the module
+    /// sub-schema) to the relation, **incrementally**: the interned
+    /// kernel extends its column store and every warm [`sv_relation::
+    /// GroupIndex`] in place (see [`InternedRelation::append_rows`]),
+    /// and the canonical [`Relation`] merges the batch in one sorted
+    /// pass. Duplicate executions are dropped (set semantics); the
+    /// module FD `I -> O` is enforced *before* any mutation, so on
+    /// error the module is unchanged.
+    ///
+    /// Returns the number of genuinely new rows.
+    ///
+    /// # Errors
+    /// [`CoreError::Relation`] on arity/domain violations;
+    /// [`CoreError::NotAFunction`] if a row disagrees on outputs with a
+    /// recorded (or in-batch) execution of the same input.
+    ///
+    /// # Examples
+    /// ```
+    /// use sv_core::StandaloneModule;
+    /// use sv_relation::{AttrSet, Relation, Schema, Tuple};
+    ///
+    /// let schema = Schema::booleans(&["i", "o"]);
+    /// let mut m = StandaloneModule::new(
+    ///     Relation::empty(schema),
+    ///     AttrSet::from_indices(&[0]),
+    ///     AttrSet::from_indices(&[1]),
+    /// )
+    /// .unwrap();
+    /// // First execution arrives: i=0 ↦ o=1.
+    /// assert_eq!(m.append_execution(&[Tuple::new(vec![0, 1])]).unwrap(), 1);
+    /// assert_eq!(m.epoch(), 1);
+    /// // A contradicting execution for the same input is rejected.
+    /// assert!(m.append_execution(&[Tuple::new(vec![0, 0])]).is_err());
+    /// ```
+    pub fn append_execution(&mut self, rows: &[Tuple]) -> Result<usize, CoreError> {
+        self.validate_executions(rows)?;
+        // Nothing can fail past this point: apply to both layers.
+        // Clones of this module share the kernel through the `Arc`;
+        // copy-on-write keeps their view frozen at their epoch.
+        let added = Arc::make_mut(&mut self.kernel)
+            .append_rows(rows)
+            .expect("rows validated above");
+        let merged = self
+            .relation
+            .insert_batch(rows)
+            .expect("rows validated above");
+        debug_assert_eq!(added, merged, "kernel and value layer agree");
+        Ok(added)
+    }
+
+    /// The checks [`append_execution`](Self::append_execution) runs
+    /// **before** mutating anything, as a standalone non-mutating
+    /// query: arity/domain validation plus the FD `I -> O` precheck
+    /// against recorded and in-batch executions. Multi-module ingest
+    /// ([`crate::safety::WorkflowOracles::ingest_execution`],
+    /// [`crate::sweep::WorkflowSweeper::ingest_execution`]) validates
+    /// every module's projection through this first, so a row that is
+    /// invalid for *any* module mutates *no* module.
+    ///
+    /// # Errors
+    /// [`CoreError::Relation`] on arity/domain violations;
+    /// [`CoreError::NotAFunction`] on an output contradiction.
+    pub fn validate_executions(&self, rows: &[Tuple]) -> Result<(), CoreError> {
+        // Arity/domains first (the kernel would also catch this, but
+        // only after the FD pass below touched group caches).
+        for t in rows {
+            self.relation.validate(t)?;
+        }
+        // FD precheck: each row's outputs must agree with the recorded
+        // execution of its input group (the kernel point lookup warms
+        // the `I` grouping, which appends then maintain) and with the
+        // batch so far.
+        let mut batch_out: std::collections::HashMap<Tuple, Tuple> =
+            std::collections::HashMap::new();
+        for t in rows {
+            if let Some(rep) = self.kernel.find_group_row(&self.inputs, t.values()) {
+                for a in self.outputs.iter() {
+                    if self.kernel.value(rep, a) != t.get(a) {
+                        return Err(CoreError::NotAFunction);
+                    }
+                }
+            }
+            let x = t.project(&self.inputs);
+            let y = t.project(&self.outputs);
+            match batch_out.entry(x) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != y {
+                        return Err(CoreError::NotAFunction);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(y);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// **Γ-standalone-privacy test** (Definition 2), decided by the exact

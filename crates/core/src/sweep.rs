@@ -46,6 +46,7 @@ use crate::compose::ModuleLens;
 use crate::error::CoreError;
 use crate::safety::{MemoSafetyOracle, SafetyOracle};
 use crate::standalone::{StandaloneModule, MAX_DENSE_ATTRS};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use sv_relation::{AttrId, AttrSet};
@@ -480,7 +481,38 @@ struct SweepModule {
     lens: ModuleLens,
     /// The module's attributes in global-id order (= local-id order).
     globals: Vec<AttrId>,
+    /// The same attributes as a global [`AttrSet`] (provenance-row
+    /// projection mask for streaming ingest).
+    global_set: AttrSet,
     module: StandaloneModule,
+}
+
+/// One memoized antichain sweep: the result, its counters, and the
+/// relation epoch it was swept at.
+struct CachedAntichain {
+    sets: Vec<AttrSet>,
+    stats: SweepStats,
+    epoch: u64,
+}
+
+/// One memoized min-cost sweep (the map key carries the module, Γ, and
+/// the local cost slice it ran under).
+struct CachedMinCost {
+    found: Option<(AttrSet, u64)>,
+    stats: SweepStats,
+    epoch: u64,
+}
+
+/// Interior sweep memos of a [`WorkflowSweeper`]; see
+/// [`WorkflowSweeper::sweeps_performed`].
+#[derive(Default)]
+struct SweepCaches {
+    minimal: HashMap<(usize, u128), CachedAntichain>,
+    /// Keyed by `(module index, Γ, local costs)`, so alternating cost
+    /// models each keep their own memo instead of thrashing one slot.
+    min_cost: HashMap<(usize, u128, Vec<u64>), CachedMinCost>,
+    /// Lattice sweeps actually executed (cache misses + stale entries).
+    sweeps: u64,
 }
 
 /// Global costs localized once per workflow — the hoisted form of the
@@ -511,10 +543,41 @@ impl WorkflowCosts {
 /// **once**, swept (in parallel, per [`SweepConfig`]) as many times as
 /// the caller needs — union-of-optima assemblies, requirement-list
 /// derivations, greedy general solutions.
+///
+/// ### Epoch-aware sweep memos
+///
+/// Per-module sweep results (the minimal-sets antichain, min-cost
+/// optima) are memoized together with the relation epoch
+/// ([`StandaloneModule::epoch`]) they were computed at. When provenance
+/// streams in ([`ingest_execution`](Self::ingest_execution) /
+/// [`append_execution`](Self::append_execution)), only the modules
+/// whose relations actually changed are re-swept on the next
+/// derivation; the rest answer from the memo with zero probes
+/// (observable via [`sweeps_performed`](Self::sweeps_performed)).
+///
+/// # Examples
+/// ```
+/// use sv_core::{SweepConfig, WorkflowSweeper};
+/// use sv_workflow::library::fig1_workflow;
+///
+/// let wf = fig1_workflow();
+/// let sweeper = WorkflowSweeper::for_workflow(&wf, 1 << 20, SweepConfig::serial()).unwrap();
+/// let gamma = 2;
+/// for id in sweeper.module_ids() {
+///     let (antichain, stats) = sweeper.module_minimal_sets(id, gamma).unwrap();
+///     assert!(!antichain.is_empty());
+///     assert_eq!(stats.visited + stats.pruned, stats.lattice);
+/// }
+/// // Same question again: answered from the epoch-stamped memo.
+/// let before = sweeper.sweeps_performed();
+/// let _ = sweeper.module_minimal_sets(sweeper.module_ids()[0], gamma).unwrap();
+/// assert_eq!(sweeper.sweeps_performed(), before);
+/// ```
 pub struct WorkflowSweeper {
     config: SweepConfig,
     n_attrs: usize,
     mods: Vec<SweepModule>,
+    caches: Mutex<SweepCaches>,
 }
 
 impl WorkflowSweeper {
@@ -528,15 +591,46 @@ impl WorkflowSweeper {
         budget: u128,
         config: SweepConfig,
     ) -> Result<Self, CoreError> {
+        Self::build(workflow, config, |id| {
+            StandaloneModule::from_workflow_module(workflow, id, budget)
+        })
+    }
+
+    /// The **streaming** constructor: every private module starts with
+    /// an empty relation and grows through
+    /// [`ingest_execution`](Self::ingest_execution) /
+    /// [`append_execution`](Self::append_execution) as provenance
+    /// arrives. Sweeps answer with respect to the executions recorded
+    /// so far (an empty module is vacuously safe: its antichain is the
+    /// empty hidden set).
+    ///
+    /// # Errors
+    /// Propagates structural workflow errors.
+    pub fn for_workflow_streaming(
+        workflow: &Workflow,
+        config: SweepConfig,
+    ) -> Result<Self, CoreError> {
+        Self::build(workflow, config, |id| {
+            StandaloneModule::empty_from_workflow_module(workflow, id)
+        })
+    }
+
+    fn build(
+        workflow: &Workflow,
+        config: SweepConfig,
+        make: impl Fn(ModuleId) -> Result<StandaloneModule, CoreError>,
+    ) -> Result<Self, CoreError> {
         let mut mods = Vec::new();
         for id in workflow.private_modules() {
-            let module = StandaloneModule::from_workflow_module(workflow, id, budget)?;
+            let module = make(id)?;
             let lens = ModuleLens::new(workflow, id)?;
             let globals: Vec<AttrId> = workflow.module(id)?.attr_set().iter().collect();
+            let global_set = AttrSet::from_iter(globals.iter().copied());
             mods.push(SweepModule {
                 id,
                 lens,
                 globals,
+                global_set,
                 module,
             });
         }
@@ -544,6 +638,7 @@ impl WorkflowSweeper {
             config,
             n_attrs: workflow.schema().len(),
             mods,
+            caches: Mutex::new(SweepCaches::default()),
         })
     }
 
@@ -554,9 +649,77 @@ impl WorkflowSweeper {
     }
 
     /// Replaces the sweep configuration (e.g. to rerun a derivation with
-    /// more threads without re-materializing modules).
+    /// more threads without re-materializing modules). Drops the sweep
+    /// memos: results are configuration-independent, but their recorded
+    /// [`SweepStats`] are not.
     pub fn set_config(&mut self, config: SweepConfig) {
         self.config = config;
+        *self.caches.lock().expect("lock") = SweepCaches::default();
+    }
+
+    /// Ingests one workflow execution (a full provenance row over the
+    /// **workflow** schema, e.g. from [`Workflow::run`]): each private
+    /// module appends its projection. Sweep memos of the modules that
+    /// gained a row go stale and re-sweep on next use; unchanged
+    /// modules keep answering from the memo. Returns the number of new
+    /// module rows.
+    ///
+    /// Atomic across modules: every projection is validated
+    /// ([`StandaloneModule::validate_executions`]) before any module is
+    /// touched, so a row that is invalid for one module mutates none.
+    ///
+    /// # Errors
+    /// Propagates append validation failures (domains, FD).
+    pub fn ingest_execution(&mut self, row: &sv_relation::Tuple) -> Result<usize, CoreError> {
+        let projections: Vec<sv_relation::Tuple> = self
+            .mods
+            .iter()
+            .map(|m| row.project(&m.global_set))
+            .collect();
+        for (m, p) in self.mods.iter().zip(&projections) {
+            m.module.validate_executions(std::slice::from_ref(p))?;
+        }
+        let mut added = 0;
+        for (m, p) in self.mods.iter_mut().zip(&projections) {
+            added += m
+                .module
+                .append_execution(std::slice::from_ref(p))
+                .expect("validated above");
+        }
+        Ok(added)
+    }
+
+    /// Streams executions (rows over the **module** sub-schema) into one
+    /// module; see [`StandaloneModule::append_execution`].
+    ///
+    /// # Errors
+    /// [`CoreError::MissingOracle`] for an uncovered module id;
+    /// propagates append validation failures.
+    pub fn append_execution(
+        &mut self,
+        id: ModuleId,
+        rows: &[sv_relation::Tuple],
+    ) -> Result<usize, CoreError> {
+        let m = self
+            .mods
+            .iter_mut()
+            .find(|m| m.id == id)
+            .ok_or(CoreError::MissingOracle { module: id.index() })?;
+        m.module.append_execution(rows)
+    }
+
+    /// The relation epoch of one covered module.
+    #[must_use]
+    pub fn module_epoch(&self, id: ModuleId) -> Option<u64> {
+        self.entry(id).map(|m| m.module.epoch())
+    }
+
+    /// Lattice sweeps actually executed so far — cache misses plus
+    /// stale (post-append) entries. Streaming consumers watch this to
+    /// confirm that re-derivations only re-sweep changed modules.
+    #[must_use]
+    pub fn sweeps_performed(&self) -> u64 {
+        self.caches.lock().expect("lock").sweeps
     }
 
     /// Number of attributes of the underlying workflow schema.
@@ -646,7 +809,7 @@ impl WorkflowSweeper {
         let mut hidden = AttrSet::new();
         let mut stats = SweepStats::default();
         for (idx, m) in self.mods.iter().enumerate() {
-            let (found, s) = min_cost_sweep(&m.module, costs.local(idx), gamma, &self.config)?;
+            let (found, s) = self.min_cost_memo(idx, costs.local(idx), gamma)?;
             stats.merge(&s);
             let Some((local_hidden, _)) = found else {
                 return Err(CoreError::BudgetExceeded {
@@ -662,6 +825,9 @@ impl WorkflowSweeper {
     }
 
     /// Minimum-cost safe hidden set of one module under hoisted costs.
+    /// Memoized per `(module, Γ, local costs)` with the module's
+    /// relation epoch: repeats are free, appends re-sweep only the
+    /// changed module.
     ///
     /// # Errors
     /// Propagates sweep errors; [`CoreError::MissingOracle`] if `id` is
@@ -677,16 +843,48 @@ impl WorkflowSweeper {
             .iter()
             .position(|m| m.id == id)
             .ok_or(CoreError::MissingOracle { module: id.index() })?;
-        min_cost_sweep(
-            &self.mods[idx].module,
-            costs.local(idx),
-            gamma,
-            &self.config,
-        )
+        self.min_cost_memo(idx, costs.local(idx), gamma)
+    }
+
+    /// The epoch-validated min-cost memo behind
+    /// [`module_min_cost`](Self::module_min_cost) and
+    /// [`union_of_optima`](Self::union_of_optima).
+    fn min_cost_memo(
+        &self,
+        idx: usize,
+        local_costs: &[u64],
+        gamma: u128,
+    ) -> Result<(Option<(AttrSet, u64)>, SweepStats), CoreError> {
+        let module = &self.mods[idx].module;
+        let epoch = module.epoch();
+        let key = (idx, gamma, local_costs.to_vec());
+        {
+            let caches = self.caches.lock().expect("lock");
+            if let Some(c) = caches.min_cost.get(&key) {
+                if c.epoch == epoch {
+                    return Ok((c.found.clone(), c.stats));
+                }
+            }
+        }
+        let (found, stats) = min_cost_sweep(module, local_costs, gamma, &self.config)?;
+        let mut caches = self.caches.lock().expect("lock");
+        caches.sweeps += 1;
+        caches.min_cost.insert(
+            key,
+            CachedMinCost {
+                found: found.clone(),
+                stats,
+                epoch,
+            },
+        );
+        Ok((found, stats))
     }
 
     /// One module's ⊆-minimal safe hidden sets (module-local ids) via
-    /// the parallel layered sweep.
+    /// the parallel layered sweep. Memoized per `(module, Γ)` with the
+    /// module's relation epoch: a repeated derivation answers from the
+    /// memo with zero probes, and after streamed appends only the
+    /// modules whose relations changed are re-swept.
     ///
     /// # Errors
     /// Propagates sweep errors; [`CoreError::MissingOracle`] if `id` is
@@ -696,10 +894,33 @@ impl WorkflowSweeper {
         id: ModuleId,
         gamma: u128,
     ) -> Result<(Vec<AttrSet>, SweepStats), CoreError> {
-        let m = self
-            .entry(id)
+        let idx = self
+            .mods
+            .iter()
+            .position(|m| m.id == id)
             .ok_or(CoreError::MissingOracle { module: id.index() })?;
-        minimal_sets_sweep(&m.module, gamma, &self.config)
+        let module = &self.mods[idx].module;
+        let epoch = module.epoch();
+        {
+            let caches = self.caches.lock().expect("lock");
+            if let Some(c) = caches.minimal.get(&(idx, gamma)) {
+                if c.epoch == epoch {
+                    return Ok((c.sets.clone(), c.stats));
+                }
+            }
+        }
+        let (sets, stats) = minimal_sets_sweep(module, gamma, &self.config)?;
+        let mut caches = self.caches.lock().expect("lock");
+        caches.sweeps += 1;
+        caches.minimal.insert(
+            (idx, gamma),
+            CachedAntichain {
+                sets: sets.clone(),
+                stats,
+                epoch,
+            },
+        );
+        Ok((sets, stats))
     }
 }
 
@@ -835,6 +1056,92 @@ mod tests {
         assert!(sweeper
             .module_min_cost(ModuleId(9), &sweeper.localize_costs(&[1; 7]), 2)
             .is_err());
+    }
+
+    #[test]
+    fn streaming_sweeper_resweeps_only_changed_modules() {
+        let w = fig1_workflow();
+        let mut sweeper =
+            WorkflowSweeper::for_workflow_streaming(&w, SweepConfig::serial()).unwrap();
+        let ids = sweeper.module_ids();
+        assert_eq!(ids.len(), 3);
+        // No executions yet: every module is vacuously safe, so the
+        // antichain is the empty hidden set.
+        let (sets, _) = sweeper.module_minimal_sets(ids[0], 4).unwrap();
+        assert_eq!(sets, vec![AttrSet::new()]);
+        assert_eq!(sweeper.sweeps_performed(), 1);
+
+        // Stream the four executions of the Figure-1 input space.
+        for x0 in 0..2u32 {
+            for x1 in 0..2u32 {
+                let row = w.run(&[x0, x1]).unwrap();
+                assert!(sweeper.ingest_execution(&row).unwrap() > 0);
+            }
+        }
+        for &id in &ids {
+            let _ = sweeper.module_minimal_sets(id, 4).unwrap();
+        }
+        let after = sweeper.sweeps_performed();
+        assert_eq!(after, 4, "one stale refresh + two fresh modules");
+        // Re-deriving answers from the epoch memo: zero new sweeps.
+        for &id in &ids {
+            let _ = sweeper.module_minimal_sets(id, 4).unwrap();
+        }
+        assert_eq!(sweeper.sweeps_performed(), after);
+        // A duplicate execution changes nothing — memos stay valid.
+        let row = w.run(&[0, 0]).unwrap();
+        assert_eq!(sweeper.ingest_execution(&row).unwrap(), 0);
+        for &id in &ids {
+            let _ = sweeper.module_minimal_sets(id, 4).unwrap();
+        }
+        assert_eq!(sweeper.sweeps_performed(), after);
+
+        // Streamed sweeps equal sweeps over modules rebuilt from the
+        // same observed provenance.
+        for &id in &ids {
+            let m = sweeper.module(id).unwrap();
+            let rebuilt = StandaloneModule::new(
+                m.relation().clone(),
+                m.inputs().clone(),
+                m.outputs().clone(),
+            )
+            .unwrap();
+            let (streamed, _) = sweeper.module_minimal_sets(id, 4).unwrap();
+            assert_eq!(streamed, rebuilt.minimal_safe_hidden_sets(4).unwrap());
+        }
+    }
+
+    #[test]
+    fn min_cost_memo_keyed_by_costs_and_epoch() {
+        let w = one_one_chain(2, 2);
+        let sweeper = WorkflowSweeper::for_workflow(&w, 1 << 20, SweepConfig::serial()).unwrap();
+        let id = sweeper.module_ids()[0];
+        let unit = sweeper.localize_costs(&vec![1u64; w.schema().len()]);
+        let (r1, s1) = sweeper.module_min_cost(id, &unit, 2).unwrap();
+        let n = sweeper.sweeps_performed();
+        let (r2, s2) = sweeper.module_min_cost(id, &unit, 2).unwrap();
+        assert_eq!((r1, s1), (r2, s2), "memo returns the original result");
+        assert_eq!(sweeper.sweeps_performed(), n);
+        // A different cost vector is a different question — and each
+        // cost model keeps its own memo, so alternating between them
+        // never re-sweeps.
+        let doubled = sweeper.localize_costs(&vec![2u64; w.schema().len()]);
+        let _ = sweeper.module_min_cost(id, &doubled, 2).unwrap();
+        assert_eq!(sweeper.sweeps_performed(), n + 1);
+        let _ = sweeper.module_min_cost(id, &unit, 2).unwrap();
+        let _ = sweeper.module_min_cost(id, &doubled, 2).unwrap();
+        assert_eq!(
+            sweeper.sweeps_performed(),
+            n + 1,
+            "alternating cost models hit their own memos"
+        );
+        // union_of_optima rides the same memo.
+        let before = sweeper.sweeps_performed();
+        let _ = sweeper.union_of_optima(&unit, 2).unwrap();
+        let mid = sweeper.sweeps_performed();
+        assert!(mid > before, "first union swept the uncached modules");
+        let _ = sweeper.union_of_optima(&unit, 2).unwrap();
+        assert_eq!(sweeper.sweeps_performed(), mid);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Property suite for **streaming provenance** at the oracle and sweep
+//! layers: executions of random modules arrive in random batches, and
+//! after every batch a persistent epoch-aware [`MemoSafetyOracle`] (and
+//! the parallel sweeps over the streamed module) must agree with
+//! oracles and sweeps built from scratch over the same observed
+//! provenance — and with the row-at-a-time naive reference.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sv_core::safety::{self, KernelOracle, NaiveOracle, SafetyOracle};
+use sv_core::sweep::{min_cost_sweep, minimal_sets_sweep, SweepConfig};
+use sv_core::{CoreError, MemoSafetyOracle, StandaloneModule};
+use sv_relation::{AttrDef, AttrSet, Domain, Relation, Schema, Tuple};
+
+/// A random module function over 2 inputs / 2 outputs with mixed domain
+/// sizes, returned as the full list of execution rows.
+fn random_executions(rng: &mut StdRng) -> (Schema, AttrSet, AttrSet, Vec<Tuple>) {
+    let sizes: Vec<u32> = (0..4).map(|_| rng.gen_range(2u32..4)).collect();
+    let schema = Schema::new(
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| AttrDef {
+                name: format!("a{i}"),
+                domain: Domain::new(s),
+            })
+            .collect(),
+    );
+    let inputs = AttrSet::from_indices(&[0, 1]);
+    let outputs = AttrSet::from_indices(&[2, 3]);
+    let mut rows = Vec::new();
+    for x0 in 0..sizes[0] {
+        for x1 in 0..sizes[1] {
+            // Output = deterministic per-module random function of x.
+            let o0 = rng.gen_range(0u32..sizes[2]);
+            let o1 = rng.gen_range(0u32..sizes[3]);
+            rows.push(Tuple::new(vec![x0, x1, o0, o1]));
+        }
+    }
+    (schema, inputs, outputs, rows)
+}
+
+#[test]
+fn streamed_oracle_matches_fresh_oracles_after_every_batch() {
+    let mut rng = StdRng::seed_from_u64(0x057A_EA11);
+    for case in 0..12 {
+        let (schema, inputs, outputs, mut rows) = random_executions(&mut rng);
+        rows.shuffle(&mut rng);
+        let mut streamed = StandaloneModule::new(
+            Relation::empty(schema.clone()),
+            inputs.clone(),
+            outputs.clone(),
+        )
+        .unwrap();
+        let mut memo = MemoSafetyOracle::new(streamed.clone());
+        let mut step = 0usize;
+        while !rows.is_empty() {
+            let take = rng.gen_range(1usize..4).min(rows.len());
+            let mut batch: Vec<Tuple> = rows.drain(..take).collect();
+            // Sprinkle duplicates of already-streamed executions.
+            if !streamed.relation().is_empty() && rng.gen_range(0u32..2) == 0 {
+                let r = streamed.relation().rows();
+                batch.push(r[rng.gen_range(0usize..r.len())].clone());
+            }
+            streamed.append_execution(&batch).unwrap();
+            memo.append_execution(&batch).unwrap();
+            assert_eq!(memo.relation_epoch(), streamed.epoch());
+
+            // Ground truth: oracles over a module built from scratch on
+            // the same observed provenance.
+            let rebuilt =
+                StandaloneModule::new(streamed.relation().clone(), inputs.clone(), outputs.clone())
+                    .unwrap();
+            let mut naive = NaiveOracle::new(rebuilt.clone());
+            let mut kernel = KernelOracle::new(&rebuilt);
+            for mask in 0u64..(1 << 4) {
+                let v = AttrSet::from_word(mask);
+                // Mix probe styles so the memo's shortcut, revalidation
+                // and exact paths all fire across the schedule.
+                for gamma in [2u128, 3, 5] {
+                    assert_eq!(
+                        memo.is_safe(&v, gamma),
+                        rebuilt.is_safe(&v, gamma),
+                        "case {case} step {step} mask {mask:#b} gamma {gamma}"
+                    );
+                }
+                let level = memo.privacy_level(&v);
+                assert_eq!(level, kernel.privacy_level(&v), "case {case} step {step}");
+                assert_eq!(level, naive.privacy_level(&v), "case {case} step {step}");
+            }
+            step += 1;
+        }
+    }
+}
+
+#[test]
+fn streamed_sweeps_match_sweeps_over_rebuilt_modules() {
+    let mut rng = StdRng::seed_from_u64(0xD0_5EEB);
+    for _case in 0..6 {
+        let (schema, inputs, outputs, mut rows) = random_executions(&mut rng);
+        rows.shuffle(&mut rng);
+        let mut streamed = StandaloneModule::new(
+            Relation::empty(schema.clone()),
+            inputs.clone(),
+            outputs.clone(),
+        )
+        .unwrap();
+        let costs = vec![3u64, 1, 4, 1];
+        while !rows.is_empty() {
+            let take = rng.gen_range(1usize..5).min(rows.len());
+            let batch: Vec<Tuple> = rows.drain(..take).collect();
+            streamed.append_execution(&batch).unwrap();
+            let rebuilt =
+                StandaloneModule::new(streamed.relation().clone(), inputs.clone(), outputs.clone())
+                    .unwrap();
+            for gamma in [2u128, 4] {
+                for threads in [1usize, 3] {
+                    let cfg = SweepConfig::parallel(threads);
+                    assert_eq!(
+                        min_cost_sweep(&streamed, &costs, gamma, &cfg).unwrap().0,
+                        min_cost_sweep(&rebuilt, &costs, gamma, &cfg).unwrap().0,
+                    );
+                    assert_eq!(
+                        minimal_sets_sweep(&streamed, gamma, &cfg).unwrap().0,
+                        minimal_sets_sweep(&rebuilt, gamma, &cfg).unwrap().0,
+                    );
+                }
+                // Serial reference closes the triangle.
+                assert_eq!(
+                    minimal_sets_sweep(&streamed, gamma, &SweepConfig::serial())
+                        .unwrap()
+                        .0,
+                    safety::minimal_safe_hidden_sets(&mut KernelOracle::new(&rebuilt), gamma)
+                        .unwrap(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fd_violations_and_bad_rows_are_rejected_atomically() {
+    let mut rng = StdRng::seed_from_u64(0xA70);
+    let (schema, inputs, outputs, rows) = random_executions(&mut rng);
+    let mut m = StandaloneModule::new(Relation::empty(schema), inputs, outputs).unwrap();
+    m.append_execution(&rows[..2]).unwrap();
+    let snapshot = m.relation().clone();
+    let epoch = m.epoch();
+
+    // Contradicting output for a recorded input. `(v + 1) % 2` always
+    // differs from `v` and stays inside every ≥ 2-sized domain.
+    let mut bad = rows[0].clone();
+    let flip = bad.get(sv_relation::AttrId(2));
+    bad.set(sv_relation::AttrId(2), (flip + 1) % 2);
+    let err = m.append_execution(&[bad]).unwrap_err();
+    assert!(matches!(err, CoreError::NotAFunction));
+
+    // In-batch contradiction: two fresh executions of the same input
+    // with different outputs.
+    let fresh_in = rows[3].clone();
+    let mut fresh_alt = fresh_in.clone();
+    let flip = fresh_alt.get(sv_relation::AttrId(3));
+    fresh_alt.set(sv_relation::AttrId(3), (flip + 1) % 2);
+    let err = m.append_execution(&[fresh_in, fresh_alt]).unwrap_err();
+    assert!(matches!(err, CoreError::NotAFunction));
+
+    // Out-of-domain value.
+    let err = m
+        .append_execution(&[Tuple::new(vec![0, 0, 99, 0])])
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Relation(_)));
+
+    assert_eq!(m.relation(), &snapshot, "nothing landed");
+    assert_eq!(m.epoch(), epoch);
+}

@@ -21,13 +21,25 @@
 //! * [`ValueInterner`] is the generic sub-tuple → dense-id map used by
 //!   the interned natural join (provenance assembly, §4) and by group
 //!   computation when mixed-radix codes would overflow `u64`.
+//! * [`InternedRelation::append_rows`] supports **streaming
+//!   provenance**: rows arriving after the build extend the column
+//!   store and every memoized [`GroupIndex`] in place (new sub-tuples
+//!   take the next free dense id) instead of triggering a rebuild. The
+//!   [`InternedRelation::epoch`] generation counter ticks once per
+//!   row-adding append, so memoized consumers upstream (the `sv-core`
+//!   safety oracles and sweep caches) can invalidate lazily — and keep
+//!   entries that appends provably could not shrink.
 //!
-//! Sub-tuple ids are assigned in ascending code order, so for the
-//! mixed-radix path group ids sort exactly like the canonical [`Tuple`]
-//! order — representatives materialize already-sorted relations.
+//! At build time sub-tuple ids are assigned in ascending code order, so
+//! for the mixed-radix path group ids sort exactly like the canonical
+//! [`Tuple`] order — representatives materialize already-sorted
+//! relations. Groups created by later appends take ids in first-seen
+//! order instead; consumers needing sorted output re-canonicalize (as
+//! [`InternedRelation::project`] does via [`Relation::from_rows`]).
 
 use crate::attrset::AttrSet;
 use crate::domain::Value;
+use crate::error::RelationError;
 use crate::relation::Relation;
 use crate::schema::{AttrDef, AttrId, Schema};
 use crate::tuple::Tuple;
@@ -93,15 +105,57 @@ impl ValueInterner {
 }
 
 /// Dense grouping of a relation's rows by one attribute set.
+///
+/// Group ids are dense (`0..n_groups`). For a freshly built index on the
+/// mixed-radix path they ascend in canonical sub-tuple order; groups
+/// first seen by [`InternedRelation::append_rows`] take the next free id
+/// instead, so after an append the id order is first-seen, not sorted
+/// (consumers that need sorted output — [`InternedRelation::project`] —
+/// re-canonicalize through [`Relation::from_rows`]).
 #[derive(Clone, Debug)]
 pub struct GroupIndex {
     /// `row_group[row]` = the row's dense group id (`0..n_groups`).
     pub row_group: Vec<u32>,
     /// Number of distinct projected sub-tuples.
     pub n_groups: u32,
-    /// `representative[group]` = index of the first row of the group
-    /// (in ascending sub-tuple order for the mixed-radix path).
+    /// `representative[group]` = index of the first row of the group.
     pub representative: Vec<u32>,
+    /// Sub-tuple → group-id lookup state, kept so appends extend the
+    /// index instead of forcing a rebuild.
+    lookup: GroupLookup,
+    /// The relation epoch at which this index last gained a **new**
+    /// group (its build epoch if no append created one since). The
+    /// memoized oracles upstream use this for the monotone
+    /// cache-revalidation shortcut: if the key grouping gained no new
+    /// groups since a privacy level was cached, that level can only
+    /// have grown.
+    new_group_epoch: u64,
+}
+
+impl GroupIndex {
+    /// The relation epoch at which this grouping last gained a new group
+    /// (see [`InternedRelation::epoch`]).
+    #[must_use]
+    pub fn new_group_epoch(&self) -> u64 {
+        self.new_group_epoch
+    }
+}
+
+/// How a [`GroupIndex`] maps a projected sub-tuple to its group id —
+/// retained after the build so appends are incremental.
+#[derive(Clone, Debug)]
+enum GroupLookup {
+    /// Mixed-radix path: `base` holds the build-time codes in ascending
+    /// order (group id = rank), `appended` the codes first seen by an
+    /// append (group ids `base.len()..`).
+    Radix {
+        base: Vec<u64>,
+        appended: HashMap<u64, u32>,
+    },
+    /// Wide-domain path: the interner's dense ids *are* the group ids
+    /// (sub-tuples are interned in first-seen order at build time and on
+    /// every append).
+    Wide { interner: ValueInterner },
 }
 
 /// A columnar, interning view of a [`Relation`] — the kernel every
@@ -110,11 +164,36 @@ pub struct GroupIndex {
 /// Construction is `O(attrs × rows)`; each distinct attribute set pays
 /// one `O(rows log rows)` grouping pass, after which probes touching it
 /// are allocation-free (cache lookups borrow their keys, the pair
-/// scratch buffer is reused under a lock).
+/// scratch buffer is reused under a lock). Streaming rows in through
+/// [`append_rows`](Self::append_rows) extends the warm groupings
+/// instead of rebuilding them.
+///
+/// # Examples
+/// ```
+/// use sv_relation::{AttrSet, InternedRelation, Relation, Schema};
+///
+/// // The Lemma-4 question: per visible-input group, how many distinct
+/// // visible-output sub-tuples does the relation show?
+/// let r = Relation::from_values(
+///     Schema::booleans(&["i", "o1", "o2"]),
+///     vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 1, 0], vec![1, 1, 1]],
+/// )
+/// .unwrap();
+/// let ir = InternedRelation::from_relation(&r);
+/// let key = AttrSet::from_indices(&[0]);
+/// let probe = AttrSet::from_indices(&[1, 2]);
+/// assert_eq!(ir.min_group_distinct(&key, &probe), 2);
+/// // The grouping passes are memoized: repeating the probe is two
+/// // cache lookups plus one pass over dense id columns.
+/// assert_eq!(ir.cached_groupings(), 2);
+/// ```
 pub struct InternedRelation {
     schema: Schema,
     n_rows: usize,
     cols: Vec<Vec<Value>>,
+    /// Generation counter: bumped by every [`append_rows`](Self::append_rows)
+    /// that adds at least one genuinely new row. `0` for a fresh build.
+    epoch: u64,
     /// Group cache for schemas of ≤ 64 attributes, keyed by bitmask word.
     word_groups: RwLock<HashMap<u64, Arc<GroupIndex>>>,
     /// Group cache for wider schemas.
@@ -129,6 +208,7 @@ impl Clone for InternedRelation {
             schema: self.schema.clone(),
             n_rows: self.n_rows,
             cols: self.cols.clone(),
+            epoch: self.epoch,
             word_groups: RwLock::new(self.word_groups.read().expect("lock").clone()),
             wide_groups: RwLock::new(self.wide_groups.read().expect("lock").clone()),
             scratch: Mutex::new(Vec::new()),
@@ -140,9 +220,10 @@ impl std::fmt::Debug for InternedRelation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "InternedRelation({:?}, {} rows, {} cached groupings)",
+            "InternedRelation({:?}, {} rows, epoch {}, {} cached groupings)",
             self.schema,
             self.n_rows,
+            self.epoch,
             self.word_groups.read().expect("lock").len()
                 + self.wide_groups.read().expect("lock").len()
         )
@@ -166,10 +247,21 @@ impl InternedRelation {
             schema,
             n_rows,
             cols,
+            epoch: 0,
             word_groups: RwLock::new(HashMap::new()),
             wide_groups: RwLock::new(HashMap::new()),
             scratch: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The relation's generation counter: `0` at build, bumped by every
+    /// [`append_rows`](Self::append_rows) call that adds at least one
+    /// new row. Memoized consumers (the `sv-core` safety oracles, the
+    /// sweep layer) stamp their cache entries with this and invalidate
+    /// lazily on mismatch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The underlying schema.
@@ -204,19 +296,10 @@ impl InternedRelation {
         }
     }
 
-    /// Computes the dense grouping for the attributes in `attrs`
-    /// (ascending attribute indices).
-    fn compute_group(&self, attrs: &[usize]) -> GroupIndex {
-        let n = self.n_rows;
-        if n == 0 {
-            return GroupIndex {
-                row_group: Vec::new(),
-                n_groups: 0,
-                representative: Vec::new(),
-            };
-        }
-        // Mixed-radix fast path: one u64 code per row when the projected
-        // domain product fits.
+    /// Mixed-radix digit sizes for `attrs`, and whether their product
+    /// fits a `u64` code (the radix fast path). Schema-determined, so
+    /// the radix/wide decision is stable across appends.
+    fn radix_sizes(&self, attrs: &[usize]) -> (Vec<u64>, bool) {
         let mut sizes: Vec<u64> = Vec::with_capacity(attrs.len());
         let mut product: u128 = 1;
         for &a in attrs {
@@ -224,8 +307,17 @@ impl InternedRelation {
             product = product.saturating_mul(u128::from(s));
             sizes.push(s);
         }
-        let codes: Vec<u64> = if product <= u128::from(u64::MAX) {
-            (0..n)
+        (sizes, product <= u128::from(u64::MAX))
+    }
+
+    /// Computes the dense grouping for the attributes in `attrs`
+    /// (ascending attribute indices).
+    fn compute_group(&self, attrs: &[usize]) -> GroupIndex {
+        let n = self.n_rows;
+        let (sizes, fits_radix) = self.radix_sizes(attrs);
+        if fits_radix {
+            // Mixed-radix fast path: one u64 code per row.
+            let codes: Vec<u64> = (0..n)
                 .map(|row| {
                     let mut c: u64 = 0;
                     for (&a, &s) in attrs.iter().zip(sizes.iter()) {
@@ -233,39 +325,263 @@ impl InternedRelation {
                     }
                     c
                 })
-                .collect()
+                .collect();
+            // Densify: group id = rank of the row's code.
+            let mut sorted = codes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let row_group: Vec<u32> = codes
+                .iter()
+                .map(|c| sorted.binary_search(c).expect("own code") as u32)
+                .collect();
+            let mut representative = vec![u32::MAX; sorted.len()];
+            for (row, &g) in row_group.iter().enumerate() {
+                let slot = &mut representative[g as usize];
+                if *slot == u32::MAX {
+                    *slot = row as u32;
+                }
+            }
+            GroupIndex {
+                row_group,
+                n_groups: sorted.len() as u32,
+                representative,
+                lookup: GroupLookup::Radix {
+                    base: sorted,
+                    appended: HashMap::new(),
+                },
+                new_group_epoch: self.epoch,
+            }
         } else {
             // Wide-domain fallback: intern the materialized sub-tuples.
+            // Interner ids are assigned in first-seen row order and are
+            // used as the group ids directly.
             let mut interner = ValueInterner::new();
             let mut buf: Vec<Value> = Vec::with_capacity(attrs.len());
-            (0..n)
-                .map(|row| {
-                    buf.clear();
-                    buf.extend(attrs.iter().map(|&a| self.cols[a][row]));
-                    u64::from(interner.intern(&buf))
-                })
-                .collect()
-        };
-        // Densify: group id = rank of the row's code.
-        let mut sorted = codes.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        let row_group: Vec<u32> = codes
-            .iter()
-            .map(|c| sorted.binary_search(c).expect("own code") as u32)
-            .collect();
-        let mut representative = vec![u32::MAX; sorted.len()];
-        for (row, &g) in row_group.iter().enumerate() {
-            let slot = &mut representative[g as usize];
-            if *slot == u32::MAX {
-                *slot = row as u32;
+            let mut row_group: Vec<u32> = Vec::with_capacity(n);
+            let mut representative: Vec<u32> = Vec::new();
+            for row in 0..n {
+                buf.clear();
+                buf.extend(attrs.iter().map(|&a| self.cols[a][row]));
+                let gid = interner.intern(&buf);
+                if gid as usize == representative.len() {
+                    representative.push(row as u32);
+                }
+                row_group.push(gid);
+            }
+            GroupIndex {
+                row_group,
+                n_groups: representative.len() as u32,
+                representative,
+                lookup: GroupLookup::Wide { interner },
+                new_group_epoch: self.epoch,
             }
         }
-        GroupIndex {
-            row_group,
-            n_groups: sorted.len() as u32,
-            representative,
+    }
+
+    /// Validates `t` against the schema (arity and per-attribute domain
+    /// membership) — the same contract [`Relation::from_rows`] enforces.
+    fn validate_row(&self, t: &Tuple) -> Result<(), RelationError> {
+        if t.arity() != self.schema.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.len(),
+                got: t.arity(),
+            });
         }
+        for (a, def) in self.schema.iter() {
+            let v = t.get(a);
+            if !def.domain.contains(v) {
+                return Err(RelationError::ValueOutOfDomain {
+                    attr: def.name.clone(),
+                    value: v,
+                    domain_size: def.domain.size(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends `rows` **incrementally**: the column store grows in
+    /// place, and every memoized [`GroupIndex`] is *extended* — new
+    /// sub-tuples take the next free dense group id — instead of being
+    /// discarded and rebuilt. Duplicate rows (against the existing
+    /// relation or within the batch) are skipped, preserving set
+    /// semantics; the [`epoch`](Self::epoch) counter is bumped iff at
+    /// least one genuinely new row landed.
+    ///
+    /// Cost: `O(batch × (attrs + cached groupings × log groups))` — the
+    /// streaming alternative to an `O(rows log rows)` full rebuild per
+    /// cached grouping. Returns the number of new rows.
+    ///
+    /// # Errors
+    /// Rejects rows violating the schema (arity or domain) before any
+    /// mutation — on error the relation is unchanged.
+    ///
+    /// # Examples
+    /// ```
+    /// use sv_relation::{AttrSet, InternedRelation, Relation, Schema, Tuple};
+    ///
+    /// let base = Relation::from_values(Schema::booleans(&["i", "o"]), vec![vec![0, 1]]).unwrap();
+    /// let mut ir = InternedRelation::from_relation(&base);
+    /// let key = AttrSet::from_indices(&[0]);
+    /// let probe = AttrSet::from_indices(&[1]);
+    /// assert_eq!(ir.min_group_distinct(&key, &probe), 1);
+    ///
+    /// // A new execution arrives; the warm group indexes are extended,
+    /// // not rebuilt, and the epoch advances.
+    /// let added = ir.append_rows(&[Tuple::new(vec![1, 0]), Tuple::new(vec![0, 1])]).unwrap();
+    /// assert_eq!((added, ir.n_rows(), ir.epoch()), (1, 2, 1));
+    /// assert_eq!(ir.min_group_distinct(&key, &probe), 1);
+    /// ```
+    pub fn append_rows(&mut self, rows: &[Tuple]) -> Result<usize, RelationError> {
+        for t in rows {
+            self.validate_row(t)?;
+        }
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        let all = self.schema.all_attrs();
+        // Materialize the full-row grouping once: it doubles as the
+        // set-semantics dedup structure (every distinct row is its own
+        // group), and stays maintained across appends like any other.
+        let _ = self.group_index(&all);
+        let next_epoch = self.epoch + 1;
+        let start_row = self.n_rows;
+        // Take the caches out of their locks for the duration — we hold
+        // `&mut self`, so nothing can observe the gap, and this
+        // sidesteps per-row lock traffic and borrows against `cols`.
+        let mut word_cache = std::mem::take(self.word_groups.get_mut().expect("lock"));
+        let mut wide_cache = std::mem::take(self.wide_groups.get_mut().expect("lock"));
+        let full_word = if self.fits_word() {
+            Some(self.mask())
+        } else {
+            None
+        };
+
+        // Phase 1: dedup against (and extend) the full-row grouping,
+        // appending genuinely new rows to the column store.
+        {
+            let full = match full_word {
+                Some(w) => word_cache.get_mut(&w),
+                None => wide_cache.get_mut(&all),
+            }
+            .expect("full grouping materialized above");
+            let full = Arc::make_mut(full);
+            let attrs: Vec<usize> = (0..self.schema.len()).collect();
+            let (sizes, _) = self.radix_sizes(&attrs);
+            let mut buf: Vec<Value> = Vec::with_capacity(attrs.len());
+            for t in rows {
+                if gid_of(full, &attrs, &sizes, &mut buf, |a| t.values()[a]).is_some() {
+                    continue; // duplicate of an existing or just-appended row
+                }
+                let row = self.n_rows as u32;
+                for (col, &v) in self.cols.iter_mut().zip(t.values()) {
+                    col.push(v);
+                }
+                self.n_rows += 1;
+                extend_gid(full, &attrs, &sizes, &mut buf, row, next_epoch, |a| {
+                    t.values()[a]
+                });
+            }
+        }
+
+        // Phase 2: extend every other cached grouping with the new rows.
+        let appended = self.n_rows - start_row;
+        if appended > 0 {
+            let new_rows: Vec<u32> = (start_row..self.n_rows).map(|r| r as u32).collect();
+            for (&word, arc) in word_cache.iter_mut() {
+                if Some(word) == full_word {
+                    continue;
+                }
+                let attrs: Vec<usize> = (0..self.schema.len())
+                    .filter(|&i| word & (1u64 << i) != 0)
+                    .collect();
+                self.extend_index(Arc::make_mut(arc), &attrs, &new_rows, next_epoch);
+            }
+            for (set, arc) in wide_cache.iter_mut() {
+                if full_word.is_none() && *set == all {
+                    continue;
+                }
+                let attrs: Vec<usize> = set
+                    .iter()
+                    .map(AttrId::index)
+                    .filter(|&i| i < self.schema.len())
+                    .collect();
+                self.extend_index(Arc::make_mut(arc), &attrs, &new_rows, next_epoch);
+            }
+            self.epoch = next_epoch;
+        }
+        *self.word_groups.get_mut().expect("lock") = word_cache;
+        *self.wide_groups.get_mut().expect("lock") = wide_cache;
+        Ok(appended)
+    }
+
+    /// Extends one cached group index with the rows in `new_rows`
+    /// (already present in the column store).
+    fn extend_index(&self, gi: &mut GroupIndex, attrs: &[usize], new_rows: &[u32], epoch: u64) {
+        let (sizes, _) = self.radix_sizes(attrs);
+        let mut buf: Vec<Value> = Vec::with_capacity(attrs.len());
+        for &row in new_rows {
+            extend_gid(gi, attrs, &sizes, &mut buf, row, epoch, |a| {
+                self.cols[a][row as usize]
+            });
+        }
+    }
+
+    /// The representative row of the group that `row_values` (a full row
+    /// in schema order) falls into under the grouping by `set`, or
+    /// `None` if no existing row shares its projected sub-tuple.
+    /// Computes (and memoizes) the group index on first use.
+    ///
+    /// This is the point lookup streaming consumers use, e.g. to check a
+    /// candidate execution's outputs against the recorded output of its
+    /// input group before appending (FD enforcement in `sv-core`).
+    #[must_use]
+    pub fn find_group_row(&self, set: &AttrSet, row_values: &[Value]) -> Option<usize> {
+        let g = self.group_index(set);
+        let attrs: Vec<usize> = set
+            .iter()
+            .map(AttrId::index)
+            .filter(|&i| i < self.schema.len())
+            .collect();
+        let (sizes, _) = self.radix_sizes(&attrs);
+        let mut buf: Vec<Value> = Vec::with_capacity(attrs.len());
+        let gid = gid_of(&g, &attrs, &sizes, &mut buf, |a| row_values[a])?;
+        Some(g.representative[gid as usize] as usize)
+    }
+
+    /// The [`GroupIndex::new_group_epoch`] of the **cached** grouping
+    /// for the word-encoded attribute set, without computing it —
+    /// `None` when that grouping has never been materialized. The
+    /// memoized oracles use this for the monotone revalidation shortcut.
+    #[must_use]
+    pub fn group_new_group_epoch_word(&self, word: u64) -> Option<u64> {
+        if !self.fits_word() {
+            return None;
+        }
+        let word = word & self.mask();
+        self.word_groups
+            .read()
+            .expect("lock")
+            .get(&word)
+            .map(|g| g.new_group_epoch)
+    }
+
+    /// [`group_new_group_epoch_word`](Self::group_new_group_epoch_word)
+    /// for an [`AttrSet`] (any schema width).
+    #[must_use]
+    pub fn group_new_group_epoch(&self, set: &AttrSet) -> Option<u64> {
+        if self.fits_word() {
+            let w = set
+                .iter()
+                .filter(|a| a.index() < self.schema.len())
+                .fold(0u64, |acc, a| acc | (1u64 << a.index()));
+            return self.group_new_group_epoch_word(w);
+        }
+        self.wide_groups
+            .read()
+            .expect("lock")
+            .get(set)
+            .map(|g| g.new_group_epoch)
     }
 
     /// The (memoized) group index for the attribute set encoded as a
@@ -459,6 +775,86 @@ impl InternedRelation {
     }
 }
 
+/// Group id of the sub-tuple read through `get` (attribute index →
+/// value) over `attrs`, if that sub-tuple already has a group in `gi`.
+fn gid_of<F: Fn(usize) -> Value>(
+    gi: &GroupIndex,
+    attrs: &[usize],
+    sizes: &[u64],
+    buf: &mut Vec<Value>,
+    get: F,
+) -> Option<u32> {
+    match &gi.lookup {
+        GroupLookup::Radix { base, appended } => {
+            let mut c: u64 = 0;
+            for (&a, &s) in attrs.iter().zip(sizes.iter()) {
+                c = c * s + u64::from(get(a));
+            }
+            match base.binary_search(&c) {
+                Ok(rank) => Some(rank as u32),
+                Err(_) => appended.get(&c).copied(),
+            }
+        }
+        GroupLookup::Wide { interner } => {
+            buf.clear();
+            buf.extend(attrs.iter().map(|&a| get(a)));
+            interner.get(buf)
+        }
+    }
+}
+
+/// Appends `row` (values read through `get`) to `gi`, assigning the next
+/// free dense group id if its sub-tuple is unseen; stamps
+/// `new_group_epoch` with `epoch` when a new group is created.
+fn extend_gid<F: Fn(usize) -> Value>(
+    gi: &mut GroupIndex,
+    attrs: &[usize],
+    sizes: &[u64],
+    buf: &mut Vec<Value>,
+    row: u32,
+    epoch: u64,
+    get: F,
+) {
+    let GroupIndex {
+        row_group,
+        n_groups,
+        representative,
+        lookup,
+        new_group_epoch,
+    } = gi;
+    let (gid, is_new) = match lookup {
+        GroupLookup::Radix { base, appended } => {
+            let mut c: u64 = 0;
+            for (&a, &s) in attrs.iter().zip(sizes.iter()) {
+                c = c * s + u64::from(get(a));
+            }
+            match base.binary_search(&c) {
+                Ok(rank) => (rank as u32, false),
+                Err(_) => match appended.entry(c) {
+                    std::collections::hash_map::Entry::Occupied(e) => (*e.get(), false),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let id = *n_groups;
+                        v.insert(id);
+                        (id, true)
+                    }
+                },
+            }
+        }
+        GroupLookup::Wide { interner } => {
+            buf.clear();
+            buf.extend(attrs.iter().map(|&a| get(a)));
+            let id = interner.intern(buf);
+            (id, id == *n_groups)
+        }
+    };
+    if is_new {
+        *n_groups += 1;
+        representative.push(row);
+        *new_group_epoch = epoch;
+    }
+    row_group.push(gid);
+}
+
 /// The Lemma-4 pair-code walk over two cached group-id columns, writing
 /// through an arbitrary scratch buffer (shared mutex-guarded or
 /// per-worker).
@@ -615,6 +1011,102 @@ mod tests {
         set.insert(AttrId(70));
         let g = ir.group_index(&set);
         assert_eq!(g.n_groups, 2, "bit 70 is outside the schema and dropped");
+    }
+
+    #[test]
+    fn append_extends_groups_and_epoch() {
+        let r = rel(&["i", "o1", "o2"], vec![vec![0, 0, 1], vec![0, 1, 0]]);
+        let mut ir = InternedRelation::from_relation(&r);
+        let key = AttrSet::from_indices(&[0]);
+        let probe = AttrSet::from_indices(&[1, 2]);
+        // Warm both groupings so appends must maintain them.
+        assert_eq!(ir.min_group_distinct(&key, &probe), 2);
+        assert_eq!(ir.epoch(), 0);
+        let kg_before = ir.group_index(&key);
+
+        // One duplicate, one new row in a fresh key group, one intra-
+        // batch repeat.
+        let added = ir
+            .append_rows(&[
+                Tuple::new(vec![0, 0, 1]),
+                Tuple::new(vec![1, 1, 1]),
+                Tuple::new(vec![1, 1, 1]),
+            ])
+            .unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(ir.n_rows(), 3);
+        assert_eq!(ir.epoch(), 1);
+        // New key group {i=1} has a single distinct probe sub-tuple.
+        assert_eq!(ir.min_group_distinct(&key, &probe), 1);
+        let kg = ir.group_index(&key);
+        assert_eq!(kg.n_groups, 2);
+        assert_eq!(kg.row_group, vec![0, 0, 1]);
+        assert_eq!(kg.new_group_epoch(), 1, "append created a key group");
+        assert_eq!(kg_before.n_groups, 1, "pre-append snapshot unshared");
+
+        // Everything agrees with a from-scratch rebuild.
+        let full = rel(
+            &["i", "o1", "o2"],
+            vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 1, 1]],
+        );
+        let rebuilt = InternedRelation::from_relation(&full);
+        assert_eq!(
+            ir.group_count_distinct(&key, &probe),
+            rebuilt.group_count_distinct(&key, &probe)
+        );
+        assert_eq!(ir.project(&probe), rebuilt.project(&probe));
+    }
+
+    #[test]
+    fn append_all_duplicates_keeps_epoch() {
+        let r = rel(&["a", "b"], vec![vec![0, 1], vec![1, 0]]);
+        let mut ir = InternedRelation::from_relation(&r);
+        let added = ir
+            .append_rows(&[Tuple::new(vec![0, 1]), Tuple::new(vec![1, 0])])
+            .unwrap();
+        assert_eq!((added, ir.epoch(), ir.n_rows()), (0, 0, 2));
+        assert_eq!(ir.append_rows(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn append_to_empty_relation() {
+        let r = Relation::empty(Schema::booleans(&["a", "b"]));
+        let mut ir = InternedRelation::from_relation(&r);
+        let key = AttrSet::from_indices(&[0]);
+        let probe = AttrSet::from_indices(&[1]);
+        assert_eq!(ir.min_group_distinct(&key, &probe), usize::MAX);
+        assert_eq!(ir.append_rows(&[Tuple::new(vec![1, 1])]).unwrap(), 1);
+        assert_eq!((ir.n_rows(), ir.epoch()), (1, 1));
+        assert_eq!(ir.min_group_distinct(&key, &probe), 1);
+        assert_eq!(ir.group_index(&key).new_group_epoch(), 1);
+    }
+
+    #[test]
+    fn append_rejects_invalid_rows_without_mutation() {
+        let r = rel(&["a", "b"], vec![vec![0, 1]]);
+        let mut ir = InternedRelation::from_relation(&r);
+        let err = ir
+            .append_rows(&[Tuple::new(vec![1, 0]), Tuple::new(vec![1])])
+            .unwrap_err();
+        assert!(matches!(err, crate::RelationError::ArityMismatch { .. }));
+        let err = ir.append_rows(&[Tuple::new(vec![1, 7])]).unwrap_err();
+        assert!(matches!(err, crate::RelationError::ValueOutOfDomain { .. }));
+        assert_eq!((ir.n_rows(), ir.epoch()), (1, 0), "atomic: nothing landed");
+    }
+
+    #[test]
+    fn find_group_row_locates_representatives() {
+        let r = rel(&["i", "o"], vec![vec![0, 1], vec![1, 0]]);
+        let mut ir = InternedRelation::from_relation(&r);
+        let inputs = AttrSet::from_indices(&[0]);
+        assert_eq!(ir.find_group_row(&inputs, &[0, 9]), Some(0));
+        assert_eq!(ir.find_group_row(&inputs, &[1, 9]), Some(1));
+        ir.append_rows(&[Tuple::new(vec![1, 1])]).unwrap();
+        // Existing group keeps its original representative.
+        assert_eq!(ir.find_group_row(&inputs, &[1, 0]), Some(1));
+        // Epoch queries answer only for cached groupings.
+        assert_eq!(ir.group_new_group_epoch(&inputs), Some(0));
+        assert_eq!(ir.group_new_group_epoch(&AttrSet::from_indices(&[1])), None);
     }
 
     #[test]

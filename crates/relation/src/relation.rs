@@ -73,6 +73,16 @@ impl Relation {
         Ok(())
     }
 
+    /// Validates `t` against the schema (arity and domains) without
+    /// inserting it — the precheck batch writers run before mutating
+    /// multiple layers atomically.
+    ///
+    /// # Errors
+    /// Same as [`from_rows`](Self::from_rows).
+    pub fn validate(&self, t: &Tuple) -> Result<(), RelationError> {
+        Self::validate_row(&self.schema, t)
+    }
+
     fn canonicalize(&mut self) {
         self.rows.sort_unstable();
         self.rows.dedup();
@@ -91,6 +101,53 @@ impl Relation {
                 Ok(true)
             }
         }
+    }
+
+    /// Inserts a batch of rows in one pass: validates everything first
+    /// (on error the relation is unchanged), drops rows already present
+    /// or repeated within the batch, and merges the survivors into the
+    /// canonical order with a single `O(rows + batch)` sorted merge —
+    /// the streaming-append companion of [`insert`](Self::insert), which
+    /// pays an `O(rows)` shift per row.
+    ///
+    /// Returns the number of genuinely new rows.
+    ///
+    /// # Errors
+    /// Same as [`from_rows`](Self::from_rows).
+    pub fn insert_batch(&mut self, batch: &[Tuple]) -> Result<usize, RelationError> {
+        for t in batch {
+            Self::validate_row(&self.schema, t)?;
+        }
+        let mut fresh: Vec<Tuple> = batch
+            .iter()
+            .filter(|t| !self.contains(t))
+            .cloned()
+            .collect();
+        fresh.sort_unstable();
+        fresh.dedup();
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        let added = fresh.len();
+        let old = std::mem::take(&mut self.rows);
+        self.rows = Vec::with_capacity(old.len() + added);
+        let (mut a, mut b) = (old.into_iter().peekable(), fresh.into_iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    // No equal pair exists: `fresh` excludes present rows.
+                    if x < y {
+                        self.rows.push(a.next().expect("peeked"));
+                    } else {
+                        self.rows.push(b.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => self.rows.push(a.next().expect("peeked")),
+                (None, Some(_)) => self.rows.push(b.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        Ok(added)
     }
 
     /// The relation's schema.
