@@ -1,0 +1,331 @@
+//! E18 — **serving throughput**: the batched probe engine against the
+//! one-at-a-time serving path, at "many instances × many modules" scale.
+//!
+//! Workload: [`INSTANCES`] independent instances of a 4-private-module
+//! one-one workflow (`k = 20`, 1024 rows per module), serving a seeded stream of
+//! [`TOTAL`] ≥ 10⁵ mixed-module `(V, Γ)` probes. Visible sets are drawn
+//! from a per-module pool of [`WORD_POOL`] views — the serving-tier
+//! regime where heavy traffic keeps re-asking a bounded set of
+//! questions (different users, different Γ, same views).
+//!
+//! Three strategies answer the **same stream** (answers are asserted
+//! identical) and are measured wall-clock over whole episodes (best of
+//! [`EPISODES`]), reported as ns/probe **and** probes/sec into
+//! `BENCH_serve.json` via `--save-baseline`:
+//!
+//! * `one_at_a_time` — the pre-batching serving path: every probe is a
+//!   single [`StandaloneModule::is_safe_word`] call into its module's
+//!   kernel (group indexes warm, but each request pays a full Lemma-4
+//!   pair pass).
+//! * `batched` — the serving engine: the stream is cut into
+//!   [`BATCH`]-sized mixed-module windows, each routed through
+//!   [`WorkflowOracles::probe_batch`] (cache partition + one kernel
+//!   batch pass per module for the distinct misses).
+//! * `sequential_memo` — ablation row isolating the cache's share: the
+//!   same memoized oracles, probed one call at a time. The batched
+//!   engine must at least match it; the gated ≥ 3× floor is
+//!   `one_at_a_time / batched`.
+//!
+//! **Multi-core scaling rows** (ROADMAP "multi-core scaling
+//! measurement"): the batched engine also runs with instances
+//! work-stolen across 1/2/4/8 serving threads
+//! (`…/serve_scaling/threads/T`), plus an `env/available_parallelism`
+//! row, so the first multi-core runner refreshes the scaling curve
+//! mechanically by re-running this bench with `--save-baseline`.
+//!
+//! CI gates (see `docs/BENCHMARKS.md`): absolute 2× regression bound on
+//! the batched ns/probe, within-run `one_at_a_time / batched ≥ 3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use sv_core::safety::{ProbeRequest, WorkflowOracles};
+use sv_core::{SafetyOracle, StandaloneModule};
+use sv_relation::AttrSet;
+use sv_workflow::{library, ModuleId, Workflow};
+
+/// Independent workflow instances (tenants).
+const INSTANCES: usize = 8;
+/// Private modules per instance (the one-one chain length).
+const MODULES: usize = 4;
+/// Boolean wires per module level: `k = 2 × WIRES = 20` attributes and
+/// `2^WIRES = 1024` provenance rows per module relation — the E16
+/// serving-scale module, where a per-probe Lemma-4 pair pass is real
+/// work to amortize.
+const WIRES: usize = 10;
+/// Total probes per episode (the ISSUE's ≥ 10⁵ acceptance point).
+const TOTAL: usize = 320_000;
+/// Distinct visible-set words per module the stream draws from.
+const WORD_POOL: usize = 64;
+/// Probes per mixed-module serving window.
+const BATCH: usize = 4_096;
+/// Episodes per strategy; the best (minimum) wall-clock is kept.
+const EPISODES: usize = 3;
+/// Γ values in the stream (the modules' levels are powers of two up to
+/// 2⁶, so these mix safe, unsafe and boundary answers).
+const GAMMAS: [u128; 5] = [2, 4, 8, 16, 64];
+/// Serving-thread counts for the instance-sharded scaling rows.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Enumeration budget for materializing the module relations.
+const BUDGET: u128 = 1 << 20;
+
+/// One serving request: which instance/module, which view, which Γ.
+#[derive(Clone, Copy)]
+struct Probe {
+    instance: usize,
+    module: usize,
+    word: u64,
+    gamma: u128,
+}
+
+fn workflow() -> Workflow {
+    library::one_one_chain(MODULES, WIRES)
+}
+
+/// The seeded probe stream: interleaved across instances and modules,
+/// visible words drawn from a per-module pool with heavy repetition.
+fn make_stream(seed: u64) -> Vec<Probe> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = 2 * WIRES;
+    let space = 1u64 << k;
+    let pools: Vec<Vec<u64>> = (0..MODULES)
+        .map(|_| (0..WORD_POOL).map(|_| rng.gen_range(0..space)).collect())
+        .collect();
+    (0..TOTAL)
+        .map(|_| {
+            let module = rng.gen_range(0..MODULES);
+            Probe {
+                instance: rng.gen_range(0..INSTANCES),
+                module,
+                word: pools[module][rng.gen_range(0..WORD_POOL)],
+                gamma: GAMMAS[rng.gen_range(0..GAMMAS.len())],
+            }
+        })
+        .collect()
+}
+
+/// The per-instance standalone modules of the one-at-a-time baseline
+/// (each instance materializes its own copies, as separate tenants do).
+fn build_modules(wf: &Workflow) -> Vec<Vec<StandaloneModule>> {
+    (0..INSTANCES)
+        .map(|_| {
+            wf.private_modules()
+                .iter()
+                .map(|&id| StandaloneModule::from_workflow_module(wf, id, BUDGET).unwrap())
+                .collect()
+        })
+        .collect()
+}
+
+/// One one-at-a-time episode: every probe is a single kernel call.
+fn run_one_at_a_time(stream: &[Probe], wf: &Workflow) -> (f64, Vec<bool>) {
+    let instances = build_modules(wf);
+    let mut answers = Vec::with_capacity(stream.len());
+    let start = Instant::now();
+    for p in stream {
+        let m = &instances[p.instance][p.module];
+        answers.push(m.is_safe_word(p.word, p.gamma).expect("k = 20 fits a word"));
+    }
+    (start.elapsed().as_nanos() as f64, answers)
+}
+
+/// One sequential-memo episode: same oracles as the batched engine,
+/// probed one call at a time. Visible sets are materialized up front —
+/// every strategy receives its requests in ready-to-serve form; the
+/// timed section is the answering engine alone.
+fn run_sequential_memo(stream: &[Probe], wf: &Workflow) -> (f64, Vec<bool>) {
+    let mut instances: Vec<WorkflowOracles> = (0..INSTANCES)
+        .map(|_| WorkflowOracles::for_workflow(wf, BUDGET).unwrap())
+        .collect();
+    let ids = instances[0].module_ids();
+    let prepared: Vec<(usize, ModuleId, AttrSet, u128)> = stream
+        .iter()
+        .map(|p| {
+            (
+                p.instance,
+                ids[p.module],
+                AttrSet::from_word(p.word),
+                p.gamma,
+            )
+        })
+        .collect();
+    let mut answers = Vec::with_capacity(stream.len());
+    let start = Instant::now();
+    for (inst, id, visible, gamma) in &prepared {
+        let oracle = instances[*inst].oracle_mut(*id).expect("covered module");
+        answers.push(oracle.is_safe(visible, *gamma));
+    }
+    (start.elapsed().as_nanos() as f64, answers)
+}
+
+/// The batched episode's pre-routed stream: per serving window, each
+/// instance's sub-batch of [`ProbeRequest`]s plus the stream positions
+/// its outcomes scatter back to. Built once per episode, outside the
+/// timed section (marshalling requests is the transport tier's job; the
+/// measured engine is [`WorkflowOracles::probe_batch`]).
+type RoutedStream = Vec<Vec<(usize, Vec<usize>, Vec<ProbeRequest>)>>;
+
+fn route_stream(stream: &[Probe], ids: &[ModuleId]) -> RoutedStream {
+    stream
+        .chunks(BATCH)
+        .enumerate()
+        .map(|(w, window)| {
+            let mut positions: Vec<Vec<usize>> = (0..INSTANCES).map(|_| Vec::new()).collect();
+            let mut requests: Vec<Vec<ProbeRequest>> = (0..INSTANCES).map(|_| Vec::new()).collect();
+            for (off, p) in window.iter().enumerate() {
+                positions[p.instance].push(w * BATCH + off);
+                requests[p.instance].push(ProbeRequest::new(
+                    ids[p.module],
+                    AttrSet::from_word(p.word),
+                    p.gamma,
+                ));
+            }
+            positions
+                .into_iter()
+                .zip(requests)
+                .enumerate()
+                .filter(|(_, (_, reqs))| !reqs.is_empty())
+                .map(|(i, (pos, reqs))| (i, pos, reqs))
+                .collect()
+        })
+        .collect()
+}
+
+/// One batched episode: the pre-routed stream is served window by
+/// window through each instance's batch engine. Returns (elapsed ns,
+/// answers, total kernel misses across instances).
+fn run_batched(stream: &[Probe], wf: &Workflow) -> (f64, Vec<bool>, u64) {
+    let mut instances: Vec<WorkflowOracles> = (0..INSTANCES)
+        .map(|_| WorkflowOracles::for_workflow(wf, BUDGET).unwrap())
+        .collect();
+    let ids = instances[0].module_ids();
+    let routed = route_stream(stream, &ids);
+    let mut answers = vec![false; stream.len()];
+    let start = Instant::now();
+    for window in &routed {
+        for (inst, positions, requests) in window {
+            let outcomes = instances[*inst].probe_batch(requests).expect("valid batch");
+            for (&pos, o) in positions.iter().zip(&outcomes) {
+                answers[pos] = o.safe;
+            }
+        }
+    }
+    let ns = start.elapsed().as_nanos() as f64;
+    let misses = instances.iter().map(WorkflowOracles::total_misses).sum();
+    (ns, answers, misses)
+}
+
+/// One sharded episode: instances are work-stolen across `threads`
+/// serving workers, each serving its claimed instance's whole substream
+/// through the batch engine. Returns elapsed ns.
+fn run_batched_sharded(stream: &[Probe], wf: &Workflow, threads: usize) -> f64 {
+    let instances: Vec<Mutex<WorkflowOracles>> = (0..INSTANCES)
+        .map(|_| Mutex::new(WorkflowOracles::for_workflow(wf, BUDGET).unwrap()))
+        .collect();
+    let ids = instances[0].lock().expect("lock").module_ids();
+    // Pre-split the stream per instance (routing is the serving tier's
+    // job; the measured section is the engines).
+    let mut per_instance: Vec<Vec<ProbeRequest>> = (0..INSTANCES).map(|_| Vec::new()).collect();
+    for p in stream {
+        per_instance[p.instance].push(ProbeRequest::new(
+            ids[p.module],
+            AttrSet::from_word(p.word),
+            p.gamma,
+        ));
+    }
+    let cursor = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(INSTANCES) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= INSTANCES {
+                    break;
+                }
+                let mut oracles = instances[i].lock().expect("unshared instance");
+                for window in per_instance[i].chunks(BATCH) {
+                    oracles.probe_batch(window).expect("valid batch");
+                }
+            });
+        }
+    });
+    start.elapsed().as_nanos() as f64
+}
+
+fn run_serving_experiment(_c: &mut Criterion) {
+    let wf = workflow();
+    let mut best_one = f64::INFINITY;
+    let mut best_memo = f64::INFINITY;
+    let mut best_batched = f64::INFINITY;
+    let mut batched_misses = 0u64;
+    for episode in 0..EPISODES {
+        let stream = make_stream(0xE18 + episode as u64);
+        let (one_ns, one_answers) = run_one_at_a_time(&stream, &wf);
+        let (memo_ns, memo_answers) = run_sequential_memo(&stream, &wf);
+        let (batched_ns, batched_answers, misses) = run_batched(&stream, &wf);
+        // Correctness anchor: all three strategies agree on every probe.
+        assert_eq!(one_answers, memo_answers, "episode {episode}");
+        assert_eq!(one_answers, batched_answers, "episode {episode}");
+        best_one = best_one.min(one_ns / TOTAL as f64);
+        best_memo = best_memo.min(memo_ns / TOTAL as f64);
+        best_batched = best_batched.min(batched_ns / TOTAL as f64);
+        batched_misses = misses;
+    }
+    for (name, ns) in [
+        ("one_at_a_time", best_one),
+        ("sequential_memo", best_memo),
+        ("batched", best_batched),
+    ] {
+        criterion::record_metric(&format!("e18_serving_throughput/ns_per_probe/{name}"), ns);
+        criterion::record_metric(
+            &format!("e18_serving_throughput/probes_per_sec/{name}"),
+            1e9 / ns,
+        );
+    }
+    criterion::record_metric(
+        "e18_serving_throughput/speedup_batched_vs_one_at_a_time",
+        best_one / best_batched,
+    );
+    criterion::record_metric(
+        "e18_serving_throughput/speedup_batched_vs_sequential_memo",
+        best_memo / best_batched,
+    );
+    criterion::record_metric(
+        "e18_serving_throughput/oracle/kernel_misses_batched",
+        batched_misses as f64,
+    );
+
+    // Multi-core scaling rows: instances sharded across serving threads.
+    let stream = make_stream(0xE18);
+    for &t in &THREADS {
+        let mut best = f64::INFINITY;
+        for _ in 0..EPISODES {
+            best = best.min(run_batched_sharded(&stream, &wf, t) / TOTAL as f64);
+        }
+        criterion::record_metric(
+            &format!("e18_serving_throughput/serve_scaling/threads/{t}"),
+            best,
+        );
+    }
+    if let (Some(t1), Some(t8)) = (
+        criterion::recorded_value("e18_serving_throughput/serve_scaling/threads/1"),
+        criterion::recorded_value("e18_serving_throughput/serve_scaling/threads/8"),
+    ) {
+        criterion::record_metric("e18_serving_throughput/serve_scaling/speedup_8t", t1 / t8);
+    }
+    criterion::record_metric(
+        "e18_serving_throughput/env/available_parallelism",
+        std::thread::available_parallelism().map_or(0.0, |p| p.get() as f64),
+    );
+    criterion::record_metric("e18_serving_throughput/env/instances", INSTANCES as f64);
+    criterion::record_metric("e18_serving_throughput/env/modules", MODULES as f64);
+    criterion::record_metric("e18_serving_throughput/env/probes", TOTAL as f64);
+    criterion::record_metric("e18_serving_throughput/env/word_pool", WORD_POOL as f64);
+    criterion::record_metric("e18_serving_throughput/env/batch", BATCH as f64);
+}
+
+criterion_group!(benches, run_serving_experiment);
+criterion_main!(benches);

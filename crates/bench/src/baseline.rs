@@ -39,13 +39,25 @@ pub struct GateReport {
     pub rows: Vec<GateRow>,
     /// The ratio threshold the report was evaluated under.
     pub max_ratio: f64,
+    /// When set, rows pass only on **exact equality** with the baseline
+    /// (`max_ratio` is ignored) — for deterministic, hardware-independent
+    /// counters such as the sweep's visited/pruned mask counts.
+    pub exact: bool,
 }
 
 impl GateReport {
+    fn row_passes(&self, r: &GateRow) -> bool {
+        if self.exact {
+            r.current == Some(r.baseline)
+        } else {
+            r.passes(self.max_ratio)
+        }
+    }
+
     /// Whether every gated id passed.
     #[must_use]
     pub fn passed(&self) -> bool {
-        !self.rows.is_empty() && self.rows.iter().all(|r| r.passes(self.max_ratio))
+        !self.rows.is_empty() && self.rows.iter().all(|r| self.row_passes(r))
     }
 
     /// Human-readable table plus verdict.
@@ -53,11 +65,7 @@ impl GateReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in &self.rows {
-            let status = if r.passes(self.max_ratio) {
-                "ok  "
-            } else {
-                "FAIL"
-            };
+            let status = if self.row_passes(r) { "ok  " } else { "FAIL" };
             match (r.current, r.ratio) {
                 (Some(c), Some(ratio)) => out.push_str(&format!(
                     "{status} {:<60} base {:>14.1}  cur {c:>14.1}  ratio {ratio:>6.2}\n",
@@ -72,11 +80,18 @@ impl GateReport {
         if self.rows.is_empty() {
             out.push_str("FAIL no baseline ids matched the gate prefixes\n");
         }
-        out.push_str(&format!(
-            "bench-gate: {} (max allowed ratio {:.2})\n",
-            if self.passed() { "PASS" } else { "FAIL" },
-            self.max_ratio
-        ));
+        if self.exact {
+            out.push_str(&format!(
+                "bench-gate: {} (exact match required)\n",
+                if self.passed() { "PASS" } else { "FAIL" },
+            ));
+        } else {
+            out.push_str(&format!(
+                "bench-gate: {} (max allowed ratio {:.2})\n",
+                if self.passed() { "PASS" } else { "FAIL" },
+                self.max_ratio
+            ));
+        }
         out
     }
 }
@@ -215,7 +230,29 @@ pub fn compare(
             }
         })
         .collect();
-    GateReport { rows, max_ratio }
+    GateReport {
+        rows,
+        max_ratio,
+        exact: false,
+    }
+}
+
+/// [`compare`] in **exact** mode: every baseline id matching a prefix
+/// must be reproduced bit-for-bit by the current run. This is the gate
+/// for deterministic counters — the sweep layer's visited/pruned mask
+/// counts are scheduling-independent by construction (serial
+/// branch-and-bound; layer-barriered antichain sweeps), so any drift is
+/// a semantic regression, not noise.
+#[must_use]
+pub fn compare_exact(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    prefixes: &[String],
+) -> GateReport {
+    GateReport {
+        exact: true,
+        ..compare(baseline, current, prefixes, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +328,29 @@ mod tests {
         let report = compare(&baseline(), &baseline(), &["does_not_exist".into()], 2.0);
         assert!(report.rows.is_empty());
         assert!(!report.passed());
+    }
+
+    #[test]
+    fn exact_mode_requires_bit_identical_counters() {
+        let base = vec![
+            ("e16/stats/visited".to_string(), 137983.0),
+            ("e16/stats/fraction".to_string(), 0.1315908432006836),
+        ];
+        let same = base.clone();
+        let report = compare_exact(&base, &same, &["e16/stats/".into()]);
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.render().contains("exact match required"));
+        // A one-mask drift fails even though the ratio is ≈ 1.0.
+        let drifted = vec![
+            ("e16/stats/visited".to_string(), 137984.0),
+            ("e16/stats/fraction".to_string(), 0.1315908432006836),
+        ];
+        let report = compare_exact(&base, &drifted, &["e16/stats/".into()]);
+        assert!(!report.passed());
+        assert!(report.render().contains("FAIL"));
+        // Missing ids fail, and no matching prefix is a failure.
+        assert!(!compare_exact(&base, &[], &["e16/stats/".into()]).passed());
+        assert!(!compare_exact(&base, &same, &["nope".into()]).passed());
     }
 
     #[test]

@@ -4,23 +4,29 @@
 //! ```text
 //! bench_gate --baseline BENCH_kernel.json --current current.json \
 //!            [--max-ratio 2.0] [--prefix e9_kernel_swap/derive_requirements]... \
+//!            [--exact e16_parallel_sweep/stats/]... \
 //!            [--speedup slow_id,fast_id,min]...
 //! ```
 //!
 //! `--current` accepts either a `--save-baseline`-produced JSON file or
 //! raw bench output containing `BENCHJSON` lines. With no `--prefix`,
-//! every baseline id is gated. `--speedup` checks are evaluated on the
-//! current run alone (`slow/fast ≥ min`), so they hold regardless of
-//! how fast the CI machine is relative to the one that recorded the
-//! committed baseline.
+//! every baseline id is gated by ratio — unless `--exact` or
+//! `--speedup` checks are given, in which case only those run.
+//! `--exact` prefixes gate deterministic counters (sweep visited/pruned
+//! masks): the current run must reproduce the committed value
+//! bit-for-bit. `--speedup` checks are evaluated on the current run
+//! alone (`slow/fast ≥ min`), so they hold regardless of how fast the
+//! CI machine is relative to the one that recorded the committed
+//! baseline.
 
-use sv_bench::baseline::{compare, load_results, SpeedupCheck};
+use sv_bench::baseline::{compare, compare_exact, load_results, SpeedupCheck};
 
 struct Args {
     baseline: String,
     current: String,
     max_ratio: f64,
     prefixes: Vec<String>,
+    exacts: Vec<String>,
     speedups: Vec<SpeedupCheck>,
 }
 
@@ -29,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
     let mut current = None;
     let mut max_ratio = 2.0f64;
     let mut prefixes = Vec::new();
+    let mut exacts = Vec::new();
     let mut speedups = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -42,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --max-ratio: {e}"))?;
             }
             "--prefix" => prefixes.push(value("--prefix")?),
+            "--exact" => exacts.push(value("--exact")?),
             "--speedup" => speedups.push(SpeedupCheck::parse(&value("--speedup")?)?),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -51,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         current: current.ok_or("--current is required")?,
         max_ratio,
         prefixes,
+        exacts,
         speedups,
     })
 }
@@ -63,14 +72,24 @@ fn run() -> Result<bool, String> {
         load_results(&read(&args.baseline)?).map_err(|e| format!("{}: {e}", args.baseline))?;
     let current =
         load_results(&read(&args.current)?).map_err(|e| format!("{}: {e}", args.current))?;
-    let report = compare(&baseline, &current, &args.prefixes, args.max_ratio);
-    print!("{}", report.render());
-    let mut speedups_ok = true;
+    let mut ok = true;
+    // The ratio report runs when prefixes are given, or when nothing
+    // else is (the legacy gate-everything default).
+    if !args.prefixes.is_empty() || (args.exacts.is_empty() && args.speedups.is_empty()) {
+        let report = compare(&baseline, &current, &args.prefixes, args.max_ratio);
+        print!("{}", report.render());
+        ok &= report.passed();
+    }
+    if !args.exacts.is_empty() {
+        let report = compare_exact(&baseline, &current, &args.exacts);
+        print!("{}", report.render());
+        ok &= report.passed();
+    }
     for check in &args.speedups {
         print!("{}", check.render(&current));
-        speedups_ok &= check.evaluate(&current).1;
+        ok &= check.evaluate(&current).1;
     }
-    Ok(report.passed() && speedups_ok)
+    Ok(ok)
 }
 
 fn main() {

@@ -40,6 +40,19 @@ pub enum CoreError {
         /// Index of the uncovered module.
         module: usize,
     },
+    /// A versioned batch probe ([`crate::safety::ProbeRequest`]) named a
+    /// relation epoch that does not match the module's current one — the
+    /// client derived its question from provenance that has since been
+    /// appended to (or from the future). The whole batch is rejected
+    /// before any oracle state is touched.
+    StaleEpoch {
+        /// Index of the module whose epoch mismatched.
+        module: usize,
+        /// The epoch the request was conditioned on.
+        expected: u64,
+        /// The module's actual current epoch.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -61,6 +74,16 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "oracle set has no entry for private module {module} (built for a different workflow?)"
+                )
+            }
+            Self::StaleEpoch {
+                module,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "probe against module {module} expects relation epoch {expected}, but the module is at epoch {actual}"
                 )
             }
         }

@@ -52,6 +52,6 @@ pub mod sweep;
 pub mod worlds;
 
 pub use error::CoreError;
-pub use safety::{MemoSafetyOracle, SafetyOracle};
+pub use safety::{MemoSafetyOracle, ProbeOutcome, ProbeRequest, SafetyOracle};
 pub use standalone::StandaloneModule;
 pub use sweep::{SweepConfig, SweepStats, WorkflowSweeper};

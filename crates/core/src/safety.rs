@@ -31,6 +31,20 @@
 //!   workflow, materialized once and shared by every requirement-list /
 //!   instance derivation (`sv-optimize`) and the bench harness.
 //!
+//! ### The batched serving path
+//!
+//! At serving scale (the ROADMAP's "heavy traffic" north star), probes
+//! arrive as **streams**, not single calls. [`SafetyOracle::is_safe_batch`]
+//! answers a slice of `(visible word, Γ)` questions at once — the
+//! default implementation is the sequential loop (the executable
+//! specification), and [`MemoSafetyOracle`] overrides it to
+//! cache-partition the batch and answer all distinct misses in one
+//! kernel batch pass. [`WorkflowOracles::probe_batch`] lifts this to
+//! **mixed-module batches** of [`ProbeRequest`]s, routing each module's
+//! sub-batch to its oracle with atomic up-front validation (unknown
+//! module or stale [`ProbeRequest::epoch`] ⇒ the whole batch fails
+//! before any memo state is touched).
+//!
 //! The instrumented black-box interface of the Theorem-3 experiments
 //! ([`crate::oracle::SafeViewOracle`]) sits *on top* of this layer:
 //! [`crate::oracle::HonestOracle`] is a Γ-fixing adapter around a
@@ -147,6 +161,26 @@ pub trait SafetyOracle {
         }
         let visible = AttrSet::from_word(!hidden_word & low_mask(self.k()));
         self.is_safe(&visible, gamma)
+    }
+
+    /// **Batched probes**: answers a slice of word-encoded
+    /// `(visible set, Γ)` questions in one call. The default
+    /// implementation is the sequential loop — one
+    /// [`is_safe`](Self::is_safe) per probe — and is the executable
+    /// specification batching implementations are property-tested
+    /// against. [`MemoSafetyOracle`] overrides it to cache-partition the
+    /// batch and answer all misses in **one kernel batch pass**, which
+    /// is what makes the serving layer's group-index work amortize
+    /// across requests.
+    ///
+    /// Like [`is_safe_hidden_word`](Self::is_safe_hidden_word), the word
+    /// can only name attributes `0..64`; for wider modules each probe is
+    /// answered through the set-based path.
+    fn is_safe_batch(&mut self, probes: &[(u64, u128)]) -> Vec<bool> {
+        probes
+            .iter()
+            .map(|&(w, gamma)| self.is_safe(&AttrSet::from_word(w), gamma))
+            .collect()
     }
 
     /// The **versioned probe path**: the generation of the module
@@ -379,28 +413,42 @@ impl MemoSafetyOracle {
         level
     }
 
+    /// The word cache's answer to `is_safe` **without kernel work**, if
+    /// it has one: an epoch-current entry decides either way; a stale
+    /// entry with a sufficient level still answers `true` when the
+    /// visible-input grouping gained no new group since the stamp (the
+    /// monotone shortcut — appends can only raise the Lemma-4 minimum
+    /// then). `None` means the probe must (re)compute the level. This is
+    /// the single home of the shortcut soundness condition, shared by
+    /// the sequential path ([`safe_word`](Self::safe_word)) and the
+    /// batch partition ([`SafetyOracle::is_safe_batch`]).
+    fn cached_safe_word(&mut self, visible_word: u64, gamma: u128) -> Option<bool> {
+        let &(l, e) = self.word_levels.get(&visible_word)?;
+        if e == self.module.epoch() {
+            return Some(l >= gamma);
+        }
+        if l >= gamma {
+            // Stale but sufficient: still `true` if the visible-input
+            // grouping gained no new group since the stamp.
+            let iw = self.module.inputs().as_word().unwrap_or(0);
+            if self
+                .module
+                .kernel()
+                .group_new_group_epoch_word(iw & visible_word)
+                .is_some_and(|ge| ge <= e)
+            {
+                self.shortcut_hits += 1;
+                return Some(true);
+            }
+        }
+        None
+    }
+
     /// `is_safe` on a masked visible word, taking the monotone shortcut
     /// for stale entries when it is sound (see the type-level docs).
     fn safe_word(&mut self, visible_word: u64, gamma: u128) -> bool {
-        if let Some(&(l, e)) = self.word_levels.get(&visible_word) {
-            let epoch = self.module.epoch();
-            if e == epoch {
-                return l >= gamma;
-            }
-            if l >= gamma {
-                // Stale but sufficient: still `true` if the visible-
-                // input grouping gained no new group since the stamp.
-                let iw = self.module.inputs().as_word().unwrap_or(0);
-                if self
-                    .module
-                    .kernel()
-                    .group_new_group_epoch_word(iw & visible_word)
-                    .is_some_and(|ge| ge <= e)
-                {
-                    self.shortcut_hits += 1;
-                    return true;
-                }
-            }
+        if let Some(answer) = self.cached_safe_word(visible_word, gamma) {
+            return answer;
         }
         self.level_word(visible_word) >= gamma
     }
@@ -491,6 +539,84 @@ impl SafetyOracle for MemoSafetyOracle {
         self.safe_word(!hidden_word & low_mask(k), gamma)
     }
 
+    /// The batched serving path: the batch is **cache-partitioned** —
+    /// epoch-current entries (and stale-but-safe entries eligible for
+    /// the monotone shortcut) answer from the memo with zero kernel
+    /// work, and every remaining probe is deduplicated to its distinct
+    /// visible word and answered in **one kernel batch pass**
+    /// ([`StandaloneModule::privacy_level_words_batch_with`]). Each
+    /// distinct missing visible set costs one kernel evaluation per
+    /// batch, no matter how many requests (or Γ values) ask about it;
+    /// the refreshed levels are epoch-stamped into the cache exactly as
+    /// the sequential path would.
+    fn is_safe_batch(&mut self, probes: &[(u64, u128)]) -> Vec<bool> {
+        let k = self.module.k();
+        if k > 64 {
+            // Wide schemas have no word-keyed kernel batch; the
+            // sequential wide path (which still memoizes) is the answer.
+            return probes
+                .iter()
+                .map(|&(w, gamma)| self.is_safe(&AttrSet::from_word(w), gamma))
+                .collect();
+        }
+        self.calls += probes.len() as u64;
+        let mask = low_mask(k);
+        let epoch = self.module.epoch();
+        let mut out = vec![false; probes.len()];
+        // Cache partition: resolve what the memo can (epoch-current
+        // entries and sound monotone shortcuts, via the same
+        // `cached_safe_word` the sequential path uses), collect the rest.
+        let mut pending: Vec<(usize, u64, u128)> = Vec::new();
+        let mut miss_words: Vec<u64> = Vec::new();
+        for (i, &(w, gamma)) in probes.iter().enumerate() {
+            if gamma <= 1 {
+                out[i] = true;
+                continue;
+            }
+            let w = w & mask;
+            if let Some(answer) = self.cached_safe_word(w, gamma) {
+                out[i] = answer;
+                continue;
+            }
+            pending.push((i, w, gamma));
+            miss_words.push(w);
+        }
+        if pending.is_empty() {
+            return out;
+        }
+        // One kernel pass for the misses, deduplicated by visible word.
+        miss_words.sort_unstable();
+        miss_words.dedup();
+        for &w in &miss_words {
+            if self.word_levels.contains_key(&w) {
+                self.revalidations += 1;
+            }
+        }
+        self.misses += miss_words.len() as u64;
+        let mut levels: Vec<u128> = Vec::with_capacity(miss_words.len());
+        if self
+            .module
+            .privacy_level_words_batch_with(&miss_words, &mut self.scratch, &mut levels)
+            .is_none()
+        {
+            // No word split (cannot happen for k ≤ 64 modules, whose
+            // input/output sets always fit a word) — per-probe fallback.
+            levels.extend(
+                miss_words
+                    .iter()
+                    .map(|&w| self.module.privacy_level(&AttrSet::from_word(w))),
+            );
+        }
+        for (&w, &l) in miss_words.iter().zip(&levels) {
+            self.word_levels.insert(w, (l, epoch));
+        }
+        for (i, w, gamma) in pending {
+            let l = levels[miss_words.binary_search(&w).expect("deduplicated above")];
+            out[i] = l >= gamma;
+        }
+        out
+    }
+
     fn calls(&self) -> u64 {
         self.calls
     }
@@ -571,6 +697,56 @@ pub fn minimal_safe_hidden_sets(
     Ok(minimal.into_iter().map(AttrSet::from_word).collect())
 }
 
+/// One serving-layer safety question, addressed to a private module of
+/// a workflow: *"is visible set `V` safe for `Γ` on module `m`?"* —
+/// optionally conditioned on the relation epoch the client derived its
+/// question from. Batches of these are routed by
+/// [`WorkflowOracles::probe_batch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProbeRequest {
+    /// The private module the probe addresses.
+    pub module: ModuleId,
+    /// The visible attribute set `V` (module-local ids).
+    pub visible: AttrSet,
+    /// The privacy requirement Γ.
+    pub gamma: u128,
+    /// If set, the relation epoch this probe is conditioned on: the
+    /// batch is rejected ([`CoreError::StaleEpoch`]) — touching no
+    /// oracle state — when the module has moved past it.
+    pub epoch: Option<u64>,
+}
+
+impl ProbeRequest {
+    /// An unconditional probe (no epoch requirement).
+    #[must_use]
+    pub fn new(module: ModuleId, visible: AttrSet, gamma: u128) -> Self {
+        Self {
+            module,
+            visible,
+            gamma,
+            epoch: None,
+        }
+    }
+
+    /// Conditions the probe on a relation epoch.
+    #[must_use]
+    pub fn at_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = Some(epoch);
+        self
+    }
+}
+
+/// The answer to one [`ProbeRequest`], in request order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// The module the probe addressed.
+    pub module: ModuleId,
+    /// Whether the visible set is Γ-standalone-safe.
+    pub safe: bool,
+    /// The module's relation epoch the answer is valid at.
+    pub epoch: u64,
+}
+
 /// One memoized safety oracle per **private** module of a workflow,
 /// materialized once and shared across every consumer — requirement
 /// lists, instance derivations, optimizers, benches. This is what makes
@@ -578,6 +754,9 @@ pub fn minimal_safe_hidden_sets(
 /// of which optimizer asks" true end-to-end.
 pub struct WorkflowOracles {
     entries: Vec<OracleEntry>,
+    /// Module id → `entries` index, fixed at construction — the batch
+    /// router's O(1) lookup ([`probe_batch`](Self::probe_batch)).
+    by_id: HashMap<ModuleId, usize>,
 }
 
 /// One private module's oracle plus the global attribute set needed to
@@ -606,7 +785,7 @@ impl WorkflowOracles {
                 oracle: MemoSafetyOracle::new(sm),
             });
         }
-        Ok(Self { entries })
+        Ok(Self::from_entries(entries))
     }
 
     /// The **streaming** constructor: every private module starts with
@@ -628,7 +807,12 @@ impl WorkflowOracles {
                 oracle: MemoSafetyOracle::new(sm),
             });
         }
-        Ok(Self { entries })
+        Ok(Self::from_entries(entries))
+    }
+
+    fn from_entries(entries: Vec<OracleEntry>) -> Self {
+        let by_id = entries.iter().enumerate().map(|(i, e)| (e.id, i)).collect();
+        Self { entries, by_id }
     }
 
     /// Ingests one workflow execution (a full provenance row over the
@@ -676,6 +860,103 @@ impl WorkflowOracles {
         self.oracle_mut(id)
             .ok_or(CoreError::MissingOracle { module: id.index() })?
             .append_execution(rows)
+    }
+
+    /// Routes a **mixed-module batch** of safety probes: requests are
+    /// grouped per module and each module's sub-batch is answered by its
+    /// memoized oracle in one [`SafetyOracle::is_safe_batch`] call, so
+    /// group-index and cache work amortize across every request that
+    /// shares a module — regardless of interleaving. Outcomes come back
+    /// in request order.
+    ///
+    /// **Atomic rejection:** the whole batch is validated first — every
+    /// request must name a covered module and (when
+    /// [`ProbeRequest::epoch`] is set) match that module's current
+    /// relation epoch. A batch containing an unknown module or a stale
+    /// epoch fails *before any oracle is touched*, leaving every memo
+    /// (and its counters) exactly as it was.
+    ///
+    /// # Errors
+    /// [`CoreError::MissingOracle`] for an uncovered module id;
+    /// [`CoreError::StaleEpoch`] for an epoch-conditioned probe whose
+    /// module has a different epoch.
+    ///
+    /// # Examples
+    /// ```
+    /// use sv_core::safety::{ProbeRequest, WorkflowOracles};
+    /// use sv_relation::AttrSet;
+    /// use sv_workflow::{library::fig1_workflow, ModuleId};
+    ///
+    /// let mut oracles = WorkflowOracles::for_workflow(&fig1_workflow(), 1 << 20).unwrap();
+    /// let batch = vec![
+    ///     ProbeRequest::new(ModuleId(0), AttrSet::from_indices(&[0, 2, 4]), 4),
+    ///     ProbeRequest::new(ModuleId(1), AttrSet::from_indices(&[0]), 2),
+    ///     ProbeRequest::new(ModuleId(0), AttrSet::from_indices(&[0, 2, 4]), 8),
+    /// ];
+    /// let outcomes = oracles.probe_batch(&batch).unwrap();
+    /// assert!(outcomes[0].safe, "Example 3: V = {{a1, a3, a5}} is 4-safe");
+    /// assert!(!outcomes[2].safe, "…but not 8-safe");
+    /// ```
+    pub fn probe_batch(
+        &mut self,
+        requests: &[ProbeRequest],
+    ) -> Result<Vec<ProbeOutcome>, CoreError> {
+        // Phase 1: resolve and validate every request — no oracle (and
+        // therefore no memo state) is touched until the batch is known
+        // to be fully addressable. Requests are bucketed per module in
+        // the same pass, so routing stays O(requests) however many
+        // modules the workflow has.
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.entries.len()];
+        for (pos, r) in requests.iter().enumerate() {
+            let &idx = self.by_id.get(&r.module).ok_or(CoreError::MissingOracle {
+                module: r.module.index(),
+            })?;
+            let actual = self.entries[idx].oracle.relation_epoch();
+            if let Some(expected) = r.epoch {
+                if expected != actual {
+                    return Err(CoreError::StaleEpoch {
+                        module: r.module.index(),
+                        expected,
+                        actual,
+                    });
+                }
+            }
+            buckets[idx].push(pos);
+        }
+        // Phase 2: per-module sub-batches through the batched oracle
+        // path; wide visible sets (no word encoding) fall back to the
+        // per-probe path of the same oracle.
+        let mut out: Vec<ProbeOutcome> = requests
+            .iter()
+            .map(|r| ProbeOutcome {
+                module: r.module,
+                safe: false,
+                epoch: 0,
+            })
+            .collect();
+        for (entry, bucket) in self.entries.iter_mut().zip(&buckets) {
+            let epoch = entry.oracle.relation_epoch();
+            let mut word_positions: Vec<usize> = Vec::with_capacity(bucket.len());
+            let mut word_probes: Vec<(u64, u128)> = Vec::with_capacity(bucket.len());
+            for &pos in bucket {
+                let r = &requests[pos];
+                out[pos].epoch = epoch;
+                match r.visible.as_word() {
+                    Some(w) => {
+                        word_positions.push(pos);
+                        word_probes.push((w, r.gamma));
+                    }
+                    None => out[pos].safe = entry.oracle.is_safe(&r.visible, r.gamma),
+                }
+            }
+            for (&pos, safe) in word_positions
+                .iter()
+                .zip(entry.oracle.is_safe_batch(&word_probes))
+            {
+                out[pos].safe = safe;
+            }
+        }
+        Ok(out)
     }
 
     /// The covered module ids, in `private_modules()` order.
@@ -972,6 +1253,158 @@ mod tests {
         // The corrected row then lands everywhere.
         let row2 = w.run(&[0, 1]).unwrap();
         assert!(oracles.ingest_execution(&row2).unwrap() > 0);
+    }
+
+    #[test]
+    fn batch_probes_match_sequential_and_dedup_kernel_work() {
+        let m = m1();
+        let mut memo = MemoSafetyOracle::new(m.clone());
+        let mut naive = NaiveOracle::new(m.clone());
+        // Every (visible word, Γ) pair, many duplicates, trivial Γ too.
+        let probes: Vec<(u64, u128)> = (0u64..(1 << 5))
+            .flat_map(|w| [1u128, 2, 4, 8, 9].map(|g| (w, g)))
+            .chain([(0b00101, 4), (0b00101, 4)])
+            .collect();
+        let batched = memo.is_safe_batch(&probes);
+        // The default trait impl (sequential loop) on the naive oracle
+        // is the executable specification.
+        assert_eq!(batched, naive.is_safe_batch(&probes));
+        // 32 distinct visible words ⇒ exactly 32 kernel evaluations for
+        // the whole batch, whatever the request count.
+        assert_eq!(memo.misses(), 32);
+        assert_eq!(memo.calls(), probes.len() as u64);
+        // A repeat batch is pure cache hits.
+        assert_eq!(memo.is_safe_batch(&probes), batched);
+        assert_eq!(memo.misses(), 32);
+        // Batch answers agree with the sequential memo path cache-line
+        // for cache-line.
+        let mut seq = MemoSafetyOracle::new(m);
+        for (i, &(w, g)) in probes.iter().enumerate() {
+            assert_eq!(seq.is_safe(&AttrSet::from_word(w), g), batched[i], "{i}");
+        }
+        assert_eq!(seq.misses(), memo.misses());
+    }
+
+    #[test]
+    fn batch_probes_ride_epochs_and_the_monotone_shortcut() {
+        // m1 minus one execution, so a fresh row can still arrive.
+        let full = m1();
+        let partial = sv_relation::Relation::from_rows(
+            full.schema().clone(),
+            full.relation().rows()[..3].to_vec(),
+        )
+        .unwrap();
+        let mut memo = MemoSafetyOracle::new(
+            StandaloneModule::new(partial, full.inputs().clone(), full.outputs().clone()).unwrap(),
+        );
+        let probes: Vec<(u64, u128)> = (0u64..(1 << 5)).map(|w| (w, 2)).collect();
+        let first = memo.is_safe_batch(&probes);
+        let misses = memo.misses();
+        // Appending the held-back execution bumps the epoch; the next
+        // batch must revalidate exactly the entries whose answers could
+        // have changed and take the monotone shortcut for the rest.
+        memo.append_execution(&full.relation().rows()[3..]).unwrap();
+        let second = memo.is_safe_batch(&probes);
+        assert!(
+            memo.monotone_shortcut_hits() > 0,
+            "stale-safe answers shortcut"
+        );
+        assert!(memo.misses() > misses, "changed groupings revalidate");
+        // Equivalence against a from-scratch oracle over the new rows.
+        let mut rebuilt = MemoSafetyOracle::new(
+            StandaloneModule::new(
+                memo.module().relation().clone(),
+                memo.module().inputs().clone(),
+                memo.module().outputs().clone(),
+            )
+            .unwrap(),
+        );
+        assert_eq!(second, rebuilt.is_safe_batch(&probes));
+        let _ = first;
+    }
+
+    #[test]
+    fn probe_batch_routes_mixed_modules_in_request_order() {
+        let w = fig1_workflow();
+        let mut oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+        let ids = oracles.module_ids();
+        // Interleave modules deliberately.
+        let mut requests = Vec::new();
+        for round in 0..4u64 {
+            for &id in &ids {
+                requests.push(ProbeRequest::new(
+                    id,
+                    AttrSet::from_word(round * 7 % 16),
+                    2 + u128::from(round),
+                ));
+            }
+        }
+        let outcomes = oracles.probe_batch(&requests).unwrap();
+        assert_eq!(outcomes.len(), requests.len());
+        // Sequential reference: same questions one at a time against
+        // fresh oracles.
+        let mut fresh = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+        for (r, o) in requests.iter().zip(&outcomes) {
+            assert_eq!(o.module, r.module);
+            assert_eq!(o.epoch, 0);
+            let seq = fresh
+                .oracle_mut(r.module)
+                .unwrap()
+                .is_safe(&r.visible, r.gamma);
+            assert_eq!(o.safe, seq, "{r:?}");
+        }
+        // Epoch-conditioned probes pass at the current epoch.
+        let ok = vec![ProbeRequest::new(ids[0], AttrSet::new(), 2).at_epoch(0)];
+        assert!(oracles.probe_batch(&ok).is_ok());
+    }
+
+    #[test]
+    fn probe_batch_rejects_bad_batches_without_touching_memos() {
+        let w = fig1_workflow();
+        let mut oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+        let ids = oracles.module_ids();
+        // Warm some state so mutation would be observable.
+        let warm = vec![ProbeRequest::new(
+            ids[0],
+            AttrSet::from_indices(&[0, 2, 4]),
+            4,
+        )];
+        oracles.probe_batch(&warm).unwrap();
+        let calls = oracles.total_calls();
+        let misses = oracles.total_misses();
+
+        // Unknown module in the middle of an otherwise valid batch.
+        let bad = vec![
+            ProbeRequest::new(ids[0], AttrSet::from_indices(&[0]), 2),
+            ProbeRequest::new(ModuleId(99), AttrSet::new(), 2),
+        ];
+        assert!(matches!(
+            oracles.probe_batch(&bad),
+            Err(CoreError::MissingOracle { module: 99 })
+        ));
+        assert_eq!(
+            (oracles.total_calls(), oracles.total_misses()),
+            (calls, misses)
+        );
+
+        // Stale epoch: conditioned on a generation the module is not at.
+        let stale = vec![
+            ProbeRequest::new(ids[0], AttrSet::from_indices(&[0]), 2),
+            ProbeRequest::new(ids[1], AttrSet::new(), 2).at_epoch(7),
+        ];
+        let err = oracles.probe_batch(&stale).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::StaleEpoch {
+                expected: 7,
+                actual: 0,
+                ..
+            }
+        ));
+        assert_eq!(
+            (oracles.total_calls(), oracles.total_misses()),
+            (calls, misses)
+        );
     }
 
     #[test]

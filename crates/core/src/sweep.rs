@@ -38,6 +38,15 @@
 //! [`crate::public::greedy_general_solution_sweep`]) and the
 //! `sv-optimize` instance derivations.
 //!
+//! * **Cross-module work stealing** ([`sweep_workflow_parallel`]).
+//!   Each private module's `2^k` lattice is independent, so
+//!   workflow-level calls ([`WorkflowSweeper::union_of_optima`],
+//!   [`WorkflowSweeper::minimal_sets_all`] and the `from_sweeper`
+//!   derivations riding it) steal *modules* off a shared cursor and
+//!   nest the intra-module shard pool under the same [`SweepConfig`]
+//!   thread budget — per-module results stay deterministic, counters
+//!   merge into one [`SweepStats`].
+//!
 //! The serial enumerations in [`crate::safety`] remain the executable
 //! specification; the property suites assert sweep ≡ serial ≡
 //! brute-force worlds for every configuration.
@@ -47,7 +56,7 @@ use crate::error::CoreError;
 use crate::safety::{MemoSafetyOracle, SafetyOracle};
 use crate::standalone::{StandaloneModule, MAX_DENSE_ATTRS};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use sv_relation::{AttrId, AttrSet};
 use sv_workflow::{ModuleId, Workflow};
@@ -218,6 +227,81 @@ fn run_workers<F: Fn() + Sync>(n: usize, worker: F) {
             s.spawn(&worker);
         }
     });
+}
+
+/// Work-steals **whole modules** onto the worker pool: the `n_modules`
+/// jobs are claimed off a shared atomic cursor, so fast modules drain
+/// quickly and the pool stays busy however unevenly the per-module
+/// lattices are sized — the cross-module analogue of the intra-module
+/// shard stealing. Both levels nest under **one** [`SweepConfig`]: with
+/// `W = config.threads` workers and `M` jobs, `min(W, M)` outer workers
+/// claim modules and each claimed module sweeps with the remaining
+/// `W / min(W, M)` threads as its intra-module shard pool, so the total
+/// concurrency never exceeds the configured budget.
+///
+/// `f(idx, inner)` runs one module's sweep under the nested `inner`
+/// configuration and may be any epoch-memoized entry point
+/// ([`WorkflowSweeper::union_of_optima`] and the `sv-optimize`
+/// `from_sweeper` derivations route through here). Results come back in
+/// module order — and because every per-module sweep is deterministic at
+/// any thread count, the whole cross-module sweep is too: parallel ≡
+/// serial for every `(threads, prune)` configuration (property-tested in
+/// `tests/serve_prop.rs`).
+///
+/// # Errors
+/// Returns the lowest-module-index error if any job fails (every job
+/// still runs to completion first, keeping the error deterministic).
+pub fn sweep_workflow_parallel<T, F>(
+    n_modules: usize,
+    config: &SweepConfig,
+    f: F,
+) -> Result<Vec<T>, CoreError>
+where
+    T: Send,
+    F: Fn(usize, &SweepConfig) -> Result<T, CoreError> + Sync,
+{
+    if n_modules == 0 {
+        return Ok(Vec::new());
+    }
+    let outer = config.worker_count().min(n_modules);
+    let inner = SweepConfig {
+        threads: (config.worker_count() / outer).max(1),
+        prune: config.prune,
+    };
+    let cursor = AtomicU64::new(0);
+    let cancelled = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<T, CoreError>>>> =
+        (0..n_modules).map(|_| Mutex::new(None)).collect();
+    run_workers(outer, || loop {
+        // A failed job stops further claims — no point sweeping the
+        // remaining lattices when the call is going to error anyway.
+        // Modules are claimed in ascending index order, so every index
+        // below the lowest failing one still completes, keeping the
+        // reported error deterministic.
+        if cancelled.load(Ordering::Relaxed) {
+            break;
+        }
+        let idx = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+        if idx >= n_modules {
+            break;
+        }
+        let result = f(idx, &inner);
+        if result.is_err() {
+            cancelled.store(true, Ordering::Relaxed);
+        }
+        *slots[idx].lock().expect("lock") = Some(result);
+    });
+    let mut out = Vec::with_capacity(n_modules);
+    for s in slots {
+        match s.into_inner().expect("lock") {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            // Unclaimed ⇒ some lower-index job failed; the loop above
+            // already returned its error before reaching this slot.
+            None => unreachable!("slot skipped without a prior error"),
+        }
+    }
+    Ok(out)
 }
 
 /// Minimum-cost safe hidden set by parallel branch-and-bound sweep.
@@ -473,6 +557,11 @@ pub fn minimal_sets_sweep(
         stats,
     ))
 }
+
+/// Per-module antichains of a workflow-level sweep, in
+/// `private_modules()` order (the [`WorkflowSweeper::minimal_sets_all`]
+/// result shape).
+pub type ModuleAntichains = Vec<(ModuleId, Vec<AttrSet>)>;
 
 /// Per-module hoisted state for workflow-level sweeps: lens, globals,
 /// and the materialized standalone module.
@@ -798,6 +887,13 @@ impl WorkflowSweeper {
     /// hidden sets unioned in global coordinates. Returns the hidden
     /// set, its global cost, and the merged sweep counters.
     ///
+    /// The per-module sweeps are **work-stolen across modules**
+    /// ([`sweep_workflow_parallel`]) under this sweeper's
+    /// [`SweepConfig`]: each `2^k` lattice is independent, so modules
+    /// sweep concurrently while each claimed module shards its own
+    /// lattice over the nested thread budget. The result is identical to
+    /// the serial module loop at any thread count.
+    ///
     /// # Errors
     /// [`CoreError::BudgetExceeded`] if some module admits no safe
     /// subset; propagates sweep errors.
@@ -806,22 +902,57 @@ impl WorkflowSweeper {
         costs: &WorkflowCosts,
         gamma: u128,
     ) -> Result<(AttrSet, u64, SweepStats), CoreError> {
-        let mut hidden = AttrSet::new();
-        let mut stats = SweepStats::default();
-        for (idx, m) in self.mods.iter().enumerate() {
-            let (found, s) = self.min_cost_memo(idx, costs.local(idx), gamma)?;
-            stats.merge(&s);
-            let Some((local_hidden, _)) = found else {
-                return Err(CoreError::BudgetExceeded {
+        // A module with no safe subset errors inside the worker, so the
+        // cross-module sweep cancels instead of finishing every other
+        // lattice first (the serial loop's early exit, preserved).
+        let per_module = sweep_workflow_parallel(self.mods.len(), &self.config, |idx, inner| {
+            let (found, s) = self.min_cost_memo(idx, costs.local(idx), gamma, inner)?;
+            found
+                .ok_or(CoreError::BudgetExceeded {
                     what: "no safe standalone subset exists for a module",
                     required: gamma,
                     budget: 0,
-                });
-            };
+                })
+                .map(|f| (f, s))
+        })?;
+        let mut hidden = AttrSet::new();
+        let mut stats = SweepStats::default();
+        for (m, ((local_hidden, _), s)) in self.mods.iter().zip(per_module) {
+            stats.merge(&s);
             hidden.union_with(&m.lens.to_global(&local_hidden));
         }
         let cost = hidden.iter().map(|a| costs.global()[a.index()]).sum();
         Ok((hidden, cost, stats))
+    }
+
+    /// Every module's ⊆-minimal safe hidden sets (module-local ids) with
+    /// per-module privacy requirements, swept **in parallel across
+    /// modules** ([`sweep_workflow_parallel`]) and memoized exactly like
+    /// [`module_minimal_sets`](Self::module_minimal_sets) — the
+    /// work-horse behind the `sv-optimize` `from_sweeper` instance
+    /// derivations. Returns the per-module antichains in
+    /// `private_modules()` order plus the merged sweep counters.
+    ///
+    /// # Errors
+    /// Propagates sweep errors.
+    ///
+    /// # Panics
+    /// Panics unless `gammas` has one entry per covered module.
+    pub fn minimal_sets_all(
+        &self,
+        gammas: &[u128],
+    ) -> Result<(ModuleAntichains, SweepStats), CoreError> {
+        assert_eq!(gammas.len(), self.mods.len(), "one Γ per private module");
+        let per_module = sweep_workflow_parallel(self.mods.len(), &self.config, |idx, inner| {
+            self.minimal_sets_memo(idx, gammas[idx], inner)
+        })?;
+        let mut stats = SweepStats::default();
+        let mut out = Vec::with_capacity(self.mods.len());
+        for (m, (sets, s)) in self.mods.iter().zip(per_module) {
+            stats.merge(&s);
+            out.push((m.id, sets));
+        }
+        Ok((out, stats))
     }
 
     /// Minimum-cost safe hidden set of one module under hoisted costs.
@@ -843,17 +974,22 @@ impl WorkflowSweeper {
             .iter()
             .position(|m| m.id == id)
             .ok_or(CoreError::MissingOracle { module: id.index() })?;
-        self.min_cost_memo(idx, costs.local(idx), gamma)
+        self.min_cost_memo(idx, costs.local(idx), gamma, &self.config)
     }
 
     /// The epoch-validated min-cost memo behind
     /// [`module_min_cost`](Self::module_min_cost) and
-    /// [`union_of_optima`](Self::union_of_optima).
+    /// [`union_of_optima`](Self::union_of_optima). `run_config` is the
+    /// configuration a cache miss actually sweeps with — the full pool
+    /// for direct calls, the nested per-module share inside a
+    /// cross-module [`sweep_workflow_parallel`] (results are identical
+    /// either way; only the recorded [`SweepStats::threads`] differ).
     fn min_cost_memo(
         &self,
         idx: usize,
         local_costs: &[u64],
         gamma: u128,
+        run_config: &SweepConfig,
     ) -> Result<(Option<(AttrSet, u64)>, SweepStats), CoreError> {
         let module = &self.mods[idx].module;
         let epoch = module.epoch();
@@ -866,7 +1002,7 @@ impl WorkflowSweeper {
                 }
             }
         }
-        let (found, stats) = min_cost_sweep(module, local_costs, gamma, &self.config)?;
+        let (found, stats) = min_cost_sweep(module, local_costs, gamma, run_config)?;
         let mut caches = self.caches.lock().expect("lock");
         caches.sweeps += 1;
         caches.min_cost.insert(
@@ -899,6 +1035,19 @@ impl WorkflowSweeper {
             .iter()
             .position(|m| m.id == id)
             .ok_or(CoreError::MissingOracle { module: id.index() })?;
+        self.minimal_sets_memo(idx, gamma, &self.config)
+    }
+
+    /// The epoch-validated antichain memo behind
+    /// [`module_minimal_sets`](Self::module_minimal_sets) and
+    /// [`minimal_sets_all`](Self::minimal_sets_all); `run_config` as in
+    /// `min_cost_memo`.
+    fn minimal_sets_memo(
+        &self,
+        idx: usize,
+        gamma: u128,
+        run_config: &SweepConfig,
+    ) -> Result<(Vec<AttrSet>, SweepStats), CoreError> {
         let module = &self.mods[idx].module;
         let epoch = module.epoch();
         {
@@ -909,7 +1058,7 @@ impl WorkflowSweeper {
                 }
             }
         }
-        let (sets, stats) = minimal_sets_sweep(module, gamma, &self.config)?;
+        let (sets, stats) = minimal_sets_sweep(module, gamma, run_config)?;
         let mut caches = self.caches.lock().expect("lock");
         caches.sweeps += 1;
         caches.minimal.insert(
@@ -1142,6 +1291,24 @@ mod tests {
         assert!(mid > before, "first union swept the uncached modules");
         let _ = sweeper.union_of_optima(&unit, 2).unwrap();
         assert_eq!(sweeper.sweeps_performed(), mid);
+    }
+
+    #[test]
+    fn union_of_optima_errors_when_a_module_is_unsatisfiable() {
+        // Γ = 4 exceeds the boolean-output modules' full range (2), so
+        // some module admits no safe subset: the cross-module sweep
+        // must cancel and report BudgetExceeded at any thread count.
+        let w = fig1_workflow();
+        for threads in [1usize, 4] {
+            let sweeper =
+                WorkflowSweeper::for_workflow(&w, 1 << 20, SweepConfig::parallel(threads)).unwrap();
+            let wc = sweeper.localize_costs(&[1u64; 7]);
+            let err = sweeper.union_of_optima(&wc, 4).unwrap_err();
+            assert!(
+                matches!(err, CoreError::BudgetExceeded { .. }),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! `BENCHJSON {"id": "...", "ns_per_iter": ...}` so scripts can collect
 //! results.
 //!
+//! Positional arguments filter benchmark ids by substring (like real
+//! criterion): `cargo bench --bench e16_parallel_sweep -- stats` skips
+//! every timed benchmark whose id lacks `stats`. Explicit
+//! [`record_metric`] calls are unaffected — the CI sweep-counter gate
+//! uses exactly this to produce the deterministic `stats/` rows without
+//! paying for the timing groups.
+//!
 //! ### Mechanical baselines: `--save-baseline <file>`
 //!
 //! Every measurement (and every explicit [`record_metric`] call) is also
@@ -238,7 +245,35 @@ impl Bencher {
     }
 }
 
+/// Positional CLI arguments of the bench invocation, interpreted — like
+/// real criterion — as substring filters on benchmark ids. Flags and
+/// their values (`--save-baseline <file>`) are not filters. An empty
+/// list means "run everything". Disabled under `cargo test`, where
+/// positional arguments are libtest name filters, not bench filters.
+fn filters() -> &'static [String] {
+    static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+    FILTERS.get_or_init(|| {
+        if cfg!(test) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--save-baseline" {
+                let _ = args.next();
+            } else if !a.starts_with("--") {
+                out.push(a);
+            }
+        }
+        out
+    })
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let filters = filters();
+    if !filters.is_empty() && !filters.iter().any(|pat| id.contains(pat.as_str())) {
+        return; // filtered out, like `cargo bench -- <substring>`
+    }
     let mut b = Bencher {
         ns_per_iter: f64::NAN,
     };

@@ -349,6 +349,33 @@ pub fn thm3_min_cost_sweep(
         .expect("thm3 module fits dense enumeration")
 }
 
+/// A **fleet** of Theorem-3 min-cost searches: `instances` independent
+/// copies of the [`thm3_m1`] workload, work-stolen across the worker
+/// pool ([`sv_core::sweep::sweep_workflow_parallel`]) with the
+/// intra-instance shard pool nested under the same [`sv_core::
+/// SweepConfig`] budget — the adversarial serving scenario where many
+/// tenants ask the same `2^Ω(ℓ)`-hard question concurrently. All
+/// instances share the materialized module (clones share the interned
+/// kernel, so group indexes warm once for the whole fleet); per-instance
+/// results are deterministic and identical, which the property suite
+/// uses to prove parallel-across-instances ≡ serial.
+///
+/// # Panics
+/// Panics if `ℓ + 1` exceeds the dense-enumeration maximum.
+#[must_use]
+pub fn thm3_min_cost_fleet(
+    l: usize,
+    instances: usize,
+    config: &sv_core::SweepConfig,
+) -> Vec<(Option<(AttrSet, u64)>, sv_core::SweepStats)> {
+    let m = thm3_m1(l);
+    let costs = thm3_costs(l);
+    sv_core::sweep::sweep_workflow_parallel(instances, config, |_, inner| {
+        sv_core::sweep::min_cost_sweep(&m, &costs, 2, inner)
+    })
+    .expect("thm3 module fits dense enumeration")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +494,21 @@ mod tests {
             assert_eq!(stats.visited + stats.pruned, stats.lattice);
             assert_eq!(stats.lattice, 1 << (l + 1));
         }
+    }
+
+    #[test]
+    fn thm3_fleet_matches_serial_at_any_thread_count() {
+        let l = 8;
+        let serial = thm3_min_cost_sweep(l, &sv_core::SweepConfig::serial());
+        for threads in [1usize, 2, 4, 8] {
+            let fleet = thm3_min_cost_fleet(l, 5, &sv_core::SweepConfig::parallel(threads));
+            assert_eq!(fleet.len(), 5);
+            for (found, stats) in &fleet {
+                assert_eq!(*found, serial.0, "threads={threads}");
+                assert_eq!(stats.visited + stats.pruned, stats.lattice);
+            }
+        }
+        assert!(thm3_min_cost_fleet(l, 0, &sv_core::SweepConfig::serial()).is_empty());
     }
 
     #[test]

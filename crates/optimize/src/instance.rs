@@ -219,8 +219,10 @@ impl CardinalityInstance {
 
     /// Derives the instance through a [`WorkflowSweeper`]: per module,
     /// the ⊆-minimal safe hidden sets come from the parallel antichain
-    /// sweep, and the cardinality Pareto frontier is then recovered by
-    /// **pure set arithmetic** over that antichain
+    /// sweep — all modules swept concurrently via the cross-module
+    /// work-stealing pool ([`WorkflowSweeper::minimal_sets_all`]) — and
+    /// the cardinality Pareto frontier is then recovered by **pure set
+    /// arithmetic** over each antichain
     /// ([`cardinality_constraints_from_antichain`]) — zero additional
     /// oracle probes. Also returns the merged sweep counters.
     ///
@@ -233,10 +235,8 @@ impl CardinalityInstance {
         assert_eq!(gammas.len(), sweeper.module_ids().len());
         let n_attrs = sweeper.n_attrs();
         let mut modules = Vec::new();
-        let mut stats = SweepStats::default();
-        for (id, &gamma) in sweeper.module_ids().into_iter().zip(gammas) {
-            let (antichain, s) = sweeper.module_minimal_sets(id, gamma)?;
-            stats.merge(&s);
+        let (antichains, stats) = sweeper.minimal_sets_all(gammas)?;
+        for ((id, antichain), &gamma) in antichains.into_iter().zip(gammas) {
             let m = sweeper
                 .module(id)
                 .ok_or(CoreError::MissingOracle { module: id.index() })?;
@@ -378,8 +378,9 @@ impl SetInstance {
 
     /// Derives the instance through a [`WorkflowSweeper`]: each module's
     /// requirement list is its ⊆-minimal-safe-set antichain from the
-    /// parallel layered sweep, mapped to global ids. Also returns the
-    /// merged sweep counters.
+    /// parallel layered sweep — all modules swept concurrently via
+    /// [`WorkflowSweeper::minimal_sets_all`] — mapped to global ids.
+    /// Also returns the merged sweep counters.
     ///
     /// # Errors
     /// Propagates sweep failures; fails on modules with no safe hiding.
@@ -390,10 +391,8 @@ impl SetInstance {
         assert_eq!(gammas.len(), sweeper.module_ids().len());
         let n_attrs = sweeper.n_attrs();
         let mut modules = Vec::new();
-        let mut stats = SweepStats::default();
-        for (id, &gamma) in sweeper.module_ids().into_iter().zip(gammas) {
-            let (antichain, s) = sweeper.module_minimal_sets(id, gamma)?;
-            stats.merge(&s);
+        let (antichains, stats) = sweeper.minimal_sets_all(gammas)?;
+        for ((id, antichain), &gamma) in antichains.into_iter().zip(gammas) {
             let list: Vec<AttrSet> = antichain
                 .iter()
                 .map(|r| {
