@@ -32,8 +32,8 @@ fn bench_kernel_swap(c: &mut Criterion) {
             let mut total = 0usize;
             for id in wf.private_modules() {
                 let sm = StandaloneModule::from_workflow_module(&wf, id, 1 << 20).unwrap();
-                let mut o = NaiveOracle::new(sm);
-                total += set_constraints_with(&mut o, gamma).unwrap().len();
+                let o = NaiveOracle::new(sm);
+                total += set_constraints_with(&o, gamma).unwrap().len();
             }
             total
         });

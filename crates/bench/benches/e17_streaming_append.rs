@@ -195,13 +195,13 @@ fn run_streaming_experiment(_c: &mut Criterion) {
     for episode in 0..EPISODES {
         let stream = make_stream(0xE17 + episode as u64);
         let (inc_ns, inc_rows, inc_oracle) = run_incremental(&stream);
-        let (reb_ns, reb_rows, mut reb_oracle) = run_rebuild(&stream);
+        let (reb_ns, reb_rows, reb_oracle) = run_rebuild(&stream);
         assert_eq!(inc_rows, reb_rows, "both strategies saw the same stream");
         assert!(inc_rows > 0);
 
         // Correctness anchor: the streamed oracle answers exactly like
         // the from-scratch rebuild on the standing probes.
-        let mut inc_oracle = inc_oracle;
+        let inc_oracle = inc_oracle;
         for &m in &PROBE_MASKS {
             let visible = AttrSet::from_word(!m & 0xFF);
             assert_eq!(

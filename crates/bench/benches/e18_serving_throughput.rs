@@ -40,7 +40,6 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 use sv_core::safety::{ProbeRequest, WorkflowOracles};
 use sv_core::{SafetyOracle, StandaloneModule};
@@ -137,7 +136,7 @@ fn run_one_at_a_time(stream: &[Probe], wf: &Workflow) -> (f64, Vec<bool>) {
 /// every strategy receives its requests in ready-to-serve form; the
 /// timed section is the answering engine alone.
 fn run_sequential_memo(stream: &[Probe], wf: &Workflow) -> (f64, Vec<bool>) {
-    let mut instances: Vec<WorkflowOracles> = (0..INSTANCES)
+    let instances: Vec<WorkflowOracles> = (0..INSTANCES)
         .map(|_| WorkflowOracles::for_workflow(wf, BUDGET).unwrap())
         .collect();
     let ids = instances[0].module_ids();
@@ -155,7 +154,7 @@ fn run_sequential_memo(stream: &[Probe], wf: &Workflow) -> (f64, Vec<bool>) {
     let mut answers = Vec::with_capacity(stream.len());
     let start = Instant::now();
     for (inst, id, visible, gamma) in &prepared {
-        let oracle = instances[*inst].oracle_mut(*id).expect("covered module");
+        let oracle = instances[*inst].oracle(*id).expect("covered module");
         answers.push(oracle.is_safe(visible, *gamma));
     }
     (start.elapsed().as_nanos() as f64, answers)
@@ -198,7 +197,7 @@ fn route_stream(stream: &[Probe], ids: &[ModuleId]) -> RoutedStream {
 /// window through each instance's batch engine. Returns (elapsed ns,
 /// answers, total kernel misses across instances).
 fn run_batched(stream: &[Probe], wf: &Workflow) -> (f64, Vec<bool>, u64) {
-    let mut instances: Vec<WorkflowOracles> = (0..INSTANCES)
+    let instances: Vec<WorkflowOracles> = (0..INSTANCES)
         .map(|_| WorkflowOracles::for_workflow(wf, BUDGET).unwrap())
         .collect();
     let ids = instances[0].module_ids();
@@ -220,12 +219,15 @@ fn run_batched(stream: &[Probe], wf: &Workflow) -> (f64, Vec<bool>, u64) {
 
 /// One sharded episode: instances are work-stolen across `threads`
 /// serving workers, each serving its claimed instance's whole substream
-/// through the batch engine. Returns elapsed ns.
+/// through the batch engine — since PR 5 `probe_batch` takes `&self`,
+/// the workers borrow the instances directly (no per-instance mutex;
+/// e19 measures many threads against *one* shared instance). Returns
+/// elapsed ns.
 fn run_batched_sharded(stream: &[Probe], wf: &Workflow, threads: usize) -> f64 {
-    let instances: Vec<Mutex<WorkflowOracles>> = (0..INSTANCES)
-        .map(|_| Mutex::new(WorkflowOracles::for_workflow(wf, BUDGET).unwrap()))
+    let instances: Vec<WorkflowOracles> = (0..INSTANCES)
+        .map(|_| WorkflowOracles::for_workflow(wf, BUDGET).unwrap())
         .collect();
-    let ids = instances[0].lock().expect("lock").module_ids();
+    let ids = instances[0].module_ids();
     // Pre-split the stream per instance (routing is the serving tier's
     // job; the measured section is the engines).
     let mut per_instance: Vec<Vec<ProbeRequest>> = (0..INSTANCES).map(|_| Vec::new()).collect();
@@ -245,7 +247,7 @@ fn run_batched_sharded(stream: &[Probe], wf: &Workflow, threads: usize) -> f64 {
                 if i >= INSTANCES {
                     break;
                 }
-                let mut oracles = instances[i].lock().expect("unshared instance");
+                let oracles = &instances[i];
                 for window in per_instance[i].chunks(BATCH) {
                     oracles.probe_batch(window).expect("valid batch");
                 }

@@ -20,7 +20,7 @@ use sv_workflow::{library, ModuleId};
 /// Full requirement derivation for one module: the set-constraints
 /// lattice sweep followed by the cardinality Pareto frontier — exactly
 /// what `sv-optimize` instance building runs per private module.
-fn derive(oracle: &mut dyn SafetyOracle, gamma: u128) -> (usize, usize) {
+fn derive(oracle: &dyn SafetyOracle, gamma: u128) -> (usize, usize) {
     let s = set_constraints_with(oracle, gamma).unwrap().len();
     let c = cardinality_constraints_with(oracle, gamma).len();
     (s, c)
@@ -36,20 +36,20 @@ fn bench_kernel_swap(c: &mut Criterion) {
     let gamma = 4u128;
     g.bench_function("derive_requirements/naive_rowwise", |bch| {
         bch.iter(|| {
-            let mut o = NaiveOracle::new(m.clone());
-            derive(&mut o, gamma)
+            let o = NaiveOracle::new(m.clone());
+            derive(&o, gamma)
         });
     });
     g.bench_function("derive_requirements/interned_kernel", |bch| {
         bch.iter(|| {
-            let mut o = KernelOracle::new(&m);
-            derive(&mut o, gamma)
+            let o = KernelOracle::new(&m);
+            derive(&o, gamma)
         });
     });
     g.bench_function("derive_requirements/interned_plus_memo", |bch| {
         bch.iter(|| {
-            let mut o = MemoSafetyOracle::new(m.clone());
-            derive(&mut o, gamma)
+            let o = MemoSafetyOracle::new(m.clone());
+            derive(&o, gamma)
         });
     });
     // End-to-end instance derivation through the shared-oracle path.

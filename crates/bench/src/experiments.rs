@@ -661,10 +661,10 @@ pub fn e14_ablation() -> Vec<String> {
 pub fn e15_oracle_memo() -> Vec<String> {
     let wf = library::fig1_workflow();
     let gammas = vec![2u128; wf.private_modules().len()];
-    let mut oracles = WorkflowOracles::for_workflow(&wf, 1 << 20).unwrap();
-    let set = sv_optimize::SetInstance::from_oracles(&wf, &mut oracles, &gammas).unwrap();
+    let oracles = WorkflowOracles::for_workflow(&wf, 1 << 20).unwrap();
+    let set = sv_optimize::SetInstance::from_oracles(&wf, &oracles, &gammas).unwrap();
     let (calls_set, misses_set) = (oracles.total_calls(), oracles.total_misses());
-    let card = CardinalityInstance::from_oracles(&wf, &mut oracles, &gammas).unwrap();
+    let card = CardinalityInstance::from_oracles(&wf, &oracles, &gammas).unwrap();
     let (calls_all, misses_all) = (oracles.total_calls(), oracles.total_misses());
     vec![
         "E15 Memoized safety oracle (each distinct V evaluated once per module)".into(),

@@ -141,7 +141,7 @@ pub fn union_of_standalone_optima_sweep(
 /// As [`union_of_standalone_optima`].
 pub fn union_of_standalone_optima_with(
     workflow: &Workflow,
-    oracles: &mut crate::safety::WorkflowOracles,
+    oracles: &crate::safety::WorkflowOracles,
     costs: &[u64],
     gamma: u128,
 ) -> Result<(AttrSet, u64), CoreError> {
@@ -156,7 +156,7 @@ pub fn union_of_standalone_optima_with(
             .map(|a| costs[a.index()])
             .collect();
         let oracle = oracles
-            .oracle_mut(id)
+            .oracle(id)
             .ok_or(CoreError::MissingOracle { module: id.index() })?;
         let Some((local_hidden, _)) =
             crate::safety::min_cost_safe_hidden(oracle, &local_costs, gamma)?
@@ -564,8 +564,8 @@ mod tests {
             assert_eq!(stats.visited + stats.pruned, stats.lattice);
         }
         // The memo-sharing oracle path agrees too.
-        let mut oracles = crate::safety::WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
-        let via_oracles = union_of_standalone_optima_with(&w, &mut oracles, &costs, 2).unwrap();
+        let oracles = crate::safety::WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+        let via_oracles = union_of_standalone_optima_with(&w, &oracles, &costs, 2).unwrap();
         assert_eq!(via_oracles, serial);
     }
 

@@ -57,7 +57,7 @@ pub fn set_constraints(
     m: &StandaloneModule,
     gamma: u128,
 ) -> Result<Vec<SetRequirement>, CoreError> {
-    set_constraints_with(&mut KernelOracle::new(m), gamma)
+    set_constraints_with(&KernelOracle::new(m), gamma)
 }
 
 /// [`set_constraints`] through an explicit safety oracle, so that
@@ -67,7 +67,7 @@ pub fn set_constraints(
 /// # Errors
 /// Propagates enumeration limits from the standalone solver.
 pub fn set_constraints_with(
-    oracle: &mut dyn SafetyOracle,
+    oracle: &dyn SafetyOracle,
     gamma: u128,
 ) -> Result<Vec<SetRequirement>, CoreError> {
     let minimal = safety::minimal_safe_hidden_sets(oracle, gamma)?;
@@ -86,12 +86,12 @@ pub fn set_constraints_with(
 /// `C(|I|, α) · C(|O|, β)` subset pairs).
 #[must_use]
 pub fn cardinality_valid(m: &StandaloneModule, alpha: usize, beta: usize, gamma: u128) -> bool {
-    cardinality_valid_with(&mut KernelOracle::new(m), alpha, beta, gamma)
+    cardinality_valid_with(&KernelOracle::new(m), alpha, beta, gamma)
 }
 
 /// [`cardinality_valid`] through an explicit safety oracle.
 pub fn cardinality_valid_with(
-    oracle: &mut dyn SafetyOracle,
+    oracle: &dyn SafetyOracle,
     alpha: usize,
     beta: usize,
     gamma: u128,
@@ -123,7 +123,7 @@ pub fn cardinality_valid_with(
 ///
 /// Returns an empty list iff even `(|I|, |O|)` (hide everything) fails.
 pub fn cardinality_constraints(m: &StandaloneModule, gamma: u128) -> Vec<CardRequirement> {
-    cardinality_constraints_with(&mut KernelOracle::new(m), gamma)
+    cardinality_constraints_with(&KernelOracle::new(m), gamma)
 }
 
 /// [`cardinality_constraints`] through an explicit safety oracle. When
@@ -131,7 +131,7 @@ pub fn cardinality_constraints(m: &StandaloneModule, gamma: u128) -> Vec<CardReq
 /// [`set_constraints_with`] (which sweeps the full subset lattice),
 /// every probe here is answered from the cache.
 pub fn cardinality_constraints_with(
-    oracle: &mut dyn SafetyOracle,
+    oracle: &dyn SafetyOracle,
     gamma: u128,
 ) -> Vec<CardRequirement> {
     let ni = oracle.module().inputs().len();

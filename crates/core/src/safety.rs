@@ -45,6 +45,24 @@
 //! module or stale [`ProbeRequest::epoch`] ⇒ the whole batch fails
 //! before any memo state is touched).
 //!
+//! ### Concurrent reads, single writer
+//!
+//! Every probe in this module takes **`&self`**: [`MemoSafetyOracle`]
+//! keeps its level cache in `MEMO_SHARDS` (16) read-mostly lock shards
+//! (epoch-stamped entries, monotone shortcut preserved), so warm
+//! probes from any number of serving threads — and the sweep workers
+//! sharing one oracle per lattice — proceed in parallel on shard
+//! read-locks. [`WorkflowOracles::probe_batch`] is likewise `&self`.
+//! The *only* writers are the streaming appends
+//! ([`MemoSafetyOracle::append_execution`],
+//! [`WorkflowOracles::ingest_execution`] /
+//! [`WorkflowOracles::append_execution`]), which take `&mut self`:
+//! Rust's aliasing rules make "readers run concurrently, the writer
+//! runs alone" a compile-time property rather than a locking protocol,
+//! and epoch-conditioned requests ([`ProbeRequest::epoch`]) let clients
+//! detect an append that slipped between deriving a question and
+//! asking it ([`CoreError::StaleEpoch`]).
+//!
 //! The instrumented black-box interface of the Theorem-3 experiments
 //! ([`crate::oracle::SafeViewOracle`]) sits *on top* of this layer:
 //! [`crate::oracle::HonestOracle`] is a Γ-fixing adapter around a
@@ -54,7 +72,7 @@
 //!
 //! The lattice enumerations in this module —
 //! [`min_cost_safe_hidden`] and [`minimal_safe_hidden_sets`] — walk the
-//! `2^k` hidden-set masks **serially** through a `&mut dyn
+//! `2^k` hidden-set masks **serially** through a `&dyn
 //! SafetyOracle`. They are deliberately kept simple: they are the
 //! executable specification the property suites compare the parallel
 //! work-stealing sweep ([`crate::sweep`]) against, and the path of
@@ -81,8 +99,30 @@
 use crate::error::CoreError;
 use crate::standalone::{StandaloneModule, MAX_DENSE_ATTRS};
 use std::collections::HashMap;
-use sv_relation::AttrSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use sv_relation::{AttrSet, ScratchPool};
 use sv_workflow::{ModuleId, Workflow};
+
+/// Number of lock shards in the memoized oracle's level caches.
+/// Warm probes take only one shard **read**-lock, so serving threads
+/// hitting different visible sets (different shards) share nothing but
+/// a read-mostly lock each; 16 shards comfortably cover the 1–8 serving
+/// threads the ROADMAP targets and the sweep worker cap.
+const MEMO_SHARDS: usize = 16;
+
+/// The word-cache shard a visible word hashes to (Fibonacci hashing —
+/// visible words are dense low-bit masks, so multiply-shift spreads
+/// them far better than a modulo on the raw word).
+fn word_shard(word: u64) -> usize {
+    (word.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % MEMO_SHARDS
+}
+
+/// The wide-cache shard a canonical visible set hashes to (the same
+/// [`sv_relation::hash_shard`] scheme the kernel's group caches use).
+fn wide_shard(set: &AttrSet) -> usize {
+    sv_relation::hash_shard(set, MEMO_SHARDS)
+}
 
 /// Bitmask of the low `k` bits (`k ≤ 64`).
 fn low_mask(k: usize) -> u64 {
@@ -96,8 +136,15 @@ fn low_mask(k: usize) -> u64 {
 /// The standalone-privacy question, asked through one interface by
 /// every layer above the kernel.
 ///
+/// Every probe takes **`&self`**: implementations memoize behind
+/// interior shared state (sharded read-mostly maps, atomic counters),
+/// so one oracle instance can serve any number of concurrent reader
+/// threads — the serving tier shares a single warm instance across
+/// threads instead of cloning cold ones. The only mutating operations
+/// are the streaming appends (`&mut self` on the concrete types), which
+/// Rust's aliasing rules exclude from overlapping any probe.
 /// Implementations are instrumented (`calls`) so experiments can chart
-/// query counts, and may memoize — hence `&mut self` on the probes.
+/// query counts.
 ///
 /// # Examples
 /// ```
@@ -108,7 +155,7 @@ fn low_mask(k: usize) -> u64 {
 ///
 /// let m = StandaloneModule::from_workflow_module(&fig1_workflow(), ModuleId(0), 1 << 20)
 ///     .unwrap();
-/// let mut oracle = KernelOracle::new(&m);
+/// let oracle = KernelOracle::new(&m);
 /// // Example 3 of the paper: V = {a1, a3, a5} is safe for Γ = 4 —
 /// // and the full privacy level answers every Γ at once.
 /// let v = AttrSet::from_indices(&[0, 2, 4]);
@@ -128,15 +175,15 @@ pub trait SafetyOracle {
     /// The privacy level of `visible`: `min_x |OUT_x|`
     /// (`u128::MAX` on an empty relation). Determines
     /// [`is_safe`](Self::is_safe) for every Γ.
-    fn privacy_level(&mut self, visible: &AttrSet) -> u128;
+    fn privacy_level(&self, visible: &AttrSet) -> u128;
 
     /// Γ-standalone-privacy (Definition 2 / Lemma 4).
-    fn is_safe(&mut self, visible: &AttrSet, gamma: u128) -> bool {
+    fn is_safe(&self, visible: &AttrSet, gamma: u128) -> bool {
         gamma <= 1 || self.privacy_level(visible) >= gamma
     }
 
     /// Safety phrased on the hidden set `V̄` (`V = A \ V̄`).
-    fn is_safe_hidden(&mut self, hidden: &AttrSet, gamma: u128) -> bool {
+    fn is_safe_hidden(&self, hidden: &AttrSet, gamma: u128) -> bool {
         if gamma <= 1 {
             return true;
         }
@@ -154,7 +201,7 @@ pub trait SafetyOracle {
     /// attributes `0..64`; for wider modules the probe falls back to
     /// the set-based path (complementing over all `k` attributes), so
     /// the answer stays correct.
-    fn is_safe_hidden_word(&mut self, hidden_word: u64, gamma: u128) -> bool {
+    fn is_safe_hidden_word(&self, hidden_word: u64, gamma: u128) -> bool {
         if self.k() > 64 {
             let visible = AttrSet::from_word(hidden_word).complement(self.k());
             return self.is_safe(&visible, gamma);
@@ -176,7 +223,15 @@ pub trait SafetyOracle {
     /// Like [`is_safe_hidden_word`](Self::is_safe_hidden_word), the word
     /// can only name attributes `0..64`; for wider modules each probe is
     /// answered through the set-based path.
-    fn is_safe_batch(&mut self, probes: &[(u64, u128)]) -> Vec<bool> {
+    ///
+    /// An **empty** probe slice returns an empty `Vec` immediately,
+    /// touching no scratch and allocating nothing (a contract every
+    /// override upholds — serving tiers forward client batches verbatim
+    /// and empty windows are common).
+    fn is_safe_batch(&self, probes: &[(u64, u128)]) -> Vec<bool> {
+        if probes.is_empty() {
+            return Vec::new();
+        }
         probes
             .iter()
             .map(|&(w, gamma)| self.is_safe(&AttrSet::from_word(w), gamma))
@@ -202,14 +257,17 @@ pub trait SafetyOracle {
 /// correct and fast, but re-evaluates every probe.
 pub struct KernelOracle<'a> {
     module: &'a StandaloneModule,
-    calls: u64,
+    calls: AtomicU64,
 }
 
 impl<'a> KernelOracle<'a> {
     /// Borrows `module`.
     #[must_use]
     pub fn new(module: &'a StandaloneModule) -> Self {
-        Self { module, calls: 0 }
+        Self {
+            module,
+            calls: AtomicU64::new(0),
+        }
     }
 }
 
@@ -218,18 +276,18 @@ impl SafetyOracle for KernelOracle<'_> {
         self.module
     }
 
-    fn privacy_level(&mut self, visible: &AttrSet) -> u128 {
-        self.calls += 1;
+    fn privacy_level(&self, visible: &AttrSet) -> u128 {
+        self.calls.fetch_add(1, Ordering::Relaxed);
         self.module.privacy_level(visible)
     }
 
-    fn is_safe(&mut self, visible: &AttrSet, gamma: u128) -> bool {
-        self.calls += 1;
+    fn is_safe(&self, visible: &AttrSet, gamma: u128) -> bool {
+        self.calls.fetch_add(1, Ordering::Relaxed);
         self.module.is_safe(visible, gamma)
     }
 
-    fn is_safe_hidden_word(&mut self, hidden_word: u64, gamma: u128) -> bool {
-        self.calls += 1;
+    fn is_safe_hidden_word(&self, hidden_word: u64, gamma: u128) -> bool {
+        self.calls.fetch_add(1, Ordering::Relaxed);
         let k = self.module.k();
         if let Some(safe) = self.module.is_safe_word(!hidden_word & low_mask(k), gamma) {
             return safe;
@@ -239,7 +297,7 @@ impl SafetyOracle for KernelOracle<'_> {
     }
 
     fn calls(&self) -> u64 {
-        self.calls
+        self.calls.load(Ordering::Relaxed)
     }
 }
 
@@ -248,14 +306,17 @@ impl SafetyOracle for KernelOracle<'_> {
 /// baseline the interned kernel is measured against.
 pub struct NaiveOracle {
     module: StandaloneModule,
-    calls: u64,
+    calls: AtomicU64,
 }
 
 impl NaiveOracle {
     /// Wraps `module`.
     #[must_use]
     pub fn new(module: StandaloneModule) -> Self {
-        Self { module, calls: 0 }
+        Self {
+            module,
+            calls: AtomicU64::new(0),
+        }
     }
 }
 
@@ -264,13 +325,13 @@ impl SafetyOracle for NaiveOracle {
         &self.module
     }
 
-    fn privacy_level(&mut self, visible: &AttrSet) -> u128 {
-        self.calls += 1;
+    fn privacy_level(&self, visible: &AttrSet) -> u128 {
+        self.calls.fetch_add(1, Ordering::Relaxed);
         self.module.privacy_level_naive(visible)
     }
 
     fn calls(&self) -> u64 {
-        self.calls
+        self.calls.load(Ordering::Relaxed)
     }
 }
 
@@ -278,6 +339,23 @@ impl SafetyOracle for NaiveOracle {
 /// computed once on the interned kernel and cached (word-keyed for
 /// `k ≤ 64`, [`AttrSet`]-keyed beyond). Repeated `is_safe` queries —
 /// for any Γ — are O(1) hash lookups with no allocation.
+///
+/// ### Concurrency: sharded read-mostly level caches
+///
+/// Every probe takes `&self`. The level caches are split into
+/// `MEMO_SHARDS` (16) lock shards keyed by visible-word hash, so a **warm
+/// hit takes only one shard read-lock** — N serving threads firing
+/// warm probes at one shared instance proceed in parallel, and sweep
+/// workers sharing the instance turn one worker's cache fill into warm
+/// hits for all others. A miss computes the level *outside* any lock
+/// (two racing threads may both compute the same level; both write the
+/// identical epoch-stamped value, so correctness is unaffected and the
+/// instrumentation counters are upper bounds under contention —
+/// exact in any single-threaded run, which is what the counter-gated
+/// benches use). The only `&mut self` operation is
+/// [`append_execution`](Self::append_execution): Rust statically
+/// guarantees no probe overlaps an append, which is what keeps the
+/// epoch stamps race-free.
 ///
 /// ### Streaming: epoch-stamped entries and the monotone shortcut
 ///
@@ -321,18 +399,32 @@ impl SafetyOracle for NaiveOracle {
 /// ```
 pub struct MemoSafetyOracle {
     module: StandaloneModule,
-    /// Visible word → (privacy level, epoch it was computed at).
-    word_levels: HashMap<u64, (u128, u64)>,
-    /// Wide-schema cache: canonical visible set → (level, epoch).
-    wide_levels: HashMap<AttrSet, (u128, u64)>,
-    /// Per-oracle probe scratch: cache-miss kernel probes run through
-    /// this buffer instead of the kernel's shared scratch mutex, so one
-    /// oracle per sweep shard means zero cross-thread probe contention.
-    scratch: Vec<u64>,
-    calls: u64,
-    misses: u64,
-    revalidations: u64,
-    shortcut_hits: u64,
+    /// Sharded visible word → (privacy level, epoch it was computed at).
+    word_shards: Vec<RwLock<HashMap<u64, (u128, u64)>>>,
+    /// Sharded wide-schema cache: canonical visible set → (level, epoch).
+    wide_shards: Vec<RwLock<HashMap<AttrSet, (u128, u64)>>>,
+    /// Pooled probe buffers for cache-miss kernel probes: each
+    /// concurrently missing probe borrows its own buffer, so serving
+    /// threads never contend on one scratch (sweep workers can pin a
+    /// per-worker buffer via
+    /// [`is_safe_hidden_word_with`](Self::is_safe_hidden_word_with)
+    /// instead).
+    scratch: ScratchPool,
+    calls: AtomicU64,
+    misses: AtomicU64,
+    revalidations: AtomicU64,
+    shortcut_hits: AtomicU64,
+}
+
+/// What the word cache knows about a probe without kernel work; see
+/// [`MemoSafetyOracle::probe_word_cache`].
+enum WordCacheProbe {
+    /// The cache decides the probe: an epoch-current entry either way,
+    /// or the monotone shortcut on a stale-but-sufficient one.
+    Answer(bool),
+    /// The level must be (re)computed; `stale` records whether an entry
+    /// existed (making the recompute a revalidation).
+    Compute { stale: bool },
 }
 
 impl MemoSafetyOracle {
@@ -341,40 +433,54 @@ impl MemoSafetyOracle {
     pub fn new(module: StandaloneModule) -> Self {
         Self {
             module,
-            word_levels: HashMap::new(),
-            wide_levels: HashMap::new(),
-            scratch: Vec::new(),
-            calls: 0,
-            misses: 0,
-            revalidations: 0,
-            shortcut_hits: 0,
+            word_shards: (0..MEMO_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            wide_shards: (0..MEMO_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            scratch: ScratchPool::new(),
+            calls: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            revalidations: AtomicU64::new(0),
+            shortcut_hits: AtomicU64::new(0),
         }
     }
 
     /// Probes that missed the cache (kernel evaluations).
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Kernel evaluations that *refreshed* a stale (pre-append) entry —
     /// a subset of [`misses`](Self::misses).
     #[must_use]
     pub fn revalidations(&self) -> u64 {
-        self.revalidations
+        self.revalidations.load(Ordering::Relaxed)
     }
 
     /// Stale `is_safe` probes answered from the cache via the monotone
     /// lower bound, with zero kernel work.
     #[must_use]
     pub fn monotone_shortcut_hits(&self) -> u64 {
-        self.shortcut_hits
+        self.shortcut_hits.load(Ordering::Relaxed)
     }
 
     /// Number of cached distinct visible sets.
     #[must_use]
     pub fn cached_levels(&self) -> usize {
-        self.word_levels.len() + self.wide_levels.len()
+        let words: usize = self
+            .word_shards
+            .iter()
+            .map(|s| s.read().expect("memo shard lock").len())
+            .sum();
+        let wides: usize = self
+            .wide_shards
+            .iter()
+            .map(|s| s.read().expect("memo shard lock").len())
+            .sum();
+        words + wides
     }
 
     /// Consumes the oracle, returning the module.
@@ -395,22 +501,42 @@ impl MemoSafetyOracle {
         self.module.append_execution(rows)
     }
 
-    /// Memoized level for a masked visible word (`k ≤ 64` path).
-    fn level_word(&mut self, visible_word: u64) -> u128 {
-        let epoch = self.module.epoch();
-        if let Some(&(l, e)) = self.word_levels.get(&visible_word) {
-            if e == epoch {
-                return l;
-            }
-            self.revalidations += 1;
+    /// Computes and epoch-stamps the level of a masked visible word
+    /// through a caller-supplied kernel scratch buffer, counting the
+    /// miss (and the revalidation, when `stale`). Runs outside every
+    /// shard lock.
+    fn recompute_level_word(&self, visible_word: u64, stale: bool, scratch: &mut Vec<u64>) -> u128 {
+        if stale {
+            self.revalidations.fetch_add(1, Ordering::Relaxed);
         }
-        self.misses += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.module.epoch();
         let level = self
             .module
-            .privacy_level_word_with(visible_word, &mut self.scratch)
+            .privacy_level_word_with(visible_word, scratch)
             .unwrap_or_else(|| self.module.privacy_level(&AttrSet::from_word(visible_word)));
-        self.word_levels.insert(visible_word, (level, epoch));
+        self.word_shards[word_shard(visible_word)]
+            .write()
+            .expect("memo shard lock")
+            .insert(visible_word, (level, epoch));
         level
+    }
+
+    /// Memoized level for a masked visible word (`k ≤ 64` path); warm
+    /// hits never touch the scratch pool.
+    fn level_word(&self, visible_word: u64) -> u128 {
+        let epoch = self.module.epoch();
+        let entry = self.word_shards[word_shard(visible_word)]
+            .read()
+            .expect("memo shard lock")
+            .get(&visible_word)
+            .copied();
+        match entry {
+            Some((l, e)) if e == epoch => l,
+            other => self
+                .scratch
+                .with(|buf| self.recompute_level_word(visible_word, other.is_some(), buf)),
+        }
     }
 
     /// The word cache's answer to `is_safe` **without kernel work**, if
@@ -418,14 +544,23 @@ impl MemoSafetyOracle {
     /// entry with a sufficient level still answers `true` when the
     /// visible-input grouping gained no new group since the stamp (the
     /// monotone shortcut — appends can only raise the Lemma-4 minimum
-    /// then). `None` means the probe must (re)compute the level. This is
-    /// the single home of the shortcut soundness condition, shared by
-    /// the sequential path ([`safe_word`](Self::safe_word)) and the
-    /// batch partition ([`SafetyOracle::is_safe_batch`]).
-    fn cached_safe_word(&mut self, visible_word: u64, gamma: u128) -> Option<bool> {
-        let &(l, e) = self.word_levels.get(&visible_word)?;
+    /// then). [`WordCacheProbe::Compute`] means the probe must
+    /// (re)compute the level. This is the single home of the shortcut
+    /// soundness condition, shared by the sequential path
+    /// ([`safe_word`](Self::safe_word)), the pinned-scratch sweep path,
+    /// and the batch partition ([`SafetyOracle::is_safe_batch`]).
+    /// Takes only one shard read-lock.
+    fn probe_word_cache(&self, visible_word: u64, gamma: u128) -> WordCacheProbe {
+        let entry = self.word_shards[word_shard(visible_word)]
+            .read()
+            .expect("memo shard lock")
+            .get(&visible_word)
+            .copied();
+        let Some((l, e)) = entry else {
+            return WordCacheProbe::Compute { stale: false };
+        };
         if e == self.module.epoch() {
-            return Some(l >= gamma);
+            return WordCacheProbe::Answer(l >= gamma);
         }
         if l >= gamma {
             // Stale but sufficient: still `true` if the visible-input
@@ -437,44 +572,98 @@ impl MemoSafetyOracle {
                 .group_new_group_epoch_word(iw & visible_word)
                 .is_some_and(|ge| ge <= e)
             {
-                self.shortcut_hits += 1;
-                return Some(true);
+                self.shortcut_hits.fetch_add(1, Ordering::Relaxed);
+                return WordCacheProbe::Answer(true);
             }
         }
-        None
+        WordCacheProbe::Compute { stale: true }
     }
 
     /// `is_safe` on a masked visible word, taking the monotone shortcut
     /// for stale entries when it is sound (see the type-level docs).
-    fn safe_word(&mut self, visible_word: u64, gamma: u128) -> bool {
-        if let Some(answer) = self.cached_safe_word(visible_word, gamma) {
-            return answer;
+    fn safe_word(&self, visible_word: u64, gamma: u128) -> bool {
+        match self.probe_word_cache(visible_word, gamma) {
+            WordCacheProbe::Answer(a) => a,
+            WordCacheProbe::Compute { stale } => {
+                self.scratch
+                    .with(|buf| self.recompute_level_word(visible_word, stale, buf))
+                    >= gamma
+            }
         }
-        self.level_word(visible_word) >= gamma
+    }
+
+    /// [`safe_word`](Self::safe_word) through a pinned scratch buffer —
+    /// the sweep workers' probe form.
+    fn safe_word_with(&self, visible_word: u64, gamma: u128, scratch: &mut Vec<u64>) -> bool {
+        match self.probe_word_cache(visible_word, gamma) {
+            WordCacheProbe::Answer(a) => a,
+            WordCacheProbe::Compute { stale } => {
+                self.recompute_level_word(visible_word, stale, scratch) >= gamma
+            }
+        }
+    }
+
+    /// Word-encoded hidden-set probe through a **caller-pinned** kernel
+    /// scratch buffer: identical to
+    /// [`SafetyOracle::is_safe_hidden_word`], but a cache miss runs the
+    /// kernel pass through `scratch` instead of borrowing from the
+    /// oracle's pool. The parallel sweep gives each worker its own
+    /// buffer and shares one oracle, so shards share every cached level
+    /// while never contending on probe buffers.
+    #[must_use]
+    pub fn is_safe_hidden_word_with(
+        &self,
+        hidden_word: u64,
+        gamma: u128,
+        scratch: &mut Vec<u64>,
+    ) -> bool {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if gamma <= 1 {
+            return true;
+        }
+        let k = self.module.k();
+        if k > 64 {
+            let visible = AttrSet::from_word(hidden_word).complement(k);
+            return self.safe_wide(&visible, gamma);
+        }
+        self.safe_word_with(!hidden_word & low_mask(k), gamma, scratch)
     }
 
     /// Memoized level through the wide ([`AttrSet`]-keyed) cache.
-    fn level_wide(&mut self, visible: &AttrSet) -> u128 {
+    fn level_wide(&self, visible: &AttrSet) -> u128 {
         // Canonicalize so sets differing only outside the schema share
         // a cache line.
         let canonical = visible.intersection(&self.module.schema().all_attrs());
         let epoch = self.module.epoch();
-        if let Some(&(l, e)) = self.wide_levels.get(&canonical) {
+        let entry = self.wide_shards[wide_shard(&canonical)]
+            .read()
+            .expect("memo shard lock")
+            .get(&canonical)
+            .copied();
+        if let Some((l, e)) = entry {
             if e == epoch {
                 return l;
             }
-            self.revalidations += 1;
+            self.revalidations.fetch_add(1, Ordering::Relaxed);
         }
-        self.misses += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let level = self.module.privacy_level(&canonical);
-        self.wide_levels.insert(canonical, (level, epoch));
+        self.wide_shards[wide_shard(&canonical)]
+            .write()
+            .expect("memo shard lock")
+            .insert(canonical, (level, epoch));
         level
     }
 
     /// Wide-path `is_safe` with the monotone shortcut.
-    fn safe_wide(&mut self, visible: &AttrSet, gamma: u128) -> bool {
+    fn safe_wide(&self, visible: &AttrSet, gamma: u128) -> bool {
         let canonical = visible.intersection(&self.module.schema().all_attrs());
-        if let Some(&(l, e)) = self.wide_levels.get(&canonical) {
+        let entry = self.wide_shards[wide_shard(&canonical)]
+            .read()
+            .expect("memo shard lock")
+            .get(&canonical)
+            .copied();
+        if let Some((l, e)) = entry {
             let epoch = self.module.epoch();
             if e == epoch {
                 return l >= gamma;
@@ -487,7 +676,7 @@ impl MemoSafetyOracle {
                     .group_new_group_epoch(&key)
                     .is_some_and(|ge| ge <= e)
                 {
-                    self.shortcut_hits += 1;
+                    self.shortcut_hits.fetch_add(1, Ordering::Relaxed);
                     return true;
                 }
             }
@@ -501,8 +690,8 @@ impl SafetyOracle for MemoSafetyOracle {
         &self.module
     }
 
-    fn privacy_level(&mut self, visible: &AttrSet) -> u128 {
-        self.calls += 1;
+    fn privacy_level(&self, visible: &AttrSet) -> u128 {
+        self.calls.fetch_add(1, Ordering::Relaxed);
         if self.module.k() <= 64 {
             if let Some(vw) = visible.as_word() {
                 return self.level_word(vw & low_mask(self.module.k()));
@@ -511,8 +700,8 @@ impl SafetyOracle for MemoSafetyOracle {
         self.level_wide(visible)
     }
 
-    fn is_safe(&mut self, visible: &AttrSet, gamma: u128) -> bool {
-        self.calls += 1;
+    fn is_safe(&self, visible: &AttrSet, gamma: u128) -> bool {
+        self.calls.fetch_add(1, Ordering::Relaxed);
         if gamma <= 1 {
             return true;
         }
@@ -524,8 +713,8 @@ impl SafetyOracle for MemoSafetyOracle {
         self.safe_wide(visible, gamma)
     }
 
-    fn is_safe_hidden_word(&mut self, hidden_word: u64, gamma: u128) -> bool {
-        self.calls += 1;
+    fn is_safe_hidden_word(&self, hidden_word: u64, gamma: u128) -> bool {
+        self.calls.fetch_add(1, Ordering::Relaxed);
         if gamma <= 1 {
             return true;
         }
@@ -548,8 +737,13 @@ impl SafetyOracle for MemoSafetyOracle {
     /// distinct missing visible set costs one kernel evaluation per
     /// batch, no matter how many requests (or Γ values) ask about it;
     /// the refreshed levels are epoch-stamped into the cache exactly as
-    /// the sequential path would.
-    fn is_safe_batch(&mut self, probes: &[(u64, u128)]) -> Vec<bool> {
+    /// the sequential path would. Warm batches take only shard
+    /// read-locks, so concurrent serving threads firing warm batches at
+    /// one shared oracle proceed in parallel.
+    fn is_safe_batch(&self, probes: &[(u64, u128)]) -> Vec<bool> {
+        if probes.is_empty() {
+            return Vec::new();
+        }
         let k = self.module.k();
         if k > 64 {
             // Wide schemas have no word-keyed kernel batch; the
@@ -559,13 +753,13 @@ impl SafetyOracle for MemoSafetyOracle {
                 .map(|&(w, gamma)| self.is_safe(&AttrSet::from_word(w), gamma))
                 .collect();
         }
-        self.calls += probes.len() as u64;
+        self.calls.fetch_add(probes.len() as u64, Ordering::Relaxed);
         let mask = low_mask(k);
         let epoch = self.module.epoch();
         let mut out = vec![false; probes.len()];
         // Cache partition: resolve what the memo can (epoch-current
         // entries and sound monotone shortcuts, via the same
-        // `cached_safe_word` the sequential path uses), collect the rest.
+        // `probe_word_cache` the sequential path uses), collect the rest.
         let mut pending: Vec<(usize, u64, u128)> = Vec::new();
         let mut miss_words: Vec<u64> = Vec::new();
         for (i, &(w, gamma)) in probes.iter().enumerate() {
@@ -574,12 +768,13 @@ impl SafetyOracle for MemoSafetyOracle {
                 continue;
             }
             let w = w & mask;
-            if let Some(answer) = self.cached_safe_word(w, gamma) {
-                out[i] = answer;
-                continue;
+            match self.probe_word_cache(w, gamma) {
+                WordCacheProbe::Answer(answer) => out[i] = answer,
+                WordCacheProbe::Compute { .. } => {
+                    pending.push((i, w, gamma));
+                    miss_words.push(w);
+                }
             }
-            pending.push((i, w, gamma));
-            miss_words.push(w);
         }
         if pending.is_empty() {
             return out;
@@ -588,15 +783,23 @@ impl SafetyOracle for MemoSafetyOracle {
         miss_words.sort_unstable();
         miss_words.dedup();
         for &w in &miss_words {
-            if self.word_levels.contains_key(&w) {
-                self.revalidations += 1;
+            if self.word_shards[word_shard(w)]
+                .read()
+                .expect("memo shard lock")
+                .contains_key(&w)
+            {
+                self.revalidations.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.misses += miss_words.len() as u64;
+        self.misses
+            .fetch_add(miss_words.len() as u64, Ordering::Relaxed);
         let mut levels: Vec<u128> = Vec::with_capacity(miss_words.len());
         if self
-            .module
-            .privacy_level_words_batch_with(&miss_words, &mut self.scratch, &mut levels)
+            .scratch
+            .with(|buf| {
+                self.module
+                    .privacy_level_words_batch_with(&miss_words, buf, &mut levels)
+            })
             .is_none()
         {
             // No word split (cannot happen for k ≤ 64 modules, whose
@@ -608,7 +811,10 @@ impl SafetyOracle for MemoSafetyOracle {
             );
         }
         for (&w, &l) in miss_words.iter().zip(&levels) {
-            self.word_levels.insert(w, (l, epoch));
+            self.word_shards[word_shard(w)]
+                .write()
+                .expect("memo shard lock")
+                .insert(w, (l, epoch));
         }
         for (i, w, gamma) in pending {
             let l = levels[miss_words.binary_search(&w).expect("deduplicated above")];
@@ -618,7 +824,7 @@ impl SafetyOracle for MemoSafetyOracle {
     }
 
     fn calls(&self) -> u64 {
-        self.calls
+        self.calls.load(Ordering::Relaxed)
     }
 }
 
@@ -632,7 +838,7 @@ impl SafetyOracle for MemoSafetyOracle {
 /// # Panics
 /// Panics unless `costs.len() == k`.
 pub fn min_cost_safe_hidden(
-    oracle: &mut dyn SafetyOracle,
+    oracle: &dyn SafetyOracle,
     costs: &[u64],
     gamma: u128,
 ) -> Result<Option<(AttrSet, u64)>, CoreError> {
@@ -670,7 +876,7 @@ pub fn min_cost_safe_hidden(
 /// # Errors
 /// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
 pub fn minimal_safe_hidden_sets(
-    oracle: &mut dyn SafetyOracle,
+    oracle: &dyn SafetyOracle,
     gamma: u128,
 ) -> Result<Vec<AttrSet>, CoreError> {
     let k = oracle.k();
@@ -857,9 +1063,11 @@ impl WorkflowOracles {
         id: ModuleId,
         rows: &[sv_relation::Tuple],
     ) -> Result<usize, CoreError> {
-        self.oracle_mut(id)
-            .ok_or(CoreError::MissingOracle { module: id.index() })?
-            .append_execution(rows)
+        let &idx = self
+            .by_id
+            .get(&id)
+            .ok_or(CoreError::MissingOracle { module: id.index() })?;
+        self.entries[idx].oracle.append_execution(rows)
     }
 
     /// Routes a **mixed-module batch** of safety probes: requests are
@@ -868,6 +1076,15 @@ impl WorkflowOracles {
     /// group-index and cache work amortize across every request that
     /// shares a module — regardless of interleaving. Outcomes come back
     /// in request order.
+    ///
+    /// **Concurrent serving:** this takes `&self` — any number of
+    /// serving threads fire batches at one shared instance, and warm
+    /// batches (all modules' memos current) proceed fully in parallel
+    /// on shard read-locks. The only writer is
+    /// [`ingest_execution`](Self::ingest_execution) /
+    /// [`append_execution`](Self::append_execution) (`&mut self`), so a
+    /// batch never observes a half-applied append; clients guard
+    /// against serving *around* an append with [`ProbeRequest::epoch`].
     ///
     /// **Atomic rejection:** the whole batch is validated first — every
     /// request must name a covered module and (when
@@ -887,7 +1104,7 @@ impl WorkflowOracles {
     /// use sv_relation::AttrSet;
     /// use sv_workflow::{library::fig1_workflow, ModuleId};
     ///
-    /// let mut oracles = WorkflowOracles::for_workflow(&fig1_workflow(), 1 << 20).unwrap();
+    /// let oracles = WorkflowOracles::for_workflow(&fig1_workflow(), 1 << 20).unwrap();
     /// let batch = vec![
     ///     ProbeRequest::new(ModuleId(0), AttrSet::from_indices(&[0, 2, 4]), 4),
     ///     ProbeRequest::new(ModuleId(1), AttrSet::from_indices(&[0]), 2),
@@ -897,10 +1114,7 @@ impl WorkflowOracles {
     /// assert!(outcomes[0].safe, "Example 3: V = {{a1, a3, a5}} is 4-safe");
     /// assert!(!outcomes[2].safe, "…but not 8-safe");
     /// ```
-    pub fn probe_batch(
-        &mut self,
-        requests: &[ProbeRequest],
-    ) -> Result<Vec<ProbeOutcome>, CoreError> {
+    pub fn probe_batch(&self, requests: &[ProbeRequest]) -> Result<Vec<ProbeOutcome>, CoreError> {
         // Phase 1: resolve and validate every request — no oracle (and
         // therefore no memo state) is touched until the batch is known
         // to be fully addressable. Requests are bucketed per module in
@@ -934,7 +1148,7 @@ impl WorkflowOracles {
                 epoch: 0,
             })
             .collect();
-        for (entry, bucket) in self.entries.iter_mut().zip(&buckets) {
+        for (entry, bucket) in self.entries.iter().zip(&buckets) {
             let epoch = entry.oracle.relation_epoch();
             let mut word_positions: Vec<usize> = Vec::with_capacity(bucket.len());
             let mut word_probes: Vec<(u64, u128)> = Vec::with_capacity(bucket.len());
@@ -965,18 +1179,21 @@ impl WorkflowOracles {
         self.entries.iter().map(|e| e.id).collect()
     }
 
-    /// Mutable access to one module's oracle.
+    /// Shared access to one module's oracle — sufficient for every
+    /// probe ([`SafetyOracle`] probes take `&self`), so serving threads
+    /// can hold references into one shared instance. The `&mut`
+    /// accessors this replaces (`oracle_mut` / `iter_mut`) are gone:
+    /// only the streaming appends mutate, through
+    /// [`append_execution`](Self::append_execution) /
+    /// [`ingest_execution`](Self::ingest_execution).
     #[must_use]
-    pub fn oracle_mut(&mut self, id: ModuleId) -> Option<&mut MemoSafetyOracle> {
-        self.entries
-            .iter_mut()
-            .find(|e| e.id == id)
-            .map(|e| &mut e.oracle)
+    pub fn oracle(&self, id: ModuleId) -> Option<&MemoSafetyOracle> {
+        self.by_id.get(&id).map(|&i| &self.entries[i].oracle)
     }
 
-    /// Iterates `(id, oracle)` mutably, in `private_modules()` order.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ModuleId, &mut MemoSafetyOracle)> {
-        self.entries.iter_mut().map(|e| (e.id, &mut e.oracle))
+    /// Iterates `(id, oracle)` in `private_modules()` order.
+    pub fn iter(&self) -> impl Iterator<Item = (ModuleId, &MemoSafetyOracle)> {
+        self.entries.iter().map(|e| (e.id, &e.oracle))
     }
 
     /// Total probes across all oracles.
@@ -1004,9 +1221,9 @@ mod tests {
     #[test]
     fn memo_agrees_with_kernel_and_naive_on_all_subsets() {
         let m = m1();
-        let mut memo = MemoSafetyOracle::new(m.clone());
-        let mut naive = NaiveOracle::new(m.clone());
-        let mut kernel = KernelOracle::new(&m);
+        let memo = MemoSafetyOracle::new(m.clone());
+        let naive = NaiveOracle::new(m.clone());
+        let kernel = KernelOracle::new(&m);
         for mask in 0u32..(1 << 5) {
             let visible = AttrSet::from_word(u64::from(mask));
             let a = memo.privacy_level(&visible);
@@ -1022,7 +1239,7 @@ mod tests {
 
     #[test]
     fn memo_answers_repeats_without_reevaluating() {
-        let mut memo = MemoSafetyOracle::new(m1());
+        let memo = MemoSafetyOracle::new(m1());
         let v = AttrSet::from_indices(&[0, 2, 4]);
         let first = memo.privacy_level(&v);
         let misses_after_first = memo.misses();
@@ -1038,7 +1255,7 @@ mod tests {
 
     #[test]
     fn hidden_word_probes_share_the_cache_with_visible_probes() {
-        let mut memo = MemoSafetyOracle::new(m1());
+        let memo = MemoSafetyOracle::new(m1());
         // V = {0,2,4} ⇔ hidden {1,3}.
         let v = AttrSet::from_indices(&[0, 2, 4]);
         let level = memo.privacy_level(&v);
@@ -1050,8 +1267,8 @@ mod tests {
     #[test]
     fn oracle_enumerations_match_module_methods() {
         let m = m1();
-        let mut memo = MemoSafetyOracle::new(m.clone());
-        let (h1, c1) = min_cost_safe_hidden(&mut memo, &[10, 3, 9, 2, 9], 4)
+        let memo = MemoSafetyOracle::new(m.clone());
+        let (h1, c1) = min_cost_safe_hidden(&memo, &[10, 3, 9, 2, 9], 4)
             .unwrap()
             .unwrap();
         let (h2, c2) = m
@@ -1059,7 +1276,7 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!((h1, c1), (h2, c2));
-        let a = minimal_safe_hidden_sets(&mut memo, 4).unwrap();
+        let a = minimal_safe_hidden_sets(&memo, 4).unwrap();
         let b = m.minimal_safe_hidden_sets(4).unwrap();
         assert_eq!(a, b);
         // The second enumeration re-used the first's cache: the lattice
@@ -1186,7 +1403,7 @@ mod tests {
         let mut oracles = WorkflowOracles::for_workflow_streaming(&w).unwrap();
         assert_eq!(oracles.module_ids().len(), 3);
         // Nothing recorded yet: vacuously safe everywhere.
-        let o = oracles.oracle_mut(ModuleId(0)).unwrap();
+        let o = oracles.oracle(ModuleId(0)).unwrap();
         assert_eq!(o.privacy_level(&AttrSet::new()), u128::MAX);
         // Ingest every execution of the workflow's input space.
         let mut total = 0;
@@ -1202,7 +1419,7 @@ mod tests {
         // full-domain materialization of `for_workflow`: streaming
         // records only executions that actually happened.)
         for id in oracles.module_ids() {
-            let streamed = oracles.oracle_mut(id).unwrap();
+            let streamed = oracles.oracle(id).unwrap();
             let rebuilt = StandaloneModule::new(
                 streamed.module().relation().clone(),
                 streamed.module().inputs().clone(),
@@ -1242,7 +1459,7 @@ mod tests {
         assert!(matches!(err, CoreError::NotAFunction));
 
         for id in oracles.module_ids() {
-            let o = oracles.oracle_mut(id).unwrap();
+            let o = oracles.oracle(id).unwrap();
             assert_eq!(
                 o.module().relation().len(),
                 1,
@@ -1258,8 +1475,8 @@ mod tests {
     #[test]
     fn batch_probes_match_sequential_and_dedup_kernel_work() {
         let m = m1();
-        let mut memo = MemoSafetyOracle::new(m.clone());
-        let mut naive = NaiveOracle::new(m.clone());
+        let memo = MemoSafetyOracle::new(m.clone());
+        let naive = NaiveOracle::new(m.clone());
         // Every (visible word, Γ) pair, many duplicates, trivial Γ too.
         let probes: Vec<(u64, u128)> = (0u64..(1 << 5))
             .flat_map(|w| [1u128, 2, 4, 8, 9].map(|g| (w, g)))
@@ -1278,7 +1495,7 @@ mod tests {
         assert_eq!(memo.misses(), 32);
         // Batch answers agree with the sequential memo path cache-line
         // for cache-line.
-        let mut seq = MemoSafetyOracle::new(m);
+        let seq = MemoSafetyOracle::new(m);
         for (i, &(w, g)) in probes.iter().enumerate() {
             assert_eq!(seq.is_safe(&AttrSet::from_word(w), g), batched[i], "{i}");
         }
@@ -1311,7 +1528,7 @@ mod tests {
         );
         assert!(memo.misses() > misses, "changed groupings revalidate");
         // Equivalence against a from-scratch oracle over the new rows.
-        let mut rebuilt = MemoSafetyOracle::new(
+        let rebuilt = MemoSafetyOracle::new(
             StandaloneModule::new(
                 memo.module().relation().clone(),
                 memo.module().inputs().clone(),
@@ -1326,7 +1543,7 @@ mod tests {
     #[test]
     fn probe_batch_routes_mixed_modules_in_request_order() {
         let w = fig1_workflow();
-        let mut oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+        let oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
         let ids = oracles.module_ids();
         // Interleave modules deliberately.
         let mut requests = Vec::new();
@@ -1343,14 +1560,11 @@ mod tests {
         assert_eq!(outcomes.len(), requests.len());
         // Sequential reference: same questions one at a time against
         // fresh oracles.
-        let mut fresh = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+        let fresh = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
         for (r, o) in requests.iter().zip(&outcomes) {
             assert_eq!(o.module, r.module);
             assert_eq!(o.epoch, 0);
-            let seq = fresh
-                .oracle_mut(r.module)
-                .unwrap()
-                .is_safe(&r.visible, r.gamma);
+            let seq = fresh.oracle(r.module).unwrap().is_safe(&r.visible, r.gamma);
             assert_eq!(o.safe, seq, "{r:?}");
         }
         // Epoch-conditioned probes pass at the current epoch.
@@ -1361,7 +1575,7 @@ mod tests {
     #[test]
     fn probe_batch_rejects_bad_batches_without_touching_memos() {
         let w = fig1_workflow();
-        let mut oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+        let oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
         let ids = oracles.module_ids();
         // Warm some state so mutation would be observable.
         let warm = vec![ProbeRequest::new(
@@ -1410,12 +1624,12 @@ mod tests {
     #[test]
     fn workflow_oracles_cover_private_modules() {
         let w = fig1_workflow();
-        let mut oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+        let oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
         assert_eq!(oracles.module_ids().len(), 3);
-        let o = oracles.oracle_mut(ModuleId(0)).unwrap();
+        let o = oracles.oracle(ModuleId(0)).unwrap();
         assert!(o.is_safe(&AttrSet::from_indices(&[0, 2, 4]), 4));
         assert!(oracles.total_calls() >= 1);
-        assert!(oracles.oracle_mut(ModuleId(9)).is_none());
+        assert!(oracles.oracle(ModuleId(9)).is_none());
         assert!(oracles.total_misses() <= oracles.total_calls());
     }
 }

@@ -410,8 +410,9 @@ impl StandaloneModule {
     }
 
     /// [`privacy_level_word`](Self::privacy_level_word) through a
-    /// caller-owned probe scratch buffer, so concurrent sweep shards do
-    /// not serialize on the kernel's shared scratch mutex.
+    /// caller-owned probe scratch buffer — the pinned-buffer form for
+    /// callers (sweep workers) that keep one buffer per thread instead
+    /// of borrowing from the kernel's scratch pool.
     #[must_use]
     pub fn privacy_level_word_with(
         &self,
@@ -507,8 +508,8 @@ impl StandaloneModule {
         costs: &[u64],
         gamma: u128,
     ) -> Result<Option<(AttrSet, u64)>, CoreError> {
-        let mut oracle = crate::safety::KernelOracle::new(self);
-        crate::safety::min_cost_safe_hidden(&mut oracle, costs, gamma)
+        let oracle = crate::safety::KernelOracle::new(self);
+        crate::safety::min_cost_safe_hidden(&oracle, costs, gamma)
     }
 
     /// All ⊆-minimal safe hidden subsets — the module's set-constraints
@@ -519,8 +520,8 @@ impl StandaloneModule {
     /// # Errors
     /// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
     pub fn minimal_safe_hidden_sets(&self, gamma: u128) -> Result<Vec<AttrSet>, CoreError> {
-        let mut oracle = crate::safety::KernelOracle::new(self);
-        crate::safety::minimal_safe_hidden_sets(&mut oracle, gamma)
+        let oracle = crate::safety::KernelOracle::new(self);
+        crate::safety::minimal_safe_hidden_sets(&oracle, gamma)
     }
 
     /// [`min_cost_safe_hidden`](Self::min_cost_safe_hidden) through the

@@ -8,10 +8,13 @@
 //! * **Work stealing.** The mask space is split into fixed-size shards
 //!   claimed off a shared atomic cursor; fast workers drain more shards,
 //!   so load balances regardless of where the expensive probes cluster.
-//!   Each worker owns a [`MemoSafetyOracle`] shard scratch (its own
-//!   probe buffer and level memo) over a clone of the module that
-//!   shares the interned kernel — group indexes warm once, probes never
-//!   contend on the kernel's scratch mutex.
+//!   All workers share **one** concurrent [`MemoSafetyOracle`] (its
+//!   level cache is sharded and `&self`-probed, see [`crate::safety`]),
+//!   so a mask probed by one worker is a warm hit for every other —
+//!   cross-shard memo reuse replaces the per-worker cold clones of the
+//!   earlier design. Each worker pins its **own kernel scratch buffer**
+//!   ([`MemoSafetyOracle::is_safe_hidden_word_with`]), so shards never
+//!   contend on probe buffers.
 //! * **Branch-and-bound** ([`min_cost_sweep`]). A shared `AtomicU64`
 //!   best-cost bound lets every worker skip masks that cannot improve
 //!   the optimum; a second atomic carries the best mask so tie-cost
@@ -53,7 +56,7 @@
 
 use crate::compose::ModuleLens;
 use crate::error::CoreError;
-use crate::safety::{MemoSafetyOracle, SafetyOracle};
+use crate::safety::MemoSafetyOracle;
 use crate::standalone::{StandaloneModule, MAX_DENSE_ATTRS};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -346,8 +349,12 @@ pub fn min_cost_sweep(
         threads: workers,
     });
 
+    // One concurrent oracle shared by every worker: levels cached by
+    // one shard are warm hits for all others. Workers pin their own
+    // kernel scratch so probes never contend on a shared buffer.
+    let oracle = MemoSafetyOracle::new(module.clone());
     run_workers(workers, || {
-        let mut oracle = MemoSafetyOracle::new(module.clone());
+        let mut scratch: Vec<u64> = Vec::new();
         let mut visited = 0u64;
         let mut pruned = 0u64;
         loop {
@@ -372,7 +379,7 @@ pub fn min_cost_sweep(
                     }
                 }
                 visited += 1;
-                if oracle.is_safe_hidden_word(mask, gamma) {
+                if oracle.is_safe_hidden_word_with(mask, gamma, &mut scratch) {
                     let mut slot = best.lock().expect("lock");
                     let improves = match *slot {
                         None => true,
@@ -468,13 +475,11 @@ pub fn minimal_sets_sweep(
         pruned: 0,
         threads: workers,
     };
-    // One shard oracle per worker, pooled across layers so group caches
-    // and level memos stay warm from layer to layer.
-    let pool: Mutex<Vec<MemoSafetyOracle>> = Mutex::new(
-        (0..workers)
-            .map(|_| MemoSafetyOracle::new(module.clone()))
-            .collect(),
-    );
+    // One concurrent oracle shared by every worker and every layer:
+    // group caches and level memos warm once and stay warm across the
+    // layer barriers, and a mask probed by one shard is a warm hit for
+    // all others. Workers pin per-worker kernel scratch buffers.
+    let oracle = MemoSafetyOracle::new(module.clone());
 
     for p in 0..=k {
         let layer_total = binom[k][p];
@@ -490,7 +495,7 @@ pub fn minimal_sets_sweep(
         let layer_workers = workers.min(usize::try_from(layer_total.div_ceil(SHARD)).unwrap_or(1));
 
         run_workers(layer_workers, || {
-            let mut oracle = pool.lock().expect("lock").pop().expect("pool sized");
+            let mut scratch: Vec<u64> = Vec::new();
             let mut visited = 0u64;
             let mut pruned = 0u64;
             let mut local_found: Vec<u64> = Vec::new();
@@ -512,11 +517,11 @@ pub fn minimal_sets_sweep(
                         } else {
                             // Ablation: probe anyway, discard the answer.
                             visited += 1;
-                            let _ = oracle.is_safe_hidden_word(mask, gamma);
+                            let _ = oracle.is_safe_hidden_word_with(mask, gamma, &mut scratch);
                         }
                     } else {
                         visited += 1;
-                        if oracle.is_safe_hidden_word(mask, gamma) {
+                        if oracle.is_safe_hidden_word_with(mask, gamma, &mut scratch) {
                             local_found.push(mask);
                         }
                     }
@@ -530,7 +535,6 @@ pub fn minimal_sets_sweep(
             if !local_found.is_empty() {
                 found.lock().expect("lock").extend(local_found);
             }
-            pool.lock().expect("lock").push(oracle);
         });
 
         stats.visited += layer_visited.load(Ordering::Relaxed);
@@ -1124,8 +1128,7 @@ mod tests {
         for costs in [[1u64; 5], [10, 3, 9, 2, 9]] {
             for gamma in [2u128, 4, 8, 9] {
                 let serial =
-                    safety::min_cost_safe_hidden(&mut KernelOracle::new(&m), &costs, gamma)
-                        .unwrap();
+                    safety::min_cost_safe_hidden(&KernelOracle::new(&m), &costs, gamma).unwrap();
                 for threads in [1usize, 2, 4] {
                     for prune in [true, false] {
                         let cfg = SweepConfig { threads, prune };
@@ -1145,8 +1148,7 @@ mod tests {
     fn minimal_sets_sweep_matches_serial_reference() {
         let m = m1();
         for gamma in [2u128, 4, 8, 9] {
-            let serial =
-                safety::minimal_safe_hidden_sets(&mut KernelOracle::new(&m), gamma).unwrap();
+            let serial = safety::minimal_safe_hidden_sets(&KernelOracle::new(&m), gamma).unwrap();
             for threads in [1usize, 3] {
                 for prune in [true, false] {
                     let cfg = SweepConfig { threads, prune };

@@ -1,0 +1,330 @@
+//! Property suite for the **concurrent-read serving tier** (ISSUE 5):
+//!
+//! * `concurrent ≡ sequential ≡ naive` — N threads (up to 8) firing
+//!   mixed-module [`WorkflowOracles::probe_batch`] streams at **one
+//!   shared instance**, interleaved with `ingest_execution` appends
+//!   between serving phases, must answer exactly like a fresh
+//!   sequential reference instance fed the same appends — and like the
+//!   row-at-a-time naive oracle;
+//! * concurrent [`MemoSafetyOracle`] probes (mixed `is_safe`,
+//!   `is_safe_batch`, and pinned-scratch `is_safe_hidden_word_with`
+//!   forms) from many threads agree with the naive reference, across
+//!   appends;
+//! * [`ProbeRequest`] edge cases: the empty batch, duplicate
+//!   `(module, word)` requests inside one batch, and `StaleEpoch` for a
+//!   client whose epoch-conditioned batch raced a concurrent
+//!   `ingest_execution`.
+//!
+//! The threading model under test: probes take `&self` and any number
+//! of reader threads share one instance; appends take `&mut self`, so
+//! the borrow checker serializes them against all probes — the suite
+//! alternates concurrent serving phases with append phases, which is
+//! exactly the interleaving a served deployment exhibits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sv_core::safety::{NaiveOracle, ProbeRequest, WorkflowOracles};
+use sv_core::{CoreError, MemoSafetyOracle, SafetyOracle, StandaloneModule};
+use sv_relation::{AttrDef, AttrSet, Domain, Relation, Schema, Tuple};
+use sv_workflow::library::{fig1_workflow, one_one_chain};
+
+/// Random rows over a random schema, deduplicated on a random input
+/// split so the FD `I → O` holds (same generator as `serve_prop`).
+fn random_module_stream(
+    rng: &mut StdRng,
+    k_max: usize,
+    max_rows: usize,
+) -> (Schema, AttrSet, AttrSet, Vec<Tuple>) {
+    let k = rng.gen_range(3..=k_max);
+    let ni = rng.gen_range(1..k);
+    let schema = Schema::new(
+        (0..k)
+            .map(|i| AttrDef {
+                name: format!("a{i}"),
+                domain: Domain::new(rng.gen_range(2u32..=3)),
+            })
+            .collect::<Vec<_>>(),
+    );
+    let mut ids: Vec<u32> = (0..k as u32).collect();
+    for i in (1..ids.len()).rev() {
+        ids.swap(i, rng.gen_range(0..=i));
+    }
+    let inputs = AttrSet::from_indices(&ids[..ni]);
+    let outputs = inputs.complement(k);
+    let mut rows: Vec<Tuple> = Vec::new();
+    let mut seen_inputs: Vec<Vec<u32>> = Vec::new();
+    for _ in 0..rng.gen_range(2..=max_rows) {
+        let row: Vec<u32> = (0..k)
+            .map(|i| rng.gen_range(0..schema.attr(sv_relation::AttrId(i as u32)).domain.size()))
+            .collect();
+        let input_part: Vec<u32> = inputs.iter().map(|a| row[a.index()]).collect();
+        if !seen_inputs.contains(&input_part) {
+            seen_inputs.push(input_part);
+            rows.push(Tuple::new(row));
+        }
+    }
+    (schema, inputs, outputs, rows)
+}
+
+#[test]
+fn concurrent_memo_probes_match_naive_across_appends() {
+    let mut rng = StdRng::seed_from_u64(0xC0C0);
+    for trial in 0..8 {
+        let (schema, inputs, outputs, rows) = random_module_stream(&mut rng, 7, 40);
+        let split = 1 + rows.len() / 2;
+        let base = Relation::from_rows(schema.clone(), rows[..split].to_vec()).unwrap();
+        let mut memo = MemoSafetyOracle::new(
+            StandaloneModule::new(base, inputs.clone(), outputs.clone()).unwrap(),
+        );
+        let k = memo.k();
+        let space = 1u64 << k;
+        // Per-thread probe streams with heavy cross-thread overlap, so
+        // threads race on the same cache lines and shards.
+        let streams: Vec<Vec<(u64, u128)>> = (0..8)
+            .map(|_| {
+                (0..40)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0..space),
+                            [1u128, 2, 3, 4, 8][rng.gen_range(0..5usize)],
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Phase loop: serve concurrently, then append, then serve again.
+        let mut upto = split;
+        loop {
+            for &threads in &[2usize, 4, 8] {
+                let answers: Vec<Vec<bool>> = std::thread::scope(|s| {
+                    let memo = &memo;
+                    let handles: Vec<_> = streams[..threads]
+                        .iter()
+                        .enumerate()
+                        .map(|(t, stream)| {
+                            s.spawn(move || {
+                                let mut scratch: Vec<u64> = Vec::new();
+                                stream
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(i, &(w, gamma))| match (t + i) % 3 {
+                                        // Mix every probe form across threads.
+                                        0 => memo.is_safe(&AttrSet::from_word(w), gamma),
+                                        1 => memo.is_safe_batch(&[(w, gamma)])[0],
+                                        _ => {
+                                            let hidden = !w & (space - 1);
+                                            memo.is_safe_hidden_word_with(
+                                                hidden,
+                                                gamma,
+                                                &mut scratch,
+                                            )
+                                        }
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                // Naive reference over the module's current rows.
+                let naive = NaiveOracle::new(
+                    StandaloneModule::new(
+                        memo.module().relation().clone(),
+                        inputs.clone(),
+                        outputs.clone(),
+                    )
+                    .unwrap(),
+                );
+                for (t, stream) in streams[..threads].iter().enumerate() {
+                    for (i, &(w, gamma)) in stream.iter().enumerate() {
+                        assert_eq!(
+                            answers[t][i],
+                            naive.is_safe(&AttrSet::from_word(w), gamma),
+                            "trial {trial} threads {threads} thread {t} probe {i}"
+                        );
+                    }
+                }
+            }
+            if upto >= rows.len() {
+                break;
+            }
+            let end = (upto + 2).min(rows.len());
+            memo.append_execution(&rows[upto..end]).unwrap();
+            upto = end;
+        }
+    }
+}
+
+#[test]
+fn concurrent_mixed_module_batches_match_sequential_reference() {
+    let mut rng = StdRng::seed_from_u64(0x5EED5);
+    for workflow in [fig1_workflow(), one_one_chain(3, 3)] {
+        // One shared streaming instance (the serving deployment) and a
+        // sequential reference instance fed exactly the same appends.
+        let mut shared = WorkflowOracles::for_workflow_streaming(&workflow).unwrap();
+        let mut reference = WorkflowOracles::for_workflow_streaming(&workflow).unwrap();
+        let ids = shared.module_ids();
+
+        // All provenance rows the workflow can produce (boolean initial
+        // inputs in these library workflows), in a shuffled ingest order.
+        let mut executions: Vec<Tuple> = Vec::new();
+        let n_in = workflow.initial_inputs().len();
+        for x in 0..(1u32 << n_in) {
+            let vals: Vec<u32> = (0..n_in).map(|i| (x >> i) & 1).collect();
+            executions.push(workflow.run(&vals).unwrap());
+        }
+        for i in (1..executions.len()).rev() {
+            executions.swap(i, rng.gen_range(0..=i));
+        }
+
+        // Alternate: ingest a row into both instances, then serve a
+        // concurrent mixed-module phase at 1/2/4/8 threads.
+        for (round, row) in executions.iter().enumerate() {
+            shared.ingest_execution(row).unwrap();
+            reference.ingest_execution(row).unwrap();
+            // Per-thread request streams, interleaving modules.
+            let streams: Vec<Vec<ProbeRequest>> = (0..8)
+                .map(|_| {
+                    (0..24)
+                        .map(|_| {
+                            ProbeRequest::new(
+                                ids[rng.gen_range(0..ids.len())],
+                                AttrSet::from_word(rng.gen_range(0u64..64)),
+                                [1u128, 2, 4, 8][rng.gen_range(0..4usize)],
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            for &threads in &[1usize, 2, 4, 8] {
+                let outcomes: Vec<Vec<_>> = std::thread::scope(|s| {
+                    let shared = &shared;
+                    let handles: Vec<_> = streams[..threads]
+                        .iter()
+                        .map(|stream| {
+                            s.spawn(move || {
+                                // Fire the stream as two batches, so the
+                                // per-phase batch engine runs under
+                                // genuine cross-thread interleaving.
+                                let mid = stream.len() / 2;
+                                let mut out = shared.probe_batch(&stream[..mid]).unwrap();
+                                out.extend(shared.probe_batch(&stream[mid..]).unwrap());
+                                out
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                for (t, stream) in streams[..threads].iter().enumerate() {
+                    for (i, r) in stream.iter().enumerate() {
+                        let seq = reference
+                            .oracle(r.module)
+                            .unwrap()
+                            .is_safe(&r.visible, r.gamma);
+                        assert_eq!(
+                            outcomes[t][i].safe, seq,
+                            "round {round} threads {threads} thread {t} request {i}: {r:?}"
+                        );
+                        assert_eq!(outcomes[t][i].module, r.module);
+                    }
+                }
+            }
+        }
+        // Concurrency never changed the kernel-work accounting class:
+        // the shared instance answered every distinct question at most
+        // once per epoch, like the sequential reference.
+        assert!(shared.total_misses() <= reference.total_calls());
+    }
+}
+
+#[test]
+fn empty_probe_batch_returns_empty_without_touching_state() {
+    let w = fig1_workflow();
+    let oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+    let outcomes = oracles.probe_batch(&[]).unwrap();
+    assert!(outcomes.is_empty());
+    assert_eq!(oracles.total_calls(), 0, "no oracle touched");
+    assert_eq!(oracles.total_misses(), 0);
+    // Same contract at the single-oracle layer, for both the memo
+    // override and the trait's default loop.
+    let m = StandaloneModule::from_workflow_module(&w, sv_workflow::ModuleId(0), 1 << 20).unwrap();
+    let memo = MemoSafetyOracle::new(m.clone());
+    assert!(memo.is_safe_batch(&[]).is_empty());
+    assert_eq!((memo.calls(), memo.misses()), (0, 0));
+    let naive = NaiveOracle::new(m);
+    assert!(naive.is_safe_batch(&[]).is_empty());
+    assert_eq!(naive.calls(), 0);
+}
+
+#[test]
+fn duplicate_module_word_requests_share_one_kernel_evaluation() {
+    let w = fig1_workflow();
+    let oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+    let id = oracles.module_ids()[0];
+    let v = AttrSet::from_indices(&[0, 2, 4]);
+    // The same (module, word) five times — different Γ, same level.
+    let batch: Vec<ProbeRequest> = [2u128, 4, 4, 8, 4]
+        .into_iter()
+        .map(|g| ProbeRequest::new(id, v.clone(), g))
+        .collect();
+    let outcomes = oracles.probe_batch(&batch).unwrap();
+    assert_eq!(outcomes.len(), 5);
+    // Example 3: level is exactly 4.
+    assert_eq!(
+        outcomes.iter().map(|o| o.safe).collect::<Vec<_>>(),
+        vec![true, true, true, false, true]
+    );
+    assert_eq!(
+        oracles.total_misses(),
+        1,
+        "five duplicate requests cost one kernel evaluation"
+    );
+    // A repeat of the whole batch is pure cache hits.
+    let again = oracles.probe_batch(&batch).unwrap();
+    assert_eq!(again, outcomes);
+    assert_eq!(oracles.total_misses(), 1);
+}
+
+#[test]
+fn stale_epoch_raised_after_concurrent_ingest() {
+    let w = fig1_workflow();
+    let mut oracles = WorkflowOracles::for_workflow_streaming(&w).unwrap();
+    let ids = oracles.module_ids();
+    oracles.ingest_execution(&w.run(&[0, 0]).unwrap()).unwrap();
+
+    // A client reads the current epoch and conditions its batch on it…
+    let seen_epoch = oracles.oracle(ids[0]).unwrap().relation_epoch();
+    let conditioned: Vec<ProbeRequest> = ids
+        .iter()
+        .map(|&id| ProbeRequest::new(id, AttrSet::new(), 2).at_epoch(seen_epoch))
+        .collect();
+    assert!(oracles.probe_batch(&conditioned).is_ok());
+
+    // …but another writer ingests between the client's derivation and
+    // its next probe: the conditioned batch must be rejected atomically.
+    oracles.ingest_execution(&w.run(&[1, 1]).unwrap()).unwrap();
+    let calls = oracles.total_calls();
+    let err = oracles.probe_batch(&conditioned).unwrap_err();
+    assert!(matches!(
+        err,
+        CoreError::StaleEpoch {
+            expected: 1,
+            actual: 2,
+            ..
+        }
+    ));
+    assert_eq!(oracles.total_calls(), calls, "rejected before any memo");
+    // Unconditioned requests (and requests re-conditioned on the new
+    // epoch) are served — from many threads at once.
+    let refreshed: Vec<ProbeRequest> = conditioned.iter().map(|r| r.clone().at_epoch(2)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let oracles = &oracles;
+            let refreshed = &refreshed;
+            s.spawn(move || {
+                assert!(oracles.probe_batch(refreshed).is_ok());
+            });
+        }
+    });
+}

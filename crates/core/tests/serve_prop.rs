@@ -92,14 +92,14 @@ fn oracle_batch_equals_sequential_equals_naive() {
         let len = rng.gen_range(1..40);
         let probes = random_probes(&mut rng, k, len);
 
-        let mut memo = MemoSafetyOracle::new(m.clone());
+        let memo = MemoSafetyOracle::new(m.clone());
         let batched = memo.is_safe_batch(&probes);
         // The default trait implementation (sequential loop) over the
         // naive seed semantics is the executable specification.
-        let mut naive = NaiveOracle::new(m.clone());
+        let naive = NaiveOracle::new(m.clone());
         assert_eq!(batched, naive.is_safe_batch(&probes), "trial {trial}");
         // Per-probe memoized path agrees answer for answer.
-        let mut seq = MemoSafetyOracle::new(m);
+        let seq = MemoSafetyOracle::new(m);
         for (i, &(w, g)) in probes.iter().enumerate() {
             assert_eq!(
                 batched[i],
@@ -136,7 +136,7 @@ fn oracle_batch_stays_correct_across_streamed_appends() {
             memo.append_execution(&rows[streamed..end]).unwrap();
             streamed = end;
             let rebuilt_rel = Relation::from_rows(schema.clone(), rows[..streamed].to_vec());
-            let mut rebuilt = MemoSafetyOracle::new(
+            let rebuilt = MemoSafetyOracle::new(
                 StandaloneModule::new(rebuilt_rel.unwrap(), inputs.clone(), outputs.clone())
                     .unwrap(),
             );
@@ -153,7 +153,7 @@ fn oracle_batch_stays_correct_across_streamed_appends() {
 fn mixed_module_batches_match_sequential_probing() {
     let mut rng = StdRng::seed_from_u64(0xBA7C4);
     let w = fig1_workflow();
-    let mut oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+    let oracles = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
     let ids = oracles.module_ids();
     // A long interleaved stream over all modules.
     let requests: Vec<ProbeRequest> = (0..120)
@@ -167,12 +167,9 @@ fn mixed_module_batches_match_sequential_probing() {
         })
         .collect();
     let outcomes = oracles.probe_batch(&requests).unwrap();
-    let mut fresh = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
+    let fresh = WorkflowOracles::for_workflow(&w, 1 << 20).unwrap();
     for (r, o) in requests.iter().zip(&outcomes) {
-        let seq = fresh
-            .oracle_mut(r.module)
-            .unwrap()
-            .is_safe(&r.visible, r.gamma);
+        let seq = fresh.oracle(r.module).unwrap().is_safe(&r.visible, r.gamma);
         assert_eq!(o.safe, seq, "{r:?}");
     }
     // The batched router did no more kernel work than sequential.

@@ -72,8 +72,8 @@ fn streamed_oracle_matches_fresh_oracles_after_every_batch() {
             let rebuilt =
                 StandaloneModule::new(streamed.relation().clone(), inputs.clone(), outputs.clone())
                     .unwrap();
-            let mut naive = NaiveOracle::new(rebuilt.clone());
-            let mut kernel = KernelOracle::new(&rebuilt);
+            let naive = NaiveOracle::new(rebuilt.clone());
+            let kernel = KernelOracle::new(&rebuilt);
             for mask in 0u64..(1 << 4) {
                 let v = AttrSet::from_word(mask);
                 // Mix probe styles so the memo's shortcut, revalidation
@@ -131,8 +131,7 @@ fn streamed_sweeps_match_sweeps_over_rebuilt_modules() {
                     minimal_sets_sweep(&streamed, gamma, &SweepConfig::serial())
                         .unwrap()
                         .0,
-                    safety::minimal_safe_hidden_sets(&mut KernelOracle::new(&rebuilt), gamma)
-                        .unwrap(),
+                    safety::minimal_safe_hidden_sets(&KernelOracle::new(&rebuilt), gamma).unwrap(),
                 );
             }
         }

@@ -74,9 +74,9 @@ fn parallel_sweep_equals_serial_reference_on_random_modules() {
         let costs: Vec<u64> = (0..k).map(|_| rng.gen_range(0..=3)).collect();
         for gamma in gammas_for(&m) {
             let serial_min =
-                safety::min_cost_safe_hidden(&mut KernelOracle::new(&m), &costs, gamma).unwrap();
+                safety::min_cost_safe_hidden(&KernelOracle::new(&m), &costs, gamma).unwrap();
             let serial_sets =
-                safety::minimal_safe_hidden_sets(&mut KernelOracle::new(&m), gamma).unwrap();
+                safety::minimal_safe_hidden_sets(&KernelOracle::new(&m), gamma).unwrap();
             for threads in [1usize, 3, 8] {
                 for prune in [true, false] {
                     let cfg = SweepConfig { threads, prune };
@@ -134,8 +134,7 @@ fn tie_costs_resolve_deterministically_across_thread_counts() {
         for costs in [vec![1u64; m.k()], vec![0u64; m.k()]] {
             for gamma in gammas_for(&m) {
                 let serial =
-                    safety::min_cost_safe_hidden(&mut KernelOracle::new(&m), &costs, gamma)
-                        .unwrap();
+                    safety::min_cost_safe_hidden(&KernelOracle::new(&m), &costs, gamma).unwrap();
                 for _ in 0..3 {
                     let (found, _) =
                         min_cost_sweep(&m, &costs, gamma, &SweepConfig::parallel(8)).unwrap();

@@ -168,8 +168,8 @@ impl CardinalityInstance {
         gammas: &[u128],
         budget: u128,
     ) -> Result<Self, CoreError> {
-        let mut oracles = WorkflowOracles::for_workflow(workflow, budget)?;
-        Self::from_oracles(workflow, &mut oracles, gammas)
+        let oracles = WorkflowOracles::for_workflow(workflow, budget)?;
+        Self::from_oracles(workflow, &oracles, gammas)
     }
 
     /// Like [`from_workflow_with_gammas`](Self::from_workflow_with_gammas)
@@ -182,7 +182,7 @@ impl CardinalityInstance {
     /// Propagates requirement-derivation failures.
     pub fn from_oracles(
         workflow: &Workflow,
-        oracles: &mut WorkflowOracles,
+        oracles: &WorkflowOracles,
         gammas: &[u128],
     ) -> Result<Self, CoreError> {
         assert_eq!(gammas.len(), workflow.private_modules().len());
@@ -190,7 +190,7 @@ impl CardinalityInstance {
         let mut modules = Vec::new();
         for (id, &gamma) in workflow.private_modules().iter().copied().zip(gammas) {
             let oracle = oracles
-                .oracle_mut(id)
+                .oracle(id)
                 .ok_or(CoreError::MissingOracle { module: id.index() })?;
             let list: Vec<(usize, usize)> = cardinality_constraints_with(oracle, gamma)
                 .into_iter()
@@ -332,8 +332,8 @@ impl SetInstance {
         gammas: &[u128],
         budget: u128,
     ) -> Result<Self, CoreError> {
-        let mut oracles = WorkflowOracles::for_workflow(workflow, budget)?;
-        Self::from_oracles(workflow, &mut oracles, gammas)
+        let oracles = WorkflowOracles::for_workflow(workflow, budget)?;
+        Self::from_oracles(workflow, &oracles, gammas)
     }
 
     /// Like [`from_workflow_with_gammas`](Self::from_workflow_with_gammas)
@@ -345,7 +345,7 @@ impl SetInstance {
     /// Propagates requirement-derivation failures.
     pub fn from_oracles(
         workflow: &Workflow,
-        oracles: &mut WorkflowOracles,
+        oracles: &WorkflowOracles,
         gammas: &[u128],
     ) -> Result<Self, CoreError> {
         assert_eq!(gammas.len(), workflow.private_modules().len());
@@ -354,7 +354,7 @@ impl SetInstance {
         for (id, &gamma) in workflow.private_modules().iter().copied().zip(gammas) {
             let lens = ModuleLens::new(workflow, id)?;
             let oracle = oracles
-                .oracle_mut(id)
+                .oracle(id)
                 .ok_or(CoreError::MissingOracle { module: id.index() })?;
             let list: Vec<AttrSet> = set_constraints_with(oracle, gamma)?
                 .into_iter()
@@ -478,8 +478,8 @@ impl GeneralInstance {
         public_costs: &[u64],
         budget: u128,
     ) -> Result<Self, CoreError> {
-        let mut oracles = WorkflowOracles::for_workflow(workflow, budget)?;
-        Self::from_oracles(workflow, &mut oracles, gamma, public_costs)
+        let oracles = WorkflowOracles::for_workflow(workflow, budget)?;
+        Self::from_oracles(workflow, &oracles, gamma, public_costs)
     }
 
     /// Like [`from_workflow`](Self::from_workflow) but against
@@ -490,7 +490,7 @@ impl GeneralInstance {
     /// Propagates requirement-derivation failures.
     pub fn from_oracles(
         workflow: &Workflow,
-        oracles: &mut WorkflowOracles,
+        oracles: &WorkflowOracles,
         gamma: u128,
         public_costs: &[u64],
     ) -> Result<Self, CoreError> {

@@ -30,6 +30,19 @@
 //!   safety oracles and sweep caches) can invalidate lazily — and keep
 //!   entries that appends provably could not shrink.
 //!
+//! ### Concurrent readers
+//!
+//! Every probe entry point takes `&self` and is safe to call from many
+//! reader threads at once: the per-attribute-set group caches are
+//! **sharded** (readers of different sets never touch the same lock)
+//! with **once-per-set publication** (a cold set is built by exactly
+//! one thread — racing readers block on that set's [`std::sync::OnceLock`]
+//! slot, not on the cache), and per-probe pair-code buffers come from a
+//! [`ScratchPool`] so concurrent probes never serialize on one shared
+//! scratch. The only writer is [`InternedRelation::append_rows`]
+//! (`&mut self`), which Rust's aliasing rules already exclude from
+//! overlapping any probe.
+//!
 //! At build time sub-tuple ids are assigned in ascending code order, so
 //! for the mixed-radix path group ids sort exactly like the canonical
 //! [`Tuple`] order — representatives materialize already-sorted
@@ -44,7 +57,205 @@ use crate::relation::Relation;
 use crate::schema::{AttrDef, AttrId, Schema};
 use crate::tuple::Tuple;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Number of lock shards in each group cache. Concurrent readers
+/// resolving *different* attribute sets hash to different shards and
+/// never contend; 16 shards keep the per-shard maps small while staying
+/// far above the worker counts the sweep layer uses.
+const GROUP_SHARDS: usize = 16;
+
+/// A pool of reusable `u64` probe buffers shared by concurrent readers.
+///
+/// The Lemma-4 pair-code walk needs one scratch buffer per *in-flight*
+/// probe, not per caller: [`with`](Self::with) pops a buffer (or makes a
+/// fresh one when all are in use), runs the closure, and returns the
+/// buffer to the pool. The pool mutex is held only for the pop and the
+/// push — never across the probe itself — so concurrent probes each get
+/// their own buffer instead of serializing on one shared scratch, and a
+/// warm pool allocates nothing.
+///
+/// This replaces the caller-threaded `&mut Vec<u64>` scratch as the
+/// *default* probe path; the explicit `_with` entry points remain for
+/// callers that pin one buffer per worker (the sweep shards).
+///
+/// Residency is bounded: at most [`MAX_POOLED`] buffers are retained —
+/// a burst of higher concurrency allocates fresh buffers that are
+/// simply dropped on return, so a transient spike cannot pin
+/// `concurrency × n_rows`-sized buffers for the relation's lifetime.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<Vec<u64>>>,
+}
+
+/// Maximum buffers a [`ScratchPool`] retains (each grows to the hot
+/// relation's row count): bounds idle residency at 8 buffers while
+/// still covering the serving/sweep thread counts the ROADMAP targets.
+const MAX_POOLED: usize = 8;
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with a pooled buffer, returning the buffer afterwards
+    /// (dropped instead if [`MAX_POOLED`] buffers are already pooled).
+    /// If `f` panics the buffer is dropped, not poisoned.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Vec<u64>) -> R) -> R {
+        let mut buf = self
+            .pool
+            .lock()
+            .expect("scratch pool lock")
+            .pop()
+            .unwrap_or_default();
+        let out = f(&mut buf);
+        let mut pool = self.pool.lock().expect("scratch pool lock");
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+        out
+    }
+}
+
+/// The lock shard a key hashes to among `shards` (stable for a given
+/// key and shard count). Shared by the kernel's group caches and the
+/// `sv-core` memo shards, so the sharding scheme cannot silently
+/// diverge across layers.
+#[must_use]
+pub fn hash_shard<K: Hash>(key: &K, shards: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % shards
+}
+
+/// [`hash_shard`] over this cache's [`GROUP_SHARDS`].
+fn shard_idx<K: Hash>(key: &K) -> usize {
+    hash_shard(key, GROUP_SHARDS)
+}
+
+/// A published (or in-flight) group index: the `OnceLock` guarantees
+/// **exactly one** thread runs the grouping pass per attribute set —
+/// racing readers either find the warm index or block on the builder.
+type GroupSlot = Arc<OnceLock<Arc<GroupIndex>>>;
+
+/// Sharded once-per-attribute-set group-index cache. Readers take one
+/// shard read-lock to find their slot; a cold set inserts an empty slot
+/// under a brief shard write-lock and then builds *outside* any shard
+/// lock, publishing through the slot's `OnceLock`.
+#[derive(Debug)]
+struct GroupCache<K> {
+    shards: Vec<RwLock<HashMap<K, GroupSlot>>>,
+}
+
+impl<K: Eq + Hash + Clone> Default for GroupCache<K> {
+    fn default() -> Self {
+        Self {
+            shards: (0..GROUP_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> GroupCache<K> {
+    /// The published index for `key`, if a builder has finished it.
+    fn get(&self, key: &K) -> Option<Arc<GroupIndex>> {
+        self.shards[shard_idx(key)]
+            .read()
+            .expect("group cache lock")
+            .get(key)
+            .and_then(|slot| slot.get().cloned())
+    }
+
+    /// The index for `key`, building (and publishing) it exactly once.
+    fn get_or_publish(&self, key: &K, build: impl FnOnce() -> GroupIndex) -> Arc<GroupIndex> {
+        let shard = &self.shards[shard_idx(key)];
+        let slot = {
+            let read = shard.read().expect("group cache lock");
+            match read.get(key) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    drop(read);
+                    Arc::clone(
+                        shard
+                            .write()
+                            .expect("group cache lock")
+                            .entry(key.clone())
+                            .or_insert_with(|| Arc::new(OnceLock::new())),
+                    )
+                }
+            }
+        };
+        // Outside every shard lock: one thread builds, the rest wait on
+        // this slot alone (readers of other sets proceed unimpeded).
+        Arc::clone(slot.get_or_init(|| Arc::new(build())))
+    }
+
+    /// Number of *published* indexes.
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("group cache lock")
+                    .values()
+                    .filter(|slot| slot.get().is_some())
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Takes the shard maps out (exclusive access), for the append path
+    /// to mutate without holding locks; restore with [`restore`](Self::restore).
+    fn take_maps(&mut self) -> Vec<HashMap<K, GroupSlot>> {
+        self.shards
+            .iter_mut()
+            .map(|s| std::mem::take(s.get_mut().expect("group cache lock")))
+            .collect()
+    }
+
+    /// Puts back maps from [`take_maps`](Self::take_maps).
+    fn restore(&mut self, maps: Vec<HashMap<K, GroupSlot>>) {
+        for (shard, map) in self.shards.iter_mut().zip(maps) {
+            *shard.get_mut().expect("group cache lock") = map;
+        }
+    }
+
+    /// Deep clone: published indexes are shared through their `Arc`s
+    /// (appends copy-on-write them); never-published slots are dropped.
+    fn deep_clone(&self) -> Self {
+        Self {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| {
+                    let map = s
+                        .read()
+                        .expect("group cache lock")
+                        .iter()
+                        .filter_map(|(k, slot)| {
+                            slot.get().map(|g| {
+                                let fresh = OnceLock::new();
+                                fresh.set(Arc::clone(g)).expect("fresh slot");
+                                (k.clone(), Arc::new(fresh))
+                            })
+                        })
+                        .collect();
+                    RwLock::new(map)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The published [`GroupIndex`] behind one taken-out slot, mutably —
+/// `None` for a slot whose builder never finished (dropped by appends).
+fn slot_mut(slot: &mut GroupSlot) -> Option<&mut GroupIndex> {
+    Arc::make_mut(slot).get_mut().map(Arc::make_mut)
+}
 
 /// Interns value slices (projected sub-tuples) as dense `u32` ids.
 ///
@@ -194,12 +405,14 @@ pub struct InternedRelation {
     /// Generation counter: bumped by every [`append_rows`](Self::append_rows)
     /// that adds at least one genuinely new row. `0` for a fresh build.
     epoch: u64,
-    /// Group cache for schemas of ≤ 64 attributes, keyed by bitmask word.
-    word_groups: RwLock<HashMap<u64, Arc<GroupIndex>>>,
-    /// Group cache for wider schemas.
-    wide_groups: RwLock<HashMap<AttrSet, Arc<GroupIndex>>>,
-    /// Reusable `(key_gid, probe_gid)` code buffer.
-    scratch: Mutex<Vec<u64>>,
+    /// Sharded group cache for schemas of ≤ 64 attributes, keyed by
+    /// bitmask word (once-per-set publication; see [`GroupCache`]).
+    word_groups: GroupCache<u64>,
+    /// Sharded group cache for wider schemas.
+    wide_groups: GroupCache<AttrSet>,
+    /// Pooled `(key_gid, probe_gid)` code buffers: concurrent probes
+    /// each borrow their own.
+    scratch: ScratchPool,
 }
 
 impl Clone for InternedRelation {
@@ -209,9 +422,9 @@ impl Clone for InternedRelation {
             n_rows: self.n_rows,
             cols: self.cols.clone(),
             epoch: self.epoch,
-            word_groups: RwLock::new(self.word_groups.read().expect("lock").clone()),
-            wide_groups: RwLock::new(self.wide_groups.read().expect("lock").clone()),
-            scratch: Mutex::new(Vec::new()),
+            word_groups: self.word_groups.deep_clone(),
+            wide_groups: self.wide_groups.deep_clone(),
+            scratch: ScratchPool::new(),
         }
     }
 }
@@ -224,8 +437,7 @@ impl std::fmt::Debug for InternedRelation {
             self.schema,
             self.n_rows,
             self.epoch,
-            self.word_groups.read().expect("lock").len()
-                + self.wide_groups.read().expect("lock").len()
+            self.word_groups.len() + self.wide_groups.len()
         )
     }
 }
@@ -248,9 +460,9 @@ impl InternedRelation {
             n_rows,
             cols,
             epoch: 0,
-            word_groups: RwLock::new(HashMap::new()),
-            wide_groups: RwLock::new(HashMap::new()),
-            scratch: Mutex::new(Vec::new()),
+            word_groups: GroupCache::default(),
+            wide_groups: GroupCache::default(),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -446,11 +658,13 @@ impl InternedRelation {
         let _ = self.group_index(&all);
         let next_epoch = self.epoch + 1;
         let start_row = self.n_rows;
-        // Take the caches out of their locks for the duration — we hold
-        // `&mut self`, so nothing can observe the gap, and this
-        // sidesteps per-row lock traffic and borrows against `cols`.
-        let mut word_cache = std::mem::take(self.word_groups.get_mut().expect("lock"));
-        let mut wide_cache = std::mem::take(self.wide_groups.get_mut().expect("lock"));
+        // Take the cache maps out of their shard locks for the duration
+        // — we hold `&mut self`, so nothing can observe the gap, and
+        // this sidesteps per-row lock traffic and borrows against
+        // `cols`. Slots whose builder never published are dropped by
+        // the retain passes below (the next probe rebuilds post-append).
+        let mut word_cache = self.word_groups.take_maps();
+        let mut wide_cache = self.wide_groups.take_maps();
         let full_word = if self.fits_word() {
             Some(self.mask())
         } else {
@@ -461,11 +675,11 @@ impl InternedRelation {
         // appending genuinely new rows to the column store.
         {
             let full = match full_word {
-                Some(w) => word_cache.get_mut(&w),
-                None => wide_cache.get_mut(&all),
+                Some(w) => word_cache[shard_idx(&w)].get_mut(&w),
+                None => wide_cache[shard_idx(&all)].get_mut(&all),
             }
             .expect("full grouping materialized above");
-            let full = Arc::make_mut(full);
+            let full = slot_mut(full).expect("full grouping published above");
             let attrs: Vec<usize> = (0..self.schema.len()).collect();
             let (sizes, _) = self.radix_sizes(&attrs);
             let mut buf: Vec<Value> = Vec::with_capacity(attrs.len());
@@ -484,34 +698,47 @@ impl InternedRelation {
             }
         }
 
-        // Phase 2: extend every other cached grouping with the new rows.
+        // Phase 2: extend every other published grouping with the new
+        // rows; unpublished slots are dropped rather than extended.
         let appended = self.n_rows - start_row;
         if appended > 0 {
             let new_rows: Vec<u32> = (start_row..self.n_rows).map(|r| r as u32).collect();
-            for (&word, arc) in word_cache.iter_mut() {
-                if Some(word) == full_word {
-                    continue;
-                }
-                let attrs: Vec<usize> = (0..self.schema.len())
-                    .filter(|&i| word & (1u64 << i) != 0)
-                    .collect();
-                self.extend_index(Arc::make_mut(arc), &attrs, &new_rows, next_epoch);
+            for shard in word_cache.iter_mut() {
+                shard.retain(|&word, slot| {
+                    if Some(word) == full_word {
+                        return true;
+                    }
+                    let Some(gi) = slot_mut(slot) else {
+                        return false;
+                    };
+                    let attrs: Vec<usize> = (0..self.schema.len())
+                        .filter(|&i| word & (1u64 << i) != 0)
+                        .collect();
+                    self.extend_index(gi, &attrs, &new_rows, next_epoch);
+                    true
+                });
             }
-            for (set, arc) in wide_cache.iter_mut() {
-                if full_word.is_none() && *set == all {
-                    continue;
-                }
-                let attrs: Vec<usize> = set
-                    .iter()
-                    .map(AttrId::index)
-                    .filter(|&i| i < self.schema.len())
-                    .collect();
-                self.extend_index(Arc::make_mut(arc), &attrs, &new_rows, next_epoch);
+            for shard in wide_cache.iter_mut() {
+                shard.retain(|set, slot| {
+                    if full_word.is_none() && *set == all {
+                        return true;
+                    }
+                    let Some(gi) = slot_mut(slot) else {
+                        return false;
+                    };
+                    let attrs: Vec<usize> = set
+                        .iter()
+                        .map(AttrId::index)
+                        .filter(|&i| i < self.schema.len())
+                        .collect();
+                    self.extend_index(gi, &attrs, &new_rows, next_epoch);
+                    true
+                });
             }
             self.epoch = next_epoch;
         }
-        *self.word_groups.get_mut().expect("lock") = word_cache;
-        *self.wide_groups.get_mut().expect("lock") = wide_cache;
+        self.word_groups.restore(word_cache);
+        self.wide_groups.restore(wide_cache);
         Ok(appended)
     }
 
@@ -559,11 +786,7 @@ impl InternedRelation {
             return None;
         }
         let word = word & self.mask();
-        self.word_groups
-            .read()
-            .expect("lock")
-            .get(&word)
-            .map(|g| g.new_group_epoch)
+        self.word_groups.get(&word).map(|g| g.new_group_epoch)
     }
 
     /// [`group_new_group_epoch_word`](Self::group_new_group_epoch_word)
@@ -577,15 +800,16 @@ impl InternedRelation {
                 .fold(0u64, |acc, a| acc | (1u64 << a.index()));
             return self.group_new_group_epoch_word(w);
         }
-        self.wide_groups
-            .read()
-            .expect("lock")
-            .get(set)
-            .map(|g| g.new_group_epoch)
+        self.wide_groups.get(set).map(|g| g.new_group_epoch)
     }
 
     /// The (memoized) group index for the attribute set encoded as a
     /// bitmask word. Requires a schema of ≤ 64 attributes.
+    ///
+    /// Safe to call from any number of concurrent reader threads: the
+    /// cache is sharded by word hash, and a cold set is built by
+    /// **exactly one** thread (racing readers block on that set's
+    /// publication slot only, never on unrelated sets).
     ///
     /// # Panics
     /// Panics if the schema has more than 64 attributes.
@@ -593,19 +817,12 @@ impl InternedRelation {
     pub fn group_index_word(&self, word: u64) -> Arc<GroupIndex> {
         assert!(self.fits_word(), "schema too wide for the word fast path");
         let word = word & self.mask();
-        if let Some(g) = self.word_groups.read().expect("lock").get(&word) {
-            return Arc::clone(g);
-        }
-        let attrs: Vec<usize> = (0..self.schema.len())
-            .filter(|&i| word & (1u64 << i) != 0)
-            .collect();
-        let g = Arc::new(self.compute_group(&attrs));
-        self.word_groups
-            .write()
-            .expect("lock")
-            .entry(word)
-            .or_insert_with(|| Arc::clone(&g));
-        g
+        self.word_groups.get_or_publish(&word, || {
+            let attrs: Vec<usize> = (0..self.schema.len())
+                .filter(|&i| word & (1u64 << i) != 0)
+                .collect();
+            self.compute_group(&attrs)
+        })
     }
 
     /// The (memoized) group index for an [`AttrSet`]. Dispatches to the
@@ -624,34 +841,27 @@ impl InternedRelation {
                 .fold(0u64, |acc, a| acc | (1u64 << a.index()));
             return self.group_index_word(w);
         }
-        if let Some(g) = self.wide_groups.read().expect("lock").get(set) {
-            return Arc::clone(g);
-        }
-        let attrs: Vec<usize> = set
-            .iter()
-            .map(AttrId::index)
-            .filter(|&i| i < self.schema.len())
-            .collect();
-        let g = Arc::new(self.compute_group(&attrs));
-        self.wide_groups
-            .write()
-            .expect("lock")
-            .entry(set.clone())
-            .or_insert_with(|| Arc::clone(&g));
-        g
+        self.wide_groups.get_or_publish(set, || {
+            let attrs: Vec<usize> = set
+                .iter()
+                .map(AttrId::index)
+                .filter(|&i| i < self.schema.len())
+                .collect();
+            self.compute_group(&attrs)
+        })
     }
 
     /// Lemma-4 inner loop: over the `key` groups, the **minimum** number
     /// of distinct `probe` sub-tuples, or `usize::MAX` on an empty
     /// relation.
     ///
-    /// Allocation-free once both group indexes are cached: the pair
-    /// codes go through a reusable scratch buffer. This form shares one
-    /// mutex-guarded scratch across all callers; concurrent sweeps
-    /// should use [`min_group_distinct_with`](Self::min_group_distinct_with)
-    /// / [`min_group_distinct_words_with`](Self::min_group_distinct_words_with)
-    /// with a per-thread buffer instead, otherwise every probe
-    /// serializes on the scratch lock.
+    /// Allocation-free once both group indexes are cached and the
+    /// scratch pool is warm: the pair codes go through a pooled buffer
+    /// ([`ScratchPool`]), so concurrent probes each hold their own
+    /// buffer and never serialize on a shared scratch. Pinned-buffer
+    /// callers (one buffer per sweep worker) can still use
+    /// [`min_group_distinct_with`](Self::min_group_distinct_with) /
+    /// [`min_group_distinct_words_with`](Self::min_group_distinct_words_with).
     #[must_use]
     pub fn min_group_distinct(&self, key: &AttrSet, probe: &AttrSet) -> usize {
         let kg = self.group_index(key);
@@ -700,8 +910,8 @@ impl InternedRelation {
     }
 
     fn min_group_distinct_indexed(&self, kg: &GroupIndex, pg: &GroupIndex) -> usize {
-        let mut scratch = self.scratch.lock().expect("lock");
-        min_group_distinct_in(kg, pg, self.n_rows, &mut scratch)
+        self.scratch
+            .with(|buf| min_group_distinct_in(kg, pg, self.n_rows, buf))
     }
 
     /// **Batched** Lemma-4 probes: answers a whole slice of word-encoded
@@ -739,8 +949,8 @@ impl InternedRelation {
     #[must_use]
     pub fn min_group_distinct_batch(&self, probes: &[(u64, u64)]) -> Vec<usize> {
         let mut out = Vec::with_capacity(probes.len());
-        let mut scratch = self.scratch.lock().expect("lock");
-        self.min_group_distinct_batch_in(probes, &mut scratch, &mut out);
+        self.scratch
+            .with(|buf| self.min_group_distinct_batch_in(probes, buf, &mut out));
         out
     }
 
@@ -815,32 +1025,33 @@ impl InternedRelation {
         if self.n_rows == 0 {
             return counts;
         }
-        let mut scratch = self.scratch.lock().expect("lock");
-        scratch.clear();
-        scratch.extend(
-            kg.row_group
+        self.scratch.with(|scratch| {
+            scratch.clear();
+            scratch.extend(
+                kg.row_group
+                    .iter()
+                    .zip(pg.row_group.iter())
+                    .map(|(&k, &p)| u64::from(k) * pn + u64::from(p)),
+            );
+            scratch.sort_unstable();
+            scratch.dedup();
+            let key_attrs: Vec<AttrId> = key
                 .iter()
-                .zip(pg.row_group.iter())
-                .map(|(&k, &p)| u64::from(k) * pn + u64::from(p)),
-        );
-        scratch.sort_unstable();
-        scratch.dedup();
-        let key_attrs: Vec<AttrId> = key
-            .iter()
-            .filter(|a| a.index() < self.schema.len())
-            .collect();
-        let mut i = 0usize;
-        while i < scratch.len() {
-            let g = scratch[i] / pn;
-            let mut j = i;
-            while j < scratch.len() && scratch[j] / pn == g {
-                j += 1;
+                .filter(|a| a.index() < self.schema.len())
+                .collect();
+            let mut i = 0usize;
+            while i < scratch.len() {
+                let g = scratch[i] / pn;
+                let mut j = i;
+                while j < scratch.len() && scratch[j] / pn == g {
+                    j += 1;
+                }
+                let row = kg.representative[g as usize] as usize;
+                let key_tuple = Tuple::new(key_attrs.iter().map(|&a| self.value(row, a)).collect());
+                counts.insert(key_tuple, j - i);
+                i = j;
             }
-            let row = kg.representative[g as usize] as usize;
-            let key_tuple = Tuple::new(key_attrs.iter().map(|&a| self.value(row, a)).collect());
-            counts.insert(key_tuple, j - i);
-            i = j;
-        }
+        });
         counts
     }
 
@@ -867,10 +1078,10 @@ impl InternedRelation {
         Relation::from_rows(schema, rows).expect("projection preserves validity")
     }
 
-    /// Number of cached group indexes (diagnostics / tests).
+    /// Number of cached (published) group indexes (diagnostics / tests).
     #[must_use]
     pub fn cached_groupings(&self) -> usize {
-        self.word_groups.read().expect("lock").len() + self.wide_groups.read().expect("lock").len()
+        self.word_groups.len() + self.wide_groups.len()
     }
 }
 
@@ -955,8 +1166,7 @@ fn extend_gid<F: Fn(usize) -> Value>(
 }
 
 /// The Lemma-4 pair-code walk over two cached group-id columns, writing
-/// through an arbitrary scratch buffer (shared mutex-guarded or
-/// per-worker).
+/// through an arbitrary scratch buffer (pooled or per-worker).
 fn min_group_distinct_in(
     kg: &GroupIndex,
     pg: &GroupIndex,

@@ -68,7 +68,7 @@ fn main() {
             .iter()
             .map(|&id| sweeper.module_epoch(id).unwrap())
             .collect();
-        let m1 = oracles.oracle_mut(ids[0]).unwrap();
+        let m1 = oracles.oracle(ids[0]).unwrap();
         let standing_ok = m1.is_safe_hidden(&standing_hidden, gamma);
         println!(
             "execution {}: x = {:?} → +{} module rows | epochs {:?} | \
@@ -107,7 +107,7 @@ fn main() {
     );
 
     // ── 4. The monotone shortcut at the oracle layer ────────────────
-    let m1 = oracles.oracle_mut(ids[0]).unwrap();
+    let m1 = oracles.oracle(ids[0]).unwrap();
     let shortcut_before = m1.monotone_shortcut_hits();
     let misses_before = m1.misses();
     let safe = m1.is_safe_hidden(&standing_hidden, gamma);

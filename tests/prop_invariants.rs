@@ -59,7 +59,7 @@ fn privacy_level_equals_bruteforce() {
     for _ in 0..24 {
         let seed = rng.gen_range(0u64..256);
         let m = module_from_seed(seed);
-        let mut memo = secure_view::privacy::MemoSafetyOracle::new(m.clone());
+        let memo = secure_view::privacy::MemoSafetyOracle::new(m.clone());
         for mask in 0u32..16 {
             let visible = mask_set(mask, 4);
             let fast = m.privacy_level(&visible);
