@@ -115,6 +115,15 @@ fn record_pruning_stats(_c: &mut Criterion) {
         criterion::record_metric(&format!("{base}/visited"), s.visited as f64);
         criterion::record_metric(&format!("{base}/pruned"), s.pruned as f64);
         criterion::record_metric(&format!("{base}/visited_fraction"), s.visited_fraction());
+        // Trie-frontier counters (PR 6): one coverage query per
+        // enumerated mask and the canonical node count of the final
+        // antichain trie — both layer-barriered, so exact at any thread
+        // count (and identically zero for the branch-and-bound sweep).
+        criterion::record_metric(
+            &format!("{base}/frontier_queries"),
+            s.frontier_queries as f64,
+        );
+        criterion::record_metric(&format!("{base}/frontier_nodes"), s.frontier_nodes as f64);
     }
 }
 

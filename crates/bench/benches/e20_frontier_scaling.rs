@@ -1,0 +1,186 @@
+//! E20 — the bitwise-trie frontier engine vs. the retained flat-scan
+//! reference, across lattice widths k ∈ {16, 20, 22, 24} (one-one
+//! modules over 8–12 boolean wires).
+//!
+//! Three recordings into `BENCH_sweep.json` via `--save-baseline`:
+//!
+//! 1. **Coverage microbench** (timed, CI-gated ≥ 5× within-run) —
+//!    replay the k = 20 sweep's layer-5..7 coverage queries (131,784
+//!    masks against the 3,360-member Γ = 16 antichain) through the flat
+//!    `Vec<u64>` scan and through `Frontier::covers`
+//!    (`…/covers_microbench/{flat,trie}` ids).
+//! 2. **Sweep scaling** (`…/wall/*`, informational) — wall-clock of the
+//!    trie-backed `minimal_sets_sweep_frontier` and of the budgeted
+//!    flat-scan reference at each k. The flat scan completes k ≤ 22 and
+//!    **must** blow [`FLAT_SCAN_BUDGET`] at k = 24; the trie sweep
+//!    completes everything.
+//! 3. **Deterministic counters** (`…/stats/*`, `…/flat_reference/*`,
+//!    exact-gated in CI) — per-k visited/antichain/frontier-query/node
+//!    counts and the flat scan's member-visit totals; all
+//!    layer-barriered or serial, hence bit-identical on any hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use sv_bench::flatscan::flat_scan_minimal_sets;
+use sv_core::sweep::{minimal_sets_sweep_frontier, SweepConfig};
+use sv_core::StandaloneModule;
+use sv_workflow::{library, ModuleId};
+
+/// `(wires, Γ)` per case: k = 2 × wires. Γ = 16 keeps the e16 workload
+/// at k ≤ 22; k = 24 steps to Γ = 32 so the antichain density
+/// (2⁵ × C(12, 5) = 25,344 members) keeps pace with the lattice.
+const CASES: [(usize, u128); 4] = [(8, 16), (10, 16), (11, 16), (12, 32)];
+
+/// Member-visit budget for the flat-scan reference: ~1.8× the k = 22
+/// full-sweep cost (222.3M visits), a small fraction of the k = 24 cost
+/// (> 2G visits before even leaving layer 7) — so it cleanly separates
+/// "completes" from "cannot finish inside the bench budget".
+const FLAT_SCAN_BUDGET: u64 = 400_000_000;
+
+/// One-one module over `wires` boolean wires (`k = 2 × wires`).
+fn one_one_module(wires: usize) -> StandaloneModule {
+    let wf = library::one_one_chain(1, wires);
+    StandaloneModule::from_workflow_module(&wf, ModuleId(0), 1 << 26).unwrap()
+}
+
+/// All k-bit masks of popcount `lo..=hi`, in (popcount, mask) order —
+/// the exact query stream the k = 20 sweep issues at those layers.
+fn layer_masks(k: usize, lo: u32, hi: u32) -> Vec<u64> {
+    let mut out = Vec::new();
+    for p in lo..=hi {
+        let mut mask = (1u64 << p) - 1;
+        let last = mask << (k as u32 - p);
+        loop {
+            out.push(mask);
+            if mask == last {
+                break;
+            }
+            let c = mask & mask.wrapping_neg();
+            let r = mask + c;
+            mask = (((r ^ mask) >> 2) / c) | r;
+        }
+    }
+    out
+}
+
+fn bench_covers_microbench(c: &mut Criterion) {
+    let m = one_one_module(10);
+    let (frontier, _) = minimal_sets_sweep_frontier(&m, 16, &SweepConfig::parallel(8)).unwrap();
+    let members: Vec<u64> = frontier.iter().collect();
+    assert_eq!(members.len(), 3360, "2⁴·C(10,4) minimal sets expected");
+    let queries = layer_masks(20, 5, 7);
+    assert_eq!(queries.len(), 131_784, "C(20,5)+C(20,6)+C(20,7)");
+
+    // Both paths must agree before we time anything.
+    let flat_hits = queries
+        .iter()
+        .filter(|&&q| members.iter().any(|&m| m | q == q))
+        .count();
+    let trie_hits = queries.iter().filter(|&&q| frontier.covers(q)).count();
+    assert_eq!(flat_hits, trie_hits);
+    criterion::record_metric(
+        "e20_frontier_scaling/covers_microbench/queries",
+        queries.len() as f64,
+    );
+    criterion::record_metric(
+        "e20_frontier_scaling/covers_microbench/covered",
+        flat_hits as f64,
+    );
+
+    let mut g = c.benchmark_group("e20_frontier_scaling");
+    g.sample_size(10);
+    g.bench_with_input(
+        BenchmarkId::new("covers_microbench", "flat"),
+        &queries,
+        |b, qs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &q in qs {
+                    if members.iter().any(|&m| m | q == q) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            });
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("covers_microbench", "trie"),
+        &queries,
+        |b, qs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &q in qs {
+                    if frontier.covers(q) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            });
+        },
+    );
+    g.finish();
+}
+
+/// Per-k sweeps, one shot each (multi-second at k = 24, so timed with
+/// `Instant` rather than a Criterion loop). Counters are exact-gated;
+/// wall-clock rows are informational.
+fn record_frontier_scaling(_c: &mut Criterion) {
+    for (wires, gamma) in CASES {
+        let k = 2 * wires;
+        let m = one_one_module(wires);
+
+        let t = Instant::now();
+        let (frontier, stats) =
+            minimal_sets_sweep_frontier(&m, gamma, &SweepConfig::parallel(8)).unwrap();
+        let trie_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let flat = flat_scan_minimal_sets(&m, gamma, FLAT_SCAN_BUDGET);
+        let flat_secs = t.elapsed().as_secs_f64();
+
+        if flat.completed {
+            assert_eq!(flat.sets, frontier.len() as u64, "k={k}");
+            assert_eq!(flat.visited, stats.visited, "k={k}");
+        } else {
+            assert_eq!(k, 24, "only k = 24 may exhaust the flat budget");
+        }
+        if k == 24 {
+            assert!(
+                !flat.completed,
+                "k = 24 must be out of reach for the flat scan"
+            );
+            assert_eq!(frontier.len(), 25_344, "2⁵·C(12,5) minimal sets");
+        }
+
+        let base = format!("e20_frontier_scaling/stats/k{k}");
+        criterion::record_metric(&format!("{base}/lattice"), stats.lattice as f64);
+        criterion::record_metric(&format!("{base}/visited"), stats.visited as f64);
+        criterion::record_metric(&format!("{base}/antichain"), frontier.len() as f64);
+        criterion::record_metric(
+            &format!("{base}/frontier_queries"),
+            stats.frontier_queries as f64,
+        );
+        criterion::record_metric(
+            &format!("{base}/frontier_nodes"),
+            stats.frontier_nodes as f64,
+        );
+        let base = format!("e20_frontier_scaling/flat_reference/k{k}");
+        criterion::record_metric(
+            &format!("{base}/completed"),
+            u64::from(flat.completed) as f64,
+        );
+        criterion::record_metric(&format!("{base}/scans"), flat.scans as f64);
+        criterion::record_metric(&format!("{base}/sets"), flat.sets as f64);
+        criterion::record_metric(
+            "e20_frontier_scaling/flat_reference/budget",
+            FLAT_SCAN_BUDGET as f64,
+        );
+        criterion::record_metric(&format!("e20_frontier_scaling/wall/trie/k{k}"), trie_secs);
+        criterion::record_metric(&format!("e20_frontier_scaling/wall/flat/k{k}"), flat_secs);
+    }
+}
+
+criterion_group!(benches, bench_covers_microbench, record_frontier_scaling);
+criterion_main!(benches);

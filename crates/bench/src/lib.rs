@@ -13,3 +13,4 @@
 
 pub mod baseline;
 pub mod experiments;
+pub mod flatscan;

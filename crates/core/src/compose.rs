@@ -114,8 +114,12 @@ pub fn union_of_standalone_optima(
 /// [`union_of_standalone_optima`] through the parallel lattice sweep
 /// ([`crate::sweep`]): modules are materialized once, cost slices are
 /// hoisted out of the per-module loop, and each standalone optimum is
-/// found by the work-stealing branch-and-bound sweep. Also returns the
-/// merged visited/pruned counters for observability.
+/// found by the work-stealing branch-and-bound sweep — or, when the
+/// module's minimal-safe-set antichain is already memoized as a
+/// [`crate::Frontier`], by pure frontier algebra
+/// ([`crate::Frontier::min_cost_member`]) with **zero** lattice
+/// re-enumeration. Also returns the merged visited/pruned counters for
+/// observability.
 ///
 /// # Errors
 /// As [`union_of_standalone_optima`].

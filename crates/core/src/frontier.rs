@@ -1,0 +1,910 @@
+//! Bitwise-trie **antichain frontier** over `u64` attribute masks.
+//!
+//! Proposition 1 makes safety monotone in the hidden set: the ⊆-minimal
+//! safe hidden sets form an antichain whose superset closure generates
+//! *every* safe set. The lattice sweeps ([`crate::sweep`]) therefore
+//! spend their inner loop on one question — *is this mask in the up-set
+//! of the antichain found so far?* — which a flat `Vec<u64>` answers in
+//! `O(|antichain|)` per mask. [`Frontier`] stores the antichain as a
+//! path-compressed binary trie over the mask bits and answers the same
+//! question ([`covers`](Frontier::covers)) through a **bitsliced
+//! occurrence index**: a branch-free lane scan that screens hundreds of
+//! members per super-word and exits at the first qualifying one, so
+//! covered queries — the overwhelming majority once the antichain is
+//! dense — certify in a handful of word operations rather than hundreds
+//! of member visits.
+//!
+//! ### Trie layout
+//!
+//! A [`Frontier`] over `k`-bit masks is a binary trie of depth `k`:
+//! level `ℓ ∈ 0..k` tests bit `k-1-ℓ` (most-significant bit at the
+//! root), so a left-first depth-first walk yields members in ascending
+//! numeric order. The trie is **path-compressed** (Patricia/ZDD-style
+//! level skipping): each arena node spans a run of non-branching levels
+//! `start..branch` whose path bits are stored in `prefix` *at their
+//! absolute mask positions*, then either branches at level `branch`
+//! into two always-present children, or — when `branch == k` — is a
+//! **terminal** holding one member's entire remaining suffix. Branch
+//! bits live on the edges (a `kids[1]` edge adds the branch bit), so a
+//! per-node subset test is a single `prefix & !query == 0`. Freed slots
+//! recycle through a free list; interior nodes always have two live
+//! children (removal merges single-child nodes into their child), which
+//! makes the shape canonical for a given member set — the trie is the
+//! **canonical antichain store** behind ordering
+//! ([`iter`](Frontier::iter)), structural equality, and the
+//! deterministic [`node_count`](Frontier::node_count).
+//!
+//! ### Occurrence index
+//!
+//! Queries run against a **bitsliced occurrence index** maintained
+//! alongside the trie: every member owns a slot in a 512-slot
+//! super-word of eight `u64` lanes, and for each bit position `b` a
+//! super-word row records which of its slots have bit `b` set, laid out
+//! word-major (one super-word's `k` rows are contiguous — a few cache
+//! lines). [`covers`](Frontier::covers) ORs the rows of the bits the
+//! query *lacks* into a forbidden set; any live slot outside it is a
+//! member ⊆ query. [`dominated_by`](Frontier::dominated_by) ANDs the
+//! rows of the query's own bits; any surviving slot is a member ⊇
+//! query. Both scan super-words in insertion order (the sweeps insert
+//! in (popcount, mask) order, so small, high-coverage members sit in
+//! the earliest words) and exit at the first surviving word, which is
+//! what makes dense-antichain coverage tests effectively constant-time:
+//! 512 members are screened per block by straight-line lane OR/AND ops
+//! with no data-dependent branching inside the block.
+//!
+//! ### Minimality invariant
+//!
+//! [`insert`](Frontier::insert) keeps the member set an **antichain**:
+//! a mask already covered by a member (some member ⊆ mask) is rejected,
+//! and an accepted mask first evicts every member it dominates (members
+//! ⊇ mask). The stored set is therefore always exactly the ⊆-minimal
+//! elements of everything ever inserted, in any insertion order.
+//!
+//! ### Concurrency
+//!
+//! Queries ([`covers`](Frontier::covers) /
+//! [`dominated_by`](Frontier::dominated_by)) take `&self` and the type
+//! is `Sync`, so sweep workers share one read-only snapshot per layer
+//! and merge discoveries behind the layer barrier (see
+//! [`crate::sweep::minimal_sets_sweep`]). The only interior mutability
+//! is the relaxed [`queries`](Frontier::queries) counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// "No subtree" sentinel (empty root; never a live interior child).
+const NIL: u32 = u32::MAX;
+
+/// `u64` lanes per occurrence-index super-word. Eight 64-slot lanes
+/// (one cache line per row) screen the most members per iteration of
+/// the straight-line query kernels without spilling accumulators.
+const LANES: usize = 8;
+
+/// Member slots per super-word.
+const SLOTS: usize = 64 * LANES;
+
+/// One path-compressed trie node; see the [module docs](self).
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    /// Path bits for levels `start..branch`, at absolute mask positions.
+    prefix: u64,
+    /// First level this node's segment covers.
+    start: u32,
+    /// Branching level, or `k` for a terminal (member) node.
+    branch: u32,
+    /// Children (both live for interior nodes); a terminal instead
+    /// keeps its occurrence-index slot in `kids[0]`.
+    kids: [u32; 2],
+}
+
+/// A ⊆-minimal antichain of `k`-bit masks stored as a path-compressed
+/// bitwise trie, with sublinear subset/superset containment queries and
+/// first-class set algebra. See the [module docs](self) for layout and
+/// invariants.
+///
+/// # Examples
+/// ```
+/// use sv_core::Frontier;
+///
+/// let mut f = Frontier::new(4);
+/// assert!(f.insert(0b0011));
+/// assert!(f.insert(0b1100));
+/// // 0b0111 ⊇ 0b0011 is already generated — rejected, not stored.
+/// assert!(!f.insert(0b0111));
+/// // Inserting a subset evicts the dominated member.
+/// assert!(f.insert(0b0001));
+/// assert_eq!(f.iter().collect::<Vec<_>>(), vec![0b0001, 0b1100]);
+///
+/// assert!(f.covers(0b1101), "contains the member 0b0001");
+/// assert!(!f.covers(0b0010));
+/// assert!(f.dominated_by(0b0100), "0b1100 is a superset");
+/// ```
+#[derive(Debug)]
+pub struct Frontier {
+    k: u32,
+    /// Node arena; freed slots recycled through `free`.
+    nodes: Vec<Node>,
+    root: u32,
+    len: usize,
+    free: Vec<u32>,
+    /// Occurrence index over [`SLOTS`]-slot super-words: lane `l`, bit
+    /// `s` of `live[w]` marks slot `SLOTS·w + 64l + s` as a member;
+    /// `occ[w * k + b]` is the same super-word restricted to members
+    /// with mask bit `b` set (word-major: one super-word's `k` rows are
+    /// contiguous, vector-width lanes).
+    live: Vec<[u64; LANES]>,
+    occ: Vec<[u64; LANES]>,
+    /// Slot → member mask (so eviction can clear the right rows).
+    slot_mask: Vec<u64>,
+    slot_free: Vec<u32>,
+    /// Coverage/domination queries answered (relaxed; deterministic
+    /// under the layer-barriered sweeps, which query each enumerated
+    /// mask exactly once regardless of thread count).
+    queries: AtomicU64,
+}
+
+impl Clone for Frontier {
+    fn clone(&self) -> Self {
+        Self {
+            k: self.k,
+            nodes: self.nodes.clone(),
+            root: self.root,
+            len: self.len,
+            free: self.free.clone(),
+            live: self.live.clone(),
+            occ: self.occ.clone(),
+            slot_mask: self.slot_mask.clone(),
+            slot_free: self.slot_free.clone(),
+            queries: AtomicU64::new(self.queries.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for Frontier {
+    /// Structural set equality: same width, same members (query
+    /// counters are instrumentation and do not participate).
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k && self.members_ascending() == other.members_ascending()
+    }
+}
+
+impl Eq for Frontier {}
+
+impl Frontier {
+    /// An empty frontier over `k`-bit masks.
+    ///
+    /// # Panics
+    /// Panics if `k > 64`.
+    ///
+    /// # Examples
+    /// ```
+    /// let f = sv_core::Frontier::new(20);
+    /// assert!(f.is_empty());
+    /// assert_eq!(f.k(), 20);
+    /// assert!(!f.covers(0), "an empty frontier generates nothing");
+    /// ```
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k <= 64, "Frontier masks are u64: k = {k} > 64");
+        Self {
+            k: k as u32,
+            nodes: Vec::new(),
+            root: NIL,
+            len: 0,
+            free: Vec::new(),
+            live: Vec::new(),
+            occ: Vec::new(),
+            slot_mask: Vec::new(),
+            slot_free: Vec::new(),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds a frontier from arbitrary masks, keeping only the
+    /// ⊆-minimal ones (insertion order does not matter).
+    ///
+    /// # Examples
+    /// ```
+    /// use sv_core::Frontier;
+    ///
+    /// let f = Frontier::from_masks(4, [0b1110, 0b0110, 0b0001]);
+    /// assert_eq!(f.iter().collect::<Vec<_>>(), vec![0b0001, 0b0110]);
+    /// ```
+    #[must_use]
+    pub fn from_masks(k: usize, masks: impl IntoIterator<Item = u64>) -> Self {
+        let mut f = Self::new(k);
+        for m in masks {
+            f.insert(m);
+        }
+        f
+    }
+
+    /// Mask width in bits.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// Number of members (antichain size).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the frontier has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Live trie nodes (arena slots minus the free list). The
+    /// compressed shape is canonical for a given member set, so this is
+    /// a deterministic size counter, reported as
+    /// [`crate::sweep::SweepStats::frontier_nodes`].
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Coverage/domination queries answered so far
+    /// ([`covers`](Self::covers) + [`dominated_by`](Self::dominated_by)
+    /// calls; insertions use internal uncounted walks). Exact for
+    /// single-threaded callers; concurrent queries may lose increments
+    /// (the counter deliberately avoids an atomic read-modify-write on
+    /// the query hot path — the sweeps tally their own exact,
+    /// CI-gated totals worker-locally instead, see
+    /// [`crate::sweep::SweepStats::frontier_queries`]).
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn assert_mask(&self, mask: u64) {
+        assert!(
+            self.k == 64 || mask >> self.k == 0,
+            "mask {mask:#x} exceeds the frontier's {}-bit width",
+            self.k
+        );
+    }
+
+    /// Mask of the bit positions belonging to levels `level..k`.
+    #[inline]
+    fn below(&self, level: u32) -> u64 {
+        if level >= self.k {
+            0
+        } else {
+            u64::MAX >> (64 - (self.k - level))
+        }
+    }
+
+    /// Mask of the bit positions belonging to levels `start..branch`.
+    #[inline]
+    fn range(&self, start: u32, branch: u32) -> u64 {
+        self.below(start) ^ self.below(branch)
+    }
+
+    /// Whether some member is a **subset** of `mask` — i.e. whether
+    /// `mask` lies in the up-set the antichain generates (for the
+    /// sweeps: safe by Proposition 1, and not minimal unless it is a
+    /// member itself).
+    ///
+    /// # Panics
+    /// Panics if `mask` has bits at or above `k`.
+    ///
+    /// # Examples
+    /// ```
+    /// let f = sv_core::Frontier::from_masks(4, [0b0011]);
+    /// assert!(f.covers(0b1011));
+    /// assert!(!f.covers(0b1001));
+    /// assert_eq!(f.queries(), 2);
+    /// ```
+    #[must_use]
+    #[inline]
+    pub fn covers(&self, mask: u64) -> bool {
+        self.assert_mask(mask);
+        // Unlocked increment: cheaper than a lock-prefixed RMW on the
+        // hot path, at the cost of lost updates under concurrent
+        // queries (see [`Self::queries`]).
+        self.queries
+            .store(self.queries.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.covers_raw(mask)
+    }
+
+    /// Whether some member is a **superset** of `mask` (the dual of
+    /// [`covers`](Self::covers)).
+    ///
+    /// # Panics
+    /// Panics if `mask` has bits at or above `k`.
+    ///
+    /// # Examples
+    /// ```
+    /// let f = sv_core::Frontier::from_masks(4, [0b0110]);
+    /// assert!(f.dominated_by(0b0010));
+    /// assert!(!f.dominated_by(0b1000));
+    /// ```
+    #[must_use]
+    #[inline]
+    pub fn dominated_by(&self, mask: u64) -> bool {
+        self.assert_mask(mask);
+        // Unlocked increment: cheaper than a lock-prefixed RMW on the
+        // hot path, at the cost of lost updates under concurrent
+        // queries (see [`Self::queries`]).
+        self.queries
+            .store(self.queries.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.dominated_raw(mask)
+    }
+
+    /// Exact membership test.
+    ///
+    /// # Panics
+    /// Panics if `mask` has bits at or above `k`.
+    ///
+    /// # Examples
+    /// ```
+    /// let f = sv_core::Frontier::from_masks(3, [0b011]);
+    /// assert!(f.contains(0b011));
+    /// assert!(!f.contains(0b001));
+    /// ```
+    #[must_use]
+    pub fn contains(&self, mask: u64) -> bool {
+        self.assert_mask(mask);
+        let mut n = self.root;
+        while n != NIL {
+            let node = self.nodes[n as usize];
+            if (mask ^ node.prefix) & self.range(node.start, node.branch) != 0 {
+                return false;
+            }
+            if node.branch == self.k {
+                return true;
+            }
+            let bit = (mask >> (self.k - 1 - node.branch)) & 1;
+            n = node.kids[bit as usize];
+        }
+        false
+    }
+
+    /// Subset containment through the occurrence index: a member ⊆
+    /// `mask` is a live slot avoiding every bit `mask` lacks, so each
+    /// super-word is screened by OR-ing the rows of those bits into a
+    /// forbidden set — straight-line lane ops over one contiguous
+    /// `k`-row block, exiting at the first word with a live slot
+    /// outside it.
+    #[inline]
+    fn covers_raw(&self, mask: u64) -> bool {
+        let k = self.k as usize;
+        if k == 0 {
+            // The only possible member is the empty mask, which covers
+            // the only possible query.
+            return self.len > 0;
+        }
+        // The avoid-bit list is hoisted once per query; each super-word
+        // is then screened by a pure OR of the forbidden rows — eight
+        // independent lanes per row (one vector load + OR), no select
+        // masks, no data-dependent branches inside the block.
+        let (idx, cnt) = Self::bit_indices(!mask & self.below(0));
+        let idx = &idx[..cnt];
+        for (word, block) in self.live.iter().zip(self.occ.chunks_exact(k)) {
+            let mut f = [0u64; LANES];
+            for &b in idx {
+                let row = &block[b as usize];
+                for (acc, &r) in f.iter_mut().zip(row) {
+                    *acc |= r;
+                }
+            }
+            let mut surv = 0u64;
+            for (&w, &fr) in word.iter().zip(&f) {
+                surv |= w & !fr;
+            }
+            if surv != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Superset containment, the dual screen: a member ⊇ `mask` is a
+    /// live slot whose rows contain every bit of `mask`, so each word
+    /// intersects the rows of the query's own bits (a masked
+    /// AND-reduction: unselected rows contribute all-ones).
+    #[inline]
+    fn dominated_raw(&self, mask: u64) -> bool {
+        let k = self.k as usize;
+        if k == 0 {
+            return self.len > 0;
+        }
+        let (idx, cnt) = Self::bit_indices(mask);
+        let idx = &idx[..cnt];
+        for (word, block) in self.live.iter().zip(self.occ.chunks_exact(k)) {
+            let mut a = *word;
+            for &b in idx {
+                let row = &block[b as usize];
+                for (acc, &r) in a.iter_mut().zip(row) {
+                    *acc &= r;
+                }
+            }
+            if a.iter().fold(0, |o, &l| o | l) != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Bit positions of `bits`, ascending, as a fixed array + count —
+    /// byte-table expansion (one lookup + 8-byte store per byte of
+    /// `bits`) instead of a serial trailing-zeros loop, since this runs
+    /// on every query.
+    #[inline]
+    fn bit_indices(bits: u64) -> ([u8; 72], usize) {
+        /// Per byte value: its set-bit positions packed little-endian
+        /// (one byte each) and their count.
+        const TABLE: [(u64, u8); 256] = {
+            let mut t = [(0u64, 0u8); 256];
+            let mut v = 0usize;
+            while v < 256 {
+                let (mut packed, mut cnt, mut b) = (0u64, 0u8, 0u32);
+                while b < 8 {
+                    if v >> b & 1 == 1 {
+                        packed |= (b as u64) << (8 * cnt as u32);
+                        cnt += 1;
+                    }
+                    b += 1;
+                }
+                t[v] = (packed, cnt);
+                v += 1;
+            }
+            t
+        };
+        let mut idx = [0u8; 72];
+        let mut cnt = 0usize;
+        let mut rest = bits;
+        let mut base = 0u64;
+        while rest != 0 {
+            let (packed, n) = TABLE[rest as u8 as usize];
+            // Offset all eight packed positions at once, then spill
+            // them with a single 8-byte store (extras are overwritten
+            // by the next chunk or ignored via `cnt`).
+            let shifted = packed + base * 0x0101_0101_0101_0101;
+            idx[cnt..cnt + 8].copy_from_slice(&shifted.to_le_bytes());
+            cnt += n as usize;
+            rest >>= 8;
+            base += 8;
+        }
+        (idx, cnt)
+    }
+
+    /// Claims an occurrence-index slot for a new member and sets its
+    /// row bits.
+    fn slot_alloc(&mut self, mask: u64) -> u32 {
+        let k = self.k as usize;
+        let slot = self.slot_free.pop().unwrap_or_else(|| {
+            let s = self.slot_mask.len() as u32;
+            self.slot_mask.push(0);
+            if s as usize / SLOTS >= self.live.len() {
+                self.live.push([0; LANES]);
+                self.occ.extend(std::iter::repeat_n([0; LANES], k));
+            }
+            s
+        });
+        let (w, lane, b) = (slot as usize / SLOTS, slot as usize / 64 % LANES, slot % 64);
+        self.slot_mask[slot as usize] = mask;
+        self.live[w][lane] |= 1u64 << b;
+        let mut bits = mask;
+        while bits != 0 {
+            let p = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.occ[w * k + p][lane] |= 1u64 << b;
+        }
+        slot
+    }
+
+    /// Releases an evicted member's slot, clearing its row bits.
+    fn slot_release(&mut self, slot: u32) {
+        let k = self.k as usize;
+        let (w, lane, b) = (slot as usize / SLOTS, slot as usize / 64 % LANES, slot % 64);
+        self.live[w][lane] &= !(1u64 << b);
+        let mut bits = self.slot_mask[slot as usize];
+        while bits != 0 {
+            let p = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.occ[w * k + p][lane] &= !(1u64 << b);
+        }
+        self.slot_free.push(slot);
+    }
+
+    /// Inserts `mask`, maintaining minimality: returns `false` (and
+    /// stores nothing) when a member already covers `mask`; otherwise
+    /// evicts every member dominated by `mask`, stores it, and returns
+    /// `true`.
+    ///
+    /// # Panics
+    /// Panics if `mask` has bits at or above `k`.
+    ///
+    /// # Examples
+    /// ```
+    /// use sv_core::Frontier;
+    ///
+    /// let mut f = Frontier::new(4);
+    /// assert!(f.insert(0b0110) && f.insert(0b1001));
+    /// assert!(!f.insert(0b1110), "covered by 0b0110");
+    /// assert!(f.insert(0b0100), "evicts 0b0110");
+    /// assert_eq!(f.len(), 2);
+    /// ```
+    pub fn insert(&mut self, mask: u64) -> bool {
+        self.assert_mask(mask);
+        if self.covers_raw(mask) {
+            return false;
+        }
+        self.root = self.remove_dominated(self.root, mask);
+        self.insert_path(mask);
+        true
+    }
+
+    fn alloc(&mut self, node: Node) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Removes every member ⊇ `mask` below `n`, returning the
+    /// replacement pointer: emptied subtrees collapse to `NIL`, and an
+    /// interior node left with a single child merges into it (the child
+    /// absorbs the segment and branch bit), keeping the shape canonical.
+    fn remove_dominated(&mut self, n: u32, mask: u64) -> u32 {
+        if n == NIL {
+            return NIL;
+        }
+        let node = self.nodes[n as usize];
+        if mask & self.range(node.start, node.branch) & !node.prefix != 0 {
+            return n; // no superset of `mask` below here
+        }
+        if node.branch == self.k {
+            self.len -= 1;
+            self.slot_release(node.kids[0]);
+            self.free.push(n);
+            return NIL;
+        }
+        let (nc0, nc1) = if (mask >> (self.k - 1 - node.branch)) & 1 == 1 {
+            (node.kids[0], self.remove_dominated(node.kids[1], mask))
+        } else {
+            (
+                self.remove_dominated(node.kids[0], mask),
+                self.remove_dominated(node.kids[1], mask),
+            )
+        };
+        match (nc0 == NIL, nc1 == NIL) {
+            (true, true) => {
+                self.free.push(n);
+                NIL
+            }
+            (false, true) => self.merge_into_child(n, nc0, 0),
+            (true, false) => self.merge_into_child(n, nc1, 1),
+            (false, false) => {
+                self.nodes[n as usize].kids = [nc0, nc1];
+                n
+            }
+        }
+    }
+
+    /// Collapses interior node `parent` (whose only remaining subtree is
+    /// `child` on `side`) into `child`, which absorbs the parent's
+    /// segment bits plus the branch bit of its edge.
+    fn merge_into_child(&mut self, parent: u32, child: u32, side: usize) -> u32 {
+        let p = self.nodes[parent as usize];
+        let edge_bit = if side == 1 {
+            1u64 << (self.k - 1 - p.branch)
+        } else {
+            0
+        };
+        let c = &mut self.nodes[child as usize];
+        c.prefix |= p.prefix | edge_bit;
+        c.start = p.start;
+        self.free.push(parent);
+        child
+    }
+
+    /// Creates the path for `mask` (which must be uncovered and have no
+    /// dominated members left): descends to the first diverging level
+    /// and splits there, attaching a new terminal.
+    fn insert_path(&mut self, mask: u64) {
+        self.len += 1;
+        let slot = self.slot_alloc(mask);
+        if self.root == NIL {
+            self.root = self.alloc(Node {
+                prefix: mask,
+                start: 0,
+                branch: self.k,
+                kids: [slot, NIL],
+            });
+            return;
+        }
+        let mut parent: Option<(u32, usize)> = None;
+        let mut n = self.root;
+        loop {
+            let node = self.nodes[n as usize];
+            let diff = (mask ^ node.prefix) & self.range(node.start, node.branch);
+            if diff != 0 {
+                // Split at the highest diverging level of the segment.
+                let pos = 63 - diff.leading_zeros();
+                let level = self.k - 1 - pos;
+                let mask_bit = ((mask >> pos) & 1) as usize;
+                let split_prefix = node.prefix & (self.below(node.start) & !self.below(level));
+                let trimmed = self.below(level + 1);
+                {
+                    let old = &mut self.nodes[n as usize];
+                    old.prefix &= trimmed;
+                    old.start = level + 1;
+                }
+                let term = self.alloc(Node {
+                    prefix: mask & self.below(level + 1),
+                    start: level + 1,
+                    branch: self.k,
+                    kids: [slot, NIL],
+                });
+                let mut kids = [NIL, NIL];
+                kids[mask_bit] = term;
+                kids[1 - mask_bit] = n;
+                let split = self.alloc(Node {
+                    prefix: split_prefix,
+                    start: node.start,
+                    branch: level,
+                    kids,
+                });
+                match parent {
+                    None => self.root = split,
+                    Some((p, side)) => self.nodes[p as usize].kids[side] = split,
+                }
+                return;
+            }
+            debug_assert!(
+                node.branch < self.k,
+                "duplicate insert past the covers check"
+            );
+            let bit = ((mask >> (self.k - 1 - node.branch)) & 1) as usize;
+            parent = Some((n, bit));
+            n = node.kids[bit];
+        }
+    }
+
+    /// Members in ascending numeric order (left-first trie walk).
+    fn members_ascending(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        self.collect(self.root, 0, &mut out);
+        out
+    }
+
+    fn collect(&self, n: u32, acc: u64, out: &mut Vec<u64>) {
+        if n == NIL {
+            return;
+        }
+        let node = self.nodes[n as usize];
+        let acc = acc | node.prefix;
+        if node.branch == self.k {
+            out.push(acc);
+            return;
+        }
+        self.collect(node.kids[0], acc, out);
+        self.collect(node.kids[1], acc | 1u64 << (self.k - 1 - node.branch), out);
+    }
+
+    /// Iterates the members in **(popcount, mask)** order — ascending
+    /// popcount, ascending numeric mask within a popcount — the exact
+    /// order of the serial reference
+    /// [`crate::safety::minimal_safe_hidden_sets`]. Materializes the
+    /// member list (`O(n log n)`).
+    ///
+    /// # Examples
+    /// ```
+    /// let f = sv_core::Frontier::from_masks(4, [0b1010, 0b0101, 0b1000]);
+    /// assert_eq!(f.iter().collect::<Vec<_>>(), vec![0b1000, 0b0101]);
+    /// ```
+    #[must_use = "iterators are lazy"]
+    pub fn iter(&self) -> std::vec::IntoIter<u64> {
+        let mut members = self.members_ascending();
+        members.sort_by_key(|m| m.count_ones());
+        members.into_iter()
+    }
+
+    /// Union of the generated up-sets: the ⊆-minimal elements of the
+    /// combined member sets.
+    ///
+    /// # Panics
+    /// Panics if the widths differ.
+    ///
+    /// # Examples
+    /// ```
+    /// use sv_core::Frontier;
+    ///
+    /// let a = Frontier::from_masks(4, [0b0011]);
+    /// let b = Frontier::from_masks(4, [0b0111, 0b1000]);
+    /// let u = a.union(&b);
+    /// assert_eq!(u.iter().collect::<Vec<_>>(), vec![0b1000, 0b0011]);
+    /// ```
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        assert_eq!(self.k, other.k, "width mismatch in Frontier::union");
+        Self::from_masks(
+            self.k(),
+            self.members_ascending()
+                .into_iter()
+                .chain(other.members_ascending()),
+        )
+    }
+
+    /// Intersection of the generated up-sets: a mask is in both up-sets
+    /// iff it contains some `a ∪ b` with `a` a member of `self` and `b`
+    /// of `other`, so the result is the minimized pairwise-union set
+    /// (`O(|self|·|other|)` inserts).
+    ///
+    /// # Panics
+    /// Panics if the widths differ.
+    ///
+    /// # Examples
+    /// ```
+    /// use sv_core::Frontier;
+    ///
+    /// let a = Frontier::from_masks(4, [0b0001, 0b0010]);
+    /// let b = Frontier::from_masks(4, [0b0100]);
+    /// let i = a.intersect(&b);
+    /// assert_eq!(i.iter().collect::<Vec<_>>(), vec![0b0101, 0b0110]);
+    /// ```
+    #[must_use]
+    pub fn intersect(&self, other: &Self) -> Self {
+        assert_eq!(self.k, other.k, "width mismatch in Frontier::intersect");
+        let mut out = Self::new(self.k());
+        for a in self.members_ascending() {
+            for b in other.members_ascending() {
+                out.insert(a | b);
+            }
+        }
+        out
+    }
+
+    /// The `(cost, mask)`-lexicographically smallest member under an
+    /// additive per-bit cost vector — by Proposition 1 this is the
+    /// global minimum-cost *safe* hidden set whenever the frontier is a
+    /// swept safety antichain (costs are non-negative and monotone, so
+    /// the optimum over the whole up-set is attained at a member, and
+    /// any cost tie resolves to the member because supersets are
+    /// numerically larger). Returns `(mask, cost)`.
+    ///
+    /// # Panics
+    /// Panics unless `costs.len() == k`.
+    ///
+    /// # Examples
+    /// ```
+    /// let f = sv_core::Frontier::from_masks(3, [0b011, 0b100]);
+    /// assert_eq!(f.min_cost_member(&[1, 1, 3]), Some((0b011, 2)));
+    /// assert_eq!(f.min_cost_member(&[9, 9, 1]), Some((0b100, 1)));
+    /// ```
+    #[must_use]
+    pub fn min_cost_member(&self, costs: &[u64]) -> Option<(u64, u64)> {
+        assert_eq!(costs.len(), self.k(), "one cost per attribute");
+        let mut best: Option<(u64, u64)> = None; // (cost, mask)
+        for m in self.members_ascending() {
+            let mut cost = 0u64;
+            let mut bits = m;
+            while bits != 0 {
+                cost = cost.saturating_add(costs[bits.trailing_zeros() as usize]);
+                bits &= bits - 1;
+            }
+            if best.is_none_or(|(bc, bm)| cost < bc || (cost == bc && m < bm)) {
+                best = Some((cost, m));
+            }
+        }
+        best.map(|(cost, mask)| (mask, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flat reference: minimal elements of a mask set.
+    fn minimize(masks: &[u64]) -> Vec<u64> {
+        let mut out: Vec<u64> = masks
+            .iter()
+            .copied()
+            .filter(|&m| !masks.iter().any(|&a| a != m && a & m == a))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn insert_maintains_minimality_in_any_order() {
+        let masks = [0b1111u64, 0b0011, 0b1100, 0b0111, 0b0010, 0b1000];
+        for rotation in 0..masks.len() {
+            let mut rotated = masks.to_vec();
+            rotated.rotate_left(rotation);
+            let f = Frontier::from_masks(4, rotated);
+            assert_eq!(f.members_ascending(), minimize(&masks), "rot={rotation}");
+            assert_eq!(f.len(), 2);
+        }
+    }
+
+    #[test]
+    fn queries_match_flat_scans_exhaustively() {
+        let members = [0b00110u64, 0b01001, 0b10001];
+        let f = Frontier::from_masks(5, members);
+        for mask in 0u64..(1 << 5) {
+            let covers = members.iter().any(|&a| a | mask == mask);
+            let dominated = members.iter().any(|&a| a & mask == mask);
+            assert_eq!(f.covers(mask), covers, "covers {mask:#07b}");
+            assert_eq!(f.dominated_by(mask), dominated, "dominated {mask:#07b}");
+            assert_eq!(f.contains(mask), members.contains(&mask));
+        }
+        assert_eq!(f.queries(), 2 << 5, "one covers + one dominated per mask");
+    }
+
+    #[test]
+    fn empty_and_zero_width_edges() {
+        let f = Frontier::new(0);
+        assert!(!f.covers(0) && !f.dominated_by(0) && !f.contains(0));
+        let f = Frontier::from_masks(0, [0]);
+        assert!(f.covers(0) && f.dominated_by(0) && f.contains(0));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.node_count(), 1, "one terminal holds the empty member");
+
+        // The empty mask as a member covers everything.
+        let mut f = Frontier::from_masks(6, [0b111, 0b1]);
+        assert!(f.insert(0));
+        assert_eq!(f.members_ascending(), vec![0]);
+        assert_eq!(f.node_count(), 1);
+        assert!((0..1u64 << 6).all(|m| f.covers_raw(m)));
+    }
+
+    #[test]
+    fn compressed_shape_is_canonical() {
+        // n members ⇒ n terminals + (n − 1) binary interior nodes,
+        // independent of insertion order.
+        let members = [0b0010u64, 0b0101, 0b1001, 0b1100];
+        let forward = Frontier::from_masks(4, members);
+        let backward = Frontier::from_masks(4, members.iter().rev().copied());
+        assert_eq!(forward.node_count(), 2 * members.len() - 1);
+        assert_eq!(backward.node_count(), forward.node_count());
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn node_slots_are_recycled() {
+        let mut f = Frontier::from_masks(8, [0b1111_0000, 0b0000_1111]);
+        let before = f.nodes.len();
+        // Evict both members; their slots return through the free list.
+        assert!(f.insert(0b0001_0000));
+        assert!(f.insert(0b0000_0001));
+        assert!(f.insert(0b0000_0010));
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.node_count(), f.nodes.len() - f.free.len());
+        assert_eq!(f.node_count(), 2 * 3 - 1);
+        assert!(f.nodes.len() <= before + 4, "free slots were reused");
+        // The recycled structure still answers correctly.
+        assert!(f.covers(0b0001_0001) && !f.covers(0b1000_0000));
+    }
+
+    #[test]
+    fn clone_and_equality_ignore_instrumentation() {
+        let f = Frontier::from_masks(4, [0b0011, 0b0100]);
+        let _ = f.covers(0b1111);
+        let g = f.clone();
+        assert_eq!(f, g);
+        assert_eq!(g.queries(), f.queries(), "clone carries the counter");
+        let h = Frontier::from_masks(4, [0b0100, 0b0011]);
+        assert_eq!(f, h, "equality is structural, not query-count");
+        assert_ne!(f, Frontier::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the frontier's 4-bit width")]
+    fn oversized_masks_are_rejected() {
+        let mut f = Frontier::new(4);
+        f.insert(0b1_0000);
+    }
+}

@@ -22,6 +22,11 @@
 //!   module, shared by all requirement-list and instance derivations);
 //! * [`requirements`] — deriving a module's *set constraints* and
 //!   *cardinality constraints* requirement lists (§4.2);
+//! * [`frontier`] — the **bitwise-trie antichain frontier**: swept
+//!   ⊆-minimal safe-set families as a real data structure ([`Frontier`])
+//!   with sublinear coverage/domination queries,
+//!   minimality-maintaining insertion, and up-set algebra — the engine
+//!   behind the sweeps' Proposition-1 pruning;
 //! * [`sweep`] — the **parallel work-stealing lattice sweep**: sharded
 //!   subset enumeration with a shared branch-and-bound best-cost bound
 //!   and Proposition-1 antichain pruning, plus [`sweep::WorkflowSweeper`]
@@ -43,6 +48,7 @@
 pub mod compose;
 mod error;
 pub mod flip;
+pub mod frontier;
 pub mod oracle;
 pub mod public;
 pub mod requirements;
@@ -52,6 +58,7 @@ pub mod sweep;
 pub mod worlds;
 
 pub use error::CoreError;
+pub use frontier::Frontier;
 pub use safety::{MemoSafetyOracle, ProbeOutcome, ProbeRequest, SafetyOracle};
 pub use standalone::StandaloneModule;
 pub use sweep::{SweepConfig, SweepStats, WorkflowSweeper};

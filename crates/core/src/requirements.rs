@@ -13,6 +13,7 @@
 //!   cardinality list).
 
 use crate::error::CoreError;
+use crate::frontier::Frontier;
 use crate::safety::{self, KernelOracle, SafetyOracle};
 use crate::standalone::StandaloneModule;
 use sv_relation::{AttrId, AttrSet};
@@ -154,6 +155,24 @@ pub fn cardinality_constraints_from_antichain(
     inputs: &AttrSet,
     outputs: &AttrSet,
 ) -> Vec<CardRequirement> {
+    // Word-encodable antichains (every swept one: k ≤ MAX_DENSE_ATTRS)
+    // go through the trie; anything wider falls back to the flat scan.
+    let width = 1 + inputs
+        .iter()
+        .chain(outputs.iter())
+        .chain(antichain.iter().flat_map(AttrSet::iter))
+        .map(|a| a.index())
+        .max()
+        .unwrap_or(0);
+    if width <= 64 {
+        let frontier = Frontier::from_masks(
+            width,
+            antichain
+                .iter()
+                .map(|a| a.as_word().expect("checked width")),
+        );
+        return cardinality_constraints_from_frontier(&frontier, inputs, outputs);
+    }
     let ins: Vec<AttrId> = inputs.iter().collect();
     let outs: Vec<AttrId> = outputs.iter().collect();
     pareto_frontier(ins.len(), outs.len(), |alpha, beta| {
@@ -167,6 +186,57 @@ pub fn cardinality_constraints_from_antichain(
             })
         })
     })
+}
+
+/// [`cardinality_constraints_from_antichain`] straight off a swept
+/// [`Frontier`] (e.g. the memoized tries of
+/// [`crate::sweep::WorkflowSweeper::minimal_frontiers_all`]): `(α, β)`
+/// is valid iff **no** `α`-input/`β`-output choice escapes the
+/// frontier's coverage, so validity is a counterexample search — each
+/// candidate a sublinear [`Frontier::covers`] query, abandoned on the
+/// first escape, with no combination lists materialized. **Zero oracle
+/// probes.**
+///
+/// # Panics
+/// Panics if an input/output attribute index is at or above the
+/// frontier's width.
+#[must_use]
+pub fn cardinality_constraints_from_frontier(
+    frontier: &Frontier,
+    inputs: &AttrSet,
+    outputs: &AttrSet,
+) -> Vec<CardRequirement> {
+    let ins: Vec<u32> = inputs.iter().map(|a| a.0).collect();
+    let outs: Vec<u32> = outputs.iter().map(|a| a.0).collect();
+    pareto_frontier(ins.len(), outs.len(), |alpha, beta| {
+        !any_choice(&ins, alpha, 0, 0, &mut |in_word| {
+            any_choice(&outs, beta, 0, in_word, &mut |word| !frontier.covers(word))
+        })
+    })
+}
+
+/// Whether any `need`-element choice from `items[start..]`, OR-ed onto
+/// `word`, satisfies `f` — the early-exiting combination search behind
+/// [`cardinality_constraints_from_frontier`].
+fn any_choice(
+    items: &[u32],
+    need: usize,
+    start: usize,
+    word: u64,
+    f: &mut impl FnMut(u64) -> bool,
+) -> bool {
+    if need == 0 {
+        return f(word);
+    }
+    if items.len() - start < need {
+        return false; // not enough items left to complete the choice
+    }
+    for i in start..=(items.len() - need) {
+        if any_choice(items, need - 1, i + 1, word | 1u64 << items[i], f) {
+            return true;
+        }
+    }
+    false
 }
 
 /// Pareto-frontier construction shared by the oracle-probing and
@@ -371,6 +441,32 @@ mod tests {
                 assert_eq!(via_antichain, via_oracle, "gamma={gamma}");
             }
         }
+    }
+
+    #[test]
+    fn trie_frontier_recovery_matches_and_probes_nothing() {
+        for m in [m1(), majority(2), one_one(3)] {
+            for gamma in [2u128, 4, 8] {
+                let (frontier, _) = crate::sweep::minimal_sets_sweep_frontier(
+                    &m,
+                    gamma,
+                    &crate::SweepConfig::serial(),
+                )
+                .unwrap();
+                let via_frontier =
+                    cardinality_constraints_from_frontier(&frontier, m.inputs(), m.outputs());
+                assert_eq!(
+                    via_frontier,
+                    cardinality_constraints(&m, gamma),
+                    "gamma={gamma}"
+                );
+            }
+        }
+        // The empty frontier (unsatisfiable Γ) yields the empty list.
+        let f = Frontier::new(5);
+        assert!(
+            cardinality_constraints_from_frontier(&f, m1().inputs(), m1().outputs()).is_empty()
+        );
     }
 
     #[test]

@@ -873,6 +873,14 @@ pub fn min_cost_safe_hidden(
 /// the hidden set (Proposition 1), so these form an antichain
 /// generating all safe hidden sets by superset closure.
 ///
+/// This serial flat-scan walk is the **executable specification** for
+/// the production path: [`crate::sweep::minimal_sets_sweep`] must
+/// return exactly this list (the trie-backed [`crate::Frontier`] sweep
+/// is property-tested against it in `tests/frontier_prop.rs`), and the
+/// linear `minimal.iter().any(|&m| m & mask == m)` coverage test below
+/// is the reference the sublinear `Frontier::covers` replaces. Keep it
+/// simple; it is deliberately not optimized.
+///
 /// # Errors
 /// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
 pub fn minimal_safe_hidden_sets(

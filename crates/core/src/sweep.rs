@@ -29,6 +29,13 @@
 //!   serial ascending-popcount scan), skips every mask in the up-set of
 //!   the antichain found so far, and — once an entire layer is covered —
 //!   cuts off all higher layers wholesale without enumerating them.
+//!   The antichain lives in a bitwise-trie [`Frontier`]
+//!   ([`crate::frontier`]): the per-mask up-set test is the sublinear
+//!   [`Frontier::covers`] query against a read-only per-layer snapshot,
+//!   and the layer barrier merges each worker's sorted discoveries
+//!   straight into the trie — that is what pushes the sweeps from
+//!   `k = 20` toward the roadmap's `k = 24+`
+//!   ([`minimal_sets_sweep_frontier`] exposes the trie itself).
 //!
 //! Every entry point reports [`SweepStats`] (visited vs. pruned masks)
 //! for observability; `visited + pruned == lattice` always holds.
@@ -56,11 +63,12 @@
 
 use crate::compose::ModuleLens;
 use crate::error::CoreError;
+use crate::frontier::Frontier;
 use crate::safety::MemoSafetyOracle;
 use crate::standalone::{StandaloneModule, MAX_DENSE_ATTRS};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use sv_relation::{AttrId, AttrSet};
 use sv_workflow::{ModuleId, Workflow};
 
@@ -139,6 +147,16 @@ pub struct SweepStats {
     /// antichain up-set test, or by the whole-layer cutoff (which prunes
     /// without even enumerating). `visited + pruned == lattice`.
     pub pruned: u64,
+    /// Coverage queries answered by the trie frontier
+    /// ([`Frontier::covers`]) during an antichain sweep — one per
+    /// enumerated mask, so the count is deterministic at any thread
+    /// count (layer barriers make each mask queried exactly once).
+    /// Zero for branch-and-bound sweeps, which carry no frontier.
+    pub frontier_queries: u64,
+    /// Live trie nodes of the final frontier ([`Frontier::node_count`])
+    /// — deterministic: the trie shape is canonical in the member set.
+    /// Zero for branch-and-bound sweeps.
+    pub frontier_nodes: u64,
     /// Worker threads the sweep ran with.
     pub threads: usize,
 }
@@ -150,6 +168,8 @@ impl SweepStats {
         self.lattice += other.lattice;
         self.visited += other.visited;
         self.pruned += other.pruned;
+        self.frontier_queries += other.frontier_queries;
+        self.frontier_nodes += other.frontier_nodes;
         self.threads = self.threads.max(other.threads);
     }
 
@@ -344,9 +364,8 @@ pub fn min_cost_sweep(
     let best = Mutex::new(None::<(u64, u64)>); // (cost, mask)
     let stats = Mutex::new(SweepStats {
         lattice: total,
-        visited: 0,
-        pruned: 0,
         threads: workers,
+        ..SweepStats::default()
     });
 
     // One concurrent oracle shared by every worker: levels cached by
@@ -455,7 +474,9 @@ fn next_same_popcount(v: u64) -> u64 {
 ///
 /// Result and order are identical to the serial reference
 /// [`crate::safety::minimal_safe_hidden_sets`] (ascending popcount,
-/// ascending mask within a layer) for every configuration.
+/// ascending mask within a layer) for every configuration. Thin wrapper
+/// over [`minimal_sets_sweep_frontier`], which keeps the antichain as a
+/// queryable [`Frontier`].
 ///
 /// # Errors
 /// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
@@ -464,16 +485,40 @@ pub fn minimal_sets_sweep(
     gamma: u128,
     config: &SweepConfig,
 ) -> Result<(Vec<AttrSet>, SweepStats), CoreError> {
+    let (frontier, stats) = minimal_sets_sweep_frontier(module, gamma, config)?;
+    Ok((frontier.iter().map(AttrSet::from_word).collect(), stats))
+}
+
+/// [`minimal_sets_sweep`] returning the swept antichain as a
+/// [`Frontier`] — the form the memo layer caches and the algebraic
+/// consumers ([`crate::requirements::cardinality_constraints_from_frontier`],
+/// [`WorkflowSweeper::union_of_optima`]) keep querying.
+///
+/// The per-layer coverage test is the trie's sublinear
+/// [`Frontier::covers`] instead of the old flat `Vec<u64>` scan: each
+/// layer's workers share one read-only snapshot of the frontier (`&self`
+/// queries), and the layer barrier merges their sorted discovery runs
+/// straight into the trie in (popcount, mask) order — no intermediate
+/// collect-and-resort. The whole-layer cutoff fires when the trie
+/// covered every mask the layer enumerated (a coverage count, observable
+/// as `layer pruned == layer total`).
+///
+/// # Errors
+/// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
+pub fn minimal_sets_sweep_frontier(
+    module: &StandaloneModule,
+    gamma: u128,
+    config: &SweepConfig,
+) -> Result<(Frontier, SweepStats), CoreError> {
     let k = module.k();
     check_k(k)?;
     let workers = config.worker_count();
     let binom = binomials(k);
-    let mut antichain: Vec<u64> = Vec::new();
+    let mut frontier = Frontier::new(k);
     let mut stats = SweepStats {
         lattice: 1u64 << k,
-        visited: 0,
-        pruned: 0,
         threads: workers,
+        ..SweepStats::default()
     };
     // One concurrent oracle shared by every worker and every layer:
     // group caches and level memos warm once and stay warm across the
@@ -484,10 +529,16 @@ pub fn minimal_sets_sweep(
     for p in 0..=k {
         let layer_total = binom[k][p];
         let cursor = AtomicU64::new(0);
-        let found = Mutex::new(Vec::<u64>::new());
+        // One sorted run per worker: each worker's claimed shards are
+        // ascending (atomic cursor) and masks ascend within a shard, so
+        // its discoveries are already in ascending mask order.
+        let runs = Mutex::new(Vec::<Vec<u64>>::new());
         let layer_visited = AtomicU64::new(0);
         let layer_pruned = AtomicU64::new(0);
-        let frontier: &[u64] = &antichain;
+        let layer_queries = AtomicU64::new(0);
+        // Read-only frontier snapshot shared by this layer's workers;
+        // merging waits for the barrier below.
+        let snapshot = &frontier;
         // No point spawning more workers than the layer has shards —
         // small layers (the lattice's bottom and top) run inline or on
         // a couple of threads instead of paying `workers` spawns per
@@ -498,6 +549,11 @@ pub fn minimal_sets_sweep(
             let mut scratch: Vec<u64> = Vec::new();
             let mut visited = 0u64;
             let mut pruned = 0u64;
+            // Queries are tallied worker-locally (one `covers` per
+            // enumerated mask) and summed at the barrier, so the exact
+            // gated total never depends on the frontier's own relaxed
+            // convenience counter.
+            let mut queries = 0u64;
             let mut local_found: Vec<u64> = Vec::new();
             loop {
                 let start = cursor.fetch_add(SHARD, Ordering::Relaxed);
@@ -509,8 +565,8 @@ pub fn minimal_sets_sweep(
                 for rank in start..end {
                     // A mask in the up-set of the antichain is safe by
                     // Proposition 1 but cannot be minimal.
-                    #[allow(clippy::manual_contains)] // subset test, not equality
-                    let covered = frontier.iter().any(|&a| a & mask == a);
+                    let covered = snapshot.covers(mask);
+                    queries += 1;
                     if covered {
                         if config.prune {
                             pruned += 1;
@@ -532,40 +588,73 @@ pub fn minimal_sets_sweep(
             }
             layer_visited.fetch_add(visited, Ordering::Relaxed);
             layer_pruned.fetch_add(pruned, Ordering::Relaxed);
+            layer_queries.fetch_add(queries, Ordering::Relaxed);
             if !local_found.is_empty() {
-                found.lock().expect("lock").extend(local_found);
+                runs.lock().expect("lock").push(local_found);
             }
         });
 
-        stats.visited += layer_visited.load(Ordering::Relaxed);
+        let visited = layer_visited.load(Ordering::Relaxed);
+        stats.visited += visited;
         stats.pruned += layer_pruned.load(Ordering::Relaxed);
-        let mut layer_found = found.into_inner().expect("lock");
-        layer_found.sort_unstable();
-        antichain.extend(layer_found);
+        stats.frontier_queries += layer_queries.load(Ordering::Relaxed);
+        merge_layer_runs(&mut frontier, runs.into_inner().expect("lock"));
 
-        // Layer cutoff: if the antichain covered this whole layer, every
+        // Layer cutoff: the trie covered every enumerated mask of this
+        // layer (visited == 0 ⇔ coverage count == layer total), so every
         // mask of every higher layer contains a covered p-subset and is
         // covered too — skip the remaining up-sets without enumerating.
-        if config.prune
-            && layer_total > 0
-            && layer_visited.load(Ordering::Relaxed) == 0
-            && !antichain.is_empty()
-        {
+        if config.prune && layer_total > 0 && visited == 0 && !frontier.is_empty() {
             stats.pruned += binom[k][p + 1..=k].iter().sum::<u64>();
             break;
         }
     }
 
-    Ok((
-        antichain.into_iter().map(AttrSet::from_word).collect(),
-        stats,
-    ))
+    stats.frontier_nodes = frontier.node_count() as u64;
+    Ok((frontier, stats))
+}
+
+/// Merges one layer's per-worker sorted runs into the frontier by k-way
+/// merge, preserving the serial (popcount, mask) discovery order without
+/// the old collect-extend-resort round trip. Same-layer discoveries all
+/// share one popcount and were probed *because* no earlier member
+/// covered them, so every merged mask extends the antichain.
+fn merge_layer_runs(frontier: &mut Frontier, mut runs: Vec<Vec<u64>>) {
+    runs.retain(|r| !r.is_empty());
+    let mut heads = vec![0usize; runs.len()];
+    let mut last: Option<u64> = None;
+    loop {
+        let mut next: Option<(u64, usize)> = None;
+        for (i, run) in runs.iter().enumerate() {
+            if let Some(&v) = run.get(heads[i]) {
+                if next.is_none_or(|(nv, _)| v < nv) {
+                    next = Some((v, i));
+                }
+            }
+        }
+        let Some((mask, i)) = next else { break };
+        heads[i] += 1;
+        debug_assert!(
+            last.is_none_or(|l| l < mask),
+            "layer merge must emit strictly ascending masks"
+        );
+        last = Some(mask);
+        let inserted = frontier.insert(mask);
+        debug_assert!(inserted, "same-popcount discoveries are incomparable");
+    }
 }
 
 /// Per-module antichains of a workflow-level sweep, in
 /// `private_modules()` order (the [`WorkflowSweeper::minimal_sets_all`]
 /// result shape).
 pub type ModuleAntichains = Vec<(ModuleId, Vec<AttrSet>)>;
+
+/// Per-module trie frontiers of a workflow-level sweep, in
+/// `private_modules()` order (the
+/// [`WorkflowSweeper::minimal_frontiers_all`] result shape). The
+/// [`Arc`]s alias the sweeper's epoch-stamped memo entries — cloning
+/// one never copies the trie.
+pub type ModuleFrontiers = Vec<(ModuleId, Arc<Frontier>)>;
 
 /// Per-module hoisted state for workflow-level sweeps: lens, globals,
 /// and the materialized standalone module.
@@ -580,10 +669,12 @@ struct SweepModule {
     module: StandaloneModule,
 }
 
-/// One memoized antichain sweep: the result, its counters, and the
-/// relation epoch it was swept at.
-struct CachedAntichain {
-    sets: Vec<AttrSet>,
+/// One memoized antichain sweep: the swept [`Frontier`], its counters,
+/// and the relation epoch it was swept at. Shared out as [`Arc`]s so
+/// derivations query the memoized trie in place instead of cloning
+/// member lists.
+struct CachedFrontier {
+    frontier: Arc<Frontier>,
     stats: SweepStats,
     epoch: u64,
 }
@@ -600,7 +691,7 @@ struct CachedMinCost {
 /// [`WorkflowSweeper::sweeps_performed`].
 #[derive(Default)]
 struct SweepCaches {
-    minimal: HashMap<(usize, u128), CachedAntichain>,
+    minimal: HashMap<(usize, u128), CachedFrontier>,
     /// Keyed by `(module index, Γ, local costs)`, so alternating cost
     /// models each keep their own memo instead of thrashing one slot.
     min_cost: HashMap<(usize, u128, Vec<u64>), CachedMinCost>,
@@ -896,7 +987,11 @@ impl WorkflowSweeper {
     /// [`SweepConfig`]: each `2^k` lattice is independent, so modules
     /// sweep concurrently while each claimed module shards its own
     /// lattice over the nested thread budget. The result is identical to
-    /// the serial module loop at any thread count.
+    /// the serial module loop at any thread count. Modules whose
+    /// minimal-sets [`Frontier`] is already memoized at the current
+    /// epoch skip the branch-and-bound sweep entirely: the optimum is
+    /// read off the trie by [`Frontier::min_cost_member`] with zero
+    /// probes.
     ///
     /// # Errors
     /// [`CoreError::BudgetExceeded`] if some module admits no safe
@@ -946,15 +1041,39 @@ impl WorkflowSweeper {
         &self,
         gammas: &[u128],
     ) -> Result<(ModuleAntichains, SweepStats), CoreError> {
+        let (frontiers, stats) = self.minimal_frontiers_all(gammas)?;
+        let out = frontiers
+            .into_iter()
+            .map(|(id, f)| (id, f.iter().map(AttrSet::from_word).collect()))
+            .collect();
+        Ok((out, stats))
+    }
+
+    /// [`minimal_sets_all`](Self::minimal_sets_all) in frontier form:
+    /// every module's ⊆-minimal antichain as a shared [`Frontier`]
+    /// handle into the epoch memo — the zero-copy shape the
+    /// `sv-optimize` `from_sweeper` derivations and the cardinality
+    /// recovery ([`crate::requirements::cardinality_constraints_from_frontier`])
+    /// consume.
+    ///
+    /// # Errors
+    /// Propagates sweep errors.
+    ///
+    /// # Panics
+    /// Panics unless `gammas` has one entry per covered module.
+    pub fn minimal_frontiers_all(
+        &self,
+        gammas: &[u128],
+    ) -> Result<(ModuleFrontiers, SweepStats), CoreError> {
         assert_eq!(gammas.len(), self.mods.len(), "one Γ per private module");
         let per_module = sweep_workflow_parallel(self.mods.len(), &self.config, |idx, inner| {
             self.minimal_sets_memo(idx, gammas[idx], inner)
         })?;
         let mut stats = SweepStats::default();
         let mut out = Vec::with_capacity(self.mods.len());
-        for (m, (sets, s)) in self.mods.iter().zip(per_module) {
+        for (m, (frontier, s)) in self.mods.iter().zip(per_module) {
             stats.merge(&s);
-            out.push((m.id, sets));
+            out.push((m.id, frontier));
         }
         Ok((out, stats))
     }
@@ -999,10 +1118,35 @@ impl WorkflowSweeper {
         let epoch = module.epoch();
         let key = (idx, gamma, local_costs.to_vec());
         {
-            let caches = self.caches.lock().expect("lock");
+            let mut caches = self.caches.lock().expect("lock");
             if let Some(c) = caches.min_cost.get(&key) {
                 if c.epoch == epoch {
                     return Ok((c.found.clone(), c.stats));
+                }
+            }
+            // Frontier algebra: a current-epoch minimal-sets frontier
+            // for (module, Γ) already determines the optimum — by
+            // Proposition 1 the (cost, mask)-lexicographic minimum over
+            // all safe sets is attained at an antichain member
+            // ([`Frontier::min_cost_member`]) — so answer with **zero
+            // probes** and no lattice sweep. The recorded stats are
+            // those of the antichain sweep that built the frontier.
+            if let Some(c) = caches.minimal.get(&(idx, gamma)) {
+                if c.epoch == epoch {
+                    let found = c
+                        .frontier
+                        .min_cost_member(local_costs)
+                        .map(|(mask, cost)| (AttrSet::from_word(mask), cost));
+                    let stats = c.stats;
+                    caches.min_cost.insert(
+                        key,
+                        CachedMinCost {
+                            found: found.clone(),
+                            stats,
+                            epoch,
+                        },
+                    );
+                    return Ok((found, stats));
                 }
             }
         }
@@ -1034,6 +1178,23 @@ impl WorkflowSweeper {
         id: ModuleId,
         gamma: u128,
     ) -> Result<(Vec<AttrSet>, SweepStats), CoreError> {
+        let (frontier, stats) = self.module_minimal_frontier(id, gamma)?;
+        Ok((frontier.iter().map(AttrSet::from_word).collect(), stats))
+    }
+
+    /// [`module_minimal_sets`](Self::module_minimal_sets) in frontier
+    /// form: a shared handle to the memoized trie, for callers that keep
+    /// querying ([`Frontier::covers`]) or run set algebra instead of
+    /// walking a member list.
+    ///
+    /// # Errors
+    /// Propagates sweep errors; [`CoreError::MissingOracle`] if `id` is
+    /// not a covered private module.
+    pub fn module_minimal_frontier(
+        &self,
+        id: ModuleId,
+        gamma: u128,
+    ) -> Result<(Arc<Frontier>, SweepStats), CoreError> {
         let idx = self
             .mods
             .iter()
@@ -1042,7 +1203,7 @@ impl WorkflowSweeper {
         self.minimal_sets_memo(idx, gamma, &self.config)
     }
 
-    /// The epoch-validated antichain memo behind
+    /// The epoch-validated frontier memo behind
     /// [`module_minimal_sets`](Self::module_minimal_sets) and
     /// [`minimal_sets_all`](Self::minimal_sets_all); `run_config` as in
     /// `min_cost_memo`.
@@ -1051,29 +1212,30 @@ impl WorkflowSweeper {
         idx: usize,
         gamma: u128,
         run_config: &SweepConfig,
-    ) -> Result<(Vec<AttrSet>, SweepStats), CoreError> {
+    ) -> Result<(Arc<Frontier>, SweepStats), CoreError> {
         let module = &self.mods[idx].module;
         let epoch = module.epoch();
         {
             let caches = self.caches.lock().expect("lock");
             if let Some(c) = caches.minimal.get(&(idx, gamma)) {
                 if c.epoch == epoch {
-                    return Ok((c.sets.clone(), c.stats));
+                    return Ok((Arc::clone(&c.frontier), c.stats));
                 }
             }
         }
-        let (sets, stats) = minimal_sets_sweep(module, gamma, run_config)?;
+        let (frontier, stats) = minimal_sets_sweep_frontier(module, gamma, run_config)?;
+        let frontier = Arc::new(frontier);
         let mut caches = self.caches.lock().expect("lock");
         caches.sweeps += 1;
         caches.minimal.insert(
             (idx, gamma),
-            CachedAntichain {
-                sets: sets.clone(),
+            CachedFrontier {
+                frontier: Arc::clone(&frontier),
                 stats,
                 epoch,
             },
         );
-        Ok((sets, stats))
+        Ok((frontier, stats))
     }
 }
 
@@ -1293,6 +1455,66 @@ mod tests {
         assert!(mid > before, "first union swept the uncached modules");
         let _ = sweeper.union_of_optima(&unit, 2).unwrap();
         assert_eq!(sweeper.sweeps_performed(), mid);
+    }
+
+    #[test]
+    fn minimal_frontier_answers_min_cost_without_a_sweep() {
+        let w = one_one_chain(2, 2);
+        let sweeper = WorkflowSweeper::for_workflow(&w, 1 << 20, SweepConfig::serial()).unwrap();
+        let ids = sweeper.module_ids();
+        let unit = sweeper.localize_costs(&vec![1u64; w.schema().len()]);
+        // Sweep the antichains first; min-cost then reads the memoized
+        // tries instead of running branch-and-bound lattices.
+        let (frontiers, _) = sweeper.minimal_frontiers_all(&[2, 2]).unwrap();
+        let n = sweeper.sweeps_performed();
+        assert_eq!(n, 2, "one antichain sweep per module");
+        for (&id, (fid, frontier)) in ids.iter().zip(&frontiers) {
+            assert_eq!(id, *fid);
+            assert!(!frontier.is_empty());
+            let (found, stats) = sweeper.module_min_cost(id, &unit, 2).unwrap();
+            // Frontier algebra must equal a fresh branch-and-bound sweep.
+            let module = sweeper.module(id).unwrap();
+            let (fresh, _) =
+                min_cost_sweep(module, &vec![1u64; module.k()], 2, &SweepConfig::serial()).unwrap();
+            assert_eq!(found, fresh);
+            assert_eq!(stats.visited + stats.pruned, stats.lattice);
+            assert!(stats.frontier_queries > 0, "stats come from the trie sweep");
+        }
+        assert_eq!(
+            sweeper.sweeps_performed(),
+            n,
+            "min-cost answered by frontier algebra, zero extra sweeps"
+        );
+        // union_of_optima rides the same zero-sweep path.
+        let _ = sweeper.union_of_optima(&unit, 2).unwrap();
+        assert_eq!(sweeper.sweeps_performed(), n);
+    }
+
+    #[test]
+    fn frontier_stats_are_thread_and_prune_independent() {
+        // `frontier_nodes` is the canonical trie shape of the final
+        // antichain — identical across threads *and* prune settings.
+        // `frontier_queries` is one `covers()` per enumerated mask, so it
+        // is thread-independent but larger under the prune ablation
+        // (layers past the cutoff are still enumerated and tested).
+        let m = m1();
+        let (f1, s1) = minimal_sets_sweep_frontier(&m, 4, &SweepConfig::serial()).unwrap();
+        for prune in [true, false] {
+            let serial = SweepConfig { threads: 1, prune };
+            let (fs, ss) = minimal_sets_sweep_frontier(&m, 4, &serial).unwrap();
+            assert_eq!(f1, fs, "prune={prune}");
+            assert_eq!(s1.frontier_nodes, ss.frontier_nodes);
+            for threads in [2usize, 8] {
+                let cfg = SweepConfig { threads, prune };
+                let (f2, s2) = minimal_sets_sweep_frontier(&m, 4, &cfg).unwrap();
+                assert_eq!(f1, f2, "threads={threads} prune={prune}");
+                assert_eq!(ss.frontier_queries, s2.frontier_queries);
+                assert_eq!(ss.frontier_nodes, s2.frontier_nodes);
+            }
+        }
+        assert_eq!(s1.frontier_nodes, f1.node_count() as u64);
+        // Every enumerated mask is coverage-tested exactly once.
+        assert_eq!(s1.frontier_queries, f1.queries());
     }
 
     #[test]

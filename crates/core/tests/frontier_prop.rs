@@ -1,0 +1,306 @@
+//! Seeded-PRNG property suite for the bitwise-trie frontier engine:
+//! **`Frontier` ≡ flat `Vec<u64>` scan** on random antichains
+//! (covers / dominated_by / union / intersect / minimality-on-insert /
+//! iteration order), and **trie-backed `minimal_sets_sweep` ≡ serial
+//! `safety::minimal_safe_hidden_sets` ≡ brute-force possible worlds**
+//! on random modules (k ≤ 12, mixed thread counts), including the
+//! empty-antichain and full-layer-cutoff edges.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sv_core::safety::{self, KernelOracle};
+use sv_core::sweep::{minimal_sets_sweep, minimal_sets_sweep_frontier, SweepConfig};
+use sv_core::{worlds, Frontier, StandaloneModule};
+use sv_relation::{AttrDef, AttrSet, Domain, Relation, Schema};
+
+/// Flat-scan reference: ⊆-minimize `masks` in (popcount, mask) order —
+/// the exact walk `safety::minimal_safe_hidden_sets` performs.
+fn minimize(mut masks: Vec<u64>) -> Vec<u64> {
+    masks.sort_unstable();
+    masks.dedup();
+    masks.sort_by_key(|m| m.count_ones());
+    let mut minimal: Vec<u64> = Vec::new();
+    for mask in masks {
+        if !minimal.iter().any(|&m| m | mask == mask) {
+            minimal.push(mask);
+        }
+    }
+    minimal
+}
+
+/// Flat-scan `covers`: ∃ member ⊆ `mask`.
+fn flat_covers(members: &[u64], mask: u64) -> bool {
+    members.iter().any(|&m| m | mask == mask)
+}
+
+/// Flat-scan `dominated_by`: ∃ member ⊇ `mask`.
+fn flat_dominated(members: &[u64], mask: u64) -> bool {
+    members.iter().any(|&m| m & mask == mask)
+}
+
+/// Random mask set (not necessarily an antichain) over `k` bits.
+fn random_masks(rng: &mut StdRng, k: u32, n: usize) -> Vec<u64> {
+    let top = 1u64 << k;
+    (0..n).map(|_| rng.gen_range(0..top)).collect()
+}
+
+/// Query masks: exhaustive when the lattice is small, sampled otherwise.
+fn query_masks(rng: &mut StdRng, k: u32) -> Vec<u64> {
+    if k <= 10 {
+        (0..(1u64 << k)).collect()
+    } else {
+        let mut q = random_masks(rng, k, 512);
+        q.push(0);
+        q.push((1u64 << k) - 1);
+        q
+    }
+}
+
+#[test]
+fn frontier_queries_match_flat_scans_on_random_antichains() {
+    let mut rng = StdRng::seed_from_u64(0xF406);
+    for trial in 0..24 {
+        let k = rng.gen_range(1..=16u32);
+        let n = rng.gen_range(0..=96);
+        let raw = random_masks(&mut rng, k, n);
+        let reference = minimize(raw.clone());
+
+        // Insertion in a shuffled (non-minimized) order must still
+        // converge to the canonical minimal antichain.
+        let mut shuffled = raw.clone();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.gen_range(0..=i));
+        }
+        let mut f = Frontier::new(k as usize);
+        for &m in &shuffled {
+            f.insert(m);
+        }
+        assert_eq!(
+            f.iter().collect::<Vec<_>>(),
+            reference,
+            "trial={trial} k={k}: iteration must be the minimized \
+             (popcount, mask) order"
+        );
+        assert_eq!(f.len(), reference.len());
+        assert_eq!(f, Frontier::from_masks(k as usize, raw.clone()));
+
+        // Re-inserting any member or any covered mask is a no-op.
+        for &m in &reference {
+            let mut g = f.clone();
+            assert!(!g.insert(m), "members are already covered");
+            assert_eq!(g, f);
+        }
+
+        for q in query_masks(&mut rng, k) {
+            assert_eq!(
+                f.covers(q),
+                flat_covers(&reference, q),
+                "trial={trial} k={k} covers({q:#b})"
+            );
+            assert_eq!(
+                f.dominated_by(q),
+                flat_dominated(&reference, q),
+                "trial={trial} k={k} dominated_by({q:#b})"
+            );
+        }
+    }
+}
+
+#[test]
+fn union_and_intersect_match_flat_up_set_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xA17);
+    for trial in 0..16 {
+        let k = rng.gen_range(1..=9u32);
+        let na = rng.gen_range(0..=40);
+        let a_raw = random_masks(&mut rng, k, na);
+        let nb = rng.gen_range(0..=40);
+        let b_raw = random_masks(&mut rng, k, nb);
+        let a_ref = minimize(a_raw.clone());
+        let b_ref = minimize(b_raw.clone());
+        let a = Frontier::from_masks(k as usize, a_raw);
+        let b = Frontier::from_masks(k as usize, b_raw);
+
+        let u = a.union(&b);
+        let i = a.intersect(&b);
+        // The results are themselves canonical minimal antichains.
+        let mut joined = a_ref.clone();
+        joined.extend(&b_ref);
+        assert_eq!(u, Frontier::from_masks(k as usize, joined));
+
+        // Up-set semantics, membership-tested over the whole lattice:
+        // ↑(A ∪ B) = ↑A ∪ ↑B and ↑(A ⊓ B) = ↑A ∩ ↑B.
+        for q in 0..(1u64 << k) {
+            let in_a = flat_covers(&a_ref, q);
+            let in_b = flat_covers(&b_ref, q);
+            assert_eq!(u.covers(q), in_a || in_b, "trial={trial} union({q:#b})");
+            assert_eq!(i.covers(q), in_a && in_b, "trial={trial} intersect({q:#b})");
+        }
+    }
+}
+
+/// Random standalone module, as in `sweep_prop.rs`: domain sizes 2–3,
+/// random input/output split, rows deduplicated on the inputs.
+fn random_module(rng: &mut StdRng, k_max: usize, max_rows: usize) -> StandaloneModule {
+    let k = rng.gen_range(3..=k_max);
+    let ni = rng.gen_range(1..k);
+    let attrs: Vec<AttrDef> = (0..k)
+        .map(|i| AttrDef {
+            name: format!("a{i}"),
+            domain: Domain::new(rng.gen_range(2..=3)),
+        })
+        .collect();
+    let schema = Schema::new(attrs);
+    let mut ids: Vec<u32> = (0..k as u32).collect();
+    for i in (1..ids.len()).rev() {
+        ids.swap(i, rng.gen_range(0..=i));
+    }
+    let inputs = AttrSet::from_indices(&ids[..ni]);
+    let outputs = inputs.complement(k);
+
+    let n_rows = rng.gen_range(1..=max_rows);
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    let mut seen_inputs: Vec<Vec<u32>> = Vec::new();
+    for _ in 0..n_rows {
+        let row: Vec<u32> = (0..k)
+            .map(|i| rng.gen_range(0..schema.attr(sv_relation::AttrId(i as u32)).domain.size()))
+            .collect();
+        let input_part: Vec<u32> = inputs.iter().map(|a| row[a.index()]).collect();
+        if !seen_inputs.contains(&input_part) {
+            seen_inputs.push(input_part);
+            rows.push(row);
+        }
+    }
+    let rel = Relation::from_values(schema, rows).expect("rows fit the schema");
+    StandaloneModule::new(rel, inputs, outputs).expect("dedup on inputs preserves the FD")
+}
+
+#[test]
+fn trie_sweep_equals_serial_spec_on_random_modules() {
+    let mut rng = StdRng::seed_from_u64(0xF2406);
+    for trial in 0..8 {
+        let k_max = if trial < 6 { 9 } else { 12 };
+        let m = random_module(&mut rng, k_max, 48);
+        let k = m.k();
+        let range: u128 = m
+            .outputs()
+            .iter()
+            .map(|a| u128::from(m.schema().attr(a).domain.size()))
+            .product();
+        for gamma in [2u128, 3, range.max(2), range.saturating_mul(4) + 1] {
+            let spec = safety::minimal_safe_hidden_sets(&KernelOracle::new(&m), gamma).unwrap();
+            let spec_words: Vec<u64> = spec.iter().map(|s| s.as_word().expect("k <= 64")).collect();
+            for threads in [1usize, 2, 4] {
+                for prune in [true, false] {
+                    let cfg = SweepConfig { threads, prune };
+                    let (f, s) = minimal_sets_sweep_frontier(&m, gamma, &cfg).unwrap();
+                    assert_eq!(
+                        f.iter().collect::<Vec<_>>(),
+                        spec_words,
+                        "trial={trial} k={k} gamma={gamma} threads={threads} prune={prune}"
+                    );
+                    assert_eq!(s.frontier_nodes, f.node_count() as u64);
+                    assert_eq!(s.visited + s.pruned, s.lattice);
+                    // The AttrSet wrapper sees the identical list.
+                    let (sets, _) = minimal_sets_sweep(&m, gamma, &cfg).unwrap();
+                    assert_eq!(sets, spec);
+                    if spec.is_empty() {
+                        // Empty-antichain edge: unsatisfiable Γ yields an
+                        // empty trie that covers nothing.
+                        assert!(f.is_empty());
+                        assert_eq!(s.frontier_nodes, 0);
+                        assert!(!f.covers((1u64 << k) - 1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trie_sweep_antichain_matches_bruteforce_worlds() {
+    let mut rng = StdRng::seed_from_u64(0xB07);
+    let mut checked = 0u32;
+    for _ in 0..10 {
+        let m = random_module(&mut rng, 5, 12);
+        if m.input_domain().len() > 4 || m.output_range().len() > 4 {
+            continue; // keep the doubly-exponential enumeration tractable
+        }
+        let k = m.k();
+        for gamma in [2u128, 3, 4] {
+            let (f, _) = minimal_sets_sweep_frontier(&m, gamma, &SweepConfig::parallel(4)).unwrap();
+            for mask in 0u64..(1 << k) {
+                let visible = AttrSet::from_word(mask).complement(k);
+                let brute = worlds::min_out_bruteforce(&m, &visible, 1 << 24).unwrap();
+                // Proposition 1: a hidden set is safe iff the frontier
+                // covers it — the trie's coverage query IS the safety
+                // test for swept antichains.
+                assert_eq!(
+                    f.covers(mask),
+                    brute >= gamma,
+                    "k={k} gamma={gamma} mask={mask:#b} brute={brute}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 0, "at least one tiny module must be exercised");
+}
+
+/// Identity one-one module over `w` boolean wires (`k = 2w`): outputs
+/// copy inputs, so hiding any single attribute already gives privacy 2.
+fn identity_module(w: usize) -> StandaloneModule {
+    let attrs: Vec<AttrDef> = (0..2 * w)
+        .map(|i| AttrDef {
+            name: format!("a{i}"),
+            domain: Domain::new(2),
+        })
+        .collect();
+    let schema = Schema::new(attrs);
+    let inputs = AttrSet::from_indices(&(0..w as u32).collect::<Vec<_>>());
+    let outputs = inputs.complement(2 * w);
+    let rows: Vec<Vec<u32>> = (0..1u32 << w)
+        .map(|v| {
+            let ins: Vec<u32> = (0..w).map(|i| (v >> i) & 1).collect();
+            let mut row = ins.clone();
+            row.extend(ins);
+            row
+        })
+        .collect();
+    let rel = Relation::from_values(schema, rows).expect("rows fit the schema");
+    StandaloneModule::new(rel, inputs, outputs).expect("identity preserves the FD")
+}
+
+#[test]
+fn full_layer_cutoff_edge_is_exact() {
+    // Γ = 2 on the identity module: every singleton is a minimal safe
+    // set, so layer 2 is fully covered and the cutoff fires immediately
+    // after it — the sweep visits exactly the empty mask, the k
+    // singletons, and nothing above layer 2.
+    let m = identity_module(3);
+    let k = m.k() as u64; // 6
+    let spec = safety::minimal_safe_hidden_sets(&KernelOracle::new(&m), 2).unwrap();
+    assert_eq!(spec.len(), k as usize, "one minimal set per attribute");
+    for threads in [1usize, 4] {
+        let cfg = SweepConfig::parallel(threads);
+        let (f, s) = minimal_sets_sweep_frontier(&m, 2, &cfg).unwrap();
+        assert_eq!(f.len(), k as usize);
+        assert_eq!(s.visited, 1 + k, "empty mask + singletons only");
+        assert_eq!(s.lattice, 1 << k);
+        assert_eq!(s.pruned, s.lattice - s.visited);
+        // One coverage query per enumerated mask: layers 0, 1 and the
+        // fully-covered layer 2 that triggers the cutoff.
+        let layer2 = k * (k - 1) / 2;
+        assert_eq!(s.frontier_queries, 1 + k + layer2);
+        assert_eq!(s.frontier_nodes, f.node_count() as u64);
+    }
+    // The prune ablation enumerates every layer but finds the same
+    // antichain with a full-lattice query count.
+    let cfg = SweepConfig {
+        threads: 1,
+        prune: false,
+    };
+    let (f, s) = minimal_sets_sweep_frontier(&m, 2, &cfg).unwrap();
+    assert_eq!(f.len(), k as usize);
+    assert_eq!(s.visited, s.lattice, "ablation probes everything");
+    assert_eq!(s.frontier_queries, 1 << k);
+}

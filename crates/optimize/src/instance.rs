@@ -11,7 +11,7 @@
 use crate::exact;
 use sv_core::compose::ModuleLens;
 use sv_core::requirements::{
-    cardinality_constraints_from_antichain, cardinality_constraints_with, set_constraints_with,
+    cardinality_constraints_from_frontier, cardinality_constraints_with, set_constraints_with,
 };
 use sv_core::safety::WorkflowOracles;
 use sv_core::sweep::{SweepStats, WorkflowSweeper};
@@ -220,10 +220,11 @@ impl CardinalityInstance {
     /// Derives the instance through a [`WorkflowSweeper`]: per module,
     /// the ⊆-minimal safe hidden sets come from the parallel antichain
     /// sweep — all modules swept concurrently via the cross-module
-    /// work-stealing pool ([`WorkflowSweeper::minimal_sets_all`]) — and
-    /// the cardinality Pareto frontier is then recovered by **pure set
-    /// arithmetic** over each antichain
-    /// ([`cardinality_constraints_from_antichain`]) — zero additional
+    /// work-stealing pool ([`WorkflowSweeper::minimal_frontiers_all`]) —
+    /// and the cardinality Pareto frontier is then recovered by
+    /// **trie-coverage queries** against each memoized
+    /// [`sv_core::Frontier`]
+    /// ([`cardinality_constraints_from_frontier`]) — zero additional
     /// oracle probes. Also returns the merged sweep counters.
     ///
     /// # Errors
@@ -235,13 +236,13 @@ impl CardinalityInstance {
         assert_eq!(gammas.len(), sweeper.module_ids().len());
         let n_attrs = sweeper.n_attrs();
         let mut modules = Vec::new();
-        let (antichains, stats) = sweeper.minimal_sets_all(gammas)?;
-        for ((id, antichain), &gamma) in antichains.into_iter().zip(gammas) {
+        let (frontiers, stats) = sweeper.minimal_frontiers_all(gammas)?;
+        for ((id, frontier), &gamma) in frontiers.into_iter().zip(gammas) {
             let m = sweeper
                 .module(id)
                 .ok_or(CoreError::MissingOracle { module: id.index() })?;
             let list: Vec<(usize, usize)> =
-                cardinality_constraints_from_antichain(&antichain, m.inputs(), m.outputs())
+                cardinality_constraints_from_frontier(&frontier, m.inputs(), m.outputs())
                     .into_iter()
                     .map(|c| (c.alpha, c.beta))
                     .collect();
@@ -377,10 +378,11 @@ impl SetInstance {
     }
 
     /// Derives the instance through a [`WorkflowSweeper`]: each module's
-    /// requirement list is its ⊆-minimal-safe-set antichain from the
-    /// parallel layered sweep — all modules swept concurrently via
-    /// [`WorkflowSweeper::minimal_sets_all`] — mapped to global ids.
-    /// Also returns the merged sweep counters.
+    /// requirement list is its ⊆-minimal-safe-set antichain, iterated
+    /// straight off the memoized [`sv_core::Frontier`] trie in
+    /// (popcount, mask) order — all modules swept concurrently via
+    /// [`WorkflowSweeper::minimal_frontiers_all`] — mapped to global
+    /// ids. Also returns the merged sweep counters.
     ///
     /// # Errors
     /// Propagates sweep failures; fails on modules with no safe hiding.
@@ -391,13 +393,13 @@ impl SetInstance {
         assert_eq!(gammas.len(), sweeper.module_ids().len());
         let n_attrs = sweeper.n_attrs();
         let mut modules = Vec::new();
-        let (antichains, stats) = sweeper.minimal_sets_all(gammas)?;
-        for ((id, antichain), &gamma) in antichains.into_iter().zip(gammas) {
-            let list: Vec<AttrSet> = antichain
+        let (frontiers, stats) = sweeper.minimal_frontiers_all(gammas)?;
+        for ((id, frontier), &gamma) in frontiers.into_iter().zip(gammas) {
+            let list: Vec<AttrSet> = frontier
                 .iter()
-                .map(|r| {
+                .map(|word| {
                     sweeper
-                        .to_global(id, r)
+                        .to_global(id, &AttrSet::from_word(word))
                         .ok_or(CoreError::MissingOracle { module: id.index() })
                 })
                 .collect::<Result<_, _>>()?;

@@ -80,7 +80,7 @@ const GROUP_SHARDS: usize = 16;
 /// *default* probe path; the explicit `_with` entry points remain for
 /// callers that pin one buffer per worker (the sweep shards).
 ///
-/// Residency is bounded: at most [`MAX_POOLED`] buffers are retained —
+/// Residency is bounded: at most `MAX_POOLED` buffers are retained —
 /// a burst of higher concurrency allocates fresh buffers that are
 /// simply dropped on return, so a transient spike cannot pin
 /// `concurrency × n_rows`-sized buffers for the relation's lifetime.
@@ -102,7 +102,7 @@ impl ScratchPool {
     }
 
     /// Runs `f` with a pooled buffer, returning the buffer afterwards
-    /// (dropped instead if [`MAX_POOLED`] buffers are already pooled).
+    /// (dropped instead if `MAX_POOLED` buffers are already pooled).
     /// If `f` panics the buffer is dropped, not poisoned.
     pub fn with<R>(&self, f: impl FnOnce(&mut Vec<u64>) -> R) -> R {
         let mut buf = self
