@@ -40,7 +40,11 @@
 //! * [`public`] — §5: privatization of public modules and the Theorem-8
 //!   composition for general workflows;
 //! * [`oracle`] — instrumented data suppliers and Safe-View oracles for
-//!   the communication-complexity experiments (Theorems 1 and 3).
+//!   the communication-complexity experiments (Theorems 1 and 3);
+//! * [`wire`] — the serving tier's transport-independent framing:
+//!   length-prefixed request/response payloads (probe batches, append
+//!   ingest, epoch reads, backpressure and typed faults) that the
+//!   `sv-serve` crate moves over its transports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +59,7 @@ pub mod requirements;
 pub mod safety;
 pub mod standalone;
 pub mod sweep;
+pub mod wire;
 pub mod worlds;
 
 pub use error::CoreError;

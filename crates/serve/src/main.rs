@@ -1,0 +1,114 @@
+//! The `sv-serve` binary: bind a local socket and serve safety probes.
+//!
+//! ```text
+//! sv-serve --socket /tmp/sv.sock [--acceptors N] [--tenants T] [--wires K]
+//! ```
+//!
+//! Registers `T` demo tenants (ids `1..=T`), each a streaming
+//! single-module boolean workflow with `K` wires
+//! (`library::one_one_chain(1, K)`), then accepts connections until
+//! SIGINT/EOF on stdin. Real deployments embed [`sv_serve`] as a
+//! library and register their own workflows; the binary exists so the
+//! socket path can be exercised end to end from the shell — see
+//! `docs/SERVING.md` for a walkthrough.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use sv_serve::{AdmissionLimits, Server, SocketServer, TenantId, TenantRegistry};
+use sv_workflow::library::one_one_chain;
+
+struct Options {
+    socket: String,
+    acceptors: usize,
+    tenants: u64,
+    wires: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        socket: String::new(),
+        acceptors: std::thread::available_parallelism().map_or(2, usize::from),
+        tenants: 4,
+        wires: 4,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--socket" => opts.socket = value("--socket")?,
+            "--acceptors" => {
+                opts.acceptors = value("--acceptors")?
+                    .parse()
+                    .map_err(|e| format!("--acceptors: {e}"))?;
+            }
+            "--tenants" => {
+                opts.tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+            }
+            "--wires" => {
+                opts.wires = value("--wires")?
+                    .parse()
+                    .map_err(|e| format!("--wires: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: sv-serve --socket PATH [--acceptors N] [--tenants T] [--wires K]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.socket.is_empty() {
+        return Err("--socket PATH is required (see --help)".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let registry = Arc::new(TenantRegistry::new());
+    let workflow = one_one_chain(1, opts.wires);
+    for id in 1..=opts.tenants {
+        if let Err(e) =
+            registry.register_streaming(TenantId(id), &workflow, AdmissionLimits::default())
+        {
+            eprintln!("registering tenant {id}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let server = Arc::new(Server::new(registry));
+    let mut socket = match SocketServer::bind(server, &opts.socket, opts.acceptors) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("binding {}: {e}", opts.socket);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "sv-serve: {} tenants on {} ({} acceptors); close stdin to stop",
+        opts.tenants,
+        socket.path().display(),
+        opts.acceptors
+    );
+
+    // Block until stdin closes (Ctrl-D, or the supervisor hanging up),
+    // then drain the acceptors and remove the socket file.
+    let mut sink = String::new();
+    while matches!(std::io::stdin().read_line(&mut sink), Ok(n) if n > 0) {
+        sink.clear();
+    }
+    socket.shutdown();
+    ExitCode::SUCCESS
+}

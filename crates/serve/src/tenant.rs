@@ -1,0 +1,548 @@
+//! The tenant registry: many independent workflows behind one server.
+//!
+//! A **tenant** is one workflow's serving state — its warm
+//! [`WorkflowOracles`] (one memoized safety oracle per private module),
+//! its per-module relation epochs, its admission-control counters, and
+//! its single-writer ingest lane. The [`TenantRegistry`] multiplexes
+//! any number of tenants behind one [`Server`](crate::Server): probe
+//! traffic for different tenants shares nothing but the registry's
+//! read-mostly map, so tenants are isolated both for correctness
+//! (separate oracles, separate epochs) and for capacity (admission is
+//! bounded per tenant — one tenant's overload turns into `Busy`
+//! responses for *that* tenant, never latency for its neighbours).
+//!
+//! ## Locking discipline (per tenant)
+//!
+//! * **Probes** take the tenant's oracle `RwLock` in **read** mode —
+//!   any number of serving threads hold it concurrently; the oracle's
+//!   own probe surface is `&self` (sharded once-publication caches
+//!   below), so the read guard adds one uncontended atomic per frame,
+//!   amortized over the whole batch.
+//! * **Ingest** goes through the **single-writer lane**
+//!   ([`Tenant::ingest_rows`]): a per-tenant mutex serializes ingest
+//!   frames, and the oracle write lock is taken **per row**, not per
+//!   frame — so a large ingest frame interleaves with probe batches
+//!   row-by-row and every landed row's epoch bump is visible to the
+//!   next probe batch immediately.
+//! * **Admission** is lock-free: in-flight request/byte counts are
+//!   atomics, checked and rolled back without blocking
+//!   ([`Tenant::try_admit`]).
+
+use crate::error::ServeError;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+use sv_core::safety::{SafetyOracle as _, WorkflowOracles};
+use sv_core::wire::{BusyReason, ModuleEpoch};
+use sv_core::CoreError;
+use sv_relation::Tuple;
+use sv_workflow::Workflow;
+
+/// A tenant's identity on the wire: an opaque 64-bit id chosen by the
+/// operator at registration time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u64);
+
+/// Per-tenant admission-control bounds. Frames beyond these bounds get
+/// an explicit [`BusyReason`] response — backpressure is a typed
+/// answer, never a hang.
+///
+/// Two layers:
+/// * **per-frame** bounds (`max_batch_*`) reject a single oversized
+///   frame outright (it could never be admitted);
+/// * **in-flight** bounds (`max_inflight_*`) bound the total work
+///   admitted but not yet answered across all serving threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionLimits {
+    /// Most requests (probes or ingest rows) one frame may carry.
+    pub max_batch_requests: u64,
+    /// Most payload bytes one frame may carry.
+    pub max_batch_bytes: u64,
+    /// Most requests admitted but unanswered at once.
+    pub max_inflight_requests: u64,
+    /// Most payload bytes admitted but unanswered at once.
+    pub max_inflight_bytes: u64,
+}
+
+impl Default for AdmissionLimits {
+    /// Permissive defaults sized for batched serving: 8192
+    /// requests / 1 MiB per frame, 64k requests / 16 MiB in flight.
+    fn default() -> Self {
+        Self {
+            max_batch_requests: 8_192,
+            max_batch_bytes: 1 << 20,
+            max_inflight_requests: 1 << 16,
+            max_inflight_bytes: 16 << 20,
+        }
+    }
+}
+
+/// A snapshot of one tenant's serving counters (all monotone).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Probe frames answered.
+    pub probe_frames: u64,
+    /// Individual probes answered.
+    pub probes_served: u64,
+    /// Ingest frames fully applied.
+    pub ingest_frames: u64,
+    /// New module rows landed by ingest.
+    pub rows_ingested: u64,
+    /// Frames bounced by admission control.
+    pub busy_rejections: u64,
+}
+
+/// One registered workflow: warm oracles plus serving state. Create
+/// through the [`TenantRegistry`]; share as `Arc<Tenant>`.
+pub struct Tenant {
+    id: TenantId,
+    limits: AdmissionLimits,
+    oracles: RwLock<WorkflowOracles>,
+    /// The single-writer ingest lane: at most one ingest frame per
+    /// tenant is applying rows at any time, so the oracle write lock is
+    /// only ever contended by *one* writer (against many readers).
+    ingest_lane: Mutex<()>,
+    inflight_requests: AtomicU64,
+    inflight_bytes: AtomicU64,
+    probe_frames: AtomicU64,
+    probes_served: AtomicU64,
+    ingest_frames: AtomicU64,
+    rows_ingested: AtomicU64,
+    busy_rejections: AtomicU64,
+}
+
+/// An admitted frame's RAII token: holds the frame's requests/bytes in
+/// the tenant's in-flight counters and releases them on drop.
+pub struct AdmissionPermit<'a> {
+    tenant: &'a Tenant,
+    requests: u64,
+    bytes: u64,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.tenant
+            .inflight_requests
+            .fetch_sub(self.requests, Ordering::Relaxed);
+        self.tenant
+            .inflight_bytes
+            .fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+/// An ingest frame's failure: the offending row's error plus how many
+/// earlier rows of the frame had already landed (rows apply in order,
+/// row-atomically).
+#[derive(Debug)]
+pub struct IngestFailure {
+    /// Rows of the frame applied before the failure.
+    pub applied: u64,
+    /// Why the offending row was rejected.
+    pub error: CoreError,
+}
+
+impl Tenant {
+    fn new(id: TenantId, oracles: WorkflowOracles, limits: AdmissionLimits) -> Self {
+        Self {
+            id,
+            limits,
+            oracles: RwLock::new(oracles),
+            ingest_lane: Mutex::new(()),
+            inflight_requests: AtomicU64::new(0),
+            inflight_bytes: AtomicU64::new(0),
+            probe_frames: AtomicU64::new(0),
+            probes_served: AtomicU64::new(0),
+            ingest_frames: AtomicU64::new(0),
+            rows_ingested: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+        }
+    }
+
+    /// The tenant's wire id.
+    #[must_use]
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+
+    /// The tenant's admission bounds (fixed at registration).
+    #[must_use]
+    pub fn limits(&self) -> &AdmissionLimits {
+        &self.limits
+    }
+
+    /// Read access to the tenant's oracles — the probe path. Any
+    /// number of threads hold this concurrently; every probe entry
+    /// point on [`WorkflowOracles`] takes `&self`.
+    ///
+    /// # Panics
+    /// If the lock is poisoned (a panic inside an earlier critical
+    /// section — unrecoverable serving state).
+    pub fn oracles(&self) -> RwLockReadGuard<'_, WorkflowOracles> {
+        self.oracles.read().expect("tenant oracle lock poisoned")
+    }
+
+    /// Attempts to admit a frame of `requests` requests and `bytes`
+    /// payload bytes. On success the returned permit holds the
+    /// capacity until dropped; on rejection the tenant's
+    /// `busy_rejections` counter ticks and **no state changes**.
+    ///
+    /// # Errors
+    /// The [`BusyReason`] to answer the client with.
+    pub fn try_admit(&self, requests: u64, bytes: u64) -> Result<AdmissionPermit<'_>, BusyReason> {
+        let reason = self.try_admit_inner(requests, bytes);
+        match reason {
+            Ok(permit) => Ok(permit),
+            Err(r) => {
+                self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                Err(r)
+            }
+        }
+    }
+
+    fn try_admit_inner(
+        &self,
+        requests: u64,
+        bytes: u64,
+    ) -> Result<AdmissionPermit<'_>, BusyReason> {
+        if requests > self.limits.max_batch_requests {
+            return Err(BusyReason::BatchRequests {
+                got: requests,
+                limit: self.limits.max_batch_requests,
+            });
+        }
+        if bytes > self.limits.max_batch_bytes {
+            return Err(BusyReason::BatchBytes {
+                got: bytes,
+                limit: self.limits.max_batch_bytes,
+            });
+        }
+        let now_req = self
+            .inflight_requests
+            .fetch_add(requests, Ordering::Relaxed)
+            + requests;
+        if now_req > self.limits.max_inflight_requests {
+            self.inflight_requests
+                .fetch_sub(requests, Ordering::Relaxed);
+            return Err(BusyReason::InflightRequests {
+                got: now_req,
+                limit: self.limits.max_inflight_requests,
+            });
+        }
+        let now_bytes = self.inflight_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if now_bytes > self.limits.max_inflight_bytes {
+            self.inflight_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            self.inflight_requests
+                .fetch_sub(requests, Ordering::Relaxed);
+            return Err(BusyReason::InflightBytes {
+                got: now_bytes,
+                limit: self.limits.max_inflight_bytes,
+            });
+        }
+        Ok(AdmissionPermit {
+            tenant: self,
+            requests,
+            bytes,
+        })
+    }
+
+    /// Applies provenance rows on the tenant's **single-writer lane**:
+    /// the lane mutex serializes ingest frames, and each row takes the
+    /// oracle write lock individually — probes interleave between rows,
+    /// and each landed row's epoch bump is immediately visible to
+    /// subsequent probe batches.
+    ///
+    /// Returns the number of **new** module rows (a row whose
+    /// projections all modules already hold adds 0 — and bumps no
+    /// epoch).
+    ///
+    /// # Errors
+    /// [`IngestFailure`] on the first invalid row (domain or FD
+    /// violation): earlier rows of the frame stay applied; the
+    /// offending row and everything after it do not.
+    pub fn ingest_rows(&self, rows: &[Tuple]) -> Result<u64, IngestFailure> {
+        let _lane = self
+            .ingest_lane
+            .lock()
+            .expect("tenant ingest lane poisoned");
+        let mut added = 0u64;
+        for (i, row) in rows.iter().enumerate() {
+            let mut guard = self.oracles.write().expect("tenant oracle lock poisoned");
+            match guard.ingest_execution(row) {
+                Ok(n) => added += n as u64,
+                Err(error) => {
+                    drop(guard);
+                    return Err(IngestFailure {
+                        applied: i as u64,
+                        error,
+                    });
+                }
+            }
+        }
+        self.ingest_frames.fetch_add(1, Ordering::Relaxed);
+        self.rows_ingested.fetch_add(added, Ordering::Relaxed);
+        Ok(added)
+    }
+
+    /// The tenant's current per-module relation epochs, in
+    /// `private_modules()` order.
+    #[must_use]
+    pub fn epochs(&self) -> Vec<ModuleEpoch> {
+        let guard = self.oracles();
+        guard
+            .iter()
+            .map(|(id, oracle)| ModuleEpoch {
+                module: id,
+                epoch: oracle.relation_epoch(),
+            })
+            .collect()
+    }
+
+    /// Snapshot of the serving counters. Exact when no frame is in
+    /// flight; monotone lower bounds otherwise.
+    #[must_use]
+    pub fn stats(&self) -> TenantStats {
+        TenantStats {
+            probe_frames: self.probe_frames.load(Ordering::Relaxed),
+            probes_served: self.probes_served.load(Ordering::Relaxed),
+            ingest_frames: self.ingest_frames.load(Ordering::Relaxed),
+            rows_ingested: self.rows_ingested.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records an answered probe frame (called by the server after a
+    /// successful `probe_batch`).
+    pub(crate) fn note_probe_frame(&self, probes: u64) {
+        self.probe_frames.fetch_add(1, Ordering::Relaxed);
+        self.probes_served.fetch_add(probes, Ordering::Relaxed);
+    }
+}
+
+/// The registry: tenant id → serving state, behind a read-mostly lock.
+/// Registration and deregistration are rare control-plane operations;
+/// the serving data plane only ever takes the read side.
+///
+/// # Examples
+/// ```
+/// use sv_serve::{AdmissionLimits, TenantId, TenantRegistry};
+/// use sv_workflow::library::fig1_workflow;
+///
+/// let registry = TenantRegistry::new();
+/// let tenant = registry
+///     .register(TenantId(1), &fig1_workflow(), 1 << 20, AdmissionLimits::default())
+///     .unwrap();
+/// assert_eq!(tenant.id(), TenantId(1));
+/// assert_eq!(registry.len(), 1);
+/// // A second registration under the same id is refused.
+/// assert!(registry
+///     .register(TenantId(1), &fig1_workflow(), 1 << 20, AdmissionLimits::default())
+///     .is_err());
+/// assert!(registry.deregister(TenantId(1)).is_some());
+/// assert!(registry.is_empty());
+/// ```
+#[derive(Default)]
+pub struct TenantRegistry {
+    tenants: RwLock<BTreeMap<u64, Arc<Tenant>>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tenant whose modules are **materialized** over the
+    /// full input domain (budget-capped), the batch construction of
+    /// [`WorkflowOracles::for_workflow`].
+    ///
+    /// # Errors
+    /// [`ServeError::DuplicateTenant`] if `id` is taken;
+    /// [`ServeError::Core`] if materialization fails (budget).
+    pub fn register(
+        &self,
+        id: TenantId,
+        workflow: &Workflow,
+        budget: u128,
+        limits: AdmissionLimits,
+    ) -> Result<Arc<Tenant>, ServeError> {
+        let oracles = WorkflowOracles::for_workflow(workflow, budget)?;
+        self.insert(id, oracles, limits)
+    }
+
+    /// Registers a **streaming** tenant: every module starts empty and
+    /// grows through ingest ([`WorkflowOracles::for_workflow_streaming`]).
+    ///
+    /// # Errors
+    /// [`ServeError::DuplicateTenant`] if `id` is taken;
+    /// [`ServeError::Core`] on structural workflow errors.
+    pub fn register_streaming(
+        &self,
+        id: TenantId,
+        workflow: &Workflow,
+        limits: AdmissionLimits,
+    ) -> Result<Arc<Tenant>, ServeError> {
+        let oracles = WorkflowOracles::for_workflow_streaming(workflow)?;
+        self.insert(id, oracles, limits)
+    }
+
+    /// Registers pre-built oracles (e.g. warmed offline) under `id`.
+    ///
+    /// # Errors
+    /// [`ServeError::DuplicateTenant`] if `id` is taken.
+    pub fn insert(
+        &self,
+        id: TenantId,
+        oracles: WorkflowOracles,
+        limits: AdmissionLimits,
+    ) -> Result<Arc<Tenant>, ServeError> {
+        let mut map = self.tenants.write().expect("registry lock poisoned");
+        if map.contains_key(&id.0) {
+            return Err(ServeError::DuplicateTenant { tenant: id.0 });
+        }
+        let tenant = Arc::new(Tenant::new(id, oracles, limits));
+        map.insert(id.0, Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Looks a tenant up (the per-frame data-plane operation: one read
+    /// lock, one map lookup, one `Arc` clone).
+    #[must_use]
+    pub fn get(&self, id: TenantId) -> Option<Arc<Tenant>> {
+        self.tenants
+            .read()
+            .expect("registry lock poisoned")
+            .get(&id.0)
+            .cloned()
+    }
+
+    /// Removes a tenant; in-flight frames holding the `Arc` finish
+    /// against the removed state, new frames get
+    /// [`ServeFault::UnknownTenant`](sv_core::wire::ServeFault::UnknownTenant).
+    #[must_use]
+    pub fn deregister(&self, id: TenantId) -> Option<Arc<Tenant>> {
+        self.tenants
+            .write()
+            .expect("registry lock poisoned")
+            .remove(&id.0)
+    }
+
+    /// Number of registered tenants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tenants.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The registered tenant ids, ascending.
+    #[must_use]
+    pub fn ids(&self) -> Vec<TenantId> {
+        self.tenants
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .map(|&k| TenantId(k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_workflow::library::one_one_chain;
+
+    fn small_tenant(limits: AdmissionLimits) -> Arc<Tenant> {
+        let registry = TenantRegistry::new();
+        registry
+            .register(TenantId(9), &one_one_chain(1, 3), 1 << 16, limits)
+            .unwrap()
+    }
+
+    #[test]
+    fn admission_batch_bounds() {
+        let t = small_tenant(AdmissionLimits {
+            max_batch_requests: 4,
+            max_batch_bytes: 100,
+            ..AdmissionLimits::default()
+        });
+        assert!(matches!(
+            t.try_admit(5, 10),
+            Err(BusyReason::BatchRequests { got: 5, limit: 4 })
+        ));
+        assert!(matches!(
+            t.try_admit(4, 101),
+            Err(BusyReason::BatchBytes {
+                got: 101,
+                limit: 100
+            })
+        ));
+        assert!(t.try_admit(4, 100).is_ok());
+        assert_eq!(t.stats().busy_rejections, 2);
+    }
+
+    #[test]
+    fn admission_inflight_bounds_and_release() {
+        let t = small_tenant(AdmissionLimits {
+            max_batch_requests: 10,
+            max_batch_bytes: 1000,
+            max_inflight_requests: 10,
+            max_inflight_bytes: 1000,
+        });
+        let p1 = t.try_admit(6, 10).unwrap();
+        // 6 + 6 > 10 in flight.
+        assert!(matches!(
+            t.try_admit(6, 10),
+            Err(BusyReason::InflightRequests { got: 12, limit: 10 })
+        ));
+        // Requests fit (4), bytes do not (10 + 991 > 1000) — and the
+        // request reservation must be rolled back with the rejection.
+        assert!(matches!(
+            t.try_admit(4, 991),
+            Err(BusyReason::InflightBytes { .. })
+        ));
+        drop(p1);
+        // Everything released: the full budget admits again.
+        let p = t.try_admit(10, 1000).unwrap();
+        drop(p);
+    }
+
+    #[test]
+    fn ingest_reports_partial_application() {
+        let wf = one_one_chain(1, 2);
+        let registry = TenantRegistry::new();
+        let t = registry
+            .register_streaming(TenantId(0), &wf, AdmissionLimits::default())
+            .unwrap();
+        let good = wf.run(&[0, 1]).unwrap();
+        let added = t.ingest_rows(std::slice::from_ref(&good)).unwrap();
+        assert_eq!(added, 1);
+        // Same row again: dedup, 0 added, no failure.
+        assert_eq!(t.ingest_rows(std::slice::from_ref(&good)).unwrap(), 0);
+        // A row violating the module FD `I -> O` (same input, different
+        // output than recorded) fails after the first (valid) row.
+        let other = wf.run(&[1, 0]).unwrap();
+        let mut bad = good.values().to_vec();
+        bad[2] ^= 1; // flip one output bit -> FD violation
+        let failure = t
+            .ingest_rows(&[other, Tuple::new(bad)])
+            .expect_err("FD violation must fail the frame");
+        assert_eq!(failure.applied, 1);
+    }
+
+    #[test]
+    fn epochs_track_ingest() {
+        let wf = one_one_chain(1, 2);
+        let registry = TenantRegistry::new();
+        let t = registry
+            .register_streaming(TenantId(0), &wf, AdmissionLimits::default())
+            .unwrap();
+        assert!(t.epochs().iter().all(|me| me.epoch == 0));
+        t.ingest_rows(&[wf.run(&[0, 0]).unwrap()]).unwrap();
+        assert!(t.epochs().iter().all(|me| me.epoch == 1));
+    }
+}

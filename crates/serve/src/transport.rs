@@ -1,0 +1,330 @@
+//! Transports: how framed payloads reach the [`Server`].
+//!
+//! The build/CI environment has **no network**, so the serving tier is
+//! written against a [`Transport`] trait with two implementations that
+//! share every byte of protocol logic:
+//!
+//! * [`LoopbackTransport`] — in-process and fully deterministic: a
+//!   connection's [`request`](Connection::request) runs the complete
+//!   wire path (length-prefix framing, payload decode, dispatch,
+//!   response encode) as a plain function call on the client's thread.
+//!   Tests and benches use this; it measures true per-frame protocol
+//!   cost with zero scheduler noise.
+//! * [`SocketTransport`] / [`SocketServer`] — local (Unix-domain)
+//!   stream sockets behind a **thread-per-core accept loop**: `N`
+//!   acceptor threads share one listener, and each accepted connection
+//!   is served to completion on its acceptor's thread (no
+//!   per-connection spawning, no cross-thread handoff — the
+//!   thread-per-core discipline; concurrency = acceptor count, excess
+//!   connects queue in the listen backlog).
+//!
+//! Both ends speak the frame layout of [`sv_core::wire`]: a 4-byte
+//! little-endian length prefix, then the payload, request/response
+//! strictly alternating per connection.
+
+use crate::error::ServeError;
+use crate::server::Server;
+use std::io::{Read, Write};
+use std::sync::Arc;
+use sv_core::wire::MAX_FRAME_LEN;
+
+/// A connection factory. Implementations must be shareable across
+/// client threads; each thread opens its own [`Connection`].
+///
+/// # Examples
+/// Serving Example 3 over the in-process loopback:
+/// ```
+/// use std::sync::Arc;
+/// use sv_core::safety::ProbeRequest;
+/// use sv_relation::AttrSet;
+/// use sv_serve::{AdmissionLimits, Client, LoopbackTransport, Server, TenantId, TenantRegistry};
+/// use sv_workflow::{library::fig1_workflow, ModuleId};
+///
+/// let registry = Arc::new(TenantRegistry::new());
+/// registry
+///     .register(TenantId(1), &fig1_workflow(), 1 << 20, AdmissionLimits::default())
+///     .unwrap();
+/// let transport = LoopbackTransport::new(Arc::new(Server::new(registry)));
+///
+/// let mut client = Client::connect(&transport).unwrap();
+/// let outcomes = client
+///     .probe(
+///         TenantId(1),
+///         &[ProbeRequest::new(ModuleId(0), AttrSet::from_indices(&[0, 2, 4]), 4)],
+///     )
+///     .unwrap();
+/// assert!(outcomes[0].safe, "Example 3: V = {{a1, a3, a5}} is 4-safe");
+/// ```
+pub trait Transport {
+    /// Opens a new connection to the server.
+    ///
+    /// # Errors
+    /// Transport-specific connect failures ([`ServeError::Io`]).
+    fn connect(&self) -> Result<Box<dyn Connection>, ServeError>;
+}
+
+/// One client ↔ server conversation: strictly alternating framed
+/// request/response payloads.
+pub trait Connection: Send {
+    /// Sends one request payload and blocks for its response payload
+    /// (both without the length prefix — the connection adds and
+    /// strips it).
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] / [`ServeError::Wire`] on transport or
+    /// framing failures. Server-side conditions (busy, faults) are
+    /// **not** errors at this layer — they come back as response
+    /// payloads.
+    fn request(&mut self, payload: &[u8]) -> Result<Vec<u8>, ServeError>;
+}
+
+// ── Loopback ────────────────────────────────────────────────────────
+
+/// The deterministic in-process transport (see module docs).
+pub struct LoopbackTransport {
+    server: Arc<Server>,
+}
+
+impl LoopbackTransport {
+    /// Wraps a server.
+    #[must_use]
+    pub fn new(server: Arc<Server>) -> Self {
+        Self { server }
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn connect(&self) -> Result<Box<dyn Connection>, ServeError> {
+        Ok(Box::new(LoopbackConnection {
+            server: Arc::clone(&self.server),
+        }))
+    }
+}
+
+struct LoopbackConnection {
+    server: Arc<Server>,
+}
+
+impl Connection for LoopbackConnection {
+    fn request(&mut self, payload: &[u8]) -> Result<Vec<u8>, ServeError> {
+        // Run the *whole* wire path — frame, unframe, dispatch, frame,
+        // unframe — so loopback-measured cost includes framing and a
+        // loopback-tested server is wire-equivalent to the socket one.
+        let framed = sv_core::wire::frame(payload);
+        let request = sv_core::wire::unframe(&framed)?;
+        let response = self.server.handle_frame(request);
+        let framed = sv_core::wire::frame(&response);
+        Ok(sv_core::wire::unframe(&framed)?.to_vec())
+    }
+}
+
+// ── Local stream sockets (Unix) ─────────────────────────────────────
+
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer hung up between requests).
+fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match r.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::other(format!(
+            "frame of {len} bytes exceeds maximum {MAX_FRAME_LEN}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(unix)]
+mod socket {
+    use super::{read_frame, write_frame, Connection, ServeError, Transport};
+    use crate::server::Server;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+
+    /// The socket side of the serving binary: a bound local socket and
+    /// its thread-per-core acceptor pool. Call [`shutdown`](Self::shutdown)
+    /// (or drop) to stop; shutdown waits for open connections to
+    /// drain — close clients first.
+    pub struct SocketServer {
+        path: PathBuf,
+        stop: Arc<AtomicBool>,
+        acceptors: Vec<JoinHandle<()>>,
+    }
+
+    impl SocketServer {
+        /// Binds `path` (any stale socket file is replaced) and spawns
+        /// `acceptors` accept-loop threads — size this to the core
+        /// count; it is the connection-concurrency bound.
+        ///
+        /// # Errors
+        /// [`ServeError::Io`] on bind/clone failures.
+        pub fn bind(
+            server: Arc<Server>,
+            path: impl AsRef<Path>,
+            acceptors: usize,
+        ) -> Result<Self, ServeError> {
+            let path = path.as_ref().to_path_buf();
+            let _ = std::fs::remove_file(&path);
+            let listener = UnixListener::bind(&path)?;
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut handles = Vec::new();
+            for _ in 0..acceptors.max(1) {
+                let listener = listener.try_clone()?;
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&stop);
+                handles.push(std::thread::spawn(move || {
+                    accept_loop(&listener, &server, &stop);
+                }));
+            }
+            Ok(Self {
+                path,
+                stop,
+                acceptors: handles,
+            })
+        }
+
+        /// The bound socket path.
+        #[must_use]
+        pub fn path(&self) -> &Path {
+            &self.path
+        }
+
+        /// Stops the acceptors and removes the socket file. Idempotent;
+        /// also runs on drop.
+        pub fn shutdown(&mut self) {
+            if self.acceptors.is_empty() {
+                return;
+            }
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake every acceptor blocked in accept() with a throwaway
+            // connection; ones mid-conversation exit when their client
+            // hangs up.
+            for _ in 0..self.acceptors.len() {
+                let _ = UnixStream::connect(&self.path);
+            }
+            for handle in self.acceptors.drain(..) {
+                let _ = handle.join();
+            }
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+
+    impl Drop for SocketServer {
+        fn drop(&mut self) {
+            self.shutdown();
+        }
+    }
+
+    fn accept_loop(listener: &UnixListener, server: &Arc<Server>, stop: &Arc<AtomicBool>) {
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    serve_connection(server, stream);
+                }
+                Err(_) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serves one connection to completion on the acceptor's thread.
+    /// I/O failures (including mid-frame disconnects) drop the
+    /// connection; they never take the acceptor down.
+    fn serve_connection(server: &Arc<Server>, mut stream: UnixStream) {
+        while let Ok(Some(payload)) = read_frame(&mut stream) {
+            let response = server.handle_frame(&payload);
+            if write_frame(&mut stream, &response).is_err() {
+                break;
+            }
+        }
+    }
+
+    /// Client-side factory for [`SocketServer`] endpoints.
+    pub struct SocketTransport {
+        path: PathBuf,
+    }
+
+    impl SocketTransport {
+        /// Points at a socket path (usually [`SocketServer::path`]).
+        #[must_use]
+        pub fn new(path: impl AsRef<Path>) -> Self {
+            Self {
+                path: path.as_ref().to_path_buf(),
+            }
+        }
+    }
+
+    impl Transport for SocketTransport {
+        fn connect(&self) -> Result<Box<dyn Connection>, ServeError> {
+            Ok(Box::new(SocketConnection {
+                stream: UnixStream::connect(&self.path)?,
+            }))
+        }
+    }
+
+    struct SocketConnection {
+        stream: UnixStream,
+    }
+
+    impl Connection for SocketConnection {
+        fn request(&mut self, payload: &[u8]) -> Result<Vec<u8>, ServeError> {
+            write_frame(&mut self.stream, payload)?;
+            match read_frame(&mut self.stream)? {
+                Some(response) => Ok(response),
+                None => Err(ServeError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-request",
+                ))),
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use socket::{SocketServer, SocketTransport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_io_roundtrip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+        // Truncated header and oversized length are hard errors.
+        let mut cursor = &buf[..2];
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+        let huge = (u32::MAX).to_le_bytes();
+        let mut cursor = &huge[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

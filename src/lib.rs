@@ -23,7 +23,10 @@
 //!   Algorithm-1 rounding, set-constraint and general-workflow LPs,
 //!   greedy `(γ+1)`-approximation, exact baselines);
 //! * [`gen`] — hardness gadgets, the paper's five reductions, and
-//!   random workload generators.
+//!   random workload generators;
+//! * [`serve`] — the multi-tenant serving tier: a tenant registry of
+//!   warm oracles behind framed transports (in-process loopback and
+//!   local sockets) with admission control and epoch-guarded probes.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub use sv_gen as gen;
 pub use sv_lp as lp;
 pub use sv_optimize as optimize;
 pub use sv_relation as relation;
+pub use sv_serve as serve;
 pub use sv_workflow as workflow;
 
 /// The privacy core (`sv-core`): possible worlds, safety checking,
