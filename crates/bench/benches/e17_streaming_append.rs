@@ -23,6 +23,12 @@
 //!   indexes) and a fresh oracle re-answers the standing probes from
 //!   scratch.
 //!
+//! A third row isolates the **value layer**: `insert_batch` alone on a
+//! [`Relation`] (sorted-runs storage — each batch becomes its own run
+//! under the logarithmic merge policy instead of an O(N) merge into one
+//! sorted vector), reported as
+//! `amortized_ns_per_row/value_insert_sorted_runs`.
+//!
 //! The CI bench gate enforces the within-run floor
 //! `full_rebuild / incremental ≥ 5` (machine-independent) plus an
 //! absolute regression bound on the incremental path; see
@@ -188,15 +194,32 @@ fn run_rebuild(stream: &Stream) -> (f64, usize, MemoSafetyOracle) {
     (start.elapsed().as_nanos() as f64, appended, oracle)
 }
 
+/// One value-layer-only episode: `Relation::insert_batch` per batch
+/// with **no** module rebuild — isolates the sorted-runs insert path
+/// (logarithmic merge; each batch lands as its own run instead of a
+/// full O(N) merge into one vector).
+fn run_value_insert(stream: &Stream) -> (f64, usize) {
+    let mut acc = Relation::from_values(schema(), stream.base.clone()).expect("valid base");
+    let mut appended = 0usize;
+    let start = Instant::now();
+    for batch in &stream.batches {
+        appended += acc.insert_batch(batch).expect("valid stream");
+    }
+    (start.elapsed().as_nanos() as f64, appended)
+}
+
 fn run_streaming_experiment(_c: &mut Criterion) {
     let mut best_inc = f64::INFINITY;
     let mut best_reb = f64::INFINITY;
+    let mut best_val = f64::INFINITY;
     let mut counters: Option<(u64, u64, u64)> = None;
     for episode in 0..EPISODES {
         let stream = make_stream(0xE17 + episode as u64);
         let (inc_ns, inc_rows, inc_oracle) = run_incremental(&stream);
         let (reb_ns, reb_rows, reb_oracle) = run_rebuild(&stream);
+        let (val_ns, val_rows) = run_value_insert(&stream);
         assert_eq!(inc_rows, reb_rows, "both strategies saw the same stream");
+        assert_eq!(val_rows, reb_rows, "value layer saw the same stream");
         assert!(inc_rows > 0);
 
         // Correctness anchor: the streamed oracle answers exactly like
@@ -212,6 +235,7 @@ fn run_streaming_experiment(_c: &mut Criterion) {
         }
         best_inc = best_inc.min(inc_ns / inc_rows as f64);
         best_reb = best_reb.min(reb_ns / reb_rows as f64);
+        best_val = best_val.min(val_ns / val_rows as f64);
         if counters.is_none() {
             counters = Some((
                 inc_oracle.monotone_shortcut_hits(),
@@ -227,6 +251,10 @@ fn run_streaming_experiment(_c: &mut Criterion) {
     criterion::record_metric(
         "e17_streaming_append/amortized_ns_per_row/full_rebuild",
         best_reb,
+    );
+    criterion::record_metric(
+        "e17_streaming_append/amortized_ns_per_row/value_insert_sorted_runs",
+        best_val,
     );
     criterion::record_metric(
         "e17_streaming_append/speedup_incremental",

@@ -1,0 +1,272 @@
+//! E22 — **durability**: write-ahead ingest, snapshotting, and crash
+//! recovery through `sv-durable`, measured end to end.
+//!
+//! Workload: [`TENANTS`] streaming tenants (each a `one_one_chain(1,
+//! 5)` — 10 boolean attributes, 32 distinct provenance rows) behind a
+//! [`DurableRegistry`]. A seeded tape of [`FRAMES`] single-row ingest
+//! frames — mostly fresh rows, a slice of exact duplicates (applied,
+//! no epoch bump) and of FD-violating rows (logged, rejected, and
+//! re-rejected identically on replay) — is ingested write-ahead, with
+//! one snapshot taken at frame [`SNAPSHOT_AT`].
+//!
+//! Reported into `BENCH_durable.json` via `--save-baseline`:
+//!
+//! * `ingest/ns_per_row` — amortized write-through ingest cost (append
+//!   + checksum + sync-per-frame + apply), best of [`EPISODES`] tapes.
+//! * `recovery/ms`, `recovery/ns_per_replayed_row`,
+//!   `replay/rows_per_sec` — full recovery (snapshot load + log-tail
+//!   replay), best of [`EPISODES`] runs over the same on-disk state.
+//! * `stats/*` — deterministic durability counters, exact-gated by CI:
+//!   log bytes, snapshot bytes, records replayed past the snapshot,
+//!   rows applied/rejected during replay, and the recovered-epoch
+//!   checksum (FNV-1a over every tenant's `(module, epoch)` pairs).
+//! * `gate/recovered_equals_live` — `1.0` iff every recovery produced
+//!   exactly the live run's ledger lengths and relation epochs.
+//!   CI exact-gates this at `1.0`.
+//!
+//! The crash-fault property suite (`sv-durable/tests/crash_prop.rs`)
+//! proves recovery correct at *every* byte-level crash point; this
+//! bench pins the *performance* and the deterministic counters of the
+//! clean-shutdown path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use sv_durable::{fnv1a64, DurableRegistry, TenantDef, LOG_FILE};
+use sv_relation::Tuple;
+use sv_serve::{AdmissionLimits, TenantId};
+use sv_workflow::{library, Workflow};
+
+/// Registered tenants.
+const TENANTS: u64 = 8;
+/// Boolean wires per tenant workflow: 10 attributes, 32 distinct rows.
+const WIRES: usize = 5;
+/// Single-row ingest frames on the tape.
+const FRAMES: usize = 4096;
+/// The frame before which the one snapshot is taken.
+const SNAPSHOT_AT: usize = 2048;
+/// Episodes; the best (minimum) time is kept.
+const EPISODES: usize = 3;
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sv-e22-{tag}-{}", std::process::id()))
+}
+
+fn tenant_workflow() -> Workflow {
+    library::one_one_chain(1, WIRES)
+}
+
+fn chain_row(wf: &Workflow, bits: u32) -> Tuple {
+    let input: Vec<u32> = (0..WIRES).map(|w| (bits >> w) & 1).collect();
+    wf.run(&input).expect("chain accepts all boolean inputs")
+}
+
+/// One tape frame: (tenant, row). Mix: ~70% fresh/random rows, ~15%
+/// exact duplicates of an applied row, ~15% FD-violating mutants of an
+/// applied row (an output value flipped).
+fn make_tape(wf: &Workflow) -> Vec<(TenantId, Tuple)> {
+    let mut rng = StdRng::seed_from_u64(0xE22);
+    let mut applied: Vec<Vec<Tuple>> = vec![Vec::new(); TENANTS as usize];
+    (0..FRAMES)
+        .map(|_| {
+            let ti = rng.gen_range(0..TENANTS as usize);
+            let kind = rng.gen_range(0..20u32);
+            let row = if kind < 14 || applied[ti].is_empty() {
+                let row = chain_row(wf, rng.gen_range(0..1u32 << WIRES));
+                applied[ti].push(row.clone());
+                row
+            } else if kind < 17 {
+                applied[ti][rng.gen_range(0..applied[ti].len())].clone()
+            } else {
+                let mut vals = applied[ti][rng.gen_range(0..applied[ti].len())]
+                    .values()
+                    .to_vec();
+                let flip = rng.gen_range(WIRES..vals.len());
+                vals[flip] ^= 1;
+                Tuple::new(vals)
+            };
+            (TenantId(1 + ti as u64), row)
+        })
+        .collect()
+}
+
+/// Plays the tape into a fresh durable registry. Returns (elapsed ns,
+/// rows applied, rows rejected, the registry).
+fn play_tape(
+    dir: &std::path::Path,
+    wf: &Workflow,
+    tape: &[(TenantId, Tuple)],
+) -> (f64, u64, u64, Arc<DurableRegistry>) {
+    let _ = std::fs::remove_dir_all(dir);
+    let reg = Arc::new(DurableRegistry::create(dir).expect("create durable dir"));
+    for t in 1..=TENANTS {
+        reg.register_streaming(TenantId(t), wf, AdmissionLimits::default())
+            .expect("register");
+    }
+    let mut applied = 0u64;
+    let mut rejected = 0u64;
+    let start = Instant::now();
+    for (frame, (tenant, row)) in tape.iter().enumerate() {
+        if frame == SNAPSHOT_AT {
+            reg.snapshot().expect("snapshot");
+        }
+        match reg.ingest(*tenant, std::slice::from_ref(row)) {
+            Ok(_) => applied += 1,
+            Err(sv_durable::DurableIngestError::Rejected { .. }) => rejected += 1,
+            Err(e) => panic!("durable failure: {e}"),
+        }
+    }
+    (start.elapsed().as_nanos() as f64, applied, rejected, reg)
+}
+
+/// The live state recovery must reproduce: per tenant, the relation
+/// epochs in oracle order.
+fn live_epochs(reg: &DurableRegistry) -> Vec<Vec<u64>> {
+    (1..=TENANTS)
+        .map(|t| {
+            reg.tenant(TenantId(t))
+                .expect("registered")
+                .epochs()
+                .iter()
+                .map(|me| me.epoch)
+                .collect()
+        })
+        .collect()
+}
+
+/// FNV-1a over every tenant's `(module, epoch)` pairs — one scalar that
+/// pins the entire recovered epoch vector bit-for-bit.
+fn epoch_checksum(epochs: &[Vec<u64>]) -> f64 {
+    let mut bytes = Vec::new();
+    for (t, tenant_epochs) in epochs.iter().enumerate() {
+        bytes.extend_from_slice(&(t as u64).to_le_bytes());
+        for (m, &e) in tenant_epochs.iter().enumerate() {
+            bytes.extend_from_slice(&(m as u64).to_le_bytes());
+            bytes.extend_from_slice(&e.to_le_bytes());
+        }
+    }
+    // Fold to 52 bits so the checksum is exactly representable as f64
+    // (the baseline file stores every metric as a double).
+    (fnv1a64(&bytes) >> 12) as f64
+}
+
+fn run_durability(_c: &mut Criterion) {
+    let wf = tenant_workflow();
+    let tape = make_tape(&wf);
+    let dir = bench_dir("main");
+
+    // ── Write-through ingest: best of EPISODES full tapes. ─────────
+    let mut best_ingest = f64::INFINITY;
+    let mut keep: Option<(u64, u64, Arc<DurableRegistry>)> = None;
+    for episode in 0..EPISODES {
+        let edir = if episode + 1 == EPISODES {
+            dir.clone()
+        } else {
+            bench_dir(&format!("warm{episode}"))
+        };
+        let (ns, applied, rejected, reg) = play_tape(&edir, &wf, &tape);
+        best_ingest = best_ingest.min(ns / FRAMES as f64);
+        if episode + 1 == EPISODES {
+            keep = Some((applied, rejected, reg));
+        } else {
+            drop(reg);
+            let _ = std::fs::remove_dir_all(&edir);
+        }
+    }
+    let (applied, rejected, reg) = keep.expect("last episode kept");
+    assert_eq!(applied + rejected, FRAMES as u64);
+    let expected_epochs = live_epochs(&reg);
+    let expected_ledgers: Vec<usize> = (1..=TENANTS)
+        .map(|t| reg.ledger_len(TenantId(t)).expect("registered"))
+        .collect();
+    let log_bytes = reg.log_bytes();
+    let snapshot_bytes = std::fs::metadata(dir.join(sv_durable::SNAPSHOT_FILE))
+        .expect("snapshot written")
+        .len();
+    drop(reg);
+
+    // ── Recovery: snapshot load + log-tail replay, best of EPISODES. ──
+    let defs: Vec<TenantDef> = (1..=TENANTS)
+        .map(|t| TenantDef {
+            id: TenantId(t),
+            workflow: &wf,
+            limits: AdmissionLimits::default(),
+        })
+        .collect();
+    let mut best_recover = f64::INFINITY;
+    let mut replayed = 0u64;
+    let mut replay_applied = 0u64;
+    let mut replay_rejected = 0u64;
+    let mut equals_live = true;
+    for _ in 0..EPISODES {
+        let start = Instant::now();
+        let (rec, report) = DurableRegistry::recover(&dir, &defs).expect("recovery");
+        let ns = start.elapsed().as_nanos() as f64;
+        best_recover = best_recover.min(ns);
+        assert!(report.tail.is_clean(), "clean shutdown leaves a clean log");
+        assert!(report.snapshot_loaded);
+        replayed = report.records_replayed;
+        replay_applied = report.rows_applied;
+        replay_rejected = report.rows_rejected;
+        equals_live &= live_epochs(&rec) == expected_epochs;
+        equals_live &= (1..=TENANTS)
+            .map(|t| rec.ledger_len(TenantId(t)).expect("registered"))
+            .collect::<Vec<_>>()
+            == expected_ledgers;
+    }
+    assert!(
+        replayed > 0,
+        "snapshot mid-tape leaves a log tail to replay"
+    );
+
+    criterion::record_metric("e22_durability/ingest/ns_per_row", best_ingest);
+    criterion::record_metric("e22_durability/recovery/ms", best_recover / 1e6);
+    criterion::record_metric(
+        "e22_durability/recovery/ns_per_replayed_row",
+        best_recover / replayed as f64,
+    );
+    criterion::record_metric(
+        "e22_durability/replay/rows_per_sec",
+        replayed as f64 / (best_recover / 1e9),
+    );
+    criterion::record_metric("e22_durability/stats/log_bytes", log_bytes as f64);
+    criterion::record_metric("e22_durability/stats/snapshot_bytes", snapshot_bytes as f64);
+    criterion::record_metric("e22_durability/stats/records_replayed", replayed as f64);
+    criterion::record_metric(
+        "e22_durability/stats/replay_rows_applied",
+        replay_applied as f64,
+    );
+    criterion::record_metric(
+        "e22_durability/stats/replay_rows_rejected",
+        replay_rejected as f64,
+    );
+    criterion::record_metric("e22_durability/stats/rows_applied", applied as f64);
+    criterion::record_metric("e22_durability/stats/rows_rejected", rejected as f64);
+    criterion::record_metric(
+        "e22_durability/stats/epoch_checksum",
+        epoch_checksum(&expected_epochs),
+    );
+    criterion::record_metric(
+        "e22_durability/gate/recovered_equals_live",
+        f64::from(u8::from(equals_live)),
+    );
+    criterion::record_metric("e22_durability/env/tenants", TENANTS as f64);
+    criterion::record_metric("e22_durability/env/frames", FRAMES as f64);
+    criterion::record_metric("e22_durability/env/snapshot_at", SNAPSHOT_AT as f64);
+
+    // Sanity anchor for the counters: the log and snapshot reflect the
+    // same tape every run (sizes above are exact-gated in CI).
+    assert_eq!(
+        std::fs::metadata(dir.join(LOG_FILE))
+            .expect("log exists")
+            .len(),
+        log_bytes
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, run_durability);
+criterion_main!(benches);

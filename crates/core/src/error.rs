@@ -40,6 +40,17 @@ pub enum CoreError {
         /// Index of the uncovered module.
         module: usize,
     },
+    /// A row of a multi-row append/ingest batch failed validation.
+    /// Wraps the underlying failure with the 0-based position of the
+    /// offending row, so a caller streaming a batch can report (and a
+    /// client can repair) the exact row instead of guessing from a
+    /// whole-batch error.
+    RowRejected {
+        /// 0-based index of the offending row within the batch.
+        index: usize,
+        /// The underlying validation failure.
+        source: Box<CoreError>,
+    },
     /// A versioned batch probe ([`crate::safety::ProbeRequest`]) named a
     /// relation epoch that does not match the module's current one — the
     /// client derived its question from provenance that has since been
@@ -53,6 +64,33 @@ pub enum CoreError {
         /// The module's actual current epoch.
         actual: u64,
     },
+}
+
+impl CoreError {
+    /// Positions `self` at `index` within a batch: wraps it as
+    /// [`RowRejected`](Self::RowRejected), or — when it is already
+    /// row-positioned — re-indexes it, keeping the inner cause. Batch
+    /// layers use the latter to translate a sub-batch position into the
+    /// caller's frame position.
+    #[must_use]
+    pub fn at_row(self, index: usize) -> Self {
+        match self {
+            Self::RowRejected { source, .. } => Self::RowRejected { index, source },
+            other => Self::RowRejected {
+                index,
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The offending row index, when the error is row-positioned.
+    #[must_use]
+    pub fn row_index(&self) -> Option<usize> {
+        match self {
+            Self::RowRejected { index, .. } => Some(*index),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -76,6 +114,9 @@ impl fmt::Display for CoreError {
                     "oracle set has no entry for private module {module} (built for a different workflow?)"
                 )
             }
+            Self::RowRejected { index, source } => {
+                write!(f, "row {index} rejected: {source}")
+            }
             Self::StaleEpoch {
                 module,
                 expected,
@@ -95,6 +136,7 @@ impl std::error::Error for CoreError {
         match self {
             Self::Workflow(e) => Some(e),
             Self::Relation(e) => Some(e),
+            Self::RowRejected { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -447,6 +447,13 @@ impl MemoSafetyOracle {
         }
     }
 
+    /// The wrapped standalone module (read access; streaming goes
+    /// through [`append_execution`](Self::append_execution)).
+    #[must_use]
+    pub fn module(&self) -> &StandaloneModule {
+        &self.module
+    }
+
     /// Probes that missed the cache (kernel evaluations).
     #[must_use]
     pub fn misses(&self) -> u64 {
@@ -1078,6 +1085,102 @@ impl WorkflowOracles {
         self.entries[idx].oracle.append_execution(rows)
     }
 
+    /// Replaces one module's state with rows recovered from durable
+    /// storage ([`StandaloneModule::from_recovered`]): `rows` in kernel
+    /// arrival order, `epoch` the recorded generation counter. The
+    /// module gets a **fresh** memo (every cached level is dropped) —
+    /// the restore path is also how compaction swaps in a rebuilt
+    /// relation, where stale memos must not survive the epoch jump.
+    ///
+    /// # Errors
+    /// [`CoreError::MissingOracle`] for an uncovered module id;
+    /// propagates reconstruction failures (duplicate rows, FD
+    /// violations) with the oracle unchanged.
+    pub fn restore_module(
+        &mut self,
+        id: ModuleId,
+        rows: &[sv_relation::Tuple],
+        epoch: u64,
+    ) -> Result<(), CoreError> {
+        let &idx = self
+            .by_id
+            .get(&id)
+            .ok_or(CoreError::MissingOracle { module: id.index() })?;
+        let entry = &mut self.entries[idx];
+        let m = entry.oracle.module();
+        let restored = StandaloneModule::from_recovered(
+            m.schema().clone(),
+            m.inputs().clone(),
+            m.outputs().clone(),
+            rows,
+            epoch,
+        )?;
+        entry.oracle = MemoSafetyOracle::new(restored);
+        Ok(())
+    }
+
+    /// Rebuilds **every** listed module from a workflow-row **ledger**
+    /// (full provenance rows in arrival order, e.g. a durable log's
+    /// applied-row sequence): each module's rows are its projections of
+    /// the ledger, first-occurrence order, duplicates dropped — exactly
+    /// the state that replaying the ledger through
+    /// [`ingest_execution`](Self::ingest_execution) would build — and
+    /// its epoch is set to the recorded value (which after a compaction
+    /// is *not* the row count, so it must travel explicitly).
+    ///
+    /// All-or-nothing: every module is reconstructed before any oracle
+    /// is swapped, so a failure leaves `self` untouched. Each private
+    /// module must be listed exactly once (a repeated id: last listing
+    /// wins).
+    ///
+    /// # Errors
+    /// [`CoreError::MissingOracle`] for an unknown id or a module left
+    /// unlisted; propagates reconstruction failures.
+    pub fn restore_ledger(
+        &mut self,
+        rows: &[sv_relation::Tuple],
+        epochs: &[(ModuleId, u64)],
+    ) -> Result<(), CoreError> {
+        let mut restored: Vec<(usize, StandaloneModule)> = Vec::with_capacity(epochs.len());
+        let mut covered = vec![false; self.entries.len()];
+        for &(id, epoch) in epochs {
+            let &idx = self
+                .by_id
+                .get(&id)
+                .ok_or(CoreError::MissingOracle { module: id.index() })?;
+            covered[idx] = true;
+            let entry = &self.entries[idx];
+            let mut seen = std::collections::HashSet::new();
+            let mut module_rows = Vec::new();
+            for row in rows {
+                let p = row.project(&entry.attrs);
+                if seen.insert(p.values().to_vec()) {
+                    module_rows.push(p);
+                }
+            }
+            let m = entry.oracle.module();
+            restored.push((
+                idx,
+                StandaloneModule::from_recovered(
+                    m.schema().clone(),
+                    m.inputs().clone(),
+                    m.outputs().clone(),
+                    &module_rows,
+                    epoch,
+                )?,
+            ));
+        }
+        if let Some(i) = covered.iter().position(|&c| !c) {
+            return Err(CoreError::MissingOracle {
+                module: self.entries[i].id.index(),
+            });
+        }
+        for (idx, sm) in restored {
+            self.entries[idx].oracle = MemoSafetyOracle::new(sm);
+        }
+        Ok(())
+    }
+
     /// Routes a **mixed-module batch** of safety probes: requests are
     /// grouped per module and each module's sub-batch is answered by its
     /// memoized oracle in one [`SafetyOracle::is_safe_batch`] call, so
@@ -1397,12 +1500,42 @@ mod tests {
         let before = memo.privacy_level(&v);
         // m1 maps (0,0) ↦ (0,1,1); a contradicting output must fail.
         let bad = sv_relation::Tuple::new(vec![0, 0, 1, 0, 0]);
-        assert!(matches!(
+        assert_eq!(
             memo.append_execution(&[bad]),
-            Err(CoreError::NotAFunction)
-        ));
+            Err(CoreError::NotAFunction.at_row(0))
+        );
         assert_eq!(memo.relation_epoch(), 0);
         assert_eq!(memo.privacy_level(&v), before);
+    }
+
+    #[test]
+    fn batch_errors_carry_offending_row_index() {
+        // Regression: a rejected multi-row append used to surface a
+        // whole-batch `CoreError` with no position; it must name the
+        // offending row's 0-based batch index.
+        let mut memo = MemoSafetyOracle::new(m1());
+        // Rows 0 and 1 duplicate recorded executions (valid); row 2
+        // contradicts m1's recorded (1,1) ↦ (1,0,1).
+        let ok_a = sv_relation::Tuple::new(vec![0, 0, 0, 1, 1]);
+        let ok_b = sv_relation::Tuple::new(vec![0, 1, 1, 1, 0]);
+        let bad = sv_relation::Tuple::new(vec![1, 1, 0, 0, 1]);
+        let err = memo
+            .append_execution(&[ok_a.clone(), ok_b, bad])
+            .unwrap_err();
+        assert_eq!(err.row_index(), Some(2));
+        assert_eq!(err, CoreError::NotAFunction.at_row(2));
+        assert!(err.to_string().contains("row 2"), "{err}");
+        // Arity/domain failures are positioned the same way.
+        let err = memo
+            .append_execution(&[ok_a, sv_relation::Tuple::new(vec![9, 0, 0, 1, 1])])
+            .unwrap_err();
+        assert_eq!(err.row_index(), Some(1));
+        assert!(matches!(
+            err,
+            CoreError::RowRejected { index: 1, ref source }
+                if matches!(**source, CoreError::Relation(_))
+        ));
+        assert_eq!(memo.relation_epoch(), 0, "failed batches mutate nothing");
     }
 
     #[test]
@@ -1464,7 +1597,7 @@ mod tests {
         bad.set(sv_relation::AttrId(1), 1); // a2: (0,0) → (0,1), fresh for m1
         bad.set(sv_relation::AttrId(5), 1 - row1.get(sv_relation::AttrId(5)));
         let err = oracles.ingest_execution(&bad).unwrap_err();
-        assert!(matches!(err, CoreError::NotAFunction));
+        assert_eq!(err, CoreError::NotAFunction.at_row(0));
 
         for id in oracles.module_ids() {
             let o = oracles.oracle(id).unwrap();

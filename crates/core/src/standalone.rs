@@ -260,13 +260,19 @@ impl StandaloneModule {
     /// invalid for *any* module mutates *no* module.
     ///
     /// # Errors
-    /// [`CoreError::Relation`] on arity/domain violations;
-    /// [`CoreError::NotAFunction`] on an output contradiction.
+    /// Every failure comes back as [`CoreError::RowRejected`] naming
+    /// the 0-based batch position of the offending row, wrapping
+    /// [`CoreError::Relation`] (arity/domain violation) or
+    /// [`CoreError::NotAFunction`] (output contradiction) — so a caller
+    /// streaming a multi-row batch can report exactly which row was
+    /// refused instead of a whole-batch error with no position.
     pub fn validate_executions(&self, rows: &[Tuple]) -> Result<(), CoreError> {
         // Arity/domains first (the kernel would also catch this, but
         // only after the FD pass below touched group caches).
-        for t in rows {
-            self.relation.validate(t)?;
+        for (i, t) in rows.iter().enumerate() {
+            self.relation
+                .validate(t)
+                .map_err(|e| CoreError::from(e).at_row(i))?;
         }
         // FD precheck: each row's outputs must agree with the recorded
         // execution of its input group (the kernel point lookup warms
@@ -274,11 +280,11 @@ impl StandaloneModule {
         // batch so far.
         let mut batch_out: std::collections::HashMap<Tuple, Tuple> =
             std::collections::HashMap::new();
-        for t in rows {
+        for (i, t) in rows.iter().enumerate() {
             if let Some(rep) = self.kernel.find_group_row(&self.inputs, t.values()) {
                 for a in self.outputs.iter() {
                     if self.kernel.value(rep, a) != t.get(a) {
-                        return Err(CoreError::NotAFunction);
+                        return Err(CoreError::NotAFunction.at_row(i));
                     }
                 }
             }
@@ -287,7 +293,7 @@ impl StandaloneModule {
             match batch_out.entry(x) {
                 std::collections::hash_map::Entry::Occupied(e) => {
                     if *e.get() != y {
-                        return Err(CoreError::NotAFunction);
+                        return Err(CoreError::NotAFunction.at_row(i));
                     }
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {
@@ -296,6 +302,33 @@ impl StandaloneModule {
             }
         }
         Ok(())
+    }
+
+    /// Reconstructs a streamed module's state from durable storage:
+    /// `rows` is the kernel column store **in arrival order** and
+    /// `epoch` the recorded generation counter (which, after
+    /// compactions, need not equal the row count). The kernel is
+    /// rebuilt via [`InternedRelation::from_ordered_rows`] and the
+    /// value layer from the same rows, so the result is logically
+    /// identical to the uninterrupted module — cold caches aside.
+    ///
+    /// # Errors
+    /// [`CoreError::BadAttributeSplit`] / [`CoreError::NotAFunction`]
+    /// as in [`new`](Self::new); [`CoreError::Relation`] (including
+    /// [`sv_relation::RelationError::DuplicateRow`]) when the recovered
+    /// rows are not a valid duplicate-free column store.
+    pub fn from_recovered(
+        schema: Schema,
+        inputs: AttrSet,
+        outputs: AttrSet,
+        rows: &[Tuple],
+        epoch: u64,
+    ) -> Result<Self, CoreError> {
+        let kernel = InternedRelation::from_ordered_rows(schema.clone(), rows, epoch)?;
+        let relation = Relation::from_rows(schema, rows.to_vec())?;
+        let mut m = Self::new(relation, inputs, outputs)?;
+        m.kernel = Arc::new(kernel);
+        Ok(m)
     }
 
     /// **Γ-standalone-privacy test** (Definition 2), decided by the exact

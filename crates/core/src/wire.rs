@@ -60,6 +60,14 @@ use sv_workflow::ModuleId;
 /// corrupt or hostile header cannot trigger an outsized buffer.
 pub const MAX_FRAME_LEN: usize = 1 << 26;
 
+/// Maximum attribute id accepted in a wire-encoded attribute set.
+/// `AttrSet` is a bitset sized by its largest member, so without this
+/// bound a single corrupt id (e.g. a flipped high bit turning attr 2
+/// into attr 2³¹) would make the decoder allocate a multi-hundred-MiB
+/// set. 2²⁰ attributes is far beyond any real workflow schema while
+/// capping the allocation at 128 KiB.
+pub const MAX_WIRE_ATTR_ID: u32 = 1 << 20;
+
 // ── Message tags ────────────────────────────────────────────────────
 const TAG_REQ_PROBE: u8 = 0x01;
 const TAG_REQ_INGEST: u8 = 0x02;
@@ -292,6 +300,12 @@ pub enum WireError {
     },
     /// A string field was not valid UTF-8.
     BadUtf8,
+    /// An attribute id beyond [`MAX_WIRE_ATTR_ID`]: decoding it would
+    /// size a bitset by the corrupt value.
+    AttrIdOutOfRange {
+        /// The offending id.
+        id: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -310,6 +324,9 @@ impl fmt::Display for WireError {
                 )
             }
             Self::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            Self::AttrIdOutOfRange { id } => {
+                write!(f, "attribute id {id} exceeds maximum {MAX_WIRE_ATTR_ID}")
+            }
         }
     }
 }
@@ -478,7 +495,11 @@ impl<'a> Reader<'a> {
                 let n = self.count(4)?;
                 let mut ids = Vec::with_capacity(n);
                 for _ in 0..n {
-                    ids.push(AttrId(self.u32()?));
+                    let id = self.u32()?;
+                    if id > MAX_WIRE_ATTR_ID {
+                        return Err(WireError::AttrIdOutOfRange { id });
+                    }
+                    ids.push(AttrId(id));
                 }
                 Ok(AttrSet::from_iter(ids))
             }
@@ -886,6 +907,23 @@ mod tests {
             Request::decode(&buf),
             Err(WireError::Oversize {
                 count: u32::MAX as usize
+            })
+        );
+        // A corrupt attr id must be rejected before it sizes a bitset:
+        // one wide-set probe whose single id is past the bound.
+        let mut buf = vec![TAG_REQ_PROBE];
+        buf.extend_from_slice(&1u64.to_le_bytes()); // tenant
+        buf.extend_from_slice(&1u32.to_le_bytes()); // 1 probe
+        buf.extend_from_slice(&0u32.to_le_bytes()); // module
+        buf.push(TAG_SET_LIST);
+        buf.extend_from_slice(&1u32.to_le_bytes()); // 1 id
+        buf.extend_from_slice(&(MAX_WIRE_ATTR_ID + 1).to_le_bytes());
+        buf.extend_from_slice(&2u128.to_le_bytes()); // Γ
+        buf.push(0); // no epoch
+        assert_eq!(
+            Request::decode(&buf),
+            Err(WireError::AttrIdOutOfRange {
+                id: MAX_WIRE_ATTR_ID + 1
             })
         );
         // Oversized length prefix.

@@ -153,7 +153,7 @@ fn fd_violations_and_bad_rows_are_rejected_atomically() {
     let flip = bad.get(sv_relation::AttrId(2));
     bad.set(sv_relation::AttrId(2), (flip + 1) % 2);
     let err = m.append_execution(&[bad]).unwrap_err();
-    assert!(matches!(err, CoreError::NotAFunction));
+    assert_eq!(err, CoreError::NotAFunction.at_row(0));
 
     // In-batch contradiction: two fresh executions of the same input
     // with different outputs.
@@ -162,13 +162,17 @@ fn fd_violations_and_bad_rows_are_rejected_atomically() {
     let flip = fresh_alt.get(sv_relation::AttrId(3));
     fresh_alt.set(sv_relation::AttrId(3), (flip + 1) % 2);
     let err = m.append_execution(&[fresh_in, fresh_alt]).unwrap_err();
-    assert!(matches!(err, CoreError::NotAFunction));
+    // The second row is the one that contradicts the first: the error
+    // carries its in-batch position.
+    assert_eq!(err, CoreError::NotAFunction.at_row(1));
 
     // Out-of-domain value.
     let err = m
         .append_execution(&[Tuple::new(vec![0, 0, 99, 0])])
         .unwrap_err();
-    assert!(matches!(err, CoreError::Relation(_)));
+    assert!(
+        matches!(err, CoreError::RowRejected { index: 0, ref source } if matches!(**source, CoreError::Relation(_)))
+    );
 
     assert_eq!(m.relation(), &snapshot, "nothing landed");
     assert_eq!(m.epoch(), epoch);

@@ -1,0 +1,181 @@
+//! Error and log-tail types for the durability layer.
+
+use std::fmt;
+use std::path::PathBuf;
+use sv_core::CoreError;
+use sv_serve::ServeError;
+
+/// Where a log scan stopped. A log file is a sequence of checksummed
+/// records; the scanner accepts the longest valid prefix and reports
+/// what ended it. **Every** byte-level fault — a torn write at the
+/// tail, a flipped bit anywhere, a truncated header — lands in one of
+/// these variants; the scanner never panics and never yields a record
+/// that fails its checksum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogTail {
+    /// The file ends exactly at a record boundary.
+    Clean,
+    /// The file ends mid-record (an interrupted append): the header or
+    /// payload is incomplete but everything present is consistent.
+    Torn {
+        /// Byte offset of the incomplete record.
+        offset: u64,
+    },
+    /// A structurally complete record fails validation (checksum
+    /// mismatch, oversized length prefix, unknown tag, malformed
+    /// body) — bytes were damaged, not merely cut short.
+    Corrupt {
+        /// Byte offset of the damaged record.
+        offset: u64,
+    },
+}
+
+impl LogTail {
+    /// Whether the scan consumed the whole file.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        matches!(self, Self::Clean)
+    }
+}
+
+impl fmt::Display for LogTail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Clean => write!(f, "clean"),
+            Self::Torn { offset } => write!(f, "torn record at byte {offset}"),
+            Self::Corrupt { offset } => write!(f, "corrupt record at byte {offset}"),
+        }
+    }
+}
+
+/// Failures of the durability layer. IO problems carry the operation
+/// and path; consistency problems (a snapshot that does not match the
+/// supplied workflow definitions, a log referencing an unregistered
+/// tenant) are typed so recovery refuses to build a wrong state
+/// silently.
+#[derive(Debug)]
+pub enum DurableError {
+    /// A filesystem operation failed.
+    Io {
+        /// What was being attempted (e.g. `"append"`, `"rename"`).
+        op: &'static str,
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying `std::io` error, rendered.
+        detail: String,
+    },
+    /// An encoder was handed a record beyond [`crate::log::MAX_RECORD_LEN`].
+    RecordTooLarge {
+        /// The oversized payload length.
+        len: usize,
+        /// The maximum.
+        max: usize,
+    },
+    /// A snapshot file failed validation (checksum, magic, structure).
+    SnapshotCorrupt {
+        /// Byte offset of the damage.
+        offset: u64,
+        /// What failed.
+        detail: String,
+    },
+    /// Durable state and the supplied tenant definitions disagree — a
+    /// snapshot or log names a tenant/module/schema the definitions do
+    /// not provide (or vice versa). Recovery stops rather than build a
+    /// partial registry.
+    DefMismatch {
+        /// What disagreed.
+        detail: String,
+    },
+    /// A tenant id is not registered with the durable registry.
+    UnknownTenant {
+        /// The offending tenant id.
+        tenant: u64,
+    },
+    /// A serving-tier operation failed (registration, duplicate id).
+    Serve(ServeError),
+    /// A core-layer operation failed (module reconstruction).
+    Core(CoreError),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { op, path, detail } => {
+                write!(f, "{op} on {}: {detail}", path.display())
+            }
+            Self::RecordTooLarge { len, max } => {
+                write!(f, "record payload of {len} bytes exceeds maximum {max}")
+            }
+            Self::SnapshotCorrupt { offset, detail } => {
+                write!(f, "snapshot corrupt at byte {offset}: {detail}")
+            }
+            Self::DefMismatch { detail } => {
+                write!(
+                    f,
+                    "durable state does not match tenant definitions: {detail}"
+                )
+            }
+            Self::UnknownTenant { tenant } => {
+                write!(
+                    f,
+                    "tenant {tenant} is not registered with the durable registry"
+                )
+            }
+            Self::Serve(e) => write!(f, "serving tier: {e}"),
+            Self::Core(e) => write!(f, "core layer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Serve(e) => Some(e),
+            Self::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for DurableError {
+    fn from(e: ServeError) -> Self {
+        Self::Serve(e)
+    }
+}
+
+impl From<CoreError> for DurableError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl DurableError {
+    /// Wraps a `std::io` failure with its operation and path.
+    pub(crate) fn io(op: &'static str, path: &std::path::Path, e: &std::io::Error) -> Self {
+        Self::Io {
+            op,
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(LogTail::Clean.to_string(), "clean");
+        assert!(LogTail::Torn { offset: 7 }.to_string().contains("byte 7"));
+        assert!(LogTail::Corrupt { offset: 9 }
+            .to_string()
+            .contains("byte 9"));
+        let e = DurableError::RecordTooLarge { len: 10, max: 5 };
+        assert!(e.to_string().contains("10"));
+        let e = DurableError::UnknownTenant { tenant: 3 };
+        assert!(e.to_string().contains("tenant 3"));
+        let e: DurableError = CoreError::NotAFunction.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,760 @@
+//! The durable registry: a [`TenantRegistry`] whose ingest path
+//! **writes ahead** to a checksummed log, with snapshotting, log
+//! retention (tombstones + rebuild-on-compact), and crash recovery.
+//!
+//! ## Write path
+//!
+//! Every ingest frame goes through
+//! [`Tenant::ingest_rows_with`](sv_serve::Tenant::ingest_rows_with):
+//! under the tenant's single-writer lane, each row is appended to the
+//! log **before** it touches the oracle. A failure — validation or IO —
+//! stops the frame with the usual prefix discipline, so the log's
+//! record sequence is exactly the live apply-attempt sequence and
+//! replay reconstructs the same state (rows the live path rejected are
+//! rejected again by the same validation).
+//!
+//! ## Recovery contract
+//!
+//! [`DurableRegistry::recover`] = snapshot load (if present) + log-tail
+//! replay (records with `seq >` the snapshot's `last_seq`). The
+//! recovered registry is **bit-for-bit equivalent** to the
+//! uninterrupted run: same module rows in the same arrival order, same
+//! group structure, same relation epochs — the crash-fault suite
+//! (`tests/crash_prop.rs`) proves this at every log truncation point.
+//!
+//! ## Retention
+//!
+//! [`DurableRegistry::compact`] rebuilds a tenant's modules from its
+//! ledger with every relation epoch bumped by one (strictly greater
+//! than any epoch a client has seen, so epoch-conditioned probes get
+//! `StaleEpoch` instead of stale answers) and a **fresh memo** per
+//! module, writes a snapshot, marks the superseded log prefix with a
+//! tombstone, and rewrites the log without it.
+
+use crate::error::{DurableError, LogTail};
+use crate::log::{LogWriter, Record};
+use crate::snapshot::{Snapshot, TenantSnapshot};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use sv_core::safety::SafetyOracle as _;
+use sv_core::CoreError;
+use sv_relation::Tuple;
+use sv_serve::{
+    AdmissionLimits, IngestInterrupt, IngestSink, IngestSinkError, Tenant, TenantId, TenantRegistry,
+};
+use sv_workflow::{ModuleId, Workflow};
+
+/// File name of the write-ahead log inside the durable directory.
+pub const LOG_FILE: &str = "wal.log";
+/// File name of the snapshot inside the durable directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.svs";
+
+/// One tenant's definition for [`DurableRegistry::recover`]: durable
+/// state stores rows and epochs, not workflow structure, so the caller
+/// re-supplies the workflows (they are code, not data).
+pub struct TenantDef<'a> {
+    /// The tenant's wire id.
+    pub id: TenantId,
+    /// The tenant's workflow.
+    pub workflow: &'a Workflow,
+    /// Admission bounds for the recovered tenant.
+    pub limits: AdmissionLimits,
+}
+
+/// What [`DurableRegistry::recover`] found and did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot was loaded.
+    pub snapshot_loaded: bool,
+    /// The log's tail disposition before truncation.
+    pub tail: LogTail,
+    /// Log records replayed (those past the snapshot).
+    pub records_replayed: u64,
+    /// Replayed rows that applied.
+    pub rows_applied: u64,
+    /// Replayed rows rejected by validation (the live path rejected
+    /// them too — this is the log's write-ahead discipline, not loss).
+    pub rows_rejected: u64,
+    /// Highest sequence number in the recovered log.
+    pub last_seq: u64,
+}
+
+/// An ingest through the durable registry failed.
+#[derive(Debug)]
+pub enum DurableIngestError {
+    /// A row failed validation (frame-positioned, as on the plain
+    /// serving path). The row *was* logged; replay rejects it the same
+    /// way.
+    Rejected {
+        /// Rows of the frame applied before the failure.
+        applied: u64,
+        /// The offending row's error.
+        error: CoreError,
+    },
+    /// The durability layer refused (IO failure, unknown tenant): the
+    /// offending row was neither logged nor applied.
+    Durable {
+        /// Rows of the frame applied before the failure.
+        applied: u64,
+        /// The underlying fault.
+        error: DurableError,
+    },
+}
+
+impl fmt::Display for DurableIngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Rejected { applied, error } => {
+                write!(f, "ingest rejected after {applied} rows: {error}")
+            }
+            Self::Durable { applied, error } => {
+                write!(f, "durable ingest failed after {applied} rows: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableIngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Rejected { error, .. } => Some(error),
+            Self::Durable { error, .. } => Some(error),
+        }
+    }
+}
+
+struct TenantDurable {
+    /// Applied workflow rows, arrival order — the durable ground truth
+    /// from which module relations are pure derivations.
+    ledger: Vec<Tuple>,
+    /// Retention generation (compactions undergone).
+    compaction_epoch: u64,
+}
+
+struct State {
+    log: LogWriter,
+    tenants: BTreeMap<u64, TenantDurable>,
+}
+
+/// A [`TenantRegistry`] with durability: write-ahead logging on
+/// ingest, snapshots, retention, recovery.
+///
+/// All mutation must go through this wrapper (or a [`Server`]
+/// configured with [`DurableRegistry::ingest_sink`]); mutating the
+/// inner registry's tenants directly would bypass the log.
+///
+/// [`Server`]: sv_serve::Server
+pub struct DurableRegistry {
+    inner: Arc<TenantRegistry>,
+    dir: PathBuf,
+    state: Mutex<State>,
+}
+
+impl DurableRegistry {
+    /// Creates a fresh durable directory: an empty log, no snapshot
+    /// (a stale snapshot from an earlier life is removed).
+    ///
+    /// # Errors
+    /// IO failures.
+    pub fn create(dir: &Path) -> Result<Self, DurableError> {
+        std::fs::create_dir_all(dir).map_err(|e| DurableError::io("create dir", dir, &e))?;
+        let log = LogWriter::create(&dir.join(LOG_FILE))?;
+        let snap = dir.join(SNAPSHOT_FILE);
+        if snap.exists() {
+            std::fs::remove_file(&snap).map_err(|e| DurableError::io("remove", &snap, &e))?;
+        }
+        Ok(Self {
+            inner: Arc::new(TenantRegistry::new()),
+            dir: dir.to_path_buf(),
+            state: Mutex::new(State {
+                log,
+                tenants: BTreeMap::new(),
+            }),
+        })
+    }
+
+    /// Rebuilds a registry from a durable directory: loads the snapshot
+    /// (if any), restores every snapshotted tenant's modules and epochs
+    /// from its ledger, then replays the log tail (`seq > last_seq`)
+    /// through the ordinary ingest validation. The log's torn or
+    /// corrupt tail, if any, is truncated away so the recovered log is
+    /// clean.
+    ///
+    /// # Errors
+    /// IO failures; [`DurableError::SnapshotCorrupt`] for a damaged
+    /// snapshot; [`DurableError::DefMismatch`] when durable state names
+    /// tenants or modules the definitions don't provide.
+    pub fn recover(
+        dir: &Path,
+        defs: &[TenantDef<'_>],
+    ) -> Result<(Self, RecoveryReport), DurableError> {
+        std::fs::create_dir_all(dir).map_err(|e| DurableError::io("create dir", dir, &e))?;
+        let snapshot = Snapshot::load(&dir.join(SNAPSHOT_FILE))?;
+        let (log, records, tail) = LogWriter::open(&dir.join(LOG_FILE))?;
+        let inner = Arc::new(TenantRegistry::new());
+        let mut tenants = BTreeMap::new();
+        for def in defs {
+            inner.register_streaming(def.id, def.workflow, def.limits)?;
+            tenants.insert(
+                def.id.0,
+                TenantDurable {
+                    ledger: Vec::new(),
+                    compaction_epoch: 0,
+                },
+            );
+        }
+        let this = Self {
+            inner,
+            dir: dir.to_path_buf(),
+            state: Mutex::new(State { log, tenants }),
+        };
+        let mut report = RecoveryReport {
+            snapshot_loaded: snapshot.is_some(),
+            tail,
+            records_replayed: 0,
+            rows_applied: 0,
+            rows_rejected: 0,
+            last_seq: 0,
+        };
+        let snap_last_seq = snapshot.as_ref().map_or(0, |s| s.last_seq);
+        {
+            let mut st = this.state.lock().expect("durable state poisoned");
+            if let Some(snap) = snapshot {
+                for ts in snap.tenants {
+                    let Some(td) = st.tenants.get_mut(&ts.tenant) else {
+                        return Err(DurableError::DefMismatch {
+                            detail: format!(
+                                "snapshot names tenant {} with no definition",
+                                ts.tenant
+                            ),
+                        });
+                    };
+                    let tenant = this
+                        .inner
+                        .get(TenantId(ts.tenant))
+                        .expect("registered above");
+                    let live: Vec<ModuleId> = {
+                        let guard = tenant.oracles();
+                        guard.iter().map(|(m, _)| m).collect()
+                    };
+                    if live.len() != ts.module_epochs.len() {
+                        return Err(DurableError::DefMismatch {
+                            detail: format!(
+                                "tenant {}: snapshot has {} modules, workflow has {}",
+                                ts.tenant,
+                                ts.module_epochs.len(),
+                                live.len()
+                            ),
+                        });
+                    }
+                    let mut id_epochs = Vec::with_capacity(live.len());
+                    for (mid, &(idx, epoch)) in live.iter().zip(&ts.module_epochs) {
+                        if mid.index() as u32 != idx {
+                            return Err(DurableError::DefMismatch {
+                                detail: format!(
+                                    "tenant {}: snapshot module index {idx} where workflow has {}",
+                                    ts.tenant,
+                                    mid.index()
+                                ),
+                            });
+                        }
+                        id_epochs.push((*mid, epoch));
+                    }
+                    let ledger: Vec<Tuple> = ts.ledger.into_iter().map(Tuple::new).collect();
+                    tenant.with_oracles_mut(|o| o.restore_ledger(&ledger, &id_epochs))?;
+                    td.ledger = ledger;
+                    td.compaction_epoch = ts.compaction_epoch;
+                }
+            }
+            let st = &mut *st;
+            for r in &records {
+                if r.seq() <= snap_last_seq {
+                    continue;
+                }
+                report.records_replayed += 1;
+                match r {
+                    Record::IngestRow { tenant, row, .. } => {
+                        let Some(td) = st.tenants.get_mut(tenant) else {
+                            return Err(DurableError::DefMismatch {
+                                detail: format!("log names tenant {tenant} with no definition"),
+                            });
+                        };
+                        let t = this.inner.get(TenantId(*tenant)).expect("registered above");
+                        let tuple = Tuple::new(row.clone());
+                        // Replay is the same per-row validation as the live
+                        // path; a rejected row was rejected live too.
+                        match t.ingest_rows(std::slice::from_ref(&tuple)) {
+                            Ok(_) => {
+                                td.ledger.push(tuple);
+                                report.rows_applied += 1;
+                            }
+                            Err(_) => report.rows_rejected += 1,
+                        }
+                    }
+                    Record::Tombstone { tenant, upto, .. } => {
+                        // A tombstone promises its prefix is captured by a
+                        // snapshot; without one, state would silently lose
+                        // rows — refuse instead.
+                        if *upto > snap_last_seq {
+                            return Err(DurableError::DefMismatch {
+                                detail: format!(
+                                    "tombstone for tenant {tenant} supersedes seq <= {upto} \
+                                 but the snapshot covers only seq <= {snap_last_seq}"
+                                ),
+                            });
+                        }
+                    }
+                    Record::Compact {
+                        tenant,
+                        compaction_epoch,
+                        ..
+                    } => {
+                        let Some(td) = st.tenants.get_mut(tenant) else {
+                            return Err(DurableError::DefMismatch {
+                                detail: format!("log names tenant {tenant} with no definition"),
+                            });
+                        };
+                        td.compaction_epoch = (*compaction_epoch).max(td.compaction_epoch);
+                    }
+                }
+            }
+            report.last_seq = st.log.last_seq();
+        }
+        Ok((this, report))
+    }
+
+    /// The durable directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The inner serving registry (share with a
+    /// [`Server`](sv_serve::Server); pair with
+    /// [`ingest_sink`](Self::ingest_sink) so served ingest writes
+    /// through the log).
+    #[must_use]
+    pub fn registry(&self) -> &Arc<TenantRegistry> {
+        &self.inner
+    }
+
+    /// Looks up a tenant.
+    #[must_use]
+    pub fn tenant(&self, id: TenantId) -> Option<Arc<Tenant>> {
+        self.inner.get(id)
+    }
+
+    /// Registers a streaming tenant (starts empty, grows through
+    /// [`ingest`](Self::ingest)).
+    ///
+    /// # Errors
+    /// Duplicate ids and structural workflow errors
+    /// ([`DurableError::Serve`]).
+    pub fn register_streaming(
+        &self,
+        id: TenantId,
+        workflow: &Workflow,
+        limits: AdmissionLimits,
+    ) -> Result<Arc<Tenant>, DurableError> {
+        let tenant = self.inner.register_streaming(id, workflow, limits)?;
+        self.state
+            .lock()
+            .expect("durable state poisoned")
+            .tenants
+            .insert(
+                id.0,
+                TenantDurable {
+                    ledger: Vec::new(),
+                    compaction_epoch: 0,
+                },
+            );
+        Ok(tenant)
+    }
+
+    /// Ingests provenance rows with **write-ahead** durability: each
+    /// row is appended to the log, then applied, under the tenant's
+    /// single-writer lane; the log is synced once per frame.
+    ///
+    /// Returns the number of new module rows, like
+    /// [`Tenant::ingest_rows`].
+    ///
+    /// # Errors
+    /// [`DurableIngestError::Rejected`] on the first invalid row
+    /// (earlier rows stay applied *and logged*);
+    /// [`DurableIngestError::Durable`] when logging itself fails.
+    pub fn ingest(&self, id: TenantId, rows: &[Tuple]) -> Result<u64, DurableIngestError> {
+        let unknown = || DurableIngestError::Durable {
+            applied: 0,
+            error: DurableError::UnknownTenant { tenant: id.0 },
+        };
+        let tenant = self.inner.get(id).ok_or_else(unknown)?;
+        let mut st = self.state.lock().expect("durable state poisoned");
+        let st = &mut *st;
+        if !st.tenants.contains_key(&id.0) {
+            return Err(unknown());
+        }
+        let log = &mut st.log;
+        let result = tenant.ingest_rows_with(rows, |_, row| {
+            log.append_row(id.0, row.values()).map(|_seq| ())
+        });
+        let synced = log.sync();
+        let td = st.tenants.get_mut(&id.0).expect("checked above");
+        match result {
+            Ok(added) => {
+                td.ledger.extend_from_slice(rows);
+                synced.map_err(|error| DurableIngestError::Durable {
+                    applied: rows.len() as u64,
+                    error,
+                })?;
+                Ok(added)
+            }
+            Err(IngestInterrupt::Rejected(f)) => {
+                td.ledger.extend_from_slice(&rows[..f.applied as usize]);
+                Err(DurableIngestError::Rejected {
+                    applied: f.applied,
+                    error: f.error,
+                })
+            }
+            Err(IngestInterrupt::Hook { applied, error }) => {
+                td.ledger.extend_from_slice(&rows[..applied as usize]);
+                Err(DurableIngestError::Durable { applied, error })
+            }
+        }
+    }
+
+    /// An [`IngestSink`] routing a [`Server`](sv_serve::Server)'s
+    /// ingest frames through this durable registry, so socket and
+    /// loopback traffic get the same write-ahead guarantee as direct
+    /// [`ingest`](Self::ingest) calls.
+    #[must_use]
+    pub fn ingest_sink(self: &Arc<Self>) -> Arc<IngestSink> {
+        let this = Arc::clone(self);
+        Arc::new(move |tenant: &Arc<Tenant>, rows: &[Tuple]| {
+            this.ingest(tenant.id(), rows).map_err(|e| match e {
+                DurableIngestError::Rejected { applied, error } => IngestSinkError {
+                    applied,
+                    detail: error.to_string(),
+                },
+                DurableIngestError::Durable { applied, error } => IngestSinkError {
+                    applied,
+                    detail: format!("durable log: {error}"),
+                },
+            })
+        })
+    }
+
+    fn build_snapshot(&self, st: &State) -> Result<Snapshot, DurableError> {
+        let mut tenants = Vec::with_capacity(st.tenants.len());
+        for (&tid, td) in &st.tenants {
+            let tenant = self
+                .inner
+                .get(TenantId(tid))
+                .ok_or(DurableError::UnknownTenant { tenant: tid })?;
+            let module_epochs: Vec<(u32, u64)> = {
+                let guard = tenant.oracles();
+                guard
+                    .iter()
+                    .map(|(mid, o)| (mid.index() as u32, o.relation_epoch()))
+                    .collect()
+            };
+            tenants.push(TenantSnapshot {
+                tenant: tid,
+                compaction_epoch: td.compaction_epoch,
+                module_epochs,
+                ledger: td.ledger.iter().map(|t| t.values().to_vec()).collect(),
+            });
+        }
+        Ok(Snapshot {
+            last_seq: st.log.last_seq(),
+            tenants,
+        })
+    }
+
+    /// Writes a snapshot of every tenant (atomic temp-file + rename),
+    /// anchored at the log's current last sequence number. The log is
+    /// left as-is; recovery replays only records past the anchor.
+    ///
+    /// Returns the snapshot's encoded size in bytes.
+    ///
+    /// # Errors
+    /// IO failures.
+    pub fn snapshot(&self) -> Result<u64, DurableError> {
+        let st = self.state.lock().expect("durable state poisoned");
+        let snap = self.build_snapshot(&st)?;
+        snap.save(&self.dir.join(SNAPSHOT_FILE))?;
+        Ok(snap.encode().len() as u64)
+    }
+
+    /// Compacts one tenant: rebuilds every module from the ledger with
+    /// its relation epoch bumped by one and a **fresh memo** (any probe
+    /// conditioned on a pre-compaction epoch now gets `StaleEpoch`, and
+    /// no stale cached level can survive), advances the tenant's
+    /// compaction epoch, snapshots, tombstones the superseded log
+    /// prefix, and rewrites the log without it.
+    ///
+    /// Returns the tenant's new compaction epoch.
+    ///
+    /// # Errors
+    /// [`DurableError::UnknownTenant`]; IO failures; reconstruction
+    /// failures ([`DurableError::Core`]).
+    pub fn compact(&self, id: TenantId) -> Result<u64, DurableError> {
+        let tenant = self
+            .inner
+            .get(id)
+            .ok_or(DurableError::UnknownTenant { tenant: id.0 })?;
+        let mut st = self.state.lock().expect("durable state poisoned");
+        let st = &mut *st;
+        let td = st
+            .tenants
+            .get_mut(&id.0)
+            .ok_or(DurableError::UnknownTenant { tenant: id.0 })?;
+        // 1. Rebuild in memory: same rows, epoch + 1, cold memo.
+        let id_epochs: Vec<(ModuleId, u64)> = {
+            let guard = tenant.oracles();
+            guard
+                .iter()
+                .map(|(mid, o)| (mid, o.relation_epoch() + 1))
+                .collect()
+        };
+        tenant.with_oracles_mut(|o| o.restore_ledger(&td.ledger, &id_epochs))?;
+        td.compaction_epoch += 1;
+        let new_epoch = td.compaction_epoch;
+        // 2. Snapshot the rebuilt state (anchor = everything logged).
+        let upto = st.log.last_seq();
+        let snap = self.build_snapshot(st)?;
+        snap.save(&self.dir.join(SNAPSHOT_FILE))?;
+        // 3. Mark retention in the log (audit trail; replay-idempotent
+        //    against the snapshot written above).
+        st.log.append_tombstone(id.0, upto)?;
+        st.log.append_compact(id.0, new_epoch)?;
+        st.log.sync()?;
+        // 4. Rebuild the log without the superseded prefix.
+        let (records, _tail, _len) = crate::log::read_log(&self.dir.join(LOG_FILE))?;
+        let kept: Vec<Record> = records
+            .into_iter()
+            .filter(|r| !(r.tenant() == id.0 && r.seq() <= upto))
+            .collect();
+        st.log.rewrite(&kept)?;
+        Ok(new_epoch)
+    }
+
+    /// The tenant's retention generation (compactions undergone).
+    #[must_use]
+    pub fn compaction_epoch(&self, id: TenantId) -> Option<u64> {
+        self.state
+            .lock()
+            .expect("durable state poisoned")
+            .tenants
+            .get(&id.0)
+            .map(|td| td.compaction_epoch)
+    }
+
+    /// Number of applied rows in the tenant's durable ledger.
+    #[must_use]
+    pub fn ledger_len(&self, id: TenantId) -> Option<usize> {
+        self.state
+            .lock()
+            .expect("durable state poisoned")
+            .tenants
+            .get(&id.0)
+            .map(|td| td.ledger.len())
+    }
+
+    /// Byte length of the log's valid prefix.
+    #[must_use]
+    pub fn log_bytes(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("durable state poisoned")
+            .log
+            .len_bytes()
+    }
+
+    /// Highest log sequence number assigned so far.
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("durable state poisoned")
+            .log
+            .last_seq()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_workflow::library::one_one_chain;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sv-durable-reg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn epochs_of(t: &Arc<Tenant>) -> Vec<u64> {
+        t.epochs().iter().map(|me| me.epoch).collect()
+    }
+
+    #[test]
+    fn ingest_recover_roundtrip_without_snapshot() {
+        let dir = tmp_dir("roundtrip");
+        let wf = one_one_chain(2, 3);
+        let id = TenantId(5);
+        {
+            let reg = DurableRegistry::create(&dir).unwrap();
+            reg.register_streaming(id, &wf, AdmissionLimits::default())
+                .unwrap();
+            let rows: Vec<Tuple> = (0..4)
+                .map(|i| wf.run(&[i & 1, (i >> 1) & 1, 1]).unwrap())
+                .collect();
+            reg.ingest(id, &rows).unwrap();
+        }
+        let (rec, report) = DurableRegistry::recover(
+            &dir,
+            &[TenantDef {
+                id,
+                workflow: &wf,
+                limits: AdmissionLimits::default(),
+            }],
+        )
+        .unwrap();
+        assert!(!report.snapshot_loaded);
+        assert!(report.tail.is_clean());
+        assert_eq!(report.records_replayed, 4);
+        assert_eq!(report.rows_applied, 4);
+        // Same state as an uninterrupted run.
+        let fresh = TenantRegistry::new();
+        let t_fresh = fresh
+            .register_streaming(id, &wf, AdmissionLimits::default())
+            .unwrap();
+        let rows: Vec<Tuple> = (0..4)
+            .map(|i| wf.run(&[i & 1, (i >> 1) & 1, 1]).unwrap())
+            .collect();
+        t_fresh.ingest_rows(&rows).unwrap();
+        let t_rec = rec.tenant(id).unwrap();
+        assert_eq!(epochs_of(&t_rec), epochs_of(&t_fresh));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_then_tail_replay() {
+        let dir = tmp_dir("snaptail");
+        let wf = one_one_chain(1, 4);
+        let id = TenantId(1);
+        let mk = |bits: u32| {
+            wf.run(&[bits & 1, (bits >> 1) & 1, (bits >> 2) & 1, (bits >> 3) & 1])
+                .unwrap()
+        };
+        {
+            let reg = DurableRegistry::create(&dir).unwrap();
+            reg.register_streaming(id, &wf, AdmissionLimits::default())
+                .unwrap();
+            reg.ingest(id, &[mk(0), mk(1)]).unwrap();
+            reg.snapshot().unwrap();
+            reg.ingest(id, &[mk(2)]).unwrap();
+        }
+        let (rec, report) = DurableRegistry::recover(
+            &dir,
+            &[TenantDef {
+                id,
+                workflow: &wf,
+                limits: AdmissionLimits::default(),
+            }],
+        )
+        .unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.records_replayed, 1, "only the post-snapshot tail");
+        assert_eq!(rec.ledger_len(id), Some(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_bumps_epochs_and_shrinks_log() {
+        let dir = tmp_dir("compact");
+        let wf = one_one_chain(1, 4);
+        let id = TenantId(3);
+        let mk = |bits: u32| {
+            wf.run(&[bits & 1, (bits >> 1) & 1, (bits >> 2) & 1, (bits >> 3) & 1])
+                .unwrap()
+        };
+        let reg = DurableRegistry::create(&dir).unwrap();
+        let tenant = reg
+            .register_streaming(id, &wf, AdmissionLimits::default())
+            .unwrap();
+        reg.ingest(id, &[mk(0), mk(1), mk(2)]).unwrap();
+        let before = epochs_of(&tenant);
+        let log_before = reg.log_bytes();
+        let gen = reg.compact(id).unwrap();
+        assert_eq!(gen, 1);
+        assert_eq!(reg.compaction_epoch(id), Some(1));
+        let after = epochs_of(&tenant);
+        assert_eq!(after.len(), before.len());
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(*a, *b + 1, "compaction bumps every module epoch");
+        }
+        assert!(
+            reg.log_bytes() < log_before,
+            "rebuild-on-compact drops the superseded prefix"
+        );
+        // Recovery after compaction reproduces the bumped epochs.
+        drop(tenant);
+        drop(reg);
+        let (rec, report) = DurableRegistry::recover(
+            &dir,
+            &[TenantDef {
+                id,
+                workflow: &wf,
+                limits: AdmissionLimits::default(),
+            }],
+        )
+        .unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(rec.compaction_epoch(id), Some(1));
+        assert_eq!(epochs_of(&rec.tenant(id).unwrap()), after);
+        // And ingest keeps working on the recovered registry.
+        rec.ingest(id, &[mk(3)]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejected_rows_are_logged_but_replay_identically() {
+        let dir = tmp_dir("reject");
+        let wf = one_one_chain(1, 2);
+        let id = TenantId(2);
+        let good = wf.run(&[0, 1]).unwrap();
+        let mut bad_values = good.values().to_vec();
+        bad_values[2] ^= 1; // FD violation against `good`
+        let bad = Tuple::new(bad_values);
+        {
+            let reg = DurableRegistry::create(&dir).unwrap();
+            reg.register_streaming(id, &wf, AdmissionLimits::default())
+                .unwrap();
+            let err = reg.ingest(id, &[good.clone(), bad]).unwrap_err();
+            match err {
+                DurableIngestError::Rejected { applied, error } => {
+                    assert_eq!(applied, 1);
+                    assert_eq!(error.row_index(), Some(1), "frame-positioned");
+                }
+                other => panic!("expected Rejected, got {other}"),
+            }
+            assert_eq!(reg.ledger_len(id), Some(1));
+        }
+        let (rec, report) = DurableRegistry::recover(
+            &dir,
+            &[TenantDef {
+                id,
+                workflow: &wf,
+                limits: AdmissionLimits::default(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(report.records_replayed, 2, "the rejected row was logged");
+        assert_eq!(report.rows_applied, 1);
+        assert_eq!(report.rows_rejected, 1, "and rejected again on replay");
+        assert_eq!(rec.ledger_len(id), Some(1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,334 @@
+//! Snapshots: a point-in-time serialization of every tenant's durable
+//! state, written atomically (temp file + rename) and validated with
+//! the same length-prefix + checksum discipline as the log.
+//!
+//! ## Layout
+//!
+//! ```text
+//! file    := len:u32 LE | checksum:u64 LE | payload (len bytes)
+//! payload := magic "SVSNAP01" | last_seq:u64 | n_tenants:u32 | tenant × n_tenants
+//! tenant  := id:u64 | compaction_epoch:u64
+//!          | n_modules:u32 | (module_index:u32 | epoch:u64) × n_modules
+//!          | n_rows:u64 | arity:u32 | value:u32 × (n_rows × arity)
+//! ```
+//!
+//! The per-tenant **ledger** is the sequence of workflow-schema rows
+//! the tenant applied, in arrival order. Module relations are *not*
+//! serialized: they are pure functions of the ledger (projection +
+//! first-occurrence dedup), so recovery rebuilds them via
+//! [`WorkflowOracles::restore_ledger`](sv_core::safety::WorkflowOracles::restore_ledger).
+//! Module **epochs** do travel explicitly — after a compaction an epoch
+//! is not derivable from row counts.
+//!
+//! `last_seq` anchors the snapshot in the log: recovery replays only
+//! records with `seq > last_seq`.
+
+use crate::error::DurableError;
+use crate::log::fnv1a64;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+use sv_relation::Value;
+
+const MAGIC: &[u8; 8] = b"SVSNAP01";
+
+/// Largest accepted snapshot payload (generous: snapshots hold whole
+/// ledgers).
+pub const MAX_SNAPSHOT_LEN: usize = 1 << 30;
+
+/// One tenant's durable state at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// The tenant's wire id.
+    pub tenant: u64,
+    /// Retention generation: how many compactions this tenant has
+    /// undergone.
+    pub compaction_epoch: u64,
+    /// `(module index, relation epoch)` per private module, in the
+    /// oracle-set iteration order.
+    pub module_epochs: Vec<(u32, u64)>,
+    /// Applied workflow rows, arrival order. All rows share the
+    /// workflow schema's arity.
+    pub ledger: Vec<Vec<Value>>,
+}
+
+/// A whole-registry snapshot.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Highest log sequence number whose effects the snapshot captures.
+    pub last_seq: u64,
+    /// Per-tenant states, ascending tenant id.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+impl Snapshot {
+    /// Serializes the snapshot payload (without the file header) —
+    /// deterministic, so snapshot size is an exact-gateable metric.
+    #[must_use]
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.last_seq.to_le_bytes());
+        out.extend_from_slice(&(self.tenants.len() as u32).to_le_bytes());
+        for t in &self.tenants {
+            out.extend_from_slice(&t.tenant.to_le_bytes());
+            out.extend_from_slice(&t.compaction_epoch.to_le_bytes());
+            out.extend_from_slice(&(t.module_epochs.len() as u32).to_le_bytes());
+            for &(idx, epoch) in &t.module_epochs {
+                out.extend_from_slice(&idx.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            out.extend_from_slice(&(t.ledger.len() as u64).to_le_bytes());
+            let arity = t.ledger.first().map_or(0, Vec::len) as u32;
+            out.extend_from_slice(&arity.to_le_bytes());
+            for row in &t.ledger {
+                debug_assert_eq!(row.len(), arity as usize, "ledger rows share one schema");
+                for &v in row {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Total decoder for a snapshot payload.
+    ///
+    /// # Errors
+    /// [`DurableError::SnapshotCorrupt`] on any structural fault.
+    pub fn decode_payload(buf: &[u8]) -> Result<Self, DurableError> {
+        let corrupt = |pos: usize, detail: &str| DurableError::SnapshotCorrupt {
+            offset: pos as u64,
+            detail: detail.to_string(),
+        };
+        let mut r = SnapReader { buf, pos: 0 };
+        let magic = r.take(8).map_err(|p| corrupt(p, "truncated magic"))?;
+        if magic != MAGIC {
+            return Err(corrupt(0, "bad magic"));
+        }
+        let last_seq = r.u64().map_err(|p| corrupt(p, "truncated last_seq"))?;
+        let n_tenants = r.u32().map_err(|p| corrupt(p, "truncated tenant count"))?;
+        let mut tenants = Vec::new();
+        for _ in 0..n_tenants {
+            let tenant = r.u64().map_err(|p| corrupt(p, "truncated tenant id"))?;
+            let compaction_epoch = r
+                .u64()
+                .map_err(|p| corrupt(p, "truncated compaction epoch"))?;
+            let n_modules = r.u32().map_err(|p| corrupt(p, "truncated module count"))? as usize;
+            if n_modules > r.remaining() / 12 {
+                return Err(corrupt(r.pos, "module count exceeds payload"));
+            }
+            let mut module_epochs = Vec::with_capacity(n_modules);
+            for _ in 0..n_modules {
+                let idx = r.u32().map_err(|p| corrupt(p, "truncated module index"))?;
+                let epoch = r.u64().map_err(|p| corrupt(p, "truncated module epoch"))?;
+                module_epochs.push((idx, epoch));
+            }
+            let n_rows = r.u64().map_err(|p| corrupt(p, "truncated row count"))? as usize;
+            let arity = r.u32().map_err(|p| corrupt(p, "truncated arity"))? as usize;
+            if n_rows
+                .checked_mul(arity)
+                .is_none_or(|cells| cells > r.remaining() / 4)
+            {
+                return Err(corrupt(r.pos, "ledger size exceeds payload"));
+            }
+            let mut ledger = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                let mut row = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    row.push(r.u32().map_err(|p| corrupt(p, "truncated ledger"))?);
+                }
+                ledger.push(row);
+            }
+            tenants.push(TenantSnapshot {
+                tenant,
+                compaction_epoch,
+                module_epochs,
+                ledger,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(corrupt(r.pos, "trailing bytes"));
+        }
+        Ok(Self { last_seq, tenants })
+    }
+
+    /// The full file image (`len | checksum | payload`).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(12 + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Writes the snapshot **atomically**: a sibling `.tmp` file is
+    /// written, synced, and renamed over `path` — a crash mid-write
+    /// leaves either the old snapshot or the new one, never a torn mix.
+    ///
+    /// # Errors
+    /// IO failures.
+    pub fn save(&self, path: &Path) -> Result<(), DurableError> {
+        let tmp = path.with_extension("svs.tmp");
+        let bytes = self.encode();
+        {
+            let mut f = File::create(&tmp).map_err(|e| DurableError::io("create", &tmp, &e))?;
+            f.write_all(&bytes)
+                .map_err(|e| DurableError::io("write", &tmp, &e))?;
+            f.sync_data()
+                .map_err(|e| DurableError::io("sync", &tmp, &e))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| DurableError::io("rename", path, &e))?;
+        Ok(())
+    }
+
+    /// Loads and validates a snapshot; `Ok(None)` when the file does
+    /// not exist (a fresh directory, not a fault).
+    ///
+    /// # Errors
+    /// IO failures; [`DurableError::SnapshotCorrupt`] on any damage
+    /// (checksum mismatch, truncation, structural faults).
+    pub fn load(path: &Path) -> Result<Option<Self>, DurableError> {
+        let mut buf = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut buf)
+                    .map_err(|e| DurableError::io("read snapshot", path, &e))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(DurableError::io("open snapshot", path, &e)),
+        }
+        if buf.len() < 12 {
+            return Err(DurableError::SnapshotCorrupt {
+                offset: 0,
+                detail: "file shorter than header".into(),
+            });
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > MAX_SNAPSHOT_LEN || buf.len() != 12 + len {
+            return Err(DurableError::SnapshotCorrupt {
+                offset: 0,
+                detail: format!("length prefix {len} does not match file size {}", buf.len()),
+            });
+        }
+        let checksum = u64::from_le_bytes([
+            buf[4], buf[5], buf[6], buf[7], buf[8], buf[9], buf[10], buf[11],
+        ]);
+        let payload = &buf[12..];
+        if fnv1a64(payload) != checksum {
+            return Err(DurableError::SnapshotCorrupt {
+                offset: 4,
+                detail: "checksum mismatch".into(),
+            });
+        }
+        Self::decode_payload(payload).map(Some)
+    }
+}
+
+struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], usize> {
+        if self.remaining() < n {
+            return Err(self.pos);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, usize> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, usize> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            last_seq: 42,
+            tenants: vec![
+                TenantSnapshot {
+                    tenant: 1,
+                    compaction_epoch: 2,
+                    module_epochs: vec![(0, 5), (1, 4)],
+                    ledger: vec![vec![0, 1, 1], vec![1, 0, 1]],
+                },
+                TenantSnapshot {
+                    tenant: 9,
+                    compaction_epoch: 0,
+                    module_epochs: vec![(0, 0)],
+                    ledger: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let got = Snapshot::decode_payload(&s.encode_payload()).unwrap();
+        assert_eq!(got, s);
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_missing_is_none() {
+        let dir = std::env::temp_dir().join(format!("sv-durable-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.svs");
+        assert!(Snapshot::load(&path).unwrap().is_none());
+        let s = sample();
+        s.save(&path).unwrap();
+        assert_eq!(Snapshot::load(&path).unwrap(), Some(s));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_bit_flip_is_a_typed_fault() {
+        let dir = std::env::temp_dir().join(format!("sv-durable-snapflip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.svs");
+        let s = sample();
+        let clean = s.encode();
+        for byte in 0..clean.len() {
+            let mut damaged = clean.clone();
+            damaged[byte] ^= 0x10;
+            std::fs::write(&path, &damaged).unwrap();
+            let got = Snapshot::load(&path);
+            assert!(
+                matches!(got, Err(DurableError::SnapshotCorrupt { .. })),
+                "flip at byte {byte} was not detected"
+            );
+        }
+        // Truncations too.
+        for cut in 0..clean.len() {
+            std::fs::write(&path, &clean[..cut]).unwrap();
+            assert!(
+                matches!(
+                    Snapshot::load(&path),
+                    Err(DurableError::SnapshotCorrupt { .. })
+                ),
+                "truncation at {cut} was not detected"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -31,6 +31,12 @@ pub enum RelationError {
         /// Attribute name present in both schemas with different domains.
         attr: String,
     },
+    /// An ordered row sequence that must be duplicate-free (a recovered
+    /// kernel column store) repeats a row.
+    DuplicateRow {
+        /// 0-based position of the repeated row.
+        row: usize,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -57,6 +63,12 @@ impl fmt::Display for RelationError {
                 write!(
                     f,
                     "join schemas disagree on domain of shared attribute `{attr}`"
+                )
+            }
+            Self::DuplicateRow { row } => {
+                write!(
+                    f,
+                    "duplicate row at position {row} in an ordered row sequence"
                 )
             }
         }

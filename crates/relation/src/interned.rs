@@ -466,6 +466,55 @@ impl InternedRelation {
         }
     }
 
+    /// Reconstructs a kernel from rows **in arrival order** with an
+    /// explicit epoch counter — the durable-recovery constructor. A
+    /// snapshot of a streamed kernel persists its column store (row
+    /// order = append order, which appended group ids and
+    /// representatives depend on) together with the epoch; this rebuilds
+    /// exactly that logical state with cold group caches, so subsequent
+    /// probes and appends behave identically to the uninterrupted run.
+    ///
+    /// # Errors
+    /// Arity/domain violations as in [`append_rows`](Self::append_rows);
+    /// [`RelationError::DuplicateRow`] on a repeated row — the streamed
+    /// store is duplicate-free by construction, so a duplicate in
+    /// recovered input is corruption, not data.
+    pub fn from_ordered_rows(
+        schema: Schema,
+        rows: &[Tuple],
+        epoch: u64,
+    ) -> Result<Self, RelationError> {
+        let n_attrs = schema.len();
+        let mut cols: Vec<Vec<Value>> = (0..n_attrs)
+            .map(|_| Vec::with_capacity(rows.len()))
+            .collect();
+        let mut seen: std::collections::HashSet<&[Value]> =
+            std::collections::HashSet::with_capacity(rows.len());
+        let probe = Self {
+            schema,
+            n_rows: 0,
+            cols: Vec::new(),
+            epoch,
+            word_groups: GroupCache::default(),
+            wide_groups: GroupCache::default(),
+            scratch: ScratchPool::new(),
+        };
+        for (i, t) in rows.iter().enumerate() {
+            probe.validate_row(t)?;
+            if !seen.insert(t.values()) {
+                return Err(RelationError::DuplicateRow { row: i });
+            }
+            for (col, &v) in cols.iter_mut().zip(t.values()) {
+                col.push(v);
+            }
+        }
+        Ok(Self {
+            n_rows: rows.len(),
+            cols,
+            ..probe
+        })
+    }
+
     /// The relation's generation counter: `0` at build, bumped by every
     /// [`append_rows`](Self::append_rows) call that adds at least one
     /// new row. Memoized consumers (the `sv-core` safety oracles, the

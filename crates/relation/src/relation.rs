@@ -1,4 +1,19 @@
 //! Relations: schema + canonically ordered, duplicate-free rows.
+//!
+//! ## Storage: sorted runs with a lazily merged canonical view
+//!
+//! Internally a [`Relation`] is a stack of sorted, duplicate-free,
+//! pairwise-disjoint **runs** (the logarithmic method): every
+//! [`insert_batch`](Relation::insert_batch) becomes one new run, and
+//! runs of comparable size are merged eagerly so at most `O(log N)`
+//! runs exist and every row participates in `O(log N)` merges over its
+//! lifetime — streaming `N` single-row batches costs `O(N log N)`
+//! total instead of the `O(N²)` a single sorted vector pays (an `O(N)`
+//! merge per batch). Point membership ([`contains`](Relation::contains))
+//! binary-searches each run. The flat canonical row slice
+//! ([`rows`](Relation::rows)) is materialized lazily on first read and
+//! invalidated by the next mutation, so construction-then-read
+//! workloads see exactly the old single-vector behavior.
 
 use crate::attrset::AttrSet;
 use crate::error::RelationError;
@@ -7,18 +22,47 @@ use crate::schema::Schema;
 use crate::tuple::Tuple;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A finite relation over a [`Schema`].
 ///
-/// Rows are kept sorted and deduplicated so two relations over the same
-/// schema are equal as Rust values iff they are equal as sets — the
-/// property the possible-worlds machinery in `sv-core` relies on
+/// Rows are kept sorted and deduplicated (as a set of sorted runs, see
+/// the module docs) so two relations over the same schema are equal as
+/// Rust values iff they are equal as sets — the property the
+/// possible-worlds machinery in `sv-core` relies on
 /// (`π_V(R') = π_V(R)` comparisons, Definition 1/4 of the paper).
-#[derive(Clone, PartialEq, Eq)]
 pub struct Relation {
     schema: Schema,
-    rows: Vec<Tuple>,
+    /// Sorted, duplicate-free, pairwise-disjoint runs; sizes decrease
+    /// (amortized geometrically) from the bottom of the stack to the
+    /// top.
+    runs: Vec<Vec<Tuple>>,
+    /// Total row count across runs.
+    len: usize,
+    /// Lazily materialized canonical (fully merged) view; only
+    /// consulted when more than one run exists, and reset by every
+    /// mutation.
+    merged: OnceLock<Vec<Tuple>>,
 }
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Self {
+            schema: self.schema.clone(),
+            runs: self.runs.clone(),
+            len: self.len,
+            merged: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.len == other.len && self.rows() == other.rows()
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// Creates an empty relation over `schema`.
@@ -26,7 +70,9 @@ impl Relation {
     pub fn empty(schema: Schema) -> Self {
         Self {
             schema,
-            rows: Vec::new(),
+            runs: Vec::new(),
+            len: 0,
+            merged: OnceLock::new(),
         }
     }
 
@@ -36,13 +82,24 @@ impl Relation {
     /// # Errors
     /// [`RelationError::ArityMismatch`] or
     /// [`RelationError::ValueOutOfDomain`] on invalid rows.
-    pub fn from_rows(schema: Schema, rows: Vec<Tuple>) -> Result<Self, RelationError> {
+    pub fn from_rows(schema: Schema, mut rows: Vec<Tuple>) -> Result<Self, RelationError> {
         for t in &rows {
             Self::validate_row(&schema, t)?;
         }
-        let mut rel = Self { schema, rows };
-        rel.canonicalize();
-        Ok(rel)
+        rows.sort_unstable();
+        rows.dedup();
+        let len = rows.len();
+        let runs = if rows.is_empty() {
+            Vec::new()
+        } else {
+            vec![rows]
+        };
+        Ok(Self {
+            schema,
+            runs,
+            len,
+            merged: OnceLock::new(),
+        })
     }
 
     /// Builds a relation from raw value vectors (construction convenience).
@@ -83,32 +140,47 @@ impl Relation {
         Self::validate_row(&self.schema, t)
     }
 
-    fn canonicalize(&mut self) {
-        self.rows.sort_unstable();
-        self.rows.dedup();
+    /// Pushes a sorted, deduplicated run disjoint from every existing
+    /// run, then restores the geometric size invariant by merging from
+    /// the top of the stack — each merge combines two disjoint sorted
+    /// runs in one linear pass.
+    fn push_run(&mut self, run: Vec<Tuple>) {
+        debug_assert!(run.windows(2).all(|w| w[0] < w[1]), "run sorted + deduped");
+        self.len += run.len();
+        self.merged = OnceLock::new();
+        self.runs.push(run);
+        while self.runs.len() >= 2 {
+            let n = self.runs.len();
+            if self.runs[n - 2].len() > 2 * self.runs[n - 1].len() {
+                break;
+            }
+            let top = self.runs.pop().expect("len >= 2");
+            let below = self.runs.pop().expect("len >= 2");
+            self.runs.push(merge_disjoint(below, top));
+        }
     }
 
-    /// Inserts a row (validated), keeping canonical order.
+    /// Inserts a row (validated), keeping canonical set semantics.
     ///
     /// # Errors
     /// Same as [`from_rows`](Self::from_rows).
     pub fn insert(&mut self, t: Tuple) -> Result<bool, RelationError> {
         Self::validate_row(&self.schema, &t)?;
-        match self.rows.binary_search(&t) {
-            Ok(_) => Ok(false),
-            Err(pos) => {
-                self.rows.insert(pos, t);
-                Ok(true)
-            }
+        if self.contains(&t) {
+            return Ok(false);
         }
+        self.push_run(vec![t]);
+        Ok(true)
     }
 
     /// Inserts a batch of rows in one pass: validates everything first
     /// (on error the relation is unchanged), drops rows already present
-    /// or repeated within the batch, and merges the survivors into the
-    /// canonical order with a single `O(rows + batch)` sorted merge —
-    /// the streaming-append companion of [`insert`](Self::insert), which
-    /// pays an `O(rows)` shift per row.
+    /// or repeated within the batch, and lands the survivors as one new
+    /// sorted run — `O(batch · log² N)` membership filtering plus
+    /// `O(batch log batch)` sorting, with run merges amortizing to
+    /// `O(log N)` per row over the relation's lifetime. This replaces
+    /// the former single-vector `O(rows + batch)` full merge per batch,
+    /// which made `N` row-at-a-time appends quadratic.
     ///
     /// Returns the number of genuinely new rows.
     ///
@@ -129,24 +201,7 @@ impl Relation {
             return Ok(0);
         }
         let added = fresh.len();
-        let old = std::mem::take(&mut self.rows);
-        self.rows = Vec::with_capacity(old.len() + added);
-        let (mut a, mut b) = (old.into_iter().peekable(), fresh.into_iter().peekable());
-        loop {
-            match (a.peek(), b.peek()) {
-                (Some(x), Some(y)) => {
-                    // No equal pair exists: `fresh` excludes present rows.
-                    if x < y {
-                        self.rows.push(a.next().expect("peeked"));
-                    } else {
-                        self.rows.push(b.next().expect("peeked"));
-                    }
-                }
-                (Some(_), None) => self.rows.push(a.next().expect("peeked")),
-                (None, Some(_)) => self.rows.push(b.next().expect("peeked")),
-                (None, None) => break,
-            }
-        }
+        self.push_run(fresh);
         Ok(added)
     }
 
@@ -159,33 +214,48 @@ impl Relation {
     /// Number of rows (`N` in the paper's complexity bounds).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Whether the relation has no rows.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
-    /// Rows in canonical (sorted) order.
+    /// Rows in canonical (sorted) order. With a single run this is a
+    /// free borrow; with several the merged view is materialized once
+    /// and cached until the next mutation.
     #[must_use]
     pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+        match self.runs.len() {
+            0 => &[],
+            1 => &self.runs[0],
+            _ => self.merged.get_or_init(|| {
+                let mut all: Vec<Tuple> = Vec::with_capacity(self.len);
+                for run in &self.runs {
+                    all.extend_from_slice(run);
+                }
+                // Runs are pairwise disjoint: sorting alone restores
+                // the canonical duplicate-free order.
+                all.sort_unstable();
+                all
+            }),
+        }
     }
 
-    /// Membership test (binary search).
+    /// Membership test (binary search per run, `O(log² N)`).
     #[must_use]
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.rows.binary_search(t).is_ok()
+        self.runs.iter().any(|run| run.binary_search(t).is_ok())
     }
 
     /// Checks whether the relation satisfies `fd` (`I -> O`): no two rows
     /// agree on `I` but differ on `O`.
     #[must_use]
     pub fn satisfies(&self, fd: &Fd) -> bool {
-        let mut seen: HashMap<Tuple, Tuple> = HashMap::with_capacity(self.rows.len());
-        for t in &self.rows {
+        let mut seen: HashMap<Tuple, Tuple> = HashMap::with_capacity(self.len);
+        for t in self.runs.iter().flatten() {
             let key = t.project(fd.lhs());
             let val = t.project(fd.rhs());
             match seen.entry(key) {
@@ -218,21 +288,44 @@ impl Relation {
     }
 
     /// Groups rows by their projection onto `key`, returning, per group,
-    /// the key sub-tuple and the row indices in the group.
+    /// the key sub-tuple and the row indices (into
+    /// [`rows`](Self::rows)) in the group.
     #[must_use]
     pub fn group_by(&self, key: &AttrSet) -> HashMap<Tuple, Vec<usize>> {
         let mut groups: HashMap<Tuple, Vec<usize>> = HashMap::new();
-        for (i, t) in self.rows.iter().enumerate() {
+        for (i, t) in self.rows().iter().enumerate() {
             groups.entry(t.project(key)).or_default().push(i);
         }
         groups
     }
 }
 
+/// Merges two sorted, duplicate-free, disjoint runs into one.
+fn merge_disjoint(a: Vec<Tuple>, b: Vec<Tuple>) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut a, mut b) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                // No equal pair exists: runs are disjoint.
+                if x < y {
+                    out.push(a.next().expect("peeked"));
+                } else {
+                    out.push(b.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(a.next().expect("peeked")),
+            (None, Some(_)) => out.push(b.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Relation {:?} ({} rows)", self.schema, self.rows.len())?;
-        for t in &self.rows {
+        writeln!(f, "Relation {:?} ({} rows)", self.schema, self.len)?;
+        for t in self.rows() {
             writeln!(f, "  {t:?}")?;
         }
         Ok(())
@@ -322,5 +415,59 @@ mod tests {
             AttrSet::from_indices(&[0]),
             AttrSet::from_indices(&[1, 2])
         )));
+    }
+
+    #[test]
+    fn sorted_runs_match_single_shot_construction() {
+        // Streaming rows one at a time through the run stack must be
+        // indistinguishable (rows(), len, contains, equality) from
+        // building the relation in one shot.
+        let schema = Schema::booleans(&["a", "b", "c", "d"]);
+        let all: Vec<Vec<u32>> = (0..16u32)
+            .map(|x| vec![x >> 3 & 1, x >> 2 & 1, x >> 1 & 1, x & 1])
+            .collect();
+        let mut streamed = Relation::empty(schema.clone());
+        for (i, row) in all.iter().enumerate() {
+            // Interleave reads to exercise merged-view invalidation.
+            if i % 3 == 0 {
+                let _ = streamed.rows();
+            }
+            assert!(streamed.insert(Tuple::new(row.clone())).unwrap());
+            // Re-inserting an old row is always a no-op.
+            assert!(!streamed.insert(Tuple::new(all[i / 2].clone())).unwrap());
+        }
+        let oneshot = Relation::from_values(schema, all).unwrap();
+        assert_eq!(streamed.len(), 16);
+        assert_eq!(streamed.rows(), oneshot.rows());
+        assert_eq!(streamed, oneshot);
+    }
+
+    #[test]
+    fn batch_insert_lands_as_runs() {
+        let schema = Schema::booleans(&["a", "b", "c"]);
+        let mut r = Relation::empty(schema.clone());
+        assert_eq!(
+            r.insert_batch(&[
+                Tuple::new(vec![1, 1, 1]),
+                Tuple::new(vec![0, 0, 0]),
+                Tuple::new(vec![1, 1, 1]), // in-batch duplicate
+            ])
+            .unwrap(),
+            2
+        );
+        assert_eq!(
+            r.insert_batch(&[Tuple::new(vec![0, 0, 0]), Tuple::new(vec![0, 1, 0])])
+                .unwrap(),
+            1
+        );
+        assert_eq!(r.len(), 3);
+        let rows: Vec<_> = r.rows().iter().map(|t| t.values().to_vec()).collect();
+        assert_eq!(rows, vec![vec![0, 0, 0], vec![0, 1, 0], vec![1, 1, 1]]);
+        // A failed batch (row 1 out of domain) leaves the relation unchanged.
+        let before = r.clone();
+        assert!(r
+            .insert_batch(&[Tuple::new(vec![1, 0, 0]), Tuple::new(vec![9, 0, 0])])
+            .is_err());
+        assert_eq!(r, before);
     }
 }

@@ -65,9 +65,10 @@ mod transport;
 
 pub use client::Client;
 pub use error::ServeError;
-pub use server::Server;
+pub use server::{IngestSink, IngestSinkError, Server};
 pub use tenant::{
-    AdmissionLimits, AdmissionPermit, IngestFailure, Tenant, TenantId, TenantRegistry, TenantStats,
+    AdmissionLimits, AdmissionPermit, IngestFailure, IngestInterrupt, Tenant, TenantId,
+    TenantRegistry, TenantStats,
 };
 pub use transport::{Connection, LoopbackTransport, Transport};
 #[cfg(unix)]

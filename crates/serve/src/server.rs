@@ -7,23 +7,58 @@
 //! accept loop are *guaranteed* to serve identically — the property
 //! suite relies on this (`crates/serve/tests/tier_prop.rs`).
 
-use crate::tenant::{TenantId, TenantRegistry};
+use crate::tenant::{Tenant, TenantId, TenantRegistry};
 use std::sync::Arc;
 use sv_core::wire::{IngestReply, Request, Response, ServeFault};
 use sv_core::CoreError;
 use sv_relation::Tuple;
 
+/// An ingest frame's failure as reported by an [`IngestSink`]: how many
+/// leading rows landed, plus human-readable detail for the client's
+/// [`ServeFault::Rejected`] answer.
+#[derive(Debug)]
+pub struct IngestSinkError {
+    /// Rows of the frame applied before the failure.
+    pub applied: u64,
+    /// Why the frame stopped (rendered for the wire).
+    pub detail: String,
+}
+
+/// A pluggable ingest path: the server routes every decoded ingest
+/// frame through this instead of calling
+/// [`Tenant::ingest_rows`] directly. A durability layer installs a
+/// sink that write-ahead-logs each row before it lands
+/// ([`Tenant::ingest_rows_with`]); the default sink is the plain
+/// in-memory apply. Probe and epoch traffic never touches the sink.
+pub type IngestSink = dyn Fn(&Arc<Tenant>, &[Tuple]) -> Result<u64, IngestSinkError> + Send + Sync;
+
 /// The serving tier's request dispatcher. Cheap to share
 /// (`Arc<Server>`); all state lives in the registry's tenants.
 pub struct Server {
     registry: Arc<TenantRegistry>,
+    ingest: Option<Arc<IngestSink>>,
 }
 
 impl Server {
     /// Wraps a tenant registry.
     #[must_use]
     pub fn new(registry: Arc<TenantRegistry>) -> Self {
-        Self { registry }
+        Self {
+            registry,
+            ingest: None,
+        }
+    }
+
+    /// Wraps a tenant registry with a custom [`IngestSink`] — the
+    /// durable-serving constructor. Every transport (loopback and
+    /// socket) dispatches through [`handle_frame`](Self::handle_frame),
+    /// so installing the sink here covers them all.
+    #[must_use]
+    pub fn with_ingest_sink(registry: Arc<TenantRegistry>, sink: Arc<IngestSink>) -> Self {
+        Self {
+            registry,
+            ingest: Some(sink),
+        }
     }
 
     /// The registry behind this server (register/deregister tenants at
@@ -101,7 +136,13 @@ impl Server {
                     Err(reason) => return Response::Busy(reason),
                 };
                 let tuples: Vec<Tuple> = rows.into_iter().map(Tuple::new).collect();
-                let result = t.ingest_rows(&tuples);
+                let result = match &self.ingest {
+                    Some(sink) => sink(&t, &tuples),
+                    None => t.ingest_rows(&tuples).map_err(|failure| IngestSinkError {
+                        applied: failure.applied,
+                        detail: failure.error.to_string(),
+                    }),
+                };
                 drop(permit);
                 match result {
                     Ok(added) => Response::Ingest(IngestReply {
@@ -110,7 +151,7 @@ impl Server {
                     }),
                     Err(failure) => Response::Error(ServeFault::Rejected {
                         applied: failure.applied,
-                        detail: failure.error.to_string(),
+                        detail: failure.detail,
                     }),
                 }
             }

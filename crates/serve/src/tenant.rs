@@ -132,13 +132,33 @@ impl Drop for AdmissionPermit<'_> {
 
 /// An ingest frame's failure: the offending row's error plus how many
 /// earlier rows of the frame had already landed (rows apply in order,
-/// row-atomically).
+/// row-atomically). The error is frame-positioned: its
+/// [`CoreError::row_index`] names the offending row's index **within
+/// the frame**, so a client can repair and resubmit the exact row.
 #[derive(Debug)]
 pub struct IngestFailure {
     /// Rows of the frame applied before the failure.
     pub applied: u64,
     /// Why the offending row was rejected.
     pub error: CoreError,
+}
+
+/// Why an ingest frame stopped early ([`Tenant::ingest_rows_with`]):
+/// either a row failed validation, or the caller's pre-apply hook
+/// refused to let the row reach the oracle (e.g. a durability layer
+/// could not log it). In both cases earlier rows stay applied.
+#[derive(Debug)]
+pub enum IngestInterrupt<E> {
+    /// A row failed domain/FD validation.
+    Rejected(IngestFailure),
+    /// The pre-apply hook failed **before** the row touched any oracle
+    /// state — the row was neither logged nor applied.
+    Hook {
+        /// Rows of the frame applied before the hook refused.
+        applied: u64,
+        /// The hook's error.
+        error: E,
+    },
 }
 
 impl Tenant {
@@ -260,27 +280,82 @@ impl Tenant {
     /// violation): earlier rows of the frame stay applied; the
     /// offending row and everything after it do not.
     pub fn ingest_rows(&self, rows: &[Tuple]) -> Result<u64, IngestFailure> {
+        self.ingest_rows_with(rows, |_, _| Ok::<(), std::convert::Infallible>(()))
+            .map_err(|stop| match stop {
+                IngestInterrupt::Rejected(failure) => failure,
+                IngestInterrupt::Hook { error, .. } => match error {},
+            })
+    }
+
+    /// [`ingest_rows`](Self::ingest_rows) with a **pre-apply hook**: for
+    /// each row, `hook(frame_index, row)` runs *before* the row takes
+    /// the oracle write lock. This is the write-through point for a
+    /// durability layer — log the row, then let it land — with the same
+    /// prefix discipline as validation failures: if the hook errs, the
+    /// row and everything after it are neither logged nor applied, and
+    /// earlier rows stay.
+    ///
+    /// The hook runs under the single-writer ingest lane, so for one
+    /// tenant the sequence of hook calls is exactly the sequence of
+    /// apply attempts — a log written by the hook replays to the same
+    /// state.
+    ///
+    /// # Errors
+    /// [`IngestInterrupt::Rejected`] on the first invalid row (its
+    /// error re-indexed to the frame position);
+    /// [`IngestInterrupt::Hook`] when the hook refuses a row.
+    pub fn ingest_rows_with<E, F>(
+        &self,
+        rows: &[Tuple],
+        mut hook: F,
+    ) -> Result<u64, IngestInterrupt<E>>
+    where
+        F: FnMut(u64, &Tuple) -> Result<(), E>,
+    {
         let _lane = self
             .ingest_lane
             .lock()
             .expect("tenant ingest lane poisoned");
         let mut added = 0u64;
         for (i, row) in rows.iter().enumerate() {
+            if let Err(error) = hook(i as u64, row) {
+                return Err(IngestInterrupt::Hook {
+                    applied: i as u64,
+                    error,
+                });
+            }
             let mut guard = self.oracles.write().expect("tenant oracle lock poisoned");
             match guard.ingest_execution(row) {
                 Ok(n) => added += n as u64,
                 Err(error) => {
                     drop(guard);
-                    return Err(IngestFailure {
+                    return Err(IngestInterrupt::Rejected(IngestFailure {
                         applied: i as u64,
-                        error,
-                    });
+                        error: error.at_row(i),
+                    }));
                 }
             }
         }
         self.ingest_frames.fetch_add(1, Ordering::Relaxed);
         self.rows_ingested.fetch_add(added, Ordering::Relaxed);
         Ok(added)
+    }
+
+    /// Exclusive access to the tenant's oracles, serialized behind the
+    /// single-writer ingest lane — the recovery/compaction control
+    /// path. While `f` runs, no ingest frame can interleave and no
+    /// probe can observe a half-restored oracle set (the write lock is
+    /// held for the whole closure).
+    ///
+    /// # Panics
+    /// If either lock is poisoned.
+    pub fn with_oracles_mut<R>(&self, f: impl FnOnce(&mut WorkflowOracles) -> R) -> R {
+        let _lane = self
+            .ingest_lane
+            .lock()
+            .expect("tenant ingest lane poisoned");
+        let mut guard = self.oracles.write().expect("tenant oracle lock poisoned");
+        f(&mut guard)
     }
 
     /// The tenant's current per-module relation epochs, in

@@ -323,3 +323,93 @@ fn socket_transport_matches_loopback() {
     socket_server.shutdown();
     assert!(!socket_server.path().exists(), "socket file cleaned up");
 }
+
+/// Restart story: a socket server draining and a **fresh** server over a
+/// crash-recovered registry must answer exactly like the server that
+/// went down. Ingest runs write-ahead through `sv-durable`; shutdown is
+/// drain-and-join; recovery is snapshot + log replay.
+#[cfg(unix)]
+#[test]
+fn restarted_server_over_recovered_registry_answers_identically() {
+    use sv_durable::{DurableRegistry, TenantDef};
+    use sv_serve::{SocketServer, SocketTransport};
+
+    let wf = one_one_chain(1, WIRES);
+    let rows = all_rows(&wf);
+    let probes = probe_mix();
+    let dir = std::env::temp_dir().join(format!("sv-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ── First life: durable registry behind a socket server. ──
+    let durable = Arc::new(DurableRegistry::create(&dir).unwrap());
+    durable
+        .register_streaming(TENANT, &wf, AdmissionLimits::default())
+        .unwrap();
+    let server = Arc::new(Server::with_ingest_sink(
+        Arc::clone(durable.registry()),
+        durable.ingest_sink(),
+    ));
+    let path = dir.join("first.sock");
+    let mut socket_server = SocketServer::bind(Arc::clone(&server), &path, 2).unwrap();
+    let mut client = Client::connect(&SocketTransport::new(socket_server.path())).unwrap();
+    for row in &rows[..5] {
+        assert_eq!(
+            client
+                .ingest(TENANT, &[row.values().to_vec()])
+                .unwrap()
+                .added,
+            1
+        );
+    }
+    // The pre-restart reference: every probe answer (and its epoch),
+    // captured over the in-process loopback against the live server.
+    let mut reference_client =
+        Client::connect(&LoopbackTransport::new(Arc::clone(&server))).unwrap();
+    let reference = reference_client.probe(TENANT, &probes).unwrap();
+    let reference_epochs = reference_client.epochs(TENANT).unwrap();
+
+    // ── Crash: drain-and-join the socket, drop every live handle. ──
+    drop(client);
+    socket_server.shutdown();
+    drop(reference_client);
+    drop(server);
+    drop(durable);
+
+    // ── Second life: recover from disk, serve from a fresh server. ──
+    let defs = [TenantDef {
+        id: TENANT,
+        workflow: &wf,
+        limits: AdmissionLimits::default(),
+    }];
+    let (recovered, report) = DurableRegistry::recover(&dir, &defs).unwrap();
+    assert!(report.tail.is_clean(), "clean shutdown left a clean log");
+    assert_eq!(report.rows_applied, 5);
+    let recovered = Arc::new(recovered);
+    let server = Arc::new(Server::with_ingest_sink(
+        Arc::clone(recovered.registry()),
+        recovered.ingest_sink(),
+    ));
+    let path = dir.join("second.sock");
+    let mut socket_server = SocketServer::bind(Arc::clone(&server), &path, 2).unwrap();
+    let mut client = Client::connect(&SocketTransport::new(socket_server.path())).unwrap();
+
+    // Identical answers — same safe flags AND same epochs, over the
+    // socket, from a process that shares no memory with the first life.
+    assert_eq!(client.epochs(TENANT).unwrap(), reference_epochs);
+    assert_eq!(client.probe(TENANT, &probes).unwrap(), reference);
+
+    // And the recovered tier keeps serving: further ingest lands
+    // write-ahead and advances the epoch from where the first life left.
+    assert_eq!(
+        client
+            .ingest(TENANT, &[rows[5].values().to_vec()])
+            .unwrap()
+            .added,
+        1
+    );
+    assert_eq!(client.epochs(TENANT).unwrap()[0].epoch, 6);
+
+    drop(client);
+    socket_server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
