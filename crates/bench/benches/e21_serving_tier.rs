@@ -39,7 +39,8 @@ use std::time::Instant;
 use sv_core::safety::ProbeRequest;
 use sv_relation::AttrSet;
 use sv_serve::{
-    AdmissionLimits, Client, LoopbackTransport, ServeError, Server, TenantId, TenantRegistry,
+    AdmissionLimits, Client, LoopbackTransport, ServeError, Server, TenantConfig, TenantId,
+    TenantRegistry,
 };
 use sv_workflow::{library, ModuleId, Workflow};
 
@@ -166,7 +167,7 @@ fn run_serving_tier(_c: &mut Criterion) {
     let registry = Arc::new(TenantRegistry::new());
     for t in 1..=TENANTS {
         registry
-            .register_streaming(TenantId(t), &wf, AdmissionLimits::default())
+            .create(TenantId(t), TenantConfig::new(&wf).streaming(true))
             .unwrap();
     }
     let server = Arc::new(Server::new(Arc::clone(&registry)));
@@ -228,13 +229,15 @@ fn run_serving_tier(_c: &mut Criterion) {
     // ── Deterministic traffic counters (exact-gated) ───────────────
     // One deliberate Busy: a tenant with a 4-probe frame bound, sent 8.
     let busy_tenant = registry
-        .insert(
+        .create(
             TenantId(TENANTS + 1),
-            sv_core::safety::WorkflowOracles::for_workflow_streaming(&wf).unwrap(),
-            AdmissionLimits {
+            TenantConfig::prebuilt(
+                sv_core::safety::WorkflowOracles::for_workflow_streaming(&wf).unwrap(),
+            )
+            .limits(AdmissionLimits {
                 max_batch_requests: 4,
                 ..AdmissionLimits::default()
-            },
+            }),
         )
         .unwrap();
     let oversized: Vec<ProbeRequest> = (0..8)
@@ -246,7 +249,8 @@ fn run_serving_tier(_c: &mut Criterion) {
     };
     assert_eq!(busy_tenant.stats().busy_rejections, 1);
     // One deliberate StaleEpoch: probe tenant 1 conditioned on a past
-    // epoch (its relation is at epoch ROWS_PER_TENANT after loading).
+    // epoch (its relation advanced past epoch 0 when the load frame
+    // applied).
     let stale_probe = [ProbeRequest::new(ModuleId(0), AttrSet::from_word(1), 2).at_epoch(0)];
     let stale = match client.probe(TenantId(1), &stale_probe) {
         Err(ServeError::Fault(sv_core::wire::ServeFault::StaleEpoch { .. })) => 1u64,

@@ -1,32 +1,47 @@
-//! E22 — **durability**: write-ahead ingest, snapshotting, and crash
-//! recovery through `sv-durable`, measured end to end.
+//! E22 — **durability**: write-ahead ingest, group commit,
+//! snapshotting, and crash recovery through `sv-durable`, measured end
+//! to end.
 //!
 //! Workload: [`TENANTS`] streaming tenants (each a `one_one_chain(1,
 //! 5)` — 10 boolean attributes, 32 distinct provenance rows) behind a
 //! [`DurableRegistry`]. A seeded tape of [`FRAMES`] single-row ingest
 //! frames — mostly fresh rows, a slice of exact duplicates (applied,
-//! no epoch bump) and of FD-violating rows (logged, rejected, and
-//! re-rejected identically on replay) — is ingested write-ahead, with
-//! one snapshot taken at frame [`SNAPSHOT_AT`].
+//! no epoch bump) and of FD-violating rows (rejected whole-frame
+//! *before* logging, so they never reach the log) — is played twice:
+//!
+//! * **grouped** — the production path: frames are `submit`ted
+//!   pipelined and `wait_durable` is called once per [`GROUP`]-frame
+//!   chunk, so one fsync covers the whole chunk through the commit
+//!   lane.
+//! * **per-frame fsync** — `submit` + `wait_durable` on every frame,
+//!   the pre-group-commit write-through cost.
 //!
 //! Reported into `BENCH_durable.json` via `--save-baseline`:
 //!
-//! * `ingest/ns_per_row` — amortized write-through ingest cost (append
-//!   + checksum + sync-per-frame + apply), best of [`EPISODES`] tapes.
+//! * `ingest/ns_per_row` — grouped ingest cost (append + checksum +
+//!   apply + amortized sync), best of [`EPISODES`] tapes.
+//! * `ingest/per_frame_fsync_ns_per_row` — the same tape with one
+//!   fsync per frame.
+//! * `gate/grouped_speedup` — per-frame / grouped, **within the same
+//!   run**; CI gates this at ≥ 3×.
 //! * `recovery/ms`, `recovery/ns_per_replayed_row`,
 //!   `replay/rows_per_sec` — full recovery (snapshot load + log-tail
 //!   replay), best of [`EPISODES`] runs over the same on-disk state.
 //! * `stats/*` — deterministic durability counters, exact-gated by CI:
 //!   log bytes, snapshot bytes, records replayed past the snapshot,
-//!   rows applied/rejected during replay, and the recovered-epoch
-//!   checksum (FNV-1a over every tenant's `(module, epoch)` pairs).
+//!   rows applied/rejected during replay (rejected is **0**: frames
+//!   are validated before logging, so replay never re-rejects), the
+//!   grouped run's lane counters (`fsyncs`, `coalesced`,
+//!   `frames_appended`), and the recovered-epoch checksum (FNV-1a over
+//!   every tenant's `(module, epoch)` pairs).
 //! * `gate/recovered_equals_live` — `1.0` iff every recovery produced
 //!   exactly the live run's ledger lengths and relation epochs.
 //!   CI exact-gates this at `1.0`.
 //!
 //! The crash-fault property suite (`sv-durable/tests/crash_prop.rs`)
-//! proves recovery correct at *every* byte-level crash point; this
-//! bench pins the *performance* and the deterministic counters of the
+//! proves recovery correct at *every* byte-level crash point —
+//! including cuts through the middle of coalesced batches; this bench
+//! pins the *performance* and the deterministic counters of the
 //! clean-shutdown path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -35,9 +50,10 @@ use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
-use sv_durable::{fnv1a64, DurableRegistry, TenantDef, LOG_FILE};
+use sv_core::safety::IngestBatch;
+use sv_durable::{fnv1a64, DurableRegistry, LaneStats, TenantDef, LOG_FILE};
 use sv_relation::Tuple;
-use sv_serve::{AdmissionLimits, TenantId};
+use sv_serve::{AdmissionLimits, TenantConfig, TenantId};
 use sv_workflow::{library, Workflow};
 
 /// Registered tenants.
@@ -46,6 +62,8 @@ const TENANTS: u64 = 8;
 const WIRES: usize = 5;
 /// Single-row ingest frames on the tape.
 const FRAMES: usize = 4096;
+/// Frames covered by one `wait_durable` in grouped mode.
+const GROUP: usize = 64;
 /// The frame before which the one snapshot is taken.
 const SNAPSHOT_AT: usize = 2048;
 /// Episodes; the best (minimum) time is kept.
@@ -93,33 +111,48 @@ fn make_tape(wf: &Workflow) -> Vec<(TenantId, Tuple)> {
         .collect()
 }
 
-/// Plays the tape into a fresh durable registry. Returns (elapsed ns,
-/// rows applied, rows rejected, the registry).
+/// Plays the tape into a fresh durable registry, acking durability
+/// every `group` frames (1 = fsync per frame). Returns (elapsed ns,
+/// frames applied, frames rejected, lane stats, the registry).
 fn play_tape(
     dir: &std::path::Path,
     wf: &Workflow,
     tape: &[(TenantId, Tuple)],
-) -> (f64, u64, u64, Arc<DurableRegistry>) {
+    group: usize,
+) -> (f64, u64, u64, LaneStats, Arc<DurableRegistry>) {
     let _ = std::fs::remove_dir_all(dir);
     let reg = Arc::new(DurableRegistry::create(dir).expect("create durable dir"));
     for t in 1..=TENANTS {
-        reg.register_streaming(TenantId(t), wf, AdmissionLimits::default())
+        reg.register(TenantId(t), TenantConfig::new(wf))
             .expect("register");
     }
     let mut applied = 0u64;
     let mut rejected = 0u64;
+    let mut last_seq = 0u64;
     let start = Instant::now();
     for (frame, (tenant, row)) in tape.iter().enumerate() {
         if frame == SNAPSHOT_AT {
+            // Snapshot anchors must not outrun durability.
+            reg.wait_durable(last_seq).expect("sync before snapshot");
             reg.snapshot().expect("snapshot");
         }
-        match reg.ingest(*tenant, std::slice::from_ref(row)) {
-            Ok(_) => applied += 1,
+        let batch = IngestBatch::new(vec![row.clone()]);
+        match reg.submit(*tenant, &batch) {
+            Ok(outcome) => {
+                applied += 1;
+                last_seq = outcome.log_seq;
+            }
             Err(sv_durable::DurableIngestError::Rejected { .. }) => rejected += 1,
             Err(e) => panic!("durable failure: {e}"),
         }
+        if (frame + 1) % group == 0 {
+            reg.wait_durable(last_seq).expect("group commit");
+        }
     }
-    (start.elapsed().as_nanos() as f64, applied, rejected, reg)
+    reg.wait_durable(last_seq).expect("final sync");
+    let ns = start.elapsed().as_nanos() as f64;
+    let stats = reg.lane_stats();
+    (ns, applied, rejected, stats, reg)
 }
 
 /// The live state recovery must reproduce: per tenant, the relation
@@ -158,26 +191,51 @@ fn run_durability(_c: &mut Criterion) {
     let tape = make_tape(&wf);
     let dir = bench_dir("main");
 
-    // ── Write-through ingest: best of EPISODES full tapes. ─────────
+    // ── Per-frame fsync baseline: best of EPISODES full tapes. ─────
+    let mut best_per_frame = f64::INFINITY;
+    let mut per_frame_stats = LaneStats::default();
+    for episode in 0..EPISODES {
+        let edir = bench_dir(&format!("pf{episode}"));
+        let (ns, applied, _, stats, reg) = play_tape(&edir, &wf, &tape, 1);
+        best_per_frame = best_per_frame.min(ns / FRAMES as f64);
+        assert_eq!(stats.fsyncs, applied, "per-frame mode syncs every frame");
+        assert_eq!(stats.coalesced, 0, "single writer, no pipelining");
+        per_frame_stats = stats;
+        drop(reg);
+        let _ = std::fs::remove_dir_all(&edir);
+    }
+
+    // ── Grouped ingest (the production path): best of EPISODES. ────
     let mut best_ingest = f64::INFINITY;
-    let mut keep: Option<(u64, u64, Arc<DurableRegistry>)> = None;
+    let mut keep: Option<(u64, u64, LaneStats, Arc<DurableRegistry>)> = None;
     for episode in 0..EPISODES {
         let edir = if episode + 1 == EPISODES {
             dir.clone()
         } else {
             bench_dir(&format!("warm{episode}"))
         };
-        let (ns, applied, rejected, reg) = play_tape(&edir, &wf, &tape);
+        let (ns, applied, rejected, stats, reg) = play_tape(&edir, &wf, &tape, GROUP);
         best_ingest = best_ingest.min(ns / FRAMES as f64);
         if episode + 1 == EPISODES {
-            keep = Some((applied, rejected, reg));
+            keep = Some((applied, rejected, stats, reg));
         } else {
             drop(reg);
             let _ = std::fs::remove_dir_all(&edir);
         }
     }
-    let (applied, rejected, reg) = keep.expect("last episode kept");
+    let (applied, rejected, lane, reg) = keep.expect("last episode kept");
     assert_eq!(applied + rejected, FRAMES as u64);
+    assert_eq!(lane.frames, applied, "every accepted frame is logged");
+    assert_eq!(
+        lane.frames_synced,
+        lane.fsyncs + lane.coalesced,
+        "coalesce identity"
+    );
+    assert!(
+        lane.fsyncs < per_frame_stats.fsyncs,
+        "grouping must shrink the fsync count"
+    );
+    let speedup = best_per_frame / best_ingest;
     let expected_epochs = live_epochs(&reg);
     let expected_ledgers: Vec<usize> = (1..=TENANTS)
         .map(|t| reg.ledger_len(TenantId(t)).expect("registered"))
@@ -221,8 +279,21 @@ fn run_durability(_c: &mut Criterion) {
         replayed > 0,
         "snapshot mid-tape leaves a log tail to replay"
     );
+    assert_eq!(
+        replay_rejected, 0,
+        "frames are validated before logging; replay never re-rejects"
+    );
 
     criterion::record_metric("e22_durability/ingest/ns_per_row", best_ingest);
+    criterion::record_metric(
+        "e22_durability/ingest/per_frame_fsync_ns_per_row",
+        best_per_frame,
+    );
+    criterion::record_metric("e22_durability/gate/grouped_speedup", speedup);
+    criterion::record_metric(
+        "e22_durability/gate/grouped_speedup_ok",
+        f64::from(u8::from(speedup >= 3.0)),
+    );
     criterion::record_metric("e22_durability/recovery/ms", best_recover / 1e6);
     criterion::record_metric(
         "e22_durability/recovery/ns_per_replayed_row",
@@ -245,6 +316,13 @@ fn run_durability(_c: &mut Criterion) {
     );
     criterion::record_metric("e22_durability/stats/rows_applied", applied as f64);
     criterion::record_metric("e22_durability/stats/rows_rejected", rejected as f64);
+    criterion::record_metric("e22_durability/stats/frames_appended", lane.frames as f64);
+    criterion::record_metric("e22_durability/stats/fsyncs", lane.fsyncs as f64);
+    criterion::record_metric("e22_durability/stats/coalesced", lane.coalesced as f64);
+    criterion::record_metric(
+        "e22_durability/stats/per_frame_fsyncs",
+        per_frame_stats.fsyncs as f64,
+    );
     criterion::record_metric(
         "e22_durability/stats/epoch_checksum",
         epoch_checksum(&expected_epochs),
@@ -255,6 +333,7 @@ fn run_durability(_c: &mut Criterion) {
     );
     criterion::record_metric("e22_durability/env/tenants", TENANTS as f64);
     criterion::record_metric("e22_durability/env/frames", FRAMES as f64);
+    criterion::record_metric("e22_durability/env/group", GROUP as f64);
     criterion::record_metric("e22_durability/env/snapshot_at", SNAPSHOT_AT as f64);
 
     // Sanity anchor for the counters: the log and snapshot reflect the

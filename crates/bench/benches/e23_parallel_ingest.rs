@@ -1,0 +1,226 @@
+//! E23 — **parallel ingest**: concurrent writers through the sharded
+//! ingest path and the durable group-commit lane, measured end to end.
+//!
+//! Workload: [`WRITERS`] = 1/2/4/8 writer threads, each owning one
+//! streaming tenant (a `one_one_chain(1, 4)` — 8 boolean attributes)
+//! behind one [`DurableRegistry`]. Every writer plays
+//! [`FRAMES_PER_WRITER`] frames of [`ROWS_PER_FRAME`] valid rows
+//! through the full ack'd path (`submit` + `wait_durable` per frame),
+//! so concurrent acks coalesce onto shared fsyncs through the commit
+//! lane's bounded wait window.
+//!
+//! A separate single-writer **pipelined** pass (submit [`GROUP`]
+//! frames, then one `wait_durable`) pins the lane's deterministic
+//! counters: exactly `frames / GROUP` fsyncs, everything else
+//! coalesced.
+//!
+//! Reported into `BENCH_durable.json` via `--save-baseline`:
+//!
+//! * `tN/rows_per_sec` — ack'd ingest throughput at N writers, best of
+//!   [`EPISODES`] runs.
+//! * `tN/fsyncs_per_frame`, `tN/coalesced_fraction` — how much of the
+//!   fsync cost the lane absorbed at N writers (schedule-dependent, so
+//!   reported but not exact-gated).
+//! * `pipelined/rows_per_sec` — single-writer pipelined throughput.
+//! * `exact/*` — deterministic counters, exact-gated by CI: per-run
+//!   frame counts, the pipelined run's fsync/coalesce split, and the
+//!   `frames_synced == fsyncs + coalesced` identity plus
+//!   every-frame-acked flag across **all** runs.
+//!
+//! The correctness of what these runs produce — live ≡ recovered ≡
+//! rebuilt-from-scratch at every thread count — is proved by
+//! `sv-durable/tests/parallel_ingest_prop.rs`; this bench pins the
+//! throughput and the coalesce accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use sv_core::safety::IngestBatch;
+use sv_durable::{DurableRegistry, LaneStats};
+use sv_relation::Tuple;
+use sv_serve::{TenantConfig, TenantId};
+use sv_workflow::{library, Workflow};
+
+/// Writer-thread counts swept by the bench.
+const WRITERS: [usize; 4] = [1, 2, 4, 8];
+/// Boolean wires per tenant workflow: 8 attributes, 16 distinct rows.
+const WIRES: usize = 4;
+/// Ack'd frames each writer plays per run.
+const FRAMES_PER_WRITER: usize = 192;
+/// Rows per ingest frame.
+const ROWS_PER_FRAME: usize = 4;
+/// Frames covered by one `wait_durable` in the pipelined pass.
+const GROUP: usize = 64;
+/// Frames in the single-writer pipelined pass.
+const PIPELINE_FRAMES: usize = 512;
+/// Group-commit window for the concurrent runs.
+const COMMIT_WINDOW: Duration = Duration::from_micros(100);
+/// Episodes per thread count; the best (minimum) time is kept.
+const EPISODES: usize = 2;
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sv-e23-{tag}-{}", std::process::id()))
+}
+
+fn tenant_workflow() -> Workflow {
+    library::one_one_chain(1, WIRES)
+}
+
+fn chain_row(wf: &Workflow, bits: u32) -> Tuple {
+    let input: Vec<u32> = (0..WIRES).map(|w| (bits >> w) & 1).collect();
+    wf.run(&input).expect("chain accepts all boolean inputs")
+}
+
+/// One concurrent run: `threads` writers, each acking every frame.
+/// Returns (elapsed ns, lane stats).
+fn run_writers(dir: &std::path::Path, wf: &Workflow, threads: usize) -> (f64, LaneStats) {
+    let _ = std::fs::remove_dir_all(dir);
+    let reg = Arc::new(DurableRegistry::create(dir).expect("create durable dir"));
+    reg.set_commit_window(COMMIT_WINDOW);
+    for w in 0..threads {
+        reg.register(TenantId(1 + w as u64), TenantConfig::new(wf))
+            .expect("register");
+    }
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let reg = Arc::clone(&reg);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xE23 ^ (w as u64) << 16);
+                let tid = TenantId(1 + w as u64);
+                for _ in 0..FRAMES_PER_WRITER {
+                    let rows: Vec<Tuple> = (0..ROWS_PER_FRAME)
+                        .map(|_| chain_row(wf, rng.gen_range(0..1u32 << WIRES)))
+                        .collect();
+                    reg.ingest(tid, &rows).expect("valid frames always land");
+                }
+            });
+        }
+    });
+    let ns = start.elapsed().as_nanos() as f64;
+    let stats = reg.lane_stats();
+    drop(reg);
+    let _ = std::fs::remove_dir_all(dir);
+    (ns, stats)
+}
+
+/// Single-writer pipelined pass: submit `GROUP` frames, then one
+/// `wait_durable`, with a zero commit window — so the fsync count is
+/// exactly `PIPELINE_FRAMES / GROUP`, deterministically.
+fn run_pipelined(dir: &std::path::Path, wf: &Workflow) -> (f64, LaneStats) {
+    let _ = std::fs::remove_dir_all(dir);
+    let reg = Arc::new(DurableRegistry::create(dir).expect("create durable dir"));
+    reg.register(TenantId(1), TenantConfig::new(wf))
+        .expect("register");
+    let mut rng = StdRng::seed_from_u64(0xE23);
+    let start = Instant::now();
+    let mut last_seq = 0u64;
+    for frame in 0..PIPELINE_FRAMES {
+        let rows: Vec<Tuple> = (0..ROWS_PER_FRAME)
+            .map(|_| chain_row(wf, rng.gen_range(0..1u32 << WIRES)))
+            .collect();
+        let outcome = reg
+            .submit(TenantId(1), &IngestBatch::new(rows))
+            .expect("valid frames always land");
+        last_seq = outcome.log_seq;
+        if (frame + 1) % GROUP == 0 {
+            reg.wait_durable(last_seq).expect("group commit");
+        }
+    }
+    reg.wait_durable(last_seq).expect("final sync");
+    let ns = start.elapsed().as_nanos() as f64;
+    let stats = reg.lane_stats();
+    drop(reg);
+    let _ = std::fs::remove_dir_all(dir);
+    (ns, stats)
+}
+
+fn run_parallel_ingest(_c: &mut Criterion) {
+    let wf = tenant_workflow();
+    let mut identity_ok = true;
+    let mut acked_ok = true;
+
+    for &threads in &WRITERS {
+        let mut best_ns = f64::INFINITY;
+        let mut best_stats = LaneStats::default();
+        for episode in 0..EPISODES {
+            let dir = bench_dir(&format!("t{threads}e{episode}"));
+            let (ns, stats) = run_writers(&dir, &wf, threads);
+            let frames = (threads * FRAMES_PER_WRITER) as u64;
+            assert_eq!(stats.frames, frames, "every frame is logged");
+            identity_ok &= stats.frames_synced == stats.fsyncs + stats.coalesced;
+            acked_ok &= stats.frames_synced == stats.frames;
+            if ns < best_ns {
+                best_ns = ns;
+                best_stats = stats;
+            }
+        }
+        let rows = (threads * FRAMES_PER_WRITER * ROWS_PER_FRAME) as f64;
+        criterion::record_metric(
+            &format!("e23_parallel_ingest/t{threads}/rows_per_sec"),
+            rows / (best_ns / 1e9),
+        );
+        criterion::record_metric(
+            &format!("e23_parallel_ingest/t{threads}/fsyncs_per_frame"),
+            best_stats.fsyncs as f64 / best_stats.frames as f64,
+        );
+        criterion::record_metric(
+            &format!("e23_parallel_ingest/t{threads}/coalesced_fraction"),
+            best_stats.coalesced as f64 / best_stats.frames as f64,
+        );
+        criterion::record_metric(
+            &format!("e23_parallel_ingest/exact/t{threads}_frames"),
+            (threads * FRAMES_PER_WRITER) as f64,
+        );
+    }
+
+    // ── Deterministic pipelined pass ───────────────────────────────
+    let (pipe_ns, pipe) = run_pipelined(&bench_dir("pipe"), &wf);
+    assert_eq!(pipe.frames, PIPELINE_FRAMES as u64);
+    assert_eq!(
+        pipe.fsyncs,
+        (PIPELINE_FRAMES / GROUP) as u64,
+        "pipelined single writer: exactly one fsync per group"
+    );
+    identity_ok &= pipe.frames_synced == pipe.fsyncs + pipe.coalesced;
+    acked_ok &= pipe.frames_synced == pipe.frames;
+    criterion::record_metric(
+        "e23_parallel_ingest/pipelined/rows_per_sec",
+        (PIPELINE_FRAMES * ROWS_PER_FRAME) as f64 / (pipe_ns / 1e9),
+    );
+    criterion::record_metric(
+        "e23_parallel_ingest/exact/pipelined_fsyncs",
+        pipe.fsyncs as f64,
+    );
+    criterion::record_metric(
+        "e23_parallel_ingest/exact/pipelined_coalesced",
+        pipe.coalesced as f64,
+    );
+    criterion::record_metric(
+        "e23_parallel_ingest/exact/coalesce_identity",
+        f64::from(u8::from(identity_ok)),
+    );
+    criterion::record_metric(
+        "e23_parallel_ingest/exact/all_frames_acked",
+        f64::from(u8::from(acked_ok)),
+    );
+    criterion::record_metric(
+        "e23_parallel_ingest/env/frames_per_writer",
+        FRAMES_PER_WRITER as f64,
+    );
+    criterion::record_metric(
+        "e23_parallel_ingest/env/rows_per_frame",
+        ROWS_PER_FRAME as f64,
+    );
+    criterion::record_metric("e23_parallel_ingest/env/group", GROUP as f64);
+    criterion::record_metric(
+        "e23_parallel_ingest/env/commit_window_us",
+        COMMIT_WINDOW.as_micros() as f64,
+    );
+}
+
+criterion_group!(benches, run_parallel_ingest);
+criterion_main!(benches);

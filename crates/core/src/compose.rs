@@ -163,7 +163,7 @@ pub fn union_of_standalone_optima_with(
             .oracle(id)
             .ok_or(CoreError::MissingOracle { module: id.index() })?;
         let Some((local_hidden, _)) =
-            crate::safety::min_cost_safe_hidden(oracle, &local_costs, gamma)?
+            crate::safety::min_cost_safe_hidden(&*oracle, &local_costs, gamma)?
         else {
             return Err(CoreError::BudgetExceeded {
                 what: "no safe standalone subset exists for a module",

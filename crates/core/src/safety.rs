@@ -45,7 +45,7 @@
 //! module or stale [`ProbeRequest::epoch`] ⇒ the whole batch fails
 //! before any memo state is touched).
 //!
-//! ### Concurrent reads, single writer
+//! ### Concurrent reads, sharded writes
 //!
 //! Every probe in this module takes **`&self`**: [`MemoSafetyOracle`]
 //! keeps its level cache in `MEMO_SHARDS` (16) read-mostly lock shards
@@ -53,15 +53,21 @@
 //! probes from any number of serving threads — and the sweep workers
 //! sharing one oracle per lattice — proceed in parallel on shard
 //! read-locks. [`WorkflowOracles::probe_batch`] is likewise `&self`.
-//! The *only* writers are the streaming appends
-//! ([`MemoSafetyOracle::append_execution`],
-//! [`WorkflowOracles::ingest_execution`] /
-//! [`WorkflowOracles::append_execution`]), which take `&mut self`:
-//! Rust's aliasing rules make "readers run concurrently, the writer
-//! runs alone" a compile-time property rather than a locking protocol,
-//! and epoch-conditioned requests ([`ProbeRequest::epoch`]) let clients
-//! detect an append that slipped between deriving a question and
-//! asking it ([`CoreError::StaleEpoch`]).
+//! Writes are **sharded per module**: [`WorkflowOracles`] holds each
+//! module's oracle behind its own `RwLock`, so the batch-ingest path
+//! ([`WorkflowOracles::validate_batch`] →
+//! [`WorkflowOracles::apply_batch`]) validates a whole
+//! [`IngestBatch`] up front under read locks, then applies per-module
+//! mutations concurrently — a probe only waits for the one module
+//! currently being appended, never for the whole workflow. New epochs
+//! are published through a seqlock-style epoch pair
+//! ([`WorkflowOracles::epoch_snapshot`]), so epoch reads never block
+//! on an in-flight append, and epoch-conditioned requests
+//! ([`ProbeRequest::epoch`]) let clients detect an append that slipped
+//! between deriving a question and asking it
+//! ([`CoreError::StaleEpoch`]). The legacy `&mut self` appends
+//! ([`WorkflowOracles::ingest_execution`] /
+//! [`WorkflowOracles::append_execution`]) remain for exclusive owners.
 //!
 //! The instrumented black-box interface of the Theorem-3 experiments
 //! ([`crate::oracle::SafeViewOracle`]) sits *on top* of this layer:
@@ -99,8 +105,9 @@
 use crate::error::CoreError;
 use crate::standalone::{StandaloneModule, MAX_DENSE_ATTRS};
 use std::collections::HashMap;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{RwLock, RwLockReadGuard};
 use sv_relation::{AttrSet, ScratchPool};
 use sv_workflow::{ModuleId, Workflow};
 
@@ -978,16 +985,123 @@ pub struct WorkflowOracles {
     /// Module id → `entries` index, fixed at construction — the batch
     /// router's O(1) lookup ([`probe_batch`](Self::probe_batch)).
     by_id: HashMap<ModuleId, usize>,
+    /// Seqlock sequence for epoch publication: odd while a publication
+    /// is in flight, even when the published epochs are a consistent
+    /// cut. [`epoch_snapshot`](Self::epoch_snapshot) spins on this
+    /// instead of taking any module lock.
+    epoch_seq: AtomicU64,
 }
 
 /// One private module's oracle plus the global attribute set needed to
 /// slice workflow-level provenance rows down to the module sub-schema.
+///
+/// The oracle sits behind its **own** lock: probes and appends to
+/// *different* modules never contend, which is what lets
+/// [`WorkflowOracles::apply_batch`] mutate modules concurrently while
+/// probes keep flowing to the others.
 struct OracleEntry {
     id: ModuleId,
     /// The module's attributes in **global** (workflow-schema) ids.
     attrs: AttrSet,
-    oracle: MemoSafetyOracle,
+    oracle: RwLock<MemoSafetyOracle>,
+    /// The module's last *published* relation epoch. Guarded by the
+    /// seqlock pair in [`WorkflowOracles::epoch_seq`], not by `oracle`'s
+    /// lock — epoch readers never touch the module lock.
+    published: AtomicU64,
 }
+
+impl OracleEntry {
+    fn new(id: ModuleId, attrs: AttrSet, oracle: MemoSafetyOracle) -> Self {
+        let published = AtomicU64::new(oracle.relation_epoch());
+        Self {
+            id,
+            attrs,
+            oracle: RwLock::new(oracle),
+            published,
+        }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, MemoSafetyOracle> {
+        self.oracle.read().expect("module oracle lock poisoned")
+    }
+}
+
+/// A shared read guard over one module's memoized oracle, handed out by
+/// [`WorkflowOracles::oracle`] / [`WorkflowOracles::iter`]. Derefs to
+/// [`MemoSafetyOracle`], so probe call sites are unchanged; holding it
+/// blocks only appends **to this module**, never the rest of the
+/// workflow.
+pub struct OracleGuard<'a> {
+    guard: RwLockReadGuard<'a, MemoSafetyOracle>,
+}
+
+impl Deref for OracleGuard<'_> {
+    type Target = MemoSafetyOracle;
+
+    fn deref(&self) -> &MemoSafetyOracle {
+        &self.guard
+    }
+}
+
+/// A typed batch of workflow-schema provenance rows headed for ingest —
+/// the unit of the batch-ingest surface
+/// ([`WorkflowOracles::validate_batch`] →
+/// [`WorkflowOracles::apply_batch`]). Frames are all-or-nothing: either
+/// every row of the batch is applied to every module, or none is.
+#[derive(Clone, Debug, Default)]
+pub struct IngestBatch {
+    rows: Vec<sv_relation::Tuple>,
+}
+
+impl IngestBatch {
+    /// Wraps workflow-schema rows (e.g. from [`Workflow::run`]).
+    #[must_use]
+    pub fn new(rows: Vec<sv_relation::Tuple>) -> Self {
+        Self { rows }
+    }
+
+    /// Builds a batch by cloning a row slice.
+    #[must_use]
+    pub fn from_rows(rows: &[sv_relation::Tuple]) -> Self {
+        Self {
+            rows: rows.to_vec(),
+        }
+    }
+
+    /// The batch's rows, in arrival order.
+    #[must_use]
+    pub fn rows(&self) -> &[sv_relation::Tuple] {
+        &self.rows
+    }
+
+    /// Number of rows in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the batch holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Proof that an [`IngestBatch`] validated against every module of a
+/// [`WorkflowOracles`]: the per-module projections, ready to apply.
+/// Produced by [`WorkflowOracles::validate_batch`], consumed by
+/// [`WorkflowOracles::apply_batch`]; the validate→apply pair must be
+/// serialized against other writers of the same instance (the serving
+/// tier's per-tenant ingest lane provides exactly this).
+pub struct ValidatedBatch {
+    /// Per `entries` index: the batch's projections, batch order.
+    projections: Vec<Vec<sv_relation::Tuple>>,
+}
+
+/// Batches at least this large (rows × modules) apply their per-module
+/// mutations on scoped threads; smaller frames stay on the caller's
+/// thread (spawn cost would dominate).
+const PARALLEL_APPLY_MIN_WORK: usize = 256;
 
 impl WorkflowOracles {
     /// Materializes each private module's relation (budget-capped) and
@@ -1000,11 +1114,11 @@ impl WorkflowOracles {
         let mut entries = Vec::new();
         for id in workflow.private_modules() {
             let sm = StandaloneModule::from_workflow_module(workflow, id, budget)?;
-            entries.push(OracleEntry {
+            entries.push(OracleEntry::new(
                 id,
-                attrs: workflow.module(id)?.attr_set(),
-                oracle: MemoSafetyOracle::new(sm),
-            });
+                workflow.module(id)?.attr_set(),
+                MemoSafetyOracle::new(sm),
+            ));
         }
         Ok(Self::from_entries(entries))
     }
@@ -1022,18 +1136,158 @@ impl WorkflowOracles {
         let mut entries = Vec::new();
         for id in workflow.private_modules() {
             let sm = StandaloneModule::empty_from_workflow_module(workflow, id)?;
-            entries.push(OracleEntry {
+            entries.push(OracleEntry::new(
                 id,
-                attrs: workflow.module(id)?.attr_set(),
-                oracle: MemoSafetyOracle::new(sm),
-            });
+                workflow.module(id)?.attr_set(),
+                MemoSafetyOracle::new(sm),
+            ));
         }
         Ok(Self::from_entries(entries))
     }
 
     fn from_entries(entries: Vec<OracleEntry>) -> Self {
         let by_id = entries.iter().enumerate().map(|(i, e)| (e.id, i)).collect();
-        Self { entries, by_id }
+        Self {
+            entries,
+            by_id,
+            epoch_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Exclusive access to one entry's oracle (no locking: `&mut self`
+    /// proves no reader exists).
+    fn oracle_mut(entry: &mut OracleEntry) -> &mut MemoSafetyOracle {
+        entry.oracle.get_mut().expect("module oracle lock poisoned")
+    }
+
+    /// Re-reads every module's relation epoch and publishes the vector
+    /// through the seqlock pair: bump to odd, store, bump back to even.
+    /// Callers must be serialized with each other (the single-writer
+    /// contract of the ingest lane / `&mut` ownership); concurrent
+    /// [`epoch_snapshot`](Self::epoch_snapshot) readers retry instead
+    /// of blocking.
+    fn publish_epochs(&self) {
+        self.epoch_seq.fetch_add(1, Ordering::AcqRel);
+        for e in &self.entries {
+            e.published
+                .store(e.read().relation_epoch(), Ordering::Release);
+        }
+        self.epoch_seq.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A consistent `(module, epoch)` cut across every module — the
+    /// seqlock read side. Lock-free: never touches a module lock, so
+    /// epoch reads (and probe-batch validation) proceed even while an
+    /// append holds a module's write lock. Entries come back in
+    /// `private_modules()` order.
+    #[must_use]
+    pub fn epoch_snapshot(&self) -> Vec<(ModuleId, u64)> {
+        loop {
+            let begin = self.epoch_seq.load(Ordering::Acquire);
+            if begin & 1 == 0 {
+                let snap: Vec<(ModuleId, u64)> = self
+                    .entries
+                    .iter()
+                    .map(|e| (e.id, e.published.load(Ordering::Acquire)))
+                    .collect();
+                if self.epoch_seq.load(Ordering::Acquire) == begin {
+                    return snap;
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Validates a whole [`IngestBatch`] against every module under
+    /// **read** locks — recorded-relation and in-batch functional
+    /// dependencies, domains — without mutating anything. On success
+    /// the returned [`ValidatedBatch`] carries the per-module
+    /// projections for [`apply_batch`](Self::apply_batch).
+    ///
+    /// # Errors
+    /// Propagates validation failures (domains, FD), row-indexed into
+    /// the batch; no module state was touched.
+    pub fn validate_batch(&self, batch: &IngestBatch) -> Result<ValidatedBatch, CoreError> {
+        let mut projections = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            let projs: Vec<sv_relation::Tuple> =
+                batch.rows().iter().map(|r| r.project(&e.attrs)).collect();
+            e.read().module().validate_executions(&projs)?;
+            projections.push(projs);
+        }
+        Ok(ValidatedBatch { projections })
+    }
+
+    /// Applies a validated batch: each module appends its projections
+    /// under its **own** write lock — concurrently on scoped threads
+    /// when the batch is large enough — then the new epochs are
+    /// published through the seqlock pair. Probes to modules not
+    /// currently under append proceed throughout.
+    ///
+    /// The validate→apply pair must be serialized against other writers
+    /// of this instance (the per-tenant ingest lane, or `&mut`
+    /// ownership). Returns the total number of new module rows.
+    ///
+    /// # Errors
+    /// Propagates an append failure — only reachable when a racing
+    /// writer violated the serialization contract between
+    /// [`validate_batch`](Self::validate_batch) and this call; modules
+    /// already applied are **not** rolled back.
+    pub fn apply_batch(&self, validated: ValidatedBatch) -> Result<usize, CoreError> {
+        let ValidatedBatch { projections } = validated;
+        let rows = projections.first().map_or(0, Vec::len);
+        let result =
+            if rows * self.entries.len() >= PARALLEL_APPLY_MIN_WORK && self.entries.len() > 1 {
+                std::thread::scope(|s| {
+                    let workers: Vec<_> = self
+                        .entries
+                        .iter()
+                        .zip(&projections)
+                        .map(|(e, projs)| {
+                            s.spawn(move || {
+                                e.oracle
+                                    .write()
+                                    .expect("module oracle lock poisoned")
+                                    .append_execution(projs)
+                            })
+                        })
+                        .collect();
+                    let mut added = 0usize;
+                    let mut first_err = None;
+                    for w in workers {
+                        match w.join().expect("apply worker panicked") {
+                            Ok(n) => added += n,
+                            Err(e) if first_err.is_none() => first_err = Some(e),
+                            Err(_) => {}
+                        }
+                    }
+                    first_err.map_or(Ok(added), Err)
+                })
+            } else {
+                let mut added = 0usize;
+                for (e, projs) in self.entries.iter().zip(&projections) {
+                    added += e
+                        .oracle
+                        .write()
+                        .expect("module oracle lock poisoned")
+                        .append_execution(projs)?;
+                }
+                Ok(added)
+            };
+        self.publish_epochs();
+        result
+    }
+
+    /// Validates and applies one batch —
+    /// [`validate_batch`](Self::validate_batch) then
+    /// [`apply_batch`](Self::apply_batch). All-or-nothing: a batch that
+    /// fails validation for any module mutates none.
+    ///
+    /// # Errors
+    /// Propagates validation failures (domains, FD), row-indexed.
+    pub fn ingest_batch(&self, batch: &IngestBatch) -> Result<usize, CoreError> {
+        let validated = self.validate_batch(batch)?;
+        self.apply_batch(validated)
     }
 
     /// Ingests one workflow execution (a full provenance row over the
@@ -1051,18 +1305,18 @@ impl WorkflowOracles {
     pub fn ingest_execution(&mut self, row: &sv_relation::Tuple) -> Result<usize, CoreError> {
         let projections: Vec<sv_relation::Tuple> =
             self.entries.iter().map(|e| row.project(&e.attrs)).collect();
-        for (e, p) in self.entries.iter().zip(&projections) {
-            e.oracle
+        for (e, p) in self.entries.iter_mut().zip(&projections) {
+            Self::oracle_mut(e)
                 .module()
                 .validate_executions(std::slice::from_ref(p))?;
         }
         let mut added = 0;
         for (e, p) in self.entries.iter_mut().zip(&projections) {
-            added += e
-                .oracle
+            added += Self::oracle_mut(e)
                 .append_execution(std::slice::from_ref(p))
                 .expect("validated above");
         }
+        self.publish_epochs();
         Ok(added)
     }
 
@@ -1082,7 +1336,9 @@ impl WorkflowOracles {
             .by_id
             .get(&id)
             .ok_or(CoreError::MissingOracle { module: id.index() })?;
-        self.entries[idx].oracle.append_execution(rows)
+        let added = Self::oracle_mut(&mut self.entries[idx]).append_execution(rows)?;
+        self.publish_epochs();
+        Ok(added)
     }
 
     /// Replaces one module's state with rows recovered from durable
@@ -1107,15 +1363,18 @@ impl WorkflowOracles {
             .get(&id)
             .ok_or(CoreError::MissingOracle { module: id.index() })?;
         let entry = &mut self.entries[idx];
-        let m = entry.oracle.module();
-        let restored = StandaloneModule::from_recovered(
-            m.schema().clone(),
-            m.inputs().clone(),
-            m.outputs().clone(),
-            rows,
-            epoch,
-        )?;
-        entry.oracle = MemoSafetyOracle::new(restored);
+        let restored = {
+            let m = Self::oracle_mut(entry).module();
+            StandaloneModule::from_recovered(
+                m.schema().clone(),
+                m.inputs().clone(),
+                m.outputs().clone(),
+                rows,
+                epoch,
+            )?
+        };
+        *Self::oracle_mut(entry) = MemoSafetyOracle::new(restored);
+        self.publish_epochs();
         Ok(())
     }
 
@@ -1158,7 +1417,8 @@ impl WorkflowOracles {
                     module_rows.push(p);
                 }
             }
-            let m = entry.oracle.module();
+            let guard = entry.read();
+            let m = guard.module();
             restored.push((
                 idx,
                 StandaloneModule::from_recovered(
@@ -1176,8 +1436,9 @@ impl WorkflowOracles {
             });
         }
         for (idx, sm) in restored {
-            self.entries[idx].oracle = MemoSafetyOracle::new(sm);
+            *Self::oracle_mut(&mut self.entries[idx]) = MemoSafetyOracle::new(sm);
         }
+        self.publish_epochs();
         Ok(())
     }
 
@@ -1191,11 +1452,15 @@ impl WorkflowOracles {
     /// **Concurrent serving:** this takes `&self` — any number of
     /// serving threads fire batches at one shared instance, and warm
     /// batches (all modules' memos current) proceed fully in parallel
-    /// on shard read-locks. The only writer is
-    /// [`ingest_execution`](Self::ingest_execution) /
-    /// [`append_execution`](Self::append_execution) (`&mut self`), so a
-    /// batch never observes a half-applied append; clients guard
-    /// against serving *around* an append with [`ProbeRequest::epoch`].
+    /// on shard read-locks. Ingest runs concurrently through
+    /// [`validate_batch`](Self::validate_batch) /
+    /// [`apply_batch`](Self::apply_batch): a probe waits only for the
+    /// one module currently under append (its `RwLock`), epoch
+    /// validation is lock-free (seqlock), and a module sub-batch never
+    /// observes a half-applied append. Clients guard against serving
+    /// *around* an append with [`ProbeRequest::epoch`] — re-checked
+    /// under each module's lock, so a raced append surfaces as
+    /// [`CoreError::StaleEpoch`], never as a wrong-epoch answer.
     ///
     /// **Atomic rejection:** the whole batch is validated first — every
     /// request must name a covered module and (when
@@ -1228,16 +1493,23 @@ impl WorkflowOracles {
     pub fn probe_batch(&self, requests: &[ProbeRequest]) -> Result<Vec<ProbeOutcome>, CoreError> {
         // Phase 1: resolve and validate every request — no oracle (and
         // therefore no memo state) is touched until the batch is known
-        // to be fully addressable. Requests are bucketed per module in
-        // the same pass, so routing stays O(requests) however many
-        // modules the workflow has.
+        // to be fully addressable. Epochs come from the seqlock
+        // publication, so validation never waits on an in-flight
+        // append's module lock. Requests are bucketed per module in the
+        // same pass, so routing stays O(requests) however many modules
+        // the workflow has.
+        let published: Vec<u64> = self
+            .epoch_snapshot()
+            .into_iter()
+            .map(|(_, epoch)| epoch)
+            .collect();
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.entries.len()];
         for (pos, r) in requests.iter().enumerate() {
             let &idx = self.by_id.get(&r.module).ok_or(CoreError::MissingOracle {
                 module: r.module.index(),
             })?;
-            let actual = self.entries[idx].oracle.relation_epoch();
             if let Some(expected) = r.epoch {
+                let actual = published[idx];
                 if expected != actual {
                     return Err(CoreError::StaleEpoch {
                         module: r.module.index(),
@@ -1249,8 +1521,11 @@ impl WorkflowOracles {
             buckets[idx].push(pos);
         }
         // Phase 2: per-module sub-batches through the batched oracle
-        // path; wide visible sets (no word encoding) fall back to the
-        // per-probe path of the same oracle.
+        // path, each under its module's read lock; wide visible sets
+        // (no word encoding) fall back to the per-probe path of the
+        // same oracle. Epoch conditions are re-checked under the lock:
+        // an append that raced in after phase-1 validation surfaces as
+        // `StaleEpoch`, never as an answer at the wrong epoch.
         let mut out: Vec<ProbeOutcome> = requests
             .iter()
             .map(|r| ProbeOutcome {
@@ -1260,23 +1535,36 @@ impl WorkflowOracles {
             })
             .collect();
         for (entry, bucket) in self.entries.iter().zip(&buckets) {
-            let epoch = entry.oracle.relation_epoch();
+            if bucket.is_empty() {
+                continue;
+            }
+            let oracle = entry.read();
+            let epoch = oracle.relation_epoch();
             let mut word_positions: Vec<usize> = Vec::with_capacity(bucket.len());
             let mut word_probes: Vec<(u64, u128)> = Vec::with_capacity(bucket.len());
             for &pos in bucket {
                 let r = &requests[pos];
+                if let Some(expected) = r.epoch {
+                    if expected != epoch {
+                        return Err(CoreError::StaleEpoch {
+                            module: r.module.index(),
+                            expected,
+                            actual: epoch,
+                        });
+                    }
+                }
                 out[pos].epoch = epoch;
                 match r.visible.as_word() {
                     Some(w) => {
                         word_positions.push(pos);
                         word_probes.push((w, r.gamma));
                     }
-                    None => out[pos].safe = entry.oracle.is_safe(&r.visible, r.gamma),
+                    None => out[pos].safe = oracle.is_safe(&r.visible, r.gamma),
                 }
             }
             for (&pos, safe) in word_positions
                 .iter()
-                .zip(entry.oracle.is_safe_batch(&word_probes))
+                .zip(oracle.is_safe_batch(&word_probes))
             {
                 out[pos].safe = safe;
             }
@@ -1292,31 +1580,33 @@ impl WorkflowOracles {
 
     /// Shared access to one module's oracle — sufficient for every
     /// probe ([`SafetyOracle`] probes take `&self`), so serving threads
-    /// can hold references into one shared instance. The `&mut`
-    /// accessors this replaces (`oracle_mut` / `iter_mut`) are gone:
-    /// only the streaming appends mutate, through
-    /// [`append_execution`](Self::append_execution) /
-    /// [`ingest_execution`](Self::ingest_execution).
+    /// can hold guards into one shared instance. The guard holds the
+    /// module's read lock: probes to *other* modules, and the
+    /// lock-free epoch reads, are unaffected.
     #[must_use]
-    pub fn oracle(&self, id: ModuleId) -> Option<&MemoSafetyOracle> {
-        self.by_id.get(&id).map(|&i| &self.entries[i].oracle)
+    pub fn oracle(&self, id: ModuleId) -> Option<OracleGuard<'_>> {
+        self.by_id.get(&id).map(|&i| OracleGuard {
+            guard: self.entries[i].read(),
+        })
     }
 
-    /// Iterates `(id, oracle)` in `private_modules()` order.
-    pub fn iter(&self) -> impl Iterator<Item = (ModuleId, &MemoSafetyOracle)> {
-        self.entries.iter().map(|e| (e.id, &e.oracle))
+    /// Iterates `(id, oracle guard)` in `private_modules()` order.
+    pub fn iter(&self) -> impl Iterator<Item = (ModuleId, OracleGuard<'_>)> {
+        self.entries
+            .iter()
+            .map(|e| (e.id, OracleGuard { guard: e.read() }))
     }
 
     /// Total probes across all oracles.
     #[must_use]
     pub fn total_calls(&self) -> u64 {
-        self.entries.iter().map(|e| e.oracle.calls()).sum()
+        self.entries.iter().map(|e| e.read().calls()).sum()
     }
 
     /// Total cache misses (kernel evaluations) across all oracles.
     #[must_use]
     pub fn total_misses(&self) -> u64 {
-        self.entries.iter().map(|e| e.oracle.misses()).sum()
+        self.entries.iter().map(|e| e.read().misses()).sum()
     }
 }
 
@@ -1544,8 +1834,10 @@ mod tests {
         let mut oracles = WorkflowOracles::for_workflow_streaming(&w).unwrap();
         assert_eq!(oracles.module_ids().len(), 3);
         // Nothing recorded yet: vacuously safe everywhere.
-        let o = oracles.oracle(ModuleId(0)).unwrap();
-        assert_eq!(o.privacy_level(&AttrSet::new()), u128::MAX);
+        {
+            let o = oracles.oracle(ModuleId(0)).unwrap();
+            assert_eq!(o.privacy_level(&AttrSet::new()), u128::MAX);
+        }
         // Ingest every execution of the workflow's input space.
         let mut total = 0;
         for x0 in 0..2u32 {

@@ -29,6 +29,16 @@
 //! outcome carries the epoch it was answered at, so clients can chain
 //! conditioned probes without a separate epoch query.
 //!
+//! ## Durability receipts
+//!
+//! Ingest frames are acknowledged with [`Response::Receipt`] (tag
+//! `0x86`): the applied-row count, the post-frame epochs, and
+//! [`IngestReceipt::durable_seq`] — the highest write-ahead-log
+//! sequence whose fsync covers the frame (0 when the server has no
+//! durability configured). The pre-durability acknowledgement
+//! [`Response::Ingest`] (tag `0x82`) remains decodable for
+//! compatibility with older servers.
+//!
 //! The full protocol specification (tenancy model, backpressure
 //! contract, operational guide) is `docs/SERVING.md` in the repository
 //! root.
@@ -77,6 +87,7 @@ const TAG_RESP_INGEST: u8 = 0x82;
 const TAG_RESP_EPOCHS: u8 = 0x83;
 const TAG_RESP_BUSY: u8 = 0x84;
 const TAG_RESP_ERROR: u8 = 0x85;
+const TAG_RESP_RECEIPT: u8 = 0x86;
 const TAG_SET_WORD: u8 = 0x00;
 const TAG_SET_LIST: u8 = 0x01;
 
@@ -95,10 +106,11 @@ pub enum Request {
         probes: Vec<ProbeRequest>,
     },
     /// Append ingest: full provenance rows over the tenant workflow's
-    /// schema, applied **in order, row-atomically** on the tenant's
-    /// single-writer lane (a row is validated against every private
-    /// module before any module sees it; an invalid row fails the frame
-    /// with [`ServeFault::Rejected`], leaving earlier rows applied).
+    /// schema, applied **frame-atomically** on the tenant's
+    /// single-writer lane (the whole batch is validated against every
+    /// private module before any module sees a row; an invalid row
+    /// fails the frame with [`ServeFault::Rejected`] and **nothing** is
+    /// applied).
     Ingest {
         /// The tenant the rows belong to.
         tenant: u64,
@@ -118,8 +130,13 @@ pub enum Request {
 pub enum Response {
     /// Probe outcomes, in request order.
     Probe(Vec<ProbeOutcome>),
-    /// Ingest acknowledgement.
+    /// Ingest acknowledgement (legacy, pre-durability tag). Servers now
+    /// answer [`Response::Receipt`]; this variant stays decodable so
+    /// new clients interoperate with old servers.
     Ingest(IngestReply),
+    /// Ingest acknowledgement with durability: epochs *and* the
+    /// covering log sequence number.
+    Receipt(IngestReceipt),
     /// Per-module relation epochs.
     Epochs(Vec<ModuleEpoch>),
     /// Admission control rejected the frame; retry later (or shrink the
@@ -146,6 +163,24 @@ pub struct IngestReply {
     pub added: u64,
     /// The per-module epochs after the frame was applied.
     pub epochs: Vec<ModuleEpoch>,
+}
+
+/// Acknowledgement of an [`Request::Ingest`] frame with durability
+/// semantics ([`Response::Receipt`], wire tag `0x86`): everything
+/// [`IngestReply`] carried, plus the highest write-ahead-log sequence
+/// number whose fsync covered this frame. `durable_seq == 0` means the
+/// serving path has no durability configured (loopback / in-memory
+/// sinks); a nonzero value is the commit-lane guarantee that the frame
+/// survives a crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// Total **new** module rows across all private modules.
+    pub added: u64,
+    /// The per-module epochs after the frame was applied.
+    pub epochs: Vec<ModuleEpoch>,
+    /// Highest durable log sequence covering this frame (0 = no
+    /// durability configured).
+    pub durable_seq: u64,
 }
 
 /// Why admission control bounced a frame ([`Response::Busy`]). Every
@@ -653,6 +688,15 @@ impl Response {
                     put_module_epoch(&mut buf, me);
                 }
             }
+            Self::Receipt(receipt) => {
+                buf.push(TAG_RESP_RECEIPT);
+                put_u64(&mut buf, receipt.added);
+                put_u64(&mut buf, receipt.durable_seq);
+                put_u32(&mut buf, receipt.epochs.len() as u32);
+                for me in &receipt.epochs {
+                    put_module_epoch(&mut buf, me);
+                }
+            }
             Self::Epochs(epochs) => {
                 buf.push(TAG_RESP_EPOCHS);
                 put_u32(&mut buf, epochs.len() as u32);
@@ -743,6 +787,20 @@ impl Response {
                     epochs.push(r.module_epoch()?);
                 }
                 Self::Ingest(IngestReply { added, epochs })
+            }
+            TAG_RESP_RECEIPT => {
+                let added = r.u64()?;
+                let durable_seq = r.u64()?;
+                let n = r.count(12)?;
+                let mut epochs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    epochs.push(r.module_epoch()?);
+                }
+                Self::Receipt(IngestReceipt {
+                    added,
+                    epochs,
+                    durable_seq,
+                })
             }
             TAG_RESP_EPOCHS => {
                 let n = r.count(12)?;
@@ -844,6 +902,25 @@ mod tests {
                 module: ModuleId(0),
                 epoch: 5,
             }],
+        }));
+        roundtrip_response(&Response::Receipt(IngestReceipt {
+            added: 3,
+            epochs: vec![
+                ModuleEpoch {
+                    module: ModuleId(0),
+                    epoch: 5,
+                },
+                ModuleEpoch {
+                    module: ModuleId(2),
+                    epoch: 0,
+                },
+            ],
+            durable_seq: u64::MAX,
+        }));
+        roundtrip_response(&Response::Receipt(IngestReceipt {
+            added: 0,
+            epochs: Vec::new(),
+            durable_seq: 0,
         }));
         roundtrip_response(&Response::Epochs(Vec::new()));
         for reason in [

@@ -8,10 +8,17 @@
 //! record  := len:u32 LE | checksum:u64 LE | payload (len bytes)
 //! payload := tag:u8 | body
 //!
-//! tag 0x01  IngestRow  body := tenant:u64 | seq:u64 | arity:u32 | value:u32 × arity
-//! tag 0x02  Tombstone  body := tenant:u64 | seq:u64 | upto:u64
-//! tag 0x03  Compact    body := tenant:u64 | seq:u64 | compaction_epoch:u64
+//! tag 0x01  IngestRow   body := tenant:u64 | seq:u64 | arity:u32 | value:u32 × arity
+//! tag 0x02  Tombstone   body := tenant:u64 | seq:u64 | upto:u64
+//! tag 0x03  Compact     body := tenant:u64 | seq:u64 | compaction_epoch:u64
+//! tag 0x04  IngestFrame body := tenant:u64 | seq:u64 | rows:u32 | arity:u32 | value:u32 × (rows × arity)
 //! ```
+//!
+//! An `IngestFrame` is one *whole* ingest batch in one record: because
+//! the checksum covers the full payload, a crash mid-frame leaves a
+//! torn record that the scanner truncates away — frames are atomic on
+//! disk exactly as they are in memory. `IngestRow` remains decodable
+//! for logs written before frame-atomic ingest.
 //!
 //! All integers are little-endian. `checksum` is FNV-1a 64 over the
 //! payload bytes. `seq` is a global, strictly increasing log sequence
@@ -40,6 +47,7 @@ pub const RECORD_HEADER_LEN: usize = 12;
 const TAG_INGEST_ROW: u8 = 0x01;
 const TAG_TOMBSTONE: u8 = 0x02;
 const TAG_COMPACT: u8 = 0x03;
+const TAG_INGEST_FRAME: u8 = 0x04;
 
 /// FNV-1a 64-bit checksum (the log's integrity check — fast, portable,
 /// and deterministic across platforms).
@@ -57,10 +65,9 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// to and its log sequence number.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Record {
-    /// A provenance row logged **before** it was applied to the
-    /// tenant's oracles (write-ahead). Replay re-applies it through the
-    /// same validation, so a row the live path rejected is rejected
-    /// again — the log needs no "undo" records.
+    /// A single provenance row (legacy, pre-frame-atomic logs). Replay
+    /// re-applies it through the same validation, so a row the live
+    /// path rejected is rejected again.
     IngestRow {
         /// Owning tenant.
         tenant: u64,
@@ -68,6 +75,18 @@ pub enum Record {
         seq: u64,
         /// The workflow-schema row values.
         row: Vec<Value>,
+    },
+    /// One whole ingest frame, logged **after** validation but before
+    /// apply: a frame in the log is by construction a frame that
+    /// applies cleanly on replay. One record per frame means frame
+    /// atomicity on disk — a torn frame is truncated whole.
+    IngestFrame {
+        /// Owning tenant.
+        tenant: u64,
+        /// Log sequence number.
+        seq: u64,
+        /// The frame's rows (workflow-schema values, arrival order).
+        rows: Vec<Vec<Value>>,
     },
     /// Retention marker: this tenant's `IngestRow` records with
     /// `seq <= upto` are superseded by a snapshot written immediately
@@ -100,6 +119,7 @@ impl Record {
     pub fn seq(&self) -> u64 {
         match self {
             Self::IngestRow { seq, .. }
+            | Self::IngestFrame { seq, .. }
             | Self::Tombstone { seq, .. }
             | Self::Compact { seq, .. } => *seq,
         }
@@ -110,6 +130,7 @@ impl Record {
     pub fn tenant(&self) -> u64 {
         match self {
             Self::IngestRow { tenant, .. }
+            | Self::IngestFrame { tenant, .. }
             | Self::Tombstone { tenant, .. }
             | Self::Compact { tenant, .. } => *tenant,
         }
@@ -125,6 +146,22 @@ impl Record {
                 out.extend_from_slice(&(row.len() as u32).to_le_bytes());
                 for &v in row {
                     out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Self::IngestFrame { tenant, seq, rows } => {
+                out.push(TAG_INGEST_FRAME);
+                out.extend_from_slice(&tenant.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                // One workflow schema per tenant: every row of a frame
+                // has the same arity, so it is stored once.
+                let arity = rows.first().map_or(0, Vec::len);
+                out.extend_from_slice(&(arity as u32).to_le_bytes());
+                for row in rows {
+                    debug_assert_eq!(row.len(), arity, "frame rows share one schema");
+                    for &v in row {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
                 }
             }
             Self::Tombstone { tenant, seq, upto } => {
@@ -186,6 +223,25 @@ impl Record {
                     row.push(r.u32()?);
                 }
                 Self::IngestRow { tenant, seq, row }
+            }
+            TAG_INGEST_FRAME => {
+                let tenant = r.u64()?;
+                let seq = r.u64()?;
+                let nrows = r.u32()? as usize;
+                let arity = r.u32()? as usize;
+                let want = nrows.checked_mul(arity).ok_or("frame size overflows")?;
+                if want > r.remaining() / 4 {
+                    return Err(format!("frame of {nrows}x{arity} exceeds payload"));
+                }
+                let mut rows = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    let mut row = Vec::with_capacity(arity);
+                    for _ in 0..arity {
+                        row.push(r.u32()?);
+                    }
+                    rows.push(row);
+                }
+                Self::IngestFrame { tenant, seq, rows }
             }
             TAG_TOMBSTONE => Self::Tombstone {
                 tenant: r.u64()?,
@@ -382,6 +438,12 @@ impl LogWriter {
         self.next_seq
     }
 
+    /// The log file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
     /// Byte length of the log's valid prefix (everything appended).
     #[must_use]
     pub fn len_bytes(&self) -> u64 {
@@ -416,6 +478,34 @@ impl LogWriter {
             row: row.to_vec(),
         })?;
         Ok(seq)
+    }
+
+    /// Appends one whole ingest frame as a single record, returning its
+    /// sequence number. Rows must share one arity (one workflow schema
+    /// per tenant).
+    ///
+    /// # Errors
+    /// IO failures; [`DurableError::RecordTooLarge`].
+    pub fn append_frame(&mut self, tenant: u64, rows: &[Vec<Value>]) -> Result<u64, DurableError> {
+        let seq = self.next_seq;
+        self.append(&Record::IngestFrame {
+            tenant,
+            seq,
+            rows: rows.to_vec(),
+        })?;
+        Ok(seq)
+    }
+
+    /// A second handle to the log file, for syncing **outside** any
+    /// lock that guards appends: `sync_data` on the clone flushes the
+    /// same kernel file, so appenders never wait behind an fsync.
+    ///
+    /// # Errors
+    /// IO failures (descriptor duplication).
+    pub fn clone_handle(&self) -> Result<File, DurableError> {
+        self.file
+            .try_clone()
+            .map_err(|e| DurableError::io("clone log handle", &self.path, &e))
     }
 
     /// Appends a tombstone record, returning its sequence number.
@@ -503,14 +593,19 @@ mod tests {
                 seq: 1,
                 row: vec![0, 1, 2],
             },
+            Record::IngestFrame {
+                tenant: 2,
+                seq: 2,
+                rows: vec![vec![3, 4, 5], vec![6, 7, 8]],
+            },
             Record::Tombstone {
                 tenant: 1,
-                seq: 2,
+                seq: 3,
                 upto: 1,
             },
             Record::Compact {
                 tenant: 1,
-                seq: 3,
+                seq: 4,
                 compaction_epoch: 1,
             },
         ]
@@ -577,6 +672,27 @@ mod tests {
                 assert!(got.len() < records.len());
                 assert_eq!(got[..], records[..got.len()]);
             }
+        }
+    }
+
+    #[test]
+    fn frame_records_roundtrip_edge_shapes() {
+        for rows in [
+            vec![],
+            vec![vec![]],
+            vec![vec![9]; 7],
+            vec![vec![0, 1, 2, 3]; 3],
+        ] {
+            let r = Record::IngestFrame {
+                tenant: 42,
+                seq: 1,
+                rows,
+            };
+            let buf = r.encode().unwrap();
+            let (got, tail, len) = scan(&buf);
+            assert_eq!(tail, LogTail::Clean);
+            assert_eq!(len, buf.len() as u64);
+            assert_eq!(got, vec![r]);
         }
     }
 

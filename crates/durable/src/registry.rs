@@ -1,17 +1,24 @@
 //! The durable registry: a [`TenantRegistry`] whose ingest path
-//! **writes ahead** to a checksummed log, with snapshotting, log
-//! retention (tombstones + rebuild-on-compact), and crash recovery.
+//! **writes ahead** to a checksummed log through a group-commit lane,
+//! with snapshotting, log retention (tombstones + rebuild-on-compact),
+//! and crash recovery.
 //!
 //! ## Write path
 //!
 //! Every ingest frame goes through
-//! [`Tenant::ingest_rows_with`](sv_serve::Tenant::ingest_rows_with):
-//! under the tenant's single-writer lane, each row is appended to the
-//! log **before** it touches the oracle. A failure — validation or IO —
-//! stops the frame with the usual prefix discipline, so the log's
-//! record sequence is exactly the live apply-attempt sequence and
-//! replay reconstructs the same state (rows the live path rejected are
-//! rejected again by the same validation).
+//! [`Tenant::ingest_batch_with`](sv_serve::Tenant::ingest_batch_with):
+//! the whole frame is **validated first**, then logged as one frame
+//! record, then applied and published — all-or-nothing. A frame in the
+//! log is by construction a frame that applies cleanly, so replay
+//! reconstructs the same state without re-running rejections.
+//!
+//! Durability is decoupled from application: [`DurableRegistry::submit`]
+//! appends and applies without waiting for the disk, and
+//! [`DurableRegistry::wait_durable`] blocks until the frame's sequence
+//! is covered by an fsync. The [`CommitLane`] coalesces concurrent
+//! waiters into one flush (leader/follower group commit), so `N`
+//! tenants ingesting in parallel cost far fewer than `N` fsyncs.
+//! [`DurableRegistry::ingest`] is the submit-then-wait convenience.
 //!
 //! ## Recovery contract
 //!
@@ -20,7 +27,8 @@
 //! recovered registry is **bit-for-bit equivalent** to the
 //! uninterrupted run: same module rows in the same arrival order, same
 //! group structure, same relation epochs — the crash-fault suite
-//! (`tests/crash_prop.rs`) proves this at every log truncation point.
+//! (`tests/crash_prop.rs`) proves this at every log truncation point,
+//! including cuts through the middle of coalesced batches.
 //!
 //! ## Retention
 //!
@@ -29,20 +37,26 @@
 //! than any epoch a client has seen, so epoch-conditioned probes get
 //! `StaleEpoch` instead of stale answers) and a **fresh memo** per
 //! module, writes a snapshot, marks the superseded log prefix with a
-//! tombstone, and rewrites the log without it.
+//! tombstone, and rewrites the log without it. Control-plane
+//! operations (snapshot, compact) take the registry's control lock in
+//! write mode, quiescing in-flight ingest so snapshot anchors are
+//! consistent with the ledgers.
 
 use crate::error::{DurableError, LogTail};
+use crate::lane::{CommitLane, LaneStats};
 use crate::log::{LogWriter, Record};
 use crate::snapshot::{Snapshot, TenantSnapshot};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
-use sv_core::safety::SafetyOracle as _;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+use sv_core::safety::{IngestBatch, SafetyOracle as _};
 use sv_core::CoreError;
 use sv_relation::Tuple;
 use sv_serve::{
-    AdmissionLimits, IngestInterrupt, IngestSink, IngestSinkError, Tenant, TenantId, TenantRegistry,
+    AdmissionLimits, BatchIngestError, BatchOutcome, IngestSink, IngestSinkError, IngestSubmission,
+    Tenant, TenantConfig, TenantId, TenantRegistry,
 };
 use sv_workflow::{ModuleId, Workflow};
 
@@ -74,30 +88,30 @@ pub struct RecoveryReport {
     pub records_replayed: u64,
     /// Replayed rows that applied.
     pub rows_applied: u64,
-    /// Replayed rows rejected by validation (the live path rejected
-    /// them too — this is the log's write-ahead discipline, not loss).
+    /// Replayed rows rejected on replay. Frame records are validated
+    /// *before* logging, so this stays 0 for them; only legacy per-row
+    /// records (written before frame-atomic ingest) can re-reject.
     pub rows_rejected: u64,
     /// Highest sequence number in the recovered log.
     pub last_seq: u64,
 }
 
-/// An ingest through the durable registry failed.
+/// An ingest through the durable registry failed. Frames are
+/// all-or-nothing: on either variant, **nothing** of the frame was
+/// applied or logged — except [`Durable`](Self::Durable) raised by
+/// [`DurableRegistry::wait_durable`], where the frame is applied in
+/// memory but its durability is unconfirmed.
 #[derive(Debug)]
 pub enum DurableIngestError {
-    /// A row failed validation (frame-positioned, as on the plain
-    /// serving path). The row *was* logged; replay rejects it the same
-    /// way.
+    /// A row failed validation (frame-positioned via
+    /// [`CoreError::row_index`]). The frame never reached the log.
     Rejected {
-        /// Rows of the frame applied before the failure.
-        applied: u64,
         /// The offending row's error.
         error: CoreError,
     },
-    /// The durability layer refused (IO failure, unknown tenant): the
-    /// offending row was neither logged nor applied.
+    /// The durability layer refused: log append failure, fsync
+    /// failure, or unknown tenant.
     Durable {
-        /// Rows of the frame applied before the failure.
-        applied: u64,
         /// The underlying fault.
         error: DurableError,
     },
@@ -106,12 +120,8 @@ pub enum DurableIngestError {
 impl fmt::Display for DurableIngestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::Rejected { applied, error } => {
-                write!(f, "ingest rejected after {applied} rows: {error}")
-            }
-            Self::Durable { applied, error } => {
-                write!(f, "durable ingest failed after {applied} rows: {error}")
-            }
+            Self::Rejected { error } => write!(f, "ingest frame rejected: {error}"),
+            Self::Durable { error } => write!(f, "durable ingest failed: {error}"),
         }
     }
 }
@@ -119,8 +129,8 @@ impl fmt::Display for DurableIngestError {
 impl std::error::Error for DurableIngestError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            Self::Rejected { error, .. } => Some(error),
-            Self::Durable { error, .. } => Some(error),
+            Self::Rejected { error } => Some(error),
+            Self::Durable { error } => Some(error),
         }
     }
 }
@@ -133,23 +143,27 @@ struct TenantDurable {
     compaction_epoch: u64,
 }
 
-struct State {
-    log: LogWriter,
-    tenants: BTreeMap<u64, TenantDurable>,
-}
-
 /// A [`TenantRegistry`] with durability: write-ahead logging on
-/// ingest, snapshots, retention, recovery.
+/// ingest through a group-commit [`CommitLane`], snapshots, retention,
+/// recovery.
 ///
 /// All mutation must go through this wrapper (or a [`Server`]
-/// configured with [`DurableRegistry::ingest_sink`]); mutating the
-/// inner registry's tenants directly would bypass the log.
+/// configured with this registry as its ingest sink — it implements
+/// [`IngestSink`], so pass the `Arc<DurableRegistry>` to
+/// [`Server::with_ingest_sink`]); mutating the inner registry's
+/// tenants directly would bypass the log.
 ///
 /// [`Server`]: sv_serve::Server
+/// [`Server::with_ingest_sink`]: sv_serve::Server::with_ingest_sink
 pub struct DurableRegistry {
     inner: Arc<TenantRegistry>,
     dir: PathBuf,
-    state: Mutex<State>,
+    lane: CommitLane,
+    tenants: Mutex<BTreeMap<u64, TenantDurable>>,
+    /// Data plane takes this in read mode for the span of a submit;
+    /// the control plane (snapshot, compact) takes write mode so its
+    /// log anchors observe no frame halfway between log and ledger.
+    control: RwLock<()>,
 }
 
 impl DurableRegistry {
@@ -168,17 +182,17 @@ impl DurableRegistry {
         Ok(Self {
             inner: Arc::new(TenantRegistry::new()),
             dir: dir.to_path_buf(),
-            state: Mutex::new(State {
-                log,
-                tenants: BTreeMap::new(),
-            }),
+            lane: CommitLane::new(log),
+            tenants: Mutex::new(BTreeMap::new()),
+            control: RwLock::new(()),
         })
     }
 
     /// Rebuilds a registry from a durable directory: loads the snapshot
     /// (if any), restores every snapshotted tenant's modules and epochs
-    /// from its ledger, then replays the log tail (`seq > last_seq`)
-    /// through the ordinary ingest validation. The log's torn or
+    /// from its ledger, then replays the log tail (`seq > last_seq`) —
+    /// frame records apply whole (they were validated before logging),
+    /// legacy per-row records re-run validation. The log's torn or
     /// corrupt tail, if any, is truncated away so the recovered log is
     /// clean.
     ///
@@ -196,7 +210,12 @@ impl DurableRegistry {
         let inner = Arc::new(TenantRegistry::new());
         let mut tenants = BTreeMap::new();
         for def in defs {
-            inner.register_streaming(def.id, def.workflow, def.limits)?;
+            inner.create(
+                def.id,
+                TenantConfig::new(def.workflow)
+                    .streaming(true)
+                    .limits(def.limits),
+            )?;
             tenants.insert(
                 def.id.0,
                 TenantDurable {
@@ -208,7 +227,9 @@ impl DurableRegistry {
         let this = Self {
             inner,
             dir: dir.to_path_buf(),
-            state: Mutex::new(State { log, tenants }),
+            lane: CommitLane::new(log),
+            tenants: Mutex::new(tenants),
+            control: RwLock::new(()),
         };
         let mut report = RecoveryReport {
             snapshot_loaded: snapshot.is_some(),
@@ -220,10 +241,10 @@ impl DurableRegistry {
         };
         let snap_last_seq = snapshot.as_ref().map_or(0, |s| s.last_seq);
         {
-            let mut st = this.state.lock().expect("durable state poisoned");
+            let mut tmap = this.tenants.lock().expect("durable tenants poisoned");
             if let Some(snap) = snapshot {
                 for ts in snap.tenants {
-                    let Some(td) = st.tenants.get_mut(&ts.tenant) else {
+                    let Some(td) = tmap.get_mut(&ts.tenant) else {
                         return Err(DurableError::DefMismatch {
                             detail: format!(
                                 "snapshot names tenant {} with no definition",
@@ -268,23 +289,49 @@ impl DurableRegistry {
                     td.compaction_epoch = ts.compaction_epoch;
                 }
             }
-            let st = &mut *st;
             for r in &records {
                 if r.seq() <= snap_last_seq {
                     continue;
                 }
                 report.records_replayed += 1;
                 match r {
+                    Record::IngestFrame { tenant, rows, .. } => {
+                        let Some(td) = tmap.get_mut(tenant) else {
+                            return Err(DurableError::DefMismatch {
+                                detail: format!("log names tenant {tenant} with no definition"),
+                            });
+                        };
+                        let t = this.inner.get(TenantId(*tenant)).expect("registered above");
+                        let batch =
+                            IngestBatch::new(rows.iter().cloned().map(Tuple::new).collect());
+                        // Frames were validated before logging, so this
+                        // applies unless the definitions mismatch the
+                        // log — surface that instead of dropping rows.
+                        match t.ingest_batch(&batch) {
+                            Ok(_) => {
+                                td.ledger.extend_from_slice(batch.rows());
+                                report.rows_applied += rows.len() as u64;
+                            }
+                            Err(failure) => {
+                                return Err(DurableError::DefMismatch {
+                                    detail: format!(
+                                        "logged frame for tenant {tenant} no longer applies: {}",
+                                        failure.error
+                                    ),
+                                })
+                            }
+                        }
+                    }
                     Record::IngestRow { tenant, row, .. } => {
-                        let Some(td) = st.tenants.get_mut(tenant) else {
+                        let Some(td) = tmap.get_mut(tenant) else {
                             return Err(DurableError::DefMismatch {
                                 detail: format!("log names tenant {tenant} with no definition"),
                             });
                         };
                         let t = this.inner.get(TenantId(*tenant)).expect("registered above");
                         let tuple = Tuple::new(row.clone());
-                        // Replay is the same per-row validation as the live
-                        // path; a rejected row was rejected live too.
+                        // Legacy logs wrote rows before validating, so
+                        // replay re-runs the same per-row validation.
                         match t.ingest_rows(std::slice::from_ref(&tuple)) {
                             Ok(_) => {
                                 td.ledger.push(tuple);
@@ -311,7 +358,7 @@ impl DurableRegistry {
                         compaction_epoch,
                         ..
                     } => {
-                        let Some(td) = st.tenants.get_mut(tenant) else {
+                        let Some(td) = tmap.get_mut(tenant) else {
                             return Err(DurableError::DefMismatch {
                                 detail: format!("log names tenant {tenant} with no definition"),
                             });
@@ -320,7 +367,7 @@ impl DurableRegistry {
                     }
                 }
             }
-            report.last_seq = st.log.last_seq();
+            report.last_seq = this.lane.with_log(|log| log.last_seq());
         }
         Ok((this, report))
     }
@@ -332,9 +379,9 @@ impl DurableRegistry {
     }
 
     /// The inner serving registry (share with a
-    /// [`Server`](sv_serve::Server); pair with
-    /// [`ingest_sink`](Self::ingest_sink) so served ingest writes
-    /// through the log).
+    /// [`Server`](sv_serve::Server); pass this `Arc<DurableRegistry>`
+    /// as the server's [`IngestSink`] so served ingest writes through
+    /// the log).
     #[must_use]
     pub fn registry(&self) -> &Arc<TenantRegistry> {
         &self.inner
@@ -346,23 +393,22 @@ impl DurableRegistry {
         self.inner.get(id)
     }
 
-    /// Registers a streaming tenant (starts empty, grows through
-    /// [`ingest`](Self::ingest)).
+    /// Registers a tenant from its configuration. Durable tenants are
+    /// forced to streaming mode: their state is the log, so they start
+    /// empty and grow through [`ingest`](Self::ingest).
     ///
     /// # Errors
     /// Duplicate ids and structural workflow errors
     /// ([`DurableError::Serve`]).
-    pub fn register_streaming(
+    pub fn register(
         &self,
         id: TenantId,
-        workflow: &Workflow,
-        limits: AdmissionLimits,
+        config: TenantConfig<'_>,
     ) -> Result<Arc<Tenant>, DurableError> {
-        let tenant = self.inner.register_streaming(id, workflow, limits)?;
-        self.state
+        let tenant = self.inner.create(id, config.streaming(true))?;
+        self.tenants
             .lock()
-            .expect("durable state poisoned")
-            .tenants
+            .expect("durable tenants poisoned")
             .insert(
                 id.0,
                 TenantDurable {
@@ -373,81 +419,110 @@ impl DurableRegistry {
         Ok(tenant)
     }
 
-    /// Ingests provenance rows with **write-ahead** durability: each
-    /// row is appended to the log, then applied, under the tenant's
-    /// single-writer lane; the log is synced once per frame.
+    /// Sets the commit lane's group-commit window: how long a sync
+    /// leader holds the door open for more frames before flushing.
+    /// Zero (the default) flushes eagerly; coalescing then comes only
+    /// from syncs already in flight.
+    pub fn set_commit_window(&self, window: Duration) {
+        self.lane.set_window(window);
+    }
+
+    /// The commit lane's counters (frames, fsyncs, coalesced).
+    #[must_use]
+    pub fn lane_stats(&self) -> LaneStats {
+        self.lane.stats()
+    }
+
+    /// Submits one ingest frame: validate → log (no fsync) → apply →
+    /// publish, all-or-nothing, returning the applied outcome whose
+    /// `log_seq` names the frame's position in the durability order.
+    /// The frame is **applied but not yet durable** — pass the
+    /// sequence to [`wait_durable`](Self::wait_durable) to block until
+    /// a sync covers it, or use [`ingest`](Self::ingest) for both.
     ///
-    /// Returns the number of new module rows, like
-    /// [`Tenant::ingest_rows`].
+    /// Concurrent submits from different tenants proceed in parallel
+    /// (per-tenant ingest lanes, one shared log behind a short mutex).
     ///
     /// # Errors
-    /// [`DurableIngestError::Rejected`] on the first invalid row
-    /// (earlier rows stay applied *and logged*);
-    /// [`DurableIngestError::Durable`] when logging itself fails.
-    pub fn ingest(&self, id: TenantId, rows: &[Tuple]) -> Result<u64, DurableIngestError> {
+    /// [`DurableIngestError::Rejected`] when validation fails (nothing
+    /// logged, nothing applied); [`DurableIngestError::Durable`] when
+    /// the log append fails (nothing applied).
+    pub fn submit(
+        &self,
+        id: TenantId,
+        batch: &IngestBatch,
+    ) -> Result<BatchOutcome, DurableIngestError> {
+        let _data = self.control.read().expect("durable control poisoned");
         let unknown = || DurableIngestError::Durable {
-            applied: 0,
             error: DurableError::UnknownTenant { tenant: id.0 },
         };
         let tenant = self.inner.get(id).ok_or_else(unknown)?;
-        let mut st = self.state.lock().expect("durable state poisoned");
-        let st = &mut *st;
-        if !st.tenants.contains_key(&id.0) {
+        if !self
+            .tenants
+            .lock()
+            .expect("durable tenants poisoned")
+            .contains_key(&id.0)
+        {
             return Err(unknown());
         }
-        let log = &mut st.log;
-        let result = tenant.ingest_rows_with(rows, |_, row| {
-            log.append_row(id.0, row.values()).map(|_seq| ())
-        });
-        let synced = log.sync();
-        let td = st.tenants.get_mut(&id.0).expect("checked above");
-        match result {
-            Ok(added) => {
-                td.ledger.extend_from_slice(rows);
-                synced.map_err(|error| DurableIngestError::Durable {
-                    applied: rows.len() as u64,
-                    error,
-                })?;
-                Ok(added)
-            }
-            Err(IngestInterrupt::Rejected(f)) => {
-                td.ledger.extend_from_slice(&rows[..f.applied as usize]);
-                Err(DurableIngestError::Rejected {
-                    applied: f.applied,
-                    error: f.error,
-                })
-            }
-            Err(IngestInterrupt::Hook { applied, error }) => {
-                td.ledger.extend_from_slice(&rows[..applied as usize]);
-                Err(DurableIngestError::Durable { applied, error })
-            }
-        }
-    }
-
-    /// An [`IngestSink`] routing a [`Server`](sv_serve::Server)'s
-    /// ingest frames through this durable registry, so socket and
-    /// loopback traffic get the same write-ahead guarantee as direct
-    /// [`ingest`](Self::ingest) calls.
-    #[must_use]
-    pub fn ingest_sink(self: &Arc<Self>) -> Arc<IngestSink> {
-        let this = Arc::clone(self);
-        Arc::new(move |tenant: &Arc<Tenant>, rows: &[Tuple]| {
-            this.ingest(tenant.id(), rows).map_err(|e| match e {
-                DurableIngestError::Rejected { applied, error } => IngestSinkError {
-                    applied,
-                    detail: error.to_string(),
+        tenant
+            .ingest_batch_with(
+                batch,
+                |b| {
+                    let rows: Vec<Vec<_>> = b.rows().iter().map(|t| t.values().to_vec()).collect();
+                    self.lane.append_frame(id.0, &rows)
                 },
-                DurableIngestError::Durable { applied, error } => IngestSinkError {
-                    applied,
-                    detail: format!("durable log: {error}"),
+                |b, _added| {
+                    // Under the tenant's ingest lane, so ledger order ==
+                    // this tenant's log order.
+                    self.tenants
+                        .lock()
+                        .expect("durable tenants poisoned")
+                        .get_mut(&id.0)
+                        .expect("checked above")
+                        .ledger
+                        .extend_from_slice(b.rows());
                 },
+            )
+            .map_err(|e| match e {
+                BatchIngestError::Rejected(f) => DurableIngestError::Rejected { error: f.error },
+                BatchIngestError::Wal(error) => DurableIngestError::Durable { error },
             })
-        })
     }
 
-    fn build_snapshot(&self, st: &State) -> Result<Snapshot, DurableError> {
-        let mut tenants = Vec::with_capacity(st.tenants.len());
-        for (&tid, td) in &st.tenants {
+    /// Blocks until log sequence `seq` is covered by a successful
+    /// fsync (group commit: one flush may cover many frames),
+    /// returning the covering durable sequence.
+    ///
+    /// # Errors
+    /// IO failures from a sync this caller led; the frame stays
+    /// applied in memory but its durability is unconfirmed.
+    pub fn wait_durable(&self, seq: u64) -> Result<u64, DurableError> {
+        self.lane.wait_durable(seq)
+    }
+
+    /// Ingests one frame with full durability:
+    /// [`submit`](Self::submit) + [`wait_durable`](Self::wait_durable).
+    /// Returns the number of new module rows.
+    ///
+    /// # Errors
+    /// As [`submit`](Self::submit), plus
+    /// [`DurableIngestError::Durable`] when the covering sync fails.
+    pub fn ingest(&self, id: TenantId, rows: &[Tuple]) -> Result<u64, DurableIngestError> {
+        let batch = IngestBatch::new(rows.to_vec());
+        let outcome = self.submit(id, &batch)?;
+        self.wait_durable(outcome.log_seq)
+            .map_err(|error| DurableIngestError::Durable { error })?;
+        Ok(outcome.added)
+    }
+
+    fn build_snapshot(
+        &self,
+        tenants: &BTreeMap<u64, TenantDurable>,
+        last_seq: u64,
+    ) -> Result<Snapshot, DurableError> {
+        let mut out = Vec::with_capacity(tenants.len());
+        for (&tid, td) in tenants {
             let tenant = self
                 .inner
                 .get(TenantId(tid))
@@ -459,7 +534,7 @@ impl DurableRegistry {
                     .map(|(mid, o)| (mid.index() as u32, o.relation_epoch()))
                     .collect()
             };
-            tenants.push(TenantSnapshot {
+            out.push(TenantSnapshot {
                 tenant: tid,
                 compaction_epoch: td.compaction_epoch,
                 module_epochs,
@@ -467,22 +542,26 @@ impl DurableRegistry {
             });
         }
         Ok(Snapshot {
-            last_seq: st.log.last_seq(),
-            tenants,
+            last_seq,
+            tenants: out,
         })
     }
 
     /// Writes a snapshot of every tenant (atomic temp-file + rename),
-    /// anchored at the log's current last sequence number. The log is
-    /// left as-is; recovery replays only records past the anchor.
+    /// anchored at the log's current last sequence number. In-flight
+    /// ingest is quiesced (control lock, write mode) so the anchor is
+    /// consistent; the log is left as-is and recovery replays only
+    /// records past the anchor.
     ///
     /// Returns the snapshot's encoded size in bytes.
     ///
     /// # Errors
     /// IO failures.
     pub fn snapshot(&self) -> Result<u64, DurableError> {
-        let st = self.state.lock().expect("durable state poisoned");
-        let snap = self.build_snapshot(&st)?;
+        let _ctl = self.control.write().expect("durable control poisoned");
+        let tenants = self.tenants.lock().expect("durable tenants poisoned");
+        let last_seq = self.lane.with_log(|log| log.last_seq());
+        let snap = self.build_snapshot(&tenants, last_seq)?;
         snap.save(&self.dir.join(SNAPSHOT_FILE))?;
         Ok(snap.encode().len() as u64)
     }
@@ -492,7 +571,9 @@ impl DurableRegistry {
     /// conditioned on a pre-compaction epoch now gets `StaleEpoch`, and
     /// no stale cached level can survive), advances the tenant's
     /// compaction epoch, snapshots, tombstones the superseded log
-    /// prefix, and rewrites the log without it.
+    /// prefix, and rewrites the log without it. Runs under the control
+    /// lock in write mode — no ingest is in flight while the log is
+    /// rewritten.
     ///
     /// Returns the tenant's new compaction epoch.
     ///
@@ -500,14 +581,13 @@ impl DurableRegistry {
     /// [`DurableError::UnknownTenant`]; IO failures; reconstruction
     /// failures ([`DurableError::Core`]).
     pub fn compact(&self, id: TenantId) -> Result<u64, DurableError> {
+        let _ctl = self.control.write().expect("durable control poisoned");
         let tenant = self
             .inner
             .get(id)
             .ok_or(DurableError::UnknownTenant { tenant: id.0 })?;
-        let mut st = self.state.lock().expect("durable state poisoned");
-        let st = &mut *st;
-        let td = st
-            .tenants
+        let mut tenants = self.tenants.lock().expect("durable tenants poisoned");
+        let td = tenants
             .get_mut(&id.0)
             .ok_or(DurableError::UnknownTenant { tenant: id.0 })?;
         // 1. Rebuild in memory: same rows, epoch + 1, cold memo.
@@ -522,31 +602,32 @@ impl DurableRegistry {
         td.compaction_epoch += 1;
         let new_epoch = td.compaction_epoch;
         // 2. Snapshot the rebuilt state (anchor = everything logged).
-        let upto = st.log.last_seq();
-        let snap = self.build_snapshot(st)?;
+        let upto = self.lane.with_log(|log| log.last_seq());
+        let snap = self.build_snapshot(&tenants, upto)?;
         snap.save(&self.dir.join(SNAPSHOT_FILE))?;
         // 3. Mark retention in the log (audit trail; replay-idempotent
         //    against the snapshot written above).
-        st.log.append_tombstone(id.0, upto)?;
-        st.log.append_compact(id.0, new_epoch)?;
-        st.log.sync()?;
+        self.lane.with_log(|log| {
+            log.append_tombstone(id.0, upto)?;
+            log.append_compact(id.0, new_epoch)?;
+            log.sync()
+        })?;
         // 4. Rebuild the log without the superseded prefix.
         let (records, _tail, _len) = crate::log::read_log(&self.dir.join(LOG_FILE))?;
         let kept: Vec<Record> = records
             .into_iter()
             .filter(|r| !(r.tenant() == id.0 && r.seq() <= upto))
             .collect();
-        st.log.rewrite(&kept)?;
+        self.lane.with_log(|log| log.rewrite(&kept))?;
         Ok(new_epoch)
     }
 
     /// The tenant's retention generation (compactions undergone).
     #[must_use]
     pub fn compaction_epoch(&self, id: TenantId) -> Option<u64> {
-        self.state
+        self.tenants
             .lock()
-            .expect("durable state poisoned")
-            .tenants
+            .expect("durable tenants poisoned")
             .get(&id.0)
             .map(|td| td.compaction_epoch)
     }
@@ -554,10 +635,9 @@ impl DurableRegistry {
     /// Number of applied rows in the tenant's durable ledger.
     #[must_use]
     pub fn ledger_len(&self, id: TenantId) -> Option<usize> {
-        self.state
+        self.tenants
             .lock()
-            .expect("durable state poisoned")
-            .tenants
+            .expect("durable tenants poisoned")
             .get(&id.0)
             .map(|td| td.ledger.len())
     }
@@ -565,21 +645,39 @@ impl DurableRegistry {
     /// Byte length of the log's valid prefix.
     #[must_use]
     pub fn log_bytes(&self) -> u64 {
-        self.state
-            .lock()
-            .expect("durable state poisoned")
-            .log
-            .len_bytes()
+        self.lane.with_log(|log| log.len_bytes())
     }
 
     /// Highest log sequence number assigned so far.
     #[must_use]
     pub fn last_seq(&self) -> u64 {
-        self.state
-            .lock()
-            .expect("durable state poisoned")
-            .log
-            .last_seq()
+        self.lane.with_log(|log| log.last_seq())
+    }
+}
+
+impl IngestSink for DurableRegistry {
+    fn submit(
+        &self,
+        tenant: &Arc<Tenant>,
+        batch: IngestBatch,
+    ) -> Result<IngestSubmission, IngestSinkError> {
+        let outcome =
+            DurableRegistry::submit(self, tenant.id(), &batch).map_err(|e| IngestSinkError {
+                applied: 0,
+                detail: e.to_string(),
+            })?;
+        Ok(IngestSubmission {
+            added: outcome.added,
+            epochs: outcome.epochs,
+            seq: outcome.log_seq,
+        })
+    }
+
+    fn wait_durable(&self, submission: &IngestSubmission) -> Result<u64, IngestSinkError> {
+        DurableRegistry::wait_durable(self, submission.seq).map_err(|e| IngestSinkError {
+            applied: submission.added,
+            detail: format!("group commit: {e}"),
+        })
     }
 }
 
@@ -605,8 +703,7 @@ mod tests {
         let id = TenantId(5);
         {
             let reg = DurableRegistry::create(&dir).unwrap();
-            reg.register_streaming(id, &wf, AdmissionLimits::default())
-                .unwrap();
+            reg.register(id, TenantConfig::new(&wf)).unwrap();
             let rows: Vec<Tuple> = (0..4)
                 .map(|i| wf.run(&[i & 1, (i >> 1) & 1, 1]).unwrap())
                 .collect();
@@ -623,12 +720,12 @@ mod tests {
         .unwrap();
         assert!(!report.snapshot_loaded);
         assert!(report.tail.is_clean());
-        assert_eq!(report.records_replayed, 4);
+        assert_eq!(report.records_replayed, 1, "one frame record per ingest");
         assert_eq!(report.rows_applied, 4);
         // Same state as an uninterrupted run.
         let fresh = TenantRegistry::new();
         let t_fresh = fresh
-            .register_streaming(id, &wf, AdmissionLimits::default())
+            .create(id, TenantConfig::new(&wf).streaming(true))
             .unwrap();
         let rows: Vec<Tuple> = (0..4)
             .map(|i| wf.run(&[i & 1, (i >> 1) & 1, 1]).unwrap())
@@ -650,8 +747,7 @@ mod tests {
         };
         {
             let reg = DurableRegistry::create(&dir).unwrap();
-            reg.register_streaming(id, &wf, AdmissionLimits::default())
-                .unwrap();
+            reg.register(id, TenantConfig::new(&wf)).unwrap();
             reg.ingest(id, &[mk(0), mk(1)]).unwrap();
             reg.snapshot().unwrap();
             reg.ingest(id, &[mk(2)]).unwrap();
@@ -681,9 +777,7 @@ mod tests {
                 .unwrap()
         };
         let reg = DurableRegistry::create(&dir).unwrap();
-        let tenant = reg
-            .register_streaming(id, &wf, AdmissionLimits::default())
-            .unwrap();
+        let tenant = reg.register(id, TenantConfig::new(&wf)).unwrap();
         reg.ingest(id, &[mk(0), mk(1), mk(2)]).unwrap();
         let before = epochs_of(&tenant);
         let log_before = reg.log_bytes();
@@ -720,7 +814,7 @@ mod tests {
     }
 
     #[test]
-    fn rejected_rows_are_logged_but_replay_identically() {
+    fn rejected_frames_never_reach_the_log() {
         let dir = tmp_dir("reject");
         let wf = one_one_chain(1, 2);
         let id = TenantId(2);
@@ -730,17 +824,20 @@ mod tests {
         let bad = Tuple::new(bad_values);
         {
             let reg = DurableRegistry::create(&dir).unwrap();
-            reg.register_streaming(id, &wf, AdmissionLimits::default())
-                .unwrap();
+            reg.register(id, TenantConfig::new(&wf)).unwrap();
             let err = reg.ingest(id, &[good.clone(), bad]).unwrap_err();
             match err {
-                DurableIngestError::Rejected { applied, error } => {
-                    assert_eq!(applied, 1);
+                DurableIngestError::Rejected { error } => {
                     assert_eq!(error.row_index(), Some(1), "frame-positioned");
                 }
                 other => panic!("expected Rejected, got {other}"),
             }
+            assert_eq!(reg.ledger_len(id), Some(0), "all-or-nothing");
+            assert_eq!(reg.last_seq(), 0, "rejected frame was never logged");
+            // The valid row alone still lands — and is logged.
+            reg.ingest(id, &[good]).unwrap();
             assert_eq!(reg.ledger_len(id), Some(1));
+            assert_eq!(reg.last_seq(), 1);
         }
         let (rec, report) = DurableRegistry::recover(
             &dir,
@@ -751,10 +848,31 @@ mod tests {
             }],
         )
         .unwrap();
-        assert_eq!(report.records_replayed, 2, "the rejected row was logged");
+        assert_eq!(report.records_replayed, 1);
         assert_eq!(report.rows_applied, 1);
-        assert_eq!(report.rows_rejected, 1, "and rejected again on replay");
+        assert_eq!(report.rows_rejected, 0, "frame logs never re-reject");
         assert_eq!(rec.ledger_len(id), Some(1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn submit_then_wait_groups_fsyncs() {
+        let dir = tmp_dir("group");
+        let wf = one_one_chain(1, 3);
+        let id = TenantId(9);
+        let reg = DurableRegistry::create(&dir).unwrap();
+        reg.register(id, TenantConfig::new(&wf)).unwrap();
+        let mut last = 0;
+        for i in 0..10u32 {
+            let row = wf.run(&[i & 1, (i >> 1) & 1, (i >> 2) & 1]).unwrap();
+            let outcome = reg.submit(id, &IngestBatch::new(vec![row])).unwrap();
+            last = outcome.log_seq;
+        }
+        reg.wait_durable(last).unwrap();
+        let stats = reg.lane_stats();
+        assert_eq!(stats.frames, 10);
+        assert_eq!(stats.fsyncs, 1, "pipelined submits share one flush");
+        assert_eq!(stats.coalesced, 9);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -2,16 +2,21 @@
 //! machinery reaches **exactly** the state of the uninterrupted run, at
 //! every possible crash point.
 //!
-//! The method: run a random ingest schedule one frame at a time,
-//! recording after each frame a *checkpoint* — the log's byte length
-//! plus every tenant's expected ledger length and relation epochs
-//! (captured from the live tenant, so compaction bumps are included).
-//! Durable state at any moment is (snapshot ∪ valid log prefix), so:
+//! The method: run a random ingest schedule one frame at a time
+//! (frames of 1–3 rows, submitted through the **pipelined** group
+//! commit path so one fsync covers several frames), recording after
+//! each frame a *checkpoint* — the log's byte length plus every
+//! tenant's expected ledger length and relation epochs (captured from
+//! the live tenant, so compaction bumps are included). Durable state
+//! at any moment is (snapshot ∪ valid log prefix), so:
 //!
 //! * **Truncation sweep** — for *every* byte position `c` of the final
-//!   log (record boundaries *and* mid-record), recovery from the
-//!   truncated image must reproduce the checkpoint of the longest
-//!   record prefix that survives, joined with the snapshot's anchor.
+//!   log (record boundaries *and* mid-record, which with multi-row
+//!   frame records means cuts through the middle of coalesced
+//!   batches), recovery from the truncated image must reproduce the
+//!   checkpoint of the longest record prefix that survives, joined
+//!   with the snapshot's anchor — a torn frame rolls back **whole**,
+//!   never row by row.
 //! * **Corruption sweep** — flipping any bit of any record must come
 //!   back as a typed [`LogTail::Corrupt`]/[`LogTail::Torn`] (never a
 //!   panic, never a silently wrong state), with recovery landing on
@@ -22,18 +27,19 @@
 //!   ([`NaiveOracle`]) on the same module rows.
 //!
 //! Schedules include valid rows, duplicate rows (applied, no epoch
-//! bump), FD-violating rows (logged, rejected, re-rejected on replay),
-//! snapshots at random points, and compactions (which rewrite the log
-//! and strictly advance every epoch).
+//! bump), FD-violating rows (which reject their **whole frame** before
+//! it reaches the log — frame-atomic ingest), snapshots at random
+//! points, and compactions (which rewrite the log and strictly advance
+//! every epoch).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use sv_core::safety::{NaiveOracle, ProbeRequest, SafetyOracle};
+use sv_core::safety::{IngestBatch, NaiveOracle, ProbeRequest, SafetyOracle};
 use sv_durable::{DurableRegistry, LogTail, TenantDef, LOG_FILE, SNAPSHOT_FILE};
 use sv_relation::{AttrSet, Tuple};
-use sv_serve::{AdmissionLimits, Tenant, TenantId, TenantRegistry};
+use sv_serve::{AdmissionLimits, Tenant, TenantConfig, TenantId, TenantRegistry};
 use sv_workflow::library::{fig1_workflow, one_one_chain};
 use sv_workflow::Workflow;
 
@@ -132,7 +138,7 @@ fn assert_state_matches(
     for (i, &tid) in TENANTS.iter().enumerate() {
         let wf = if i == 0 { chain } else { fig1 };
         let ft = fresh
-            .register_streaming(tid, wf, AdmissionLimits::default())
+            .create(tid, TenantConfig::new(wf).streaming(true))
             .expect("fresh registration");
         for row in &ledgers[i][..expected[i].ledger_len] {
             ft.ingest_rows(std::slice::from_ref(row))
@@ -182,11 +188,15 @@ fn assert_state_matches(
     }
 }
 
-/// One live run: random single-row ingest frames (valid, duplicate,
-/// FD-violating) across two tenants, with a snapshot at a random
-/// point. Returns the per-record checkpoints, the snapshot's
-/// checkpoint index (0 = no snapshot / empty anchor), and the
-/// per-tenant full ledgers.
+/// One live run: random ingest frames of 1–3 rows (valid, duplicate,
+/// FD-violating — an FD row rejects its whole frame before logging)
+/// across two tenants, with a snapshot at a random point. Frames go
+/// through the **pipelined** group-commit path: `submit` immediately,
+/// `wait_durable` only at random points and at the end, so a single
+/// fsync covers a coalesced batch of frames — the crash sweeps then
+/// cut through the middle of those batches. Returns the per-frame
+/// checkpoints, the snapshot's checkpoint index (0 = no snapshot /
+/// empty anchor), and the per-tenant full ledgers.
 fn run_schedule(
     dir: &Path,
     seed: u64,
@@ -196,7 +206,7 @@ fn run_schedule(
     let (chain, fig1) = workflows();
     let reg = DurableRegistry::create(dir).expect("create durable dir");
     for def in defs(&chain, &fig1) {
-        reg.register_streaming(def.id, def.workflow, def.limits)
+        reg.register(def.id, TenantConfig::new(def.workflow).limits(def.limits))
             .expect("register");
     }
     let mut rng = StdRng::seed_from_u64(seed);
@@ -212,38 +222,57 @@ fn run_schedule(
             .collect(),
     }];
     let mut snap_idx = 0usize;
+    let mut unsynced_seq = 0u64;
     for frame in 0..frames {
         if snapshot_at == Some(frame) {
+            // Snapshot anchors must not outrun durability.
+            reg.wait_durable(unsynced_seq)
+                .expect("sync before snapshot");
             reg.snapshot().expect("snapshot");
             snap_idx = checkpoints.len() - 1;
         }
         let ti = rng.gen_range(0..2usize);
         let tid = TENANTS[ti];
-        let kind = rng.gen_range(0..10u32);
-        let row = if kind < 6 || ledgers[ti].is_empty() {
-            // Valid (possibly duplicate) row.
-            if ti == 0 {
-                chain_row(&chain, rng.gen_range(0..1u32 << CHAIN_WIRES))
-            } else {
-                fig1_row(&fig1, rng.gen_range(0..4u32))
+        let nrows = rng.gen_range(1..=3usize);
+        let rows: Vec<Tuple> = (0..nrows)
+            .map(|_| {
+                let kind = rng.gen_range(0..10u32);
+                if kind < 7 || ledgers[ti].is_empty() {
+                    // Valid (possibly duplicate) row.
+                    if ti == 0 {
+                        chain_row(&chain, rng.gen_range(0..1u32 << CHAIN_WIRES))
+                    } else {
+                        fig1_row(&fig1, rng.gen_range(0..4u32))
+                    }
+                } else if kind < 9 {
+                    // Exact duplicate of an applied row: applies, adds
+                    // nothing.
+                    ledgers[ti][rng.gen_range(0..ledgers[ti].len())].clone()
+                } else {
+                    // FD violation: an applied row with one non-input
+                    // value flipped contradicts the recorded execution
+                    // — and sinks the whole frame.
+                    let mut vals = ledgers[ti][rng.gen_range(0..ledgers[ti].len())]
+                        .values()
+                        .to_vec();
+                    let flip = rng.gen_range(CHAIN_WIRES..vals.len());
+                    vals[flip] ^= 1;
+                    Tuple::new(vals)
+                }
+            })
+            .collect();
+        match reg.submit(tid, &IngestBatch::new(rows.clone())) {
+            Ok(outcome) => {
+                ledgers[ti].extend(rows);
+                unsynced_seq = outcome.log_seq;
             }
-        } else if kind < 8 {
-            // Exact duplicate of an applied row: applies, adds nothing.
-            ledgers[ti][rng.gen_range(0..ledgers[ti].len())].clone()
-        } else {
-            // FD violation: an applied row with one non-input value
-            // flipped contradicts the recorded execution.
-            let mut vals = ledgers[ti][rng.gen_range(0..ledgers[ti].len())]
-                .values()
-                .to_vec();
-            let flip = rng.gen_range(CHAIN_WIRES..vals.len());
-            vals[flip] ^= 1;
-            Tuple::new(vals)
-        };
-        match reg.ingest(tid, std::slice::from_ref(&row)) {
-            Ok(_) => ledgers[ti].push(row),
             Err(sv_durable::DurableIngestError::Rejected { .. }) => {}
             Err(e) => panic!("unexpected durable failure: {e}"),
+        }
+        // Group commit: roughly every third frame leads a sync that
+        // covers everything submitted since the last one.
+        if rng.gen_range(0..3u32) == 0 {
+            reg.wait_durable(unsynced_seq).expect("group sync");
         }
         checkpoints.push(Checkpoint {
             log_bytes: reg.log_bytes(),
@@ -257,6 +286,7 @@ fn run_schedule(
                 .collect(),
         });
     }
+    reg.wait_durable(unsynced_seq).expect("final sync");
     (checkpoints, snap_idx, ledgers)
 }
 

@@ -192,7 +192,7 @@ impl CardinalityInstance {
             let oracle = oracles
                 .oracle(id)
                 .ok_or(CoreError::MissingOracle { module: id.index() })?;
-            let list: Vec<(usize, usize)> = cardinality_constraints_with(oracle, gamma)
+            let list: Vec<(usize, usize)> = cardinality_constraints_with(&*oracle, gamma)
                 .into_iter()
                 .map(|c| (c.alpha, c.beta))
                 .collect();
@@ -357,7 +357,7 @@ impl SetInstance {
             let oracle = oracles
                 .oracle(id)
                 .ok_or(CoreError::MissingOracle { module: id.index() })?;
-            let list: Vec<AttrSet> = set_constraints_with(oracle, gamma)?
+            let list: Vec<AttrSet> = set_constraints_with(&*oracle, gamma)?
                 .into_iter()
                 .map(|r| lens.to_global(&r.hidden()))
                 .collect();

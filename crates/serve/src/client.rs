@@ -12,7 +12,7 @@ use crate::error::ServeError;
 use crate::tenant::TenantId;
 use crate::transport::{Connection, Transport};
 use sv_core::safety::{ProbeOutcome, ProbeRequest};
-use sv_core::wire::{IngestReply, ModuleEpoch, Request, Response};
+use sv_core::wire::{IngestReceipt, ModuleEpoch, Request, Response};
 use sv_relation::Value;
 
 /// One connection's worth of typed protocol operations. Open one per
@@ -67,26 +67,35 @@ impl Client {
         }
     }
 
-    /// Appends execution rows on the tenant's single-writer ingest
-    /// lane; returns the rows applied and the post-ingest epochs.
+    /// Ingests one frame of execution rows atomically on the tenant's
+    /// ingest lane; returns a [`IngestReceipt`] carrying the rows
+    /// added, the post-frame epochs, and the durable sequence covering
+    /// the frame (`0` when the server has no durability configured).
+    ///
+    /// A legacy server answering with the old ingest-reply tag is
+    /// accepted and mapped to a receipt with `durable_seq = 0`.
     ///
     /// # Errors
     /// [`ServeError::Busy`] under backpressure; [`ServeError::Fault`]
-    /// with `Rejected { applied, .. }` when a row fails mid-batch
-    /// (rows before it are already durable — ingest is sequential, not
-    /// atomic).
+    /// with `Rejected { applied: 0, .. }` when any row fails — the
+    /// frame is all-or-nothing, nothing was applied.
     pub fn ingest(
         &mut self,
         tenant: TenantId,
         rows: &[Vec<Value>],
-    ) -> Result<IngestReply, ServeError> {
+    ) -> Result<IngestReceipt, ServeError> {
         let payload = Request::Ingest {
             tenant: tenant.0,
             rows: rows.to_vec(),
         }
         .encode();
         match self.exchange(&payload)? {
-            Response::Ingest(reply) => Ok(reply),
+            Response::Receipt(receipt) => Ok(receipt),
+            Response::Ingest(reply) => Ok(IngestReceipt {
+                added: reply.added,
+                epochs: reply.epochs,
+                durable_seq: 0,
+            }),
             _ => Err(ServeError::UnexpectedReply),
         }
     }

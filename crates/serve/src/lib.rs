@@ -23,24 +23,28 @@
 //!   [`ServeError::Busy`] and [`ServeError::Fault`] surfacing the
 //!   backpressure and epoch contracts.
 //!
-//! Probe traffic runs on shared `&self` oracles (a read guard per
-//! frame); ingest runs on a per-tenant single-writer lane whose epoch
-//! bumps are immediately visible to in-flight epoch-conditioned
-//! probes. The full protocol and operational guide is
-//! `docs/SERVING.md`.
+//! Probe traffic runs on shared oracles (per-module read locks, a
+//! seqlock-published epoch vector); ingest frames are all-or-nothing:
+//! validated up front, applied with per-module write locks (probes to
+//! other modules proceed concurrently), then published atomically.
+//! Durable servers route ingest through an [`IngestSink`] commit lane
+//! that coalesces concurrent frames into group-commit fsyncs; the
+//! [`Client`] receives an [`sv_core::wire::IngestReceipt`] whose
+//! `durable_seq` covers the frame. The full protocol and operational
+//! guide is `docs/SERVING.md`.
 //!
 //! ## Example
 //! ```
 //! use std::sync::Arc;
 //! use sv_core::safety::ProbeRequest;
 //! use sv_relation::AttrSet;
-//! use sv_serve::{AdmissionLimits, Client, LoopbackTransport, Server, TenantId, TenantRegistry};
+//! use sv_serve::{Client, LoopbackTransport, Server, TenantConfig, TenantId, TenantRegistry};
 //! use sv_workflow::{library::one_one_chain, ModuleId};
 //!
 //! // Two tenants, two different workflows, one server.
 //! let registry = Arc::new(TenantRegistry::new());
-//! registry.register(TenantId(1), &one_one_chain(2, 2), 1 << 16, AdmissionLimits::default())?;
-//! registry.register(TenantId(2), &one_one_chain(3, 2), 1 << 16, AdmissionLimits::default())?;
+//! registry.create(TenantId(1), TenantConfig::new(&one_one_chain(2, 2)).budget(1 << 16))?;
+//! registry.create(TenantId(2), TenantConfig::new(&one_one_chain(3, 2)).budget(1 << 16))?;
 //! let transport = LoopbackTransport::new(Arc::new(Server::new(registry)));
 //!
 //! let mut client = Client::connect(&transport)?;
@@ -65,10 +69,11 @@ mod transport;
 
 pub use client::Client;
 pub use error::ServeError;
-pub use server::{IngestSink, IngestSinkError, Server};
+pub use server::{IngestSink, IngestSinkError, IngestSubmission, MemorySink, Server};
+pub use sv_core::safety::IngestBatch;
 pub use tenant::{
-    AdmissionLimits, AdmissionPermit, IngestFailure, IngestInterrupt, Tenant, TenantId,
-    TenantRegistry, TenantStats,
+    AdmissionLimits, AdmissionPermit, BatchIngestError, BatchOutcome, IngestFailure, Tenant,
+    TenantConfig, TenantId, TenantRegistry, TenantStats, DEFAULT_MATERIALIZE_BUDGET,
 };
 pub use transport::{Connection, LoopbackTransport, Transport};
 #[cfg(unix)]

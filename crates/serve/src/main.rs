@@ -14,7 +14,7 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use sv_serve::{AdmissionLimits, Server, SocketServer, TenantId, TenantRegistry};
+use sv_serve::{Server, SocketServer, TenantConfig, TenantId, TenantRegistry};
 use sv_workflow::library::one_one_chain;
 
 struct Options {
@@ -81,8 +81,7 @@ fn main() -> ExitCode {
     let registry = Arc::new(TenantRegistry::new());
     let workflow = one_one_chain(1, opts.wires);
     for id in 1..=opts.tenants {
-        if let Err(e) =
-            registry.register_streaming(TenantId(id), &workflow, AdmissionLimits::default())
+        if let Err(e) = registry.create(TenantId(id), TenantConfig::new(&workflow).streaming(true))
         {
             eprintln!("registering tenant {id}: {e}");
             return ExitCode::FAILURE;

@@ -9,43 +9,116 @@
 
 use crate::tenant::{Tenant, TenantId, TenantRegistry};
 use std::sync::Arc;
-use sv_core::wire::{IngestReply, Request, Response, ServeFault};
+use sv_core::safety::IngestBatch;
+use sv_core::wire::{IngestReceipt, Request, Response, ServeFault};
 use sv_core::CoreError;
 use sv_relation::Tuple;
 
 /// An ingest frame's failure as reported by an [`IngestSink`]: how many
-/// leading rows landed, plus human-readable detail for the client's
-/// [`ServeFault::Rejected`] answer.
+/// rows landed (always 0 under frame-atomic ingest), plus
+/// human-readable detail for the client's [`ServeFault::Rejected`]
+/// answer.
 #[derive(Debug)]
 pub struct IngestSinkError {
-    /// Rows of the frame applied before the failure.
+    /// Rows of the frame applied before the failure — 0 under the
+    /// frame-atomic batch path.
     pub applied: u64,
     /// Why the frame stopped (rendered for the wire).
     pub detail: String,
 }
 
-/// A pluggable ingest path: the server routes every decoded ingest
-/// frame through this instead of calling
-/// [`Tenant::ingest_rows`] directly. A durability layer installs a
-/// sink that write-ahead-logs each row before it lands
-/// ([`Tenant::ingest_rows_with`]); the default sink is the plain
-/// in-memory apply. Probe and epoch traffic never touches the sink.
-pub type IngestSink = dyn Fn(&Arc<Tenant>, &[Tuple]) -> Result<u64, IngestSinkError> + Send + Sync;
+/// One frame accepted by an [`IngestSink`]: the application outcome
+/// plus the submission's position in the sink's durability order.
+/// `seq == 0` means the sink has no durability (loopback/in-memory).
+#[derive(Clone, Debug)]
+pub struct IngestSubmission {
+    /// New module rows the frame added.
+    pub added: u64,
+    /// Per-module epochs after the frame applied.
+    pub epochs: Vec<sv_core::wire::ModuleEpoch>,
+    /// The frame's last write-ahead-log sequence number (0 = sink is
+    /// not durable).
+    pub seq: u64,
+}
+
+/// The commit-lane contract every serving flavour shares — loopback,
+/// socket, and durable servers all route ingest through this pair:
+///
+/// * [`submit`](Self::submit) runs validate → (log) → apply → publish
+///   for one frame on the tenant's single-writer lane and returns
+///   immediately — the frame is *applied* but not necessarily durable;
+/// * [`wait_durable`](Self::wait_durable) blocks until the submission
+///   is covered by a sync, returning the covering durable sequence.
+///
+/// The in-memory sink ([`MemorySink`]) applies and reports
+/// `durable_seq = 0` without waiting; the durable registry's sink
+/// coalesces concurrent submissions into one group-commit fsync.
+/// Probe and epoch traffic never touches the sink.
+pub trait IngestSink: Send + Sync {
+    /// Applies one ingest frame to `tenant`, returning its submission
+    /// (applied outcome + log position).
+    ///
+    /// # Errors
+    /// [`IngestSinkError`] when the frame is rejected (validation) or
+    /// the sink cannot log it; nothing was applied.
+    fn submit(
+        &self,
+        tenant: &Arc<Tenant>,
+        batch: IngestBatch,
+    ) -> Result<IngestSubmission, IngestSinkError>;
+
+    /// Blocks until `submission` is durable, returning the covering
+    /// durable sequence (`>= submission.seq`; 0 for non-durable sinks).
+    ///
+    /// # Errors
+    /// [`IngestSinkError`] when the sync fails — the frame is applied
+    /// in memory but **not** durable.
+    fn wait_durable(&self, submission: &IngestSubmission) -> Result<u64, IngestSinkError>;
+}
+
+/// The default sink: plain in-memory apply on the tenant's ingest
+/// lane; `wait_durable` returns 0 immediately (nothing to sync).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemorySink;
+
+impl IngestSink for MemorySink {
+    fn submit(
+        &self,
+        tenant: &Arc<Tenant>,
+        batch: IngestBatch,
+    ) -> Result<IngestSubmission, IngestSinkError> {
+        let outcome = tenant
+            .ingest_batch(&batch)
+            .map_err(|failure| IngestSinkError {
+                applied: failure.applied,
+                detail: failure.error.to_string(),
+            })?;
+        Ok(IngestSubmission {
+            added: outcome.added,
+            epochs: outcome.epochs,
+            seq: 0,
+        })
+    }
+
+    fn wait_durable(&self, _submission: &IngestSubmission) -> Result<u64, IngestSinkError> {
+        Ok(0)
+    }
+}
 
 /// The serving tier's request dispatcher. Cheap to share
 /// (`Arc<Server>`); all state lives in the registry's tenants.
 pub struct Server {
     registry: Arc<TenantRegistry>,
-    ingest: Option<Arc<IngestSink>>,
+    ingest: Arc<dyn IngestSink>,
 }
 
 impl Server {
-    /// Wraps a tenant registry.
+    /// Wraps a tenant registry with the in-memory [`MemorySink`].
     #[must_use]
     pub fn new(registry: Arc<TenantRegistry>) -> Self {
         Self {
             registry,
-            ingest: None,
+            ingest: Arc::new(MemorySink),
         }
     }
 
@@ -54,10 +127,10 @@ impl Server {
     /// socket) dispatches through [`handle_frame`](Self::handle_frame),
     /// so installing the sink here covers them all.
     #[must_use]
-    pub fn with_ingest_sink(registry: Arc<TenantRegistry>, sink: Arc<IngestSink>) -> Self {
+    pub fn with_ingest_sink(registry: Arc<TenantRegistry>, sink: Arc<dyn IngestSink>) -> Self {
         Self {
             registry,
-            ingest: Some(sink),
+            ingest: sink,
         }
     }
 
@@ -136,18 +209,19 @@ impl Server {
                     Err(reason) => return Response::Busy(reason),
                 };
                 let tuples: Vec<Tuple> = rows.into_iter().map(Tuple::new).collect();
-                let result = match &self.ingest {
-                    Some(sink) => sink(&t, &tuples),
-                    None => t.ingest_rows(&tuples).map_err(|failure| IngestSinkError {
-                        applied: failure.applied,
-                        detail: failure.error.to_string(),
-                    }),
-                };
+                let result =
+                    self.ingest
+                        .submit(&t, IngestBatch::new(tuples))
+                        .and_then(|submission| {
+                            let durable_seq = self.ingest.wait_durable(&submission)?;
+                            Ok((submission, durable_seq))
+                        });
                 drop(permit);
                 match result {
-                    Ok(added) => Response::Ingest(IngestReply {
-                        added,
-                        epochs: t.epochs(),
+                    Ok((submission, durable_seq)) => Response::Receipt(IngestReceipt {
+                        added: submission.added,
+                        epochs: submission.epochs,
+                        durable_seq,
                     }),
                     Err(failure) => Response::Error(ServeFault::Rejected {
                         applied: failure.applied,
@@ -166,7 +240,7 @@ impl Server {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tenant::AdmissionLimits;
+    use crate::tenant::{AdmissionLimits, TenantConfig};
     use sv_core::safety::ProbeRequest;
     use sv_core::wire::BusyReason;
     use sv_relation::AttrSet;
@@ -175,11 +249,9 @@ mod tests {
     fn server_with_fig1() -> Server {
         let registry = Arc::new(TenantRegistry::new());
         registry
-            .register(
+            .create(
                 TenantId(1),
-                &fig1_workflow(),
-                1 << 20,
-                AdmissionLimits::default(),
+                TenantConfig::new(&fig1_workflow()).budget(1 << 20),
             )
             .unwrap();
         Server::new(registry)
@@ -259,14 +331,14 @@ mod tests {
     fn oversized_batch_is_busy() {
         let registry = Arc::new(TenantRegistry::new());
         registry
-            .register(
+            .create(
                 TenantId(1),
-                &fig1_workflow(),
-                1 << 20,
-                AdmissionLimits {
-                    max_batch_requests: 1,
-                    ..AdmissionLimits::default()
-                },
+                TenantConfig::new(&fig1_workflow())
+                    .budget(1 << 20)
+                    .limits(AdmissionLimits {
+                        max_batch_requests: 1,
+                        ..AdmissionLimits::default()
+                    }),
             )
             .unwrap();
         let server = Server::new(registry);

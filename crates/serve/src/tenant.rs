@@ -15,15 +15,19 @@
 //!
 //! * **Probes** take the tenant's oracle `RwLock` in **read** mode —
 //!   any number of serving threads hold it concurrently; the oracle's
-//!   own probe surface is `&self` (sharded once-publication caches
-//!   below), so the read guard adds one uncontended atomic per frame,
-//!   amortized over the whole batch.
+//!   own probe surface is `&self` (sharded once-publication caches and
+//!   per-module locks below), so the read guard adds one uncontended
+//!   atomic per frame, amortized over the whole batch.
 //! * **Ingest** goes through the **single-writer lane**
-//!   ([`Tenant::ingest_rows`]): a per-tenant mutex serializes ingest
-//!   frames, and the oracle write lock is taken **per row**, not per
-//!   frame — so a large ingest frame interleaves with probe batches
-//!   row-by-row and every landed row's epoch bump is visible to the
-//!   next probe batch immediately.
+//!   ([`Tenant::ingest_batch`]): a per-tenant mutex serializes ingest
+//!   frames, the whole [`IngestBatch`] is validated up front, and the
+//!   apply phase takes only **per-module** write locks — the tenant's
+//!   outer oracle lock stays in *read* mode, so warm probes proceed
+//!   during an append (a probe waits only for the one module currently
+//!   being mutated). New epochs are published through the oracle set's
+//!   seqlock pair, so [`Tenant::epochs`] never blocks on a writer.
+//! * **Control plane** ([`Tenant::with_oracles_mut`], recovery and
+//!   compaction) is the only taker of the outer write lock.
 //! * **Admission** is lock-free: in-flight request/byte counts are
 //!   atomics, checked and rolled back without blocking
 //!   ([`Tenant::try_admit`]).
@@ -32,7 +36,7 @@ use crate::error::ServeError;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
-use sv_core::safety::{SafetyOracle as _, WorkflowOracles};
+use sv_core::safety::{IngestBatch, WorkflowOracles};
 use sv_core::wire::{BusyReason, ModuleEpoch};
 use sv_core::CoreError;
 use sv_relation::Tuple;
@@ -130,35 +134,50 @@ impl Drop for AdmissionPermit<'_> {
     }
 }
 
-/// An ingest frame's failure: the offending row's error plus how many
-/// earlier rows of the frame had already landed (rows apply in order,
-/// row-atomically). The error is frame-positioned: its
-/// [`CoreError::row_index`] names the offending row's index **within
-/// the frame**, so a client can repair and resubmit the exact row.
+/// An ingest frame's failure. Frames are **all-or-nothing** since the
+/// batch-ingest redesign: validation covers the whole frame before any
+/// module is touched, so `applied` is always 0 on rejection (the field
+/// survives for the wire contract's `Rejected { applied }` shape). The
+/// error is frame-positioned: its [`CoreError::row_index`] names the
+/// offending row's index **within the frame**, so a client can repair
+/// and resubmit the exact row.
 #[derive(Debug)]
 pub struct IngestFailure {
-    /// Rows of the frame applied before the failure.
+    /// Rows of the frame applied before the failure — always 0 under
+    /// frame-atomic ingest.
     pub applied: u64,
     /// Why the offending row was rejected.
     pub error: CoreError,
 }
 
-/// Why an ingest frame stopped early ([`Tenant::ingest_rows_with`]):
-/// either a row failed validation, or the caller's pre-apply hook
-/// refused to let the row reach the oracle (e.g. a durability layer
-/// could not log it). In both cases earlier rows stay applied.
+/// Why an ingest frame was not applied
+/// ([`Tenant::ingest_batch_with`]): either validation rejected a row,
+/// or the caller's write-ahead hook refused the frame (e.g. the
+/// durability layer could not log it). In both cases **nothing** was
+/// applied.
 #[derive(Debug)]
-pub enum IngestInterrupt<E> {
-    /// A row failed domain/FD validation.
+pub enum BatchIngestError<E> {
+    /// A row failed domain/FD validation; no module was touched and
+    /// the frame was not logged.
     Rejected(IngestFailure),
-    /// The pre-apply hook failed **before** the row touched any oracle
-    /// state — the row was neither logged nor applied.
-    Hook {
-        /// Rows of the frame applied before the hook refused.
-        applied: u64,
-        /// The hook's error.
-        error: E,
-    },
+    /// The write-ahead hook failed after validation — the frame was
+    /// neither logged nor applied.
+    Wal(E),
+}
+
+/// A successfully applied ingest frame, as reported by
+/// [`Tenant::ingest_batch`] / [`Tenant::ingest_batch_with`].
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Total **new** module rows across all private modules (a module
+    /// already holding a row's projection contributes 0).
+    pub added: u64,
+    /// The per-module epochs after the frame was applied (published
+    /// through the seqlock pair — consistent cut, no lock taken).
+    pub epochs: Vec<ModuleEpoch>,
+    /// The write-ahead hook's sequence number for the frame (0 when no
+    /// durability hook ran).
+    pub log_seq: u64,
 }
 
 impl Tenant {
@@ -265,80 +284,100 @@ impl Tenant {
         })
     }
 
-    /// Applies provenance rows on the tenant's **single-writer lane**:
-    /// the lane mutex serializes ingest frames, and each row takes the
-    /// oracle write lock individually — probes interleave between rows,
-    /// and each landed row's epoch bump is immediately visible to
-    /// subsequent probe batches.
+    /// Applies provenance rows on the tenant's **single-writer lane**
+    /// as one frame-atomic [`IngestBatch`] — sugar over
+    /// [`ingest_batch`](Self::ingest_batch) for row slices.
     ///
     /// Returns the number of **new** module rows (a row whose
     /// projections all modules already hold adds 0 — and bumps no
     /// epoch).
     ///
     /// # Errors
-    /// [`IngestFailure`] on the first invalid row (domain or FD
-    /// violation): earlier rows of the frame stay applied; the
-    /// offending row and everything after it do not.
+    /// [`IngestFailure`] when any row is invalid (domain or FD
+    /// violation): **nothing** is applied; the error's
+    /// [`CoreError::row_index`] names the offending row.
     pub fn ingest_rows(&self, rows: &[Tuple]) -> Result<u64, IngestFailure> {
-        self.ingest_rows_with(rows, |_, _| Ok::<(), std::convert::Infallible>(()))
-            .map_err(|stop| match stop {
-                IngestInterrupt::Rejected(failure) => failure,
-                IngestInterrupt::Hook { error, .. } => match error {},
+        self.ingest_batch(&IngestBatch::from_rows(rows))
+            .map(|outcome| outcome.added)
+    }
+
+    /// Applies one typed [`IngestBatch`] on the tenant's single-writer
+    /// lane: validate the whole frame up front, apply per-module
+    /// mutations (concurrently for large frames), publish epochs.
+    /// Probes proceed throughout — the outer oracle lock is held in
+    /// **read** mode; only the module currently under append blocks,
+    /// and only probes addressed to it.
+    ///
+    /// # Errors
+    /// [`IngestFailure`] when validation rejects the frame — nothing
+    /// was applied.
+    pub fn ingest_batch(&self, batch: &IngestBatch) -> Result<BatchOutcome, IngestFailure> {
+        self.ingest_batch_with(batch, |_| Ok::<u64, std::convert::Infallible>(0), |_, _| ())
+            .map_err(|e| match e {
+                BatchIngestError::Rejected(failure) => failure,
+                BatchIngestError::Wal(never) => match never {},
             })
     }
 
-    /// [`ingest_rows`](Self::ingest_rows) with a **pre-apply hook**: for
-    /// each row, `hook(frame_index, row)` runs *before* the row takes
-    /// the oracle write lock. This is the write-through point for a
-    /// durability layer — log the row, then let it land — with the same
-    /// prefix discipline as validation failures: if the hook errs, the
-    /// row and everything after it are neither logged nor applied, and
-    /// earlier rows stay.
+    /// [`ingest_batch`](Self::ingest_batch) with durability hooks —
+    /// the write-through point for a commit lane. The pipeline, all
+    /// under the single-writer lane:
     ///
-    /// The hook runs under the single-writer ingest lane, so for one
-    /// tenant the sequence of hook calls is exactly the sequence of
-    /// apply attempts — a log written by the hook replays to the same
-    /// state.
+    /// 1. **validate** the whole batch (read locks only; a rejection
+    ///    leaves nothing logged and nothing applied);
+    /// 2. **`wal(batch)`** — the write-ahead hook logs the frame and
+    ///    returns its log sequence (its error aborts the frame
+    ///    unapplied);
+    /// 3. **apply** per-module mutations (cannot fail for a validated
+    ///    batch under the lane);
+    /// 4. **publish** the new epochs (seqlock);
+    /// 5. **`committed(batch, added)`** — still under the lane, so a
+    ///    durability layer can append the frame to its replay ledger in
+    ///    exactly log order.
+    ///
+    /// Because validation precedes logging, a frame in the log is by
+    /// construction a frame that applied — replay never re-rejects.
     ///
     /// # Errors
-    /// [`IngestInterrupt::Rejected`] on the first invalid row (its
-    /// error re-indexed to the frame position);
-    /// [`IngestInterrupt::Hook`] when the hook refuses a row.
-    pub fn ingest_rows_with<E, F>(
+    /// [`BatchIngestError::Rejected`] on validation failure,
+    /// [`BatchIngestError::Wal`] when the write-ahead hook refuses the
+    /// frame. Nothing is applied in either case.
+    pub fn ingest_batch_with<E>(
         &self,
-        rows: &[Tuple],
-        mut hook: F,
-    ) -> Result<u64, IngestInterrupt<E>>
-    where
-        F: FnMut(u64, &Tuple) -> Result<(), E>,
-    {
+        batch: &IngestBatch,
+        wal: impl FnOnce(&IngestBatch) -> Result<u64, E>,
+        committed: impl FnOnce(&IngestBatch, u64),
+    ) -> Result<BatchOutcome, BatchIngestError<E>> {
         let _lane = self
             .ingest_lane
             .lock()
             .expect("tenant ingest lane poisoned");
-        let mut added = 0u64;
-        for (i, row) in rows.iter().enumerate() {
-            if let Err(error) = hook(i as u64, row) {
-                return Err(IngestInterrupt::Hook {
-                    applied: i as u64,
-                    error,
-                });
-            }
-            let mut guard = self.oracles.write().expect("tenant oracle lock poisoned");
-            match guard.ingest_execution(row) {
-                Ok(n) => added += n as u64,
-                Err(error) => {
-                    drop(guard);
-                    return Err(IngestInterrupt::Rejected(IngestFailure {
-                        applied: i as u64,
-                        error: error.at_row(i),
-                    }));
-                }
-            }
-        }
+        let guard = self.oracles.read().expect("tenant oracle lock poisoned");
+        let validated = guard
+            .validate_batch(batch)
+            .map_err(|error| BatchIngestError::Rejected(IngestFailure { applied: 0, error }))?;
+        let log_seq = wal(batch).map_err(BatchIngestError::Wal)?;
+        let added = guard
+            .apply_batch(validated)
+            .map_err(|error| BatchIngestError::Rejected(IngestFailure { applied: 0, error }))?
+            as u64;
+        let epochs = Self::epochs_from(&guard);
+        committed(batch, added);
         self.ingest_frames.fetch_add(1, Ordering::Relaxed);
         self.rows_ingested.fetch_add(added, Ordering::Relaxed);
-        Ok(added)
+        Ok(BatchOutcome {
+            added,
+            epochs,
+            log_seq,
+        })
+    }
+
+    fn epochs_from(oracles: &WorkflowOracles) -> Vec<ModuleEpoch> {
+        oracles
+            .epoch_snapshot()
+            .into_iter()
+            .map(|(module, epoch)| ModuleEpoch { module, epoch })
+            .collect()
     }
 
     /// Exclusive access to the tenant's oracles, serialized behind the
@@ -359,17 +398,11 @@ impl Tenant {
     }
 
     /// The tenant's current per-module relation epochs, in
-    /// `private_modules()` order.
+    /// `private_modules()` order — read from the seqlock publication,
+    /// so this never blocks on an in-flight append's module locks.
     #[must_use]
     pub fn epochs(&self) -> Vec<ModuleEpoch> {
-        let guard = self.oracles();
-        guard
-            .iter()
-            .map(|(id, oracle)| ModuleEpoch {
-                module: id,
-                epoch: oracle.relation_epoch(),
-            })
-            .collect()
+        Self::epochs_from(&self.oracles())
     }
 
     /// Snapshot of the serving counters. Exact when no frame is in
@@ -393,25 +426,121 @@ impl Tenant {
     }
 }
 
+/// Default materialization budget for [`TenantConfig`]-built tenants
+/// (rows per module relation) — matches the budget the repository's
+/// examples and tests registered with before the builder existed.
+pub const DEFAULT_MATERIALIZE_BUDGET: u128 = 1 << 20;
+
+/// Where a [`TenantConfig`]'s oracles come from.
+enum TenantSource<'a> {
+    /// Build from a workflow (materialized or streaming).
+    Workflow(&'a Workflow),
+    /// Pre-built oracles (e.g. warmed offline, or restored).
+    Prebuilt(WorkflowOracles),
+}
+
+/// The one way to describe a tenant: workflow (or pre-built oracles),
+/// streaming flag, materialization budget, admission limits. Replaces
+/// the `register` / `register_streaming` / `insert` triple, which
+/// survive as thin deprecated shims.
+///
+/// # Examples
+/// ```
+/// use sv_serve::{AdmissionLimits, TenantConfig, TenantId, TenantRegistry};
+/// use sv_workflow::library::fig1_workflow;
+///
+/// let registry = TenantRegistry::new();
+/// let wf = fig1_workflow();
+/// // A materialized tenant with explicit budget and limits…
+/// registry
+///     .create(
+///         TenantId(1),
+///         TenantConfig::new(&wf)
+///             .budget(1 << 20)
+///             .limits(AdmissionLimits::default()),
+///     )
+///     .unwrap();
+/// // …and a streaming tenant (modules start empty, grow by ingest).
+/// registry
+///     .create(TenantId(2), TenantConfig::new(&wf).streaming(true))
+///     .unwrap();
+/// assert_eq!(registry.len(), 2);
+/// ```
+pub struct TenantConfig<'a> {
+    source: TenantSource<'a>,
+    streaming: bool,
+    budget: u128,
+    limits: AdmissionLimits,
+}
+
+impl<'a> TenantConfig<'a> {
+    /// A tenant over `workflow`: **materialized** by default (full
+    /// input domain, capped at [`DEFAULT_MATERIALIZE_BUDGET`] unless
+    /// [`budget`](Self::budget) overrides), or **streaming** when
+    /// [`streaming(true)`](Self::streaming) is set.
+    #[must_use]
+    pub fn new(workflow: &'a Workflow) -> Self {
+        Self {
+            source: TenantSource::Workflow(workflow),
+            streaming: false,
+            budget: DEFAULT_MATERIALIZE_BUDGET,
+            limits: AdmissionLimits::default(),
+        }
+    }
+
+    /// A tenant over pre-built oracles (e.g. warmed offline, or
+    /// restored from durable storage). The streaming flag and budget
+    /// are irrelevant for this source.
+    #[must_use]
+    pub fn prebuilt(oracles: WorkflowOracles) -> TenantConfig<'static> {
+        TenantConfig {
+            source: TenantSource::Prebuilt(oracles),
+            streaming: false,
+            budget: DEFAULT_MATERIALIZE_BUDGET,
+            limits: AdmissionLimits::default(),
+        }
+    }
+
+    /// Streaming mode: modules start empty and grow through ingest
+    /// ([`WorkflowOracles::for_workflow_streaming`]).
+    #[must_use]
+    pub fn streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
+    /// Materialization budget (rows per module relation) for
+    /// non-streaming workflow tenants.
+    #[must_use]
+    pub fn budget(mut self, budget: u128) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The tenant's admission-control bounds.
+    #[must_use]
+    pub fn limits(mut self, limits: AdmissionLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+}
+
 /// The registry: tenant id → serving state, behind a read-mostly lock.
 /// Registration and deregistration are rare control-plane operations;
 /// the serving data plane only ever takes the read side.
 ///
 /// # Examples
 /// ```
-/// use sv_serve::{AdmissionLimits, TenantId, TenantRegistry};
+/// use sv_serve::{TenantConfig, TenantId, TenantRegistry};
 /// use sv_workflow::library::fig1_workflow;
 ///
 /// let registry = TenantRegistry::new();
-/// let tenant = registry
-///     .register(TenantId(1), &fig1_workflow(), 1 << 20, AdmissionLimits::default())
-///     .unwrap();
+/// let wf = fig1_workflow();
+/// let tenant = registry.create(TenantId(1), TenantConfig::new(&wf)).unwrap();
 /// assert_eq!(tenant.id(), TenantId(1));
 /// assert_eq!(registry.len(), 1);
 /// // A second registration under the same id is refused.
-/// assert!(registry
-///     .register(TenantId(1), &fig1_workflow(), 1 << 20, AdmissionLimits::default())
-///     .is_err());
+/// assert!(registry.create(TenantId(1), TenantConfig::new(&wf)).is_err());
 /// assert!(registry.deregister(TenantId(1)).is_some());
 /// assert!(registry.is_empty());
 /// ```
@@ -427,13 +556,35 @@ impl TenantRegistry {
         Self::default()
     }
 
+    /// Registers a tenant described by a [`TenantConfig`] — the single
+    /// registration entry point.
+    ///
+    /// # Errors
+    /// [`ServeError::DuplicateTenant`] if `id` is taken;
+    /// [`ServeError::Core`] if oracle construction fails
+    /// (materialization budget, structural workflow errors).
+    pub fn create(
+        &self,
+        id: TenantId,
+        config: TenantConfig<'_>,
+    ) -> Result<Arc<Tenant>, ServeError> {
+        let oracles = match config.source {
+            TenantSource::Prebuilt(oracles) => oracles,
+            TenantSource::Workflow(wf) if config.streaming => {
+                WorkflowOracles::for_workflow_streaming(wf)?
+            }
+            TenantSource::Workflow(wf) => WorkflowOracles::for_workflow(wf, config.budget)?,
+        };
+        self.insert_oracles(id, oracles, config.limits)
+    }
+
     /// Registers a tenant whose modules are **materialized** over the
-    /// full input domain (budget-capped), the batch construction of
-    /// [`WorkflowOracles::for_workflow`].
+    /// full input domain (budget-capped).
     ///
     /// # Errors
     /// [`ServeError::DuplicateTenant`] if `id` is taken;
     /// [`ServeError::Core`] if materialization fails (budget).
+    #[deprecated(note = "use TenantRegistry::create with TenantConfig::new(workflow).budget(…)")]
     pub fn register(
         &self,
         id: TenantId,
@@ -441,31 +592,48 @@ impl TenantRegistry {
         budget: u128,
         limits: AdmissionLimits,
     ) -> Result<Arc<Tenant>, ServeError> {
-        let oracles = WorkflowOracles::for_workflow(workflow, budget)?;
-        self.insert(id, oracles, limits)
+        self.create(
+            id,
+            TenantConfig::new(workflow).budget(budget).limits(limits),
+        )
     }
 
     /// Registers a **streaming** tenant: every module starts empty and
-    /// grows through ingest ([`WorkflowOracles::for_workflow_streaming`]).
+    /// grows through ingest.
     ///
     /// # Errors
     /// [`ServeError::DuplicateTenant`] if `id` is taken;
     /// [`ServeError::Core`] on structural workflow errors.
+    #[deprecated(
+        note = "use TenantRegistry::create with TenantConfig::new(workflow).streaming(true)"
+    )]
     pub fn register_streaming(
         &self,
         id: TenantId,
         workflow: &Workflow,
         limits: AdmissionLimits,
     ) -> Result<Arc<Tenant>, ServeError> {
-        let oracles = WorkflowOracles::for_workflow_streaming(workflow)?;
-        self.insert(id, oracles, limits)
+        self.create(
+            id,
+            TenantConfig::new(workflow).streaming(true).limits(limits),
+        )
     }
 
     /// Registers pre-built oracles (e.g. warmed offline) under `id`.
     ///
     /// # Errors
     /// [`ServeError::DuplicateTenant`] if `id` is taken.
+    #[deprecated(note = "use TenantRegistry::create with TenantConfig::prebuilt(oracles)")]
     pub fn insert(
+        &self,
+        id: TenantId,
+        oracles: WorkflowOracles,
+        limits: AdmissionLimits,
+    ) -> Result<Arc<Tenant>, ServeError> {
+        self.insert_oracles(id, oracles, limits)
+    }
+
+    fn insert_oracles(
         &self,
         id: TenantId,
         oracles: WorkflowOracles,
@@ -534,7 +702,12 @@ mod tests {
     fn small_tenant(limits: AdmissionLimits) -> Arc<Tenant> {
         let registry = TenantRegistry::new();
         registry
-            .register(TenantId(9), &one_one_chain(1, 3), 1 << 16, limits)
+            .create(
+                TenantId(9),
+                TenantConfig::new(&one_one_chain(1, 3))
+                    .budget(1 << 16)
+                    .limits(limits),
+            )
             .unwrap()
     }
 
@@ -587,26 +760,60 @@ mod tests {
     }
 
     #[test]
-    fn ingest_reports_partial_application() {
+    fn ingest_frames_are_all_or_nothing() {
         let wf = one_one_chain(1, 2);
         let registry = TenantRegistry::new();
         let t = registry
-            .register_streaming(TenantId(0), &wf, AdmissionLimits::default())
+            .create(TenantId(0), TenantConfig::new(&wf).streaming(true))
             .unwrap();
         let good = wf.run(&[0, 1]).unwrap();
         let added = t.ingest_rows(std::slice::from_ref(&good)).unwrap();
         assert_eq!(added, 1);
         // Same row again: dedup, 0 added, no failure.
         assert_eq!(t.ingest_rows(std::slice::from_ref(&good)).unwrap(), 0);
-        // A row violating the module FD `I -> O` (same input, different
-        // output than recorded) fails after the first (valid) row.
+        // A frame holding a valid fresh row *and* a row violating the
+        // module FD `I -> O` applies nothing: validation covers the
+        // whole frame before any module is touched.
+        let epochs_before = t.epochs();
         let other = wf.run(&[1, 0]).unwrap();
         let mut bad = good.values().to_vec();
         bad[2] ^= 1; // flip one output bit -> FD violation
         let failure = t
-            .ingest_rows(&[other, Tuple::new(bad)])
+            .ingest_rows(&[other.clone(), Tuple::new(bad)])
             .expect_err("FD violation must fail the frame");
-        assert_eq!(failure.applied, 1);
+        assert_eq!(failure.applied, 0, "frame-atomic: nothing applied");
+        assert_eq!(failure.error.row_index(), Some(1), "offending row named");
+        assert_eq!(t.epochs(), epochs_before, "no epoch moved");
+        // The valid row alone still lands.
+        assert_eq!(t.ingest_rows(std::slice::from_ref(&other)).unwrap(), 1);
+    }
+
+    #[test]
+    fn wal_hook_failure_applies_nothing() {
+        let wf = one_one_chain(1, 2);
+        let registry = TenantRegistry::new();
+        let t = registry
+            .create(TenantId(0), TenantConfig::new(&wf).streaming(true))
+            .unwrap();
+        let batch = IngestBatch::new(vec![wf.run(&[0, 1]).unwrap()]);
+        let err = t
+            .ingest_batch_with(&batch, |_| Err::<u64, &str>("disk full"), |_, _| ())
+            .expect_err("wal refusal aborts the frame");
+        assert!(matches!(err, BatchIngestError::Wal("disk full")));
+        assert!(t.epochs().iter().all(|me| me.epoch == 0));
+        assert_eq!(t.stats().ingest_frames, 0);
+        // A validation rejection never reaches the wal hook.
+        let mut bad = wf.run(&[1, 0]).unwrap().values().to_vec();
+        bad[2] ^= 1;
+        let bad_batch = IngestBatch::new(vec![wf.run(&[1, 0]).unwrap(), Tuple::new(bad)]);
+        let err = t
+            .ingest_batch_with(
+                &bad_batch,
+                |_| -> Result<u64, &str> { panic!("wal hook must not run for invalid frames") },
+                |_, _| (),
+            )
+            .expect_err("invalid frame");
+        assert!(matches!(err, BatchIngestError::Rejected(_)));
     }
 
     #[test]
@@ -614,10 +821,28 @@ mod tests {
         let wf = one_one_chain(1, 2);
         let registry = TenantRegistry::new();
         let t = registry
-            .register_streaming(TenantId(0), &wf, AdmissionLimits::default())
+            .create(TenantId(0), TenantConfig::new(&wf).streaming(true))
             .unwrap();
         assert!(t.epochs().iter().all(|me| me.epoch == 0));
         t.ingest_rows(&[wf.run(&[0, 0]).unwrap()]).unwrap();
         assert!(t.epochs().iter().all(|me| me.epoch == 1));
+    }
+
+    #[test]
+    fn deprecated_shims_still_register() {
+        #![allow(deprecated)]
+        let wf = one_one_chain(1, 2);
+        let registry = TenantRegistry::new();
+        registry
+            .register(TenantId(1), &wf, 1 << 16, AdmissionLimits::default())
+            .unwrap();
+        registry
+            .register_streaming(TenantId(2), &wf, AdmissionLimits::default())
+            .unwrap();
+        let oracles = sv_core::safety::WorkflowOracles::for_workflow_streaming(&wf).unwrap();
+        registry
+            .insert(TenantId(3), oracles, AdmissionLimits::default())
+            .unwrap();
+        assert_eq!(registry.len(), 3);
     }
 }

@@ -23,7 +23,8 @@ use sv_core::safety::{ProbeRequest, WorkflowOracles};
 use sv_core::wire::BusyReason;
 use sv_relation::{AttrSet, Tuple};
 use sv_serve::{
-    AdmissionLimits, Client, LoopbackTransport, ServeError, Server, TenantId, TenantRegistry,
+    AdmissionLimits, Client, LoopbackTransport, ServeError, Server, TenantConfig, TenantId,
+    TenantRegistry,
 };
 use sv_workflow::library::one_one_chain;
 use sv_workflow::{ModuleId, Workflow};
@@ -82,7 +83,7 @@ fn serve_equivalence_under_ingest(client_threads: usize) {
 
     let registry = Arc::new(TenantRegistry::new());
     registry
-        .register_streaming(TENANT, &wf, AdmissionLimits::default())
+        .create(TENANT, TenantConfig::new(&wf).streaming(true))
         .unwrap();
     let transport = LoopbackTransport::new(Arc::new(Server::new(registry)));
     let done = AtomicU64::new(0);
@@ -168,14 +169,15 @@ fn busy_surfaces_through_the_wire_without_touching_state() {
     let wf = one_one_chain(1, WIRES);
     let registry = Arc::new(TenantRegistry::new());
     let tenant = registry
-        .register_streaming(
+        .create(
             TENANT,
-            &wf,
-            AdmissionLimits {
-                max_batch_requests: 2,
-                max_inflight_requests: 2,
-                ..AdmissionLimits::default()
-            },
+            TenantConfig::new(&wf)
+                .streaming(true)
+                .limits(AdmissionLimits {
+                    max_batch_requests: 2,
+                    max_inflight_requests: 2,
+                    ..AdmissionLimits::default()
+                }),
         )
         .unwrap();
     let transport = LoopbackTransport::new(Arc::new(Server::new(registry)));
@@ -219,18 +221,15 @@ fn stale_epoch_fails_the_whole_batch_atomically() {
     let rows = all_rows(&wf);
     let registry = Arc::new(TenantRegistry::new());
     let tenant = registry
-        .register_streaming(TENANT, &wf, AdmissionLimits::default())
+        .create(TENANT, TenantConfig::new(&wf).streaming(true))
         .unwrap();
     let transport = LoopbackTransport::new(Arc::new(Server::new(registry)));
     let mut client = Client::connect(&transport).unwrap();
 
-    // Move the tenant to epoch 2.
-    client
-        .ingest(
-            TENANT,
-            &[rows[0].values().to_vec(), rows[1].values().to_vec()],
-        )
-        .unwrap();
+    // Move the tenant to epoch 2: one epoch step per ingest frame
+    // (frames apply atomically), so two frames of one row each.
+    client.ingest(TENANT, &[rows[0].values().to_vec()]).unwrap();
+    client.ingest(TENANT, &[rows[1].values().to_vec()]).unwrap();
     let epochs = client.epochs(TENANT).unwrap();
     assert_eq!(epochs[0].epoch, 2);
 
@@ -279,7 +278,7 @@ fn socket_transport_matches_loopback() {
 
     let registry = Arc::new(TenantRegistry::new());
     registry
-        .register_streaming(TENANT, &wf, AdmissionLimits::default())
+        .create(TENANT, TenantConfig::new(&wf).streaming(true))
         .unwrap();
     let server = Arc::new(Server::new(Arc::clone(&registry)));
     let loopback = LoopbackTransport::new(Arc::clone(&server));
@@ -342,24 +341,23 @@ fn restarted_server_over_recovered_registry_answers_identically() {
 
     // ── First life: durable registry behind a socket server. ──
     let durable = Arc::new(DurableRegistry::create(&dir).unwrap());
-    durable
-        .register_streaming(TENANT, &wf, AdmissionLimits::default())
-        .unwrap();
+    durable.register(TENANT, TenantConfig::new(&wf)).unwrap();
     let server = Arc::new(Server::with_ingest_sink(
         Arc::clone(durable.registry()),
-        durable.ingest_sink(),
+        Arc::clone(&durable) as _,
     ));
     let path = dir.join("first.sock");
     let mut socket_server = SocketServer::bind(Arc::clone(&server), &path, 2).unwrap();
     let mut client = Client::connect(&SocketTransport::new(socket_server.path())).unwrap();
+    let mut last_durable = 0;
     for row in &rows[..5] {
-        assert_eq!(
-            client
-                .ingest(TENANT, &[row.values().to_vec()])
-                .unwrap()
-                .added,
-            1
+        let receipt = client.ingest(TENANT, &[row.values().to_vec()]).unwrap();
+        assert_eq!(receipt.added, 1);
+        assert!(
+            receipt.durable_seq > last_durable,
+            "durable server acks with a covering sync sequence"
         );
+        last_durable = receipt.durable_seq;
     }
     // The pre-restart reference: every probe answer (and its epoch),
     // captured over the in-process loopback against the live server.
@@ -387,7 +385,7 @@ fn restarted_server_over_recovered_registry_answers_identically() {
     let recovered = Arc::new(recovered);
     let server = Arc::new(Server::with_ingest_sink(
         Arc::clone(recovered.registry()),
-        recovered.ingest_sink(),
+        Arc::clone(&recovered) as _,
     ));
     let path = dir.join("second.sock");
     let mut socket_server = SocketServer::bind(Arc::clone(&server), &path, 2).unwrap();

@@ -31,7 +31,8 @@ use secure_view::privacy::safety::ProbeRequest;
 use secure_view::privacy::wire::ServeFault;
 use secure_view::relation::AttrSet;
 use secure_view::serve::{
-    AdmissionLimits, Client, LoopbackTransport, ServeError, Server, TenantId, TenantRegistry,
+    AdmissionLimits, Client, LoopbackTransport, ServeError, Server, TenantConfig, TenantId,
+    TenantRegistry,
 };
 use secure_view::workflow::library::{fig1_workflow, one_one_chain};
 use secure_view::workflow::ModuleId;
@@ -49,17 +50,16 @@ fn main() {
     // Tenant 1: the paper's Figure-1 workflow, fully materialized.
     // Tenant 2: a streaming 3-wire boolean module that starts empty.
     let registry = Arc::new(TenantRegistry::new());
+    let fig1 = fig1_workflow();
     registry
-        .register(
-            TenantId(1),
-            &fig1_workflow(),
-            1 << 20,
-            AdmissionLimits::default(),
-        )
+        .create(TenantId(1), TenantConfig::new(&fig1).budget(1 << 20))
         .expect("register tenant 1");
     let streaming_wf = one_one_chain(1, 3);
     registry
-        .register_streaming(TenantId(2), &streaming_wf, AdmissionLimits::default())
+        .create(
+            TenantId(2),
+            TenantConfig::new(&streaming_wf).streaming(true),
+        )
         .expect("register tenant 2");
     let server = Arc::new(Server::new(Arc::clone(&registry)));
     let transport = LoopbackTransport::new(server);
@@ -163,13 +163,14 @@ fn main() {
     // frame with Busy — a typed response, not a hang, and no serving
     // state is touched.
     let tight = registry
-        .register_streaming(
+        .create(
             TenantId(3),
-            &streaming_wf,
-            AdmissionLimits {
-                max_batch_requests: 4,
-                ..AdmissionLimits::default()
-            },
+            TenantConfig::new(&streaming_wf)
+                .streaming(true)
+                .limits(AdmissionLimits {
+                    max_batch_requests: 4,
+                    ..AdmissionLimits::default()
+                }),
         )
         .expect("register tenant 3");
     let oversized: Vec<ProbeRequest> = (0..16)
