@@ -71,7 +71,14 @@ impl GateReport {
                     "{status} {:<60} base {:>14.1}  cur {c:>14.1}  ratio {ratio:>6.2}\n",
                     r.id, r.baseline
                 )),
-                _ => out.push_str(&format!(
+                // A present value with no ratio (zero baseline — e.g. a
+                // deterministic counter that is exactly 0) is not
+                // missing; exact mode still compares it bit-for-bit.
+                (Some(c), None) => out.push_str(&format!(
+                    "{status} {:<60} base {:>14.1}  cur {c:>14.1}  ratio    n/a\n",
+                    r.id, r.baseline
+                )),
+                (None, _) => out.push_str(&format!(
                     "{status} {:<60} base {:>14.1}  cur        MISSING\n",
                     r.id, r.baseline
                 )),

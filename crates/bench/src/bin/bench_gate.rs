@@ -1,105 +1,159 @@
-//! CI bench-regression gate: compares a fresh bench run against a
-//! committed `BENCH_*.json` baseline and exits non-zero on regression.
+//! CI bench-regression gate: compares fresh bench runs against the
+//! committed `BENCH_*.json` baselines and exits non-zero on regression.
 //!
 //! ```text
 //! bench_gate --baseline BENCH_kernel.json --current current.json \
 //!            [--max-ratio 2.0] [--prefix e9_kernel_swap/derive_requirements]... \
 //!            [--exact e16_parallel_sweep/stats/]... \
-//!            [--speedup slow_id,fast_id,min]...
+//!            [--speedup slow_id,fast_id,min]... \
+//!            [--baseline BENCH_sweep.json --current sweep.json ...]...
 //! ```
+//!
+//! Each `--baseline` starts a new **gate group**; the flags that follow
+//! it (`--current`, `--max-ratio`, `--prefix`, `--exact`, `--speedup`)
+//! configure that group. Every group is evaluated even when an earlier
+//! one fails, and the exit summary names each failing group — so a
+//! regenerated baseline surfaces *every* drift in one run instead of
+//! stopping at the first failing invocation.
 //!
 //! `--current` accepts either a `--save-baseline`-produced JSON file or
 //! raw bench output containing `BENCHJSON` lines. With no `--prefix`,
 //! every baseline id is gated by ratio — unless `--exact` or
 //! `--speedup` checks are given, in which case only those run.
 //! `--exact` prefixes gate deterministic counters (sweep visited/pruned
-//! masks): the current run must reproduce the committed value
-//! bit-for-bit. `--speedup` checks are evaluated on the current run
-//! alone (`slow/fast ≥ min`), so they hold regardless of how fast the
-//! CI machine is relative to the one that recorded the committed
-//! baseline.
+//! masks, border walk emissions): the current run must reproduce the
+//! committed value bit-for-bit. `--speedup` checks are evaluated on the
+//! current run alone (`slow/fast ≥ min`), so they hold regardless of
+//! how fast the CI machine is relative to the one that recorded the
+//! committed baseline.
 
 use sv_bench::baseline::{compare, compare_exact, load_results, SpeedupCheck};
 
-struct Args {
+#[derive(Debug)]
+struct Group {
     baseline: String,
-    current: String,
+    current: Option<String>,
     max_ratio: f64,
     prefixes: Vec<String>,
     exacts: Vec<String>,
     speedups: Vec<SpeedupCheck>,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut baseline = None;
-    let mut current = None;
-    let mut max_ratio = 2.0f64;
-    let mut prefixes = Vec::new();
-    let mut exacts = Vec::new();
-    let mut speedups = Vec::new();
-    let mut it = std::env::args().skip(1);
+impl Group {
+    fn new(baseline: String) -> Self {
+        Self {
+            baseline,
+            current: None,
+            max_ratio: 2.0,
+            prefixes: Vec::new(),
+            exacts: Vec::new(),
+            speedups: Vec::new(),
+        }
+    }
+}
+
+fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Vec<Group>, String> {
+    let mut groups: Vec<Group> = Vec::new();
+    let mut it = args;
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        if flag == "--baseline" {
+            groups.push(Group::new(value("--baseline")?));
+            continue;
+        }
+        let group = groups
+            .last_mut()
+            .ok_or(format!("{flag} must follow a --baseline"))?;
         match flag.as_str() {
-            "--baseline" => baseline = Some(value("--baseline")?),
-            "--current" => current = Some(value("--current")?),
+            "--current" => group.current = Some(value("--current")?),
             "--max-ratio" => {
-                max_ratio = value("--max-ratio")?
+                group.max_ratio = value("--max-ratio")?
                     .parse()
                     .map_err(|e| format!("bad --max-ratio: {e}"))?;
             }
-            "--prefix" => prefixes.push(value("--prefix")?),
-            "--exact" => exacts.push(value("--exact")?),
-            "--speedup" => speedups.push(SpeedupCheck::parse(&value("--speedup")?)?),
+            "--prefix" => group.prefixes.push(value("--prefix")?),
+            "--exact" => group.exacts.push(value("--exact")?),
+            "--speedup" => group
+                .speedups
+                .push(SpeedupCheck::parse(&value("--speedup")?)?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(Args {
-        baseline: baseline.ok_or("--baseline is required")?,
-        current: current.ok_or("--current is required")?,
-        max_ratio,
-        prefixes,
-        exacts,
-        speedups,
-    })
+    if groups.is_empty() {
+        return Err("--baseline is required".into());
+    }
+    for g in &groups {
+        if g.current.is_none() {
+            return Err(format!("group {} is missing --current", g.baseline));
+        }
+    }
+    Ok(groups)
 }
 
-fn run() -> Result<bool, String> {
-    let args = parse_args()?;
+/// Evaluates one gate group; returns whether it passed. All output goes
+/// to stdout so every check's report is visible even when earlier
+/// groups failed.
+fn run_group(group: &Group) -> Result<bool, String> {
     let read =
         |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
     let baseline =
-        load_results(&read(&args.baseline)?).map_err(|e| format!("{}: {e}", args.baseline))?;
-    let current =
-        load_results(&read(&args.current)?).map_err(|e| format!("{}: {e}", args.current))?;
+        load_results(&read(&group.baseline)?).map_err(|e| format!("{}: {e}", group.baseline))?;
+    let current_path = group.current.as_deref().expect("validated in parse_args");
+    let current = load_results(&read(current_path)?).map_err(|e| format!("{current_path}: {e}"))?;
     let mut ok = true;
     // The ratio report runs when prefixes are given, or when nothing
     // else is (the legacy gate-everything default).
-    if !args.prefixes.is_empty() || (args.exacts.is_empty() && args.speedups.is_empty()) {
-        let report = compare(&baseline, &current, &args.prefixes, args.max_ratio);
+    if !group.prefixes.is_empty() || (group.exacts.is_empty() && group.speedups.is_empty()) {
+        let report = compare(&baseline, &current, &group.prefixes, group.max_ratio);
         print!("{}", report.render());
         ok &= report.passed();
     }
-    if !args.exacts.is_empty() {
-        let report = compare_exact(&baseline, &current, &args.exacts);
+    if !group.exacts.is_empty() {
+        let report = compare_exact(&baseline, &current, &group.exacts);
         print!("{}", report.render());
         ok &= report.passed();
     }
-    for check in &args.speedups {
+    for check in &group.speedups {
         print!("{}", check.render(&current));
         ok &= check.evaluate(&current).1;
     }
     Ok(ok)
 }
 
+fn run() -> Result<Vec<String>, String> {
+    let groups = parse_args(std::env::args().skip(1))?;
+    let many = groups.len() > 1;
+    let mut failed = Vec::new();
+    for group in &groups {
+        if many {
+            println!("=== gate group: {} ===", group.baseline);
+        }
+        // A group that cannot even load its inputs counts as a failure
+        // of that group, not an abort of the whole run: every remaining
+        // gate still gets evaluated and reported.
+        let passed = match run_group(group) {
+            Ok(passed) => passed,
+            Err(e) => {
+                println!("{}: ERROR {e}", group.baseline);
+                false
+            }
+        };
+        if !passed {
+            failed.push(group.baseline.clone());
+        }
+    }
+    Ok(failed)
+}
+
 fn main() {
     match run() {
-        Ok(true) => {}
-        Ok(false) => {
+        Ok(failed) if failed.is_empty() => {}
+        Ok(failed) => {
             eprintln!(
-                "bench_gate: FAILED — see docs/BENCHMARKS.md for the measurement \
-                 methodology, gate thresholds, and how to refresh a committed \
-                 BENCH_*.json baseline after a deliberate change"
+                "bench_gate: FAILED ({}) — see docs/BENCHMARKS.md for the \
+                 measurement methodology, gate thresholds, and how to refresh a \
+                 committed BENCH_*.json baseline after a deliberate change",
+                failed.join(", ")
             );
             std::process::exit(1);
         }
@@ -107,5 +161,96 @@ fn main() {
             eprintln!("bench_gate: {e} (see docs/BENCHMARKS.md)");
             std::process::exit(2);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> {
+        list.iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn single_group_keeps_legacy_shape() {
+        let groups = parse_args(args(&[
+            "--baseline",
+            "a.json",
+            "--current",
+            "b.json",
+            "--max-ratio",
+            "3.5",
+            "--prefix",
+            "e9/",
+            "--exact",
+            "e16/stats/",
+            "--speedup",
+            "slow,fast,3.0",
+        ]))
+        .unwrap();
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.baseline, "a.json");
+        assert_eq!(g.current.as_deref(), Some("b.json"));
+        assert!((g.max_ratio - 3.5).abs() < f64::EPSILON);
+        assert_eq!(g.prefixes, ["e9/"]);
+        assert_eq!(g.exacts, ["e16/stats/"]);
+        assert_eq!(g.speedups.len(), 1);
+    }
+
+    #[test]
+    fn repeated_baseline_starts_new_groups_with_independent_flags() {
+        let groups = parse_args(args(&[
+            "--baseline",
+            "a.json",
+            "--current",
+            "a_run.json",
+            "--exact",
+            "e16/",
+            "--baseline",
+            "b.json",
+            "--current",
+            "b_run.json",
+            "--max-ratio",
+            "4.0",
+        ]))
+        .unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].exacts, ["e16/"]);
+        assert!(
+            groups[1].exacts.is_empty(),
+            "flags do not leak across groups"
+        );
+        assert!((groups[0].max_ratio - 2.0).abs() < f64::EPSILON);
+        assert!((groups[1].max_ratio - 4.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn flags_before_any_baseline_are_rejected() {
+        let err = parse_args(args(&["--current", "b.json"])).unwrap_err();
+        assert!(err.contains("must follow a --baseline"), "{err}");
+    }
+
+    #[test]
+    fn missing_current_is_rejected_per_group() {
+        let err = parse_args(args(&[
+            "--baseline",
+            "a.json",
+            "--current",
+            "a_run.json",
+            "--baseline",
+            "b.json",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("b.json is missing --current"), "{err}");
+    }
+
+    #[test]
+    fn no_arguments_is_an_error() {
+        assert!(parse_args(args(&[])).is_err());
     }
 }

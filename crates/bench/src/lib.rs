@@ -14,3 +14,4 @@
 pub mod baseline;
 pub mod experiments;
 pub mod flatscan;
+pub mod layerscan;

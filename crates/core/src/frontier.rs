@@ -52,6 +52,32 @@
 //! 512 members are screened per block by straight-line lane OR/AND ops
 //! with no data-dependent branching inside the block.
 //!
+//! Each super-word additionally carries a **compaction digest** — a
+//! conservative AND/OR of its live member masks plus popcount bounds —
+//! letting both queries skip a whole 512-slot block in two word ops
+//! when the digest alone rules it out (e.g. every member of the block
+//! has a bit the query lacks). Digests are maintained incrementally and
+//! only tightened lazily: evictions leave them stale-but-sound
+//! (a stale AND is a subset of the true AND, a stale OR a superset of
+//! the true OR), and a block whose members are all evicted by
+//! insert-driven dominance is reset and — when it is the trailing
+//! block — recycled outright, shrinking the scan.
+//!
+//! ### Border enumeration
+//!
+//! The sweeps' outer loop is the dual question: *which masks of a
+//! popcount layer are **not** yet covered?* Instead of enumerating all
+//! `C(k, p)` masks and testing each,
+//! [`uncovered_in_layer`](Frontier::uncovered_in_layer) walks the trie
+//! once, MSB-first, carrying the set of members still compatible with
+//! the mask prefix decided so far. A subtree all of whose completions
+//! contain a member is skipped whole (one **border jump** per
+//! path-compressed descent), and a subtree no member can reach is
+//! emitted as one contiguous [`BorderRun`] of `C(width, remaining)`
+//! uncovered masks — so the walk costs `O(border)`, not `O(layer)`.
+//! [`next_uncovered`](Frontier::next_uncovered) is the
+//! single-successor form of the same walk.
+//!
 //! ### Minimality invariant
 //!
 //! [`insert`](Frontier::insert) keeps the member set an **antichain**:
@@ -136,6 +162,16 @@ pub struct Frontier {
     /// Slot → member mask (so eviction can clear the right rows).
     slot_mask: Vec<u64>,
     slot_free: Vec<u32>,
+    /// Per-super-word compaction digests (see the [module docs](self)):
+    /// a conservative AND (`⊆` the true AND of the block's live masks)
+    /// and OR (`⊇` the true OR), plus popcount lower/upper bounds and
+    /// the live count. Evictions leave them stale-but-sound; they reset
+    /// when the block empties.
+    block_and: Vec<u64>,
+    block_or: Vec<u64>,
+    block_minpop: Vec<u32>,
+    block_maxpop: Vec<u32>,
+    block_pop: Vec<u32>,
     /// Coverage/domination queries answered (relaxed; deterministic
     /// under the layer-barriered sweeps, which query each enumerated
     /// mask exactly once regardless of thread count).
@@ -154,6 +190,11 @@ impl Clone for Frontier {
             occ: self.occ.clone(),
             slot_mask: self.slot_mask.clone(),
             slot_free: self.slot_free.clone(),
+            block_and: self.block_and.clone(),
+            block_or: self.block_or.clone(),
+            block_minpop: self.block_minpop.clone(),
+            block_maxpop: self.block_maxpop.clone(),
+            block_pop: self.block_pop.clone(),
             queries: AtomicU64::new(self.queries.load(Ordering::Relaxed)),
         }
     }
@@ -195,6 +236,11 @@ impl Frontier {
             occ: Vec::new(),
             slot_mask: Vec::new(),
             slot_free: Vec::new(),
+            block_and: Vec::new(),
+            block_or: Vec::new(),
+            block_minpop: Vec::new(),
+            block_maxpop: Vec::new(),
+            block_pop: Vec::new(),
             queries: AtomicU64::new(0),
         }
     }
@@ -383,7 +429,16 @@ impl Frontier {
         // masks, no data-dependent branches inside the block.
         let (idx, cnt) = Self::bit_indices(!mask & self.below(0));
         let idx = &idx[..cnt];
-        for (word, block) in self.live.iter().zip(self.occ.chunks_exact(k)) {
+        let pc = mask.count_ones();
+        for (w, (word, block)) in self.live.iter().zip(self.occ.chunks_exact(k)).enumerate() {
+            // Compaction screens: a bit every live member of the block
+            // has (`block_and` is a subset of that AND) but `mask`
+            // lacks, or a block whose smallest member is wider than
+            // `mask`, rules out the whole super-word before any lane
+            // is touched.
+            if self.block_and[w] & !mask != 0 || self.block_minpop[w] > pc {
+                continue;
+            }
             let mut f = [0u64; LANES];
             for &b in idx {
                 let row = &block[b as usize];
@@ -414,7 +469,15 @@ impl Frontier {
         }
         let (idx, cnt) = Self::bit_indices(mask);
         let idx = &idx[..cnt];
-        for (word, block) in self.live.iter().zip(self.occ.chunks_exact(k)) {
+        let pc = mask.count_ones();
+        for (w, (word, block)) in self.live.iter().zip(self.occ.chunks_exact(k)).enumerate() {
+            // Dual compaction screens: a query bit no member of the
+            // block has (`block_or` is a superset of the true OR), or a
+            // query wider than the block's widest member, rules the
+            // super-word out wholesale.
+            if mask & !self.block_or[w] != 0 || pc > self.block_maxpop[w] {
+                continue;
+            }
             let mut a = *word;
             for &b in idx {
                 let row = &block[b as usize];
@@ -472,8 +535,8 @@ impl Frontier {
         (idx, cnt)
     }
 
-    /// Claims an occurrence-index slot for a new member and sets its
-    /// row bits.
+    /// Claims an occurrence-index slot for a new member, sets its row
+    /// bits, and folds the member into its block's compaction digest.
     fn slot_alloc(&mut self, mask: u64) -> u32 {
         let k = self.k as usize;
         let slot = self.slot_free.pop().unwrap_or_else(|| {
@@ -482,12 +545,23 @@ impl Frontier {
             if s as usize / SLOTS >= self.live.len() {
                 self.live.push([0; LANES]);
                 self.occ.extend(std::iter::repeat_n([0; LANES], k));
+                self.block_and.push(u64::MAX);
+                self.block_or.push(0);
+                self.block_minpop.push(u32::MAX);
+                self.block_maxpop.push(0);
+                self.block_pop.push(0);
             }
             s
         });
         let (w, lane, b) = (slot as usize / SLOTS, slot as usize / 64 % LANES, slot % 64);
         self.slot_mask[slot as usize] = mask;
         self.live[w][lane] |= 1u64 << b;
+        let pc = mask.count_ones();
+        self.block_and[w] &= mask;
+        self.block_or[w] |= mask;
+        self.block_minpop[w] = self.block_minpop[w].min(pc);
+        self.block_maxpop[w] = self.block_maxpop[w].max(pc);
+        self.block_pop[w] += 1;
         let mut bits = mask;
         while bits != 0 {
             let p = bits.trailing_zeros() as usize;
@@ -497,7 +571,11 @@ impl Frontier {
         slot
     }
 
-    /// Releases an evicted member's slot, clearing its row bits.
+    /// Releases an evicted member's slot, clearing its row bits. The
+    /// block digest stays stale-but-sound (shrinking the live set only
+    /// loosens what AND/OR/popcount bounds must summarize); a block
+    /// left empty resets its digest, and empty trailing blocks are
+    /// recycled outright so queries stop scanning them.
     fn slot_release(&mut self, slot: u32) {
         let k = self.k as usize;
         let (w, lane, b) = (slot as usize / SLOTS, slot as usize / 64 % LANES, slot % 64);
@@ -509,6 +587,37 @@ impl Frontier {
             self.occ[w * k + p][lane] &= !(1u64 << b);
         }
         self.slot_free.push(slot);
+        self.block_pop[w] -= 1;
+        if self.block_pop[w] == 0 {
+            self.block_and[w] = u64::MAX;
+            self.block_or[w] = 0;
+            self.block_minpop[w] = u32::MAX;
+            self.block_maxpop[w] = 0;
+            if w + 1 == self.live.len() {
+                self.recycle_empty_tail();
+            }
+        }
+    }
+
+    /// Drops every trailing super-word block whose members have all
+    /// been evicted, returning its memory and removing it from the
+    /// query scan (and from the free list, so reallocation starts a
+    /// fresh block).
+    fn recycle_empty_tail(&mut self) {
+        let k = self.k as usize;
+        while self.block_pop.last() == Some(&0) {
+            let w = self.block_pop.len() - 1;
+            self.block_pop.pop();
+            self.block_and.pop();
+            self.block_or.pop();
+            self.block_minpop.pop();
+            self.block_maxpop.pop();
+            self.live.pop();
+            self.occ.truncate(w * k);
+            let base = (w * SLOTS) as u32;
+            self.slot_free.retain(|&s| s < base);
+            self.slot_mask.truncate(self.slot_mask.len().min(w * SLOTS));
+        }
     }
 
     /// Inserts `mask`, maintaining minimality: returns `false` (and
@@ -800,6 +909,250 @@ impl Frontier {
         }
         best.map(|(cost, mask)| (mask, cost))
     }
+
+    /// The **uncovered border** of popcount layer `layer`, batched:
+    /// every mask of the layer *not* covered by the antichain, as
+    /// disjoint ascending [`BorderRun`]s, found by one trie walk that
+    /// skips covered subtrees whole instead of testing `C(k, layer)`
+    /// masks individually (see the [module docs](self)). The walk costs
+    /// `O(border + jumps)`, so sweeping dense layers scales with the
+    /// answer, not the lattice.
+    ///
+    /// Runs partition the uncovered masks; within a run the masks are
+    /// consecutive in the layer's ascending numeric (Gosper) order, so
+    /// sweep workers step through a run with a same-popcount successor
+    /// and never issue a per-mask coverage query.
+    ///
+    /// # Panics
+    /// Panics if `layer > k`.
+    ///
+    /// # Examples
+    /// ```
+    /// use sv_core::Frontier;
+    ///
+    /// // Empty frontier: the whole layer is one uncovered run.
+    /// let empty = Frontier::new(6);
+    /// let scan = empty.uncovered_in_layer(2);
+    /// assert_eq!(scan.masks, 15, "C(6, 2)");
+    /// assert_eq!(scan.runs.len(), 1);
+    /// assert_eq!(scan.runs[0].first, 0b000011);
+    ///
+    /// // A member covers its whole up-set in single jumps.
+    /// let f = Frontier::from_masks(6, [0b000001]);
+    /// let scan = f.uncovered_in_layer(2);
+    /// assert_eq!(scan.masks, 10, "C(6,2) - C(5,1) supersets of bit 0");
+    /// assert!(scan.runs.iter().all(|r| r.first & 1 == 0));
+    /// ```
+    #[must_use]
+    pub fn uncovered_in_layer(&self, layer: usize) -> BorderScan {
+        assert!(
+            layer <= self.k(),
+            "layer {layer} exceeds the frontier's {}-bit width",
+            self.k
+        );
+        let mut out = BorderScan::default();
+        let active: Vec<u32> = if self.root == NIL {
+            Vec::new()
+        } else {
+            vec![self.root]
+        };
+        self.border_rec(0, 0, layer as u32, 0, false, &active, &mut out);
+        out
+    }
+
+    /// The smallest popcount-`layer` mask `≥ from` not covered by the
+    /// antichain, or `None` when the rest of the layer is covered — the
+    /// successor-jumping form of
+    /// [`uncovered_in_layer`](Self::uncovered_in_layer): one bounded
+    /// trie descent instead of stepping mask-by-mask with a coverage
+    /// test at each.
+    ///
+    /// # Panics
+    /// Panics if `layer > k`.
+    ///
+    /// # Examples
+    /// ```
+    /// let f = sv_core::Frontier::from_masks(4, [0b0001]);
+    /// // Layer 2 masks skipping every superset of 0b0001:
+    /// assert_eq!(f.next_uncovered(0, 2), Some(0b0110));
+    /// assert_eq!(f.next_uncovered(0b0111, 2), Some(0b1010));
+    /// assert_eq!(f.next_uncovered(0b1101, 2), None);
+    /// ```
+    #[must_use]
+    pub fn next_uncovered(&self, from: u64, layer: usize) -> Option<u64> {
+        assert!(
+            layer <= self.k(),
+            "layer {layer} exceeds the frontier's {}-bit width",
+            self.k
+        );
+        let mut out = BorderScan::default();
+        let active: Vec<u32> = if self.root == NIL {
+            Vec::new()
+        } else {
+            vec![self.root]
+        };
+        self.border_rec(0, 0, layer as u32, from, true, &active, &mut out);
+        out.runs.first().map(|r| r.first)
+    }
+
+    /// Recursive border walk over the subtree of layer masks extending
+    /// `prefix` (levels `0..level` decided) with `remaining` of the
+    /// `k - level` undecided low positions set. `active` holds the trie
+    /// nodes whose members are still compatible with `prefix` (every
+    /// member bit at a decided position is in `prefix`). Returns
+    /// `false` to abort the walk (`first_only` satisfied).
+    #[allow(clippy::too_many_arguments)] // one recursion, one state tuple
+    fn border_rec(
+        &self,
+        level: u32,
+        prefix: u64,
+        remaining: u32,
+        from: u64,
+        first_only: bool,
+        active: &[u32],
+        out: &mut BorderScan,
+    ) -> bool {
+        let width = self.k - level;
+        let low = self.below(level);
+        // Lower-bound pruning (`next_uncovered`): the subtree's largest
+        // mask packs the `remaining` bits at the top of the low field.
+        let max = prefix | (low ^ low_ones(width - remaining));
+        if max < from {
+            return true;
+        }
+        // Covered subtree ⇒ one border jump: either a compatible member
+        // has no undecided bits left (it is ⊆ `prefix`, hence ⊆ every
+        // completion), or every undecided position must be set — the
+        // single completion `prefix | low` contains any compatible
+        // member outright.
+        let covered = !active.is_empty()
+            && (remaining == width
+                || active.iter().any(|&n| {
+                    let node = self.nodes[n as usize];
+                    node.branch == self.k && node.prefix & low == 0
+                }));
+        if covered {
+            out.jumps += 1;
+            return true;
+        }
+        if active.is_empty() {
+            let min = prefix | low_ones(remaining);
+            if min >= from {
+                let len = binom(width, remaining);
+                out.runs.push(BorderRun { first: min, len });
+                out.masks += len;
+                return !first_only;
+            }
+            // The run straddles `from`: keep descending; the bound
+            // prunes the part below and emits the remainder.
+        }
+        if width == 0 {
+            // Unreachable (the emit/jump cases above return for the
+            // fully decided mask), kept as a guard for the bit index.
+            return true;
+        }
+        let bitpos = self.k - 1 - level;
+        // Clear branch first: ascending numeric order within the layer.
+        if remaining < width {
+            let mut next: Vec<u32> = Vec::with_capacity(active.len());
+            for &n in active {
+                let node = self.nodes[n as usize];
+                if level < node.branch {
+                    if (node.prefix >> bitpos) & 1 == 1 {
+                        continue; // member needs the bit the mask lacks
+                    }
+                    if (node.prefix & self.below(level + 1)).count_ones() > remaining {
+                        continue; // member needs more bits than remain
+                    }
+                    next.push(n);
+                } else {
+                    // At the branch: only the clear-edge child survives.
+                    next.push(node.kids[0]);
+                }
+            }
+            if !self.border_rec(level + 1, prefix, remaining, from, first_only, &next, out) {
+                return false;
+            }
+        }
+        if remaining > 0 {
+            let mut next: Vec<u32> = Vec::with_capacity(active.len() + 1);
+            for &n in active {
+                let node = self.nodes[n as usize];
+                if level < node.branch {
+                    next.push(n); // a set bit satisfies any requirement
+                } else {
+                    next.push(node.kids[0]);
+                    next.push(node.kids[1]);
+                }
+            }
+            let set = prefix | (1u64 << bitpos);
+            if !self.border_rec(level + 1, set, remaining - 1, from, first_only, &next, out) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One contiguous uncovered run inside a popcount layer: `len` masks
+/// starting at `first`, consecutive in the layer's ascending numeric
+/// (Gosper) order. Produced by
+/// [`Frontier::uncovered_in_layer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BorderRun {
+    /// Smallest mask of the run.
+    pub first: u64,
+    /// Number of consecutive layer masks in the run.
+    pub len: u64,
+}
+
+/// The uncovered border of one popcount layer, batched for the sweep
+/// workers, with the walk's exact instrumentation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BorderScan {
+    /// Disjoint uncovered runs in ascending order; their union is
+    /// exactly the layer's uncovered masks.
+    pub runs: Vec<BorderRun>,
+    /// Covered subtrees skipped whole, each in one path-compressed
+    /// descent instead of per-mask coverage tests.
+    pub jumps: u64,
+    /// Total uncovered masks across `runs`.
+    pub masks: u64,
+}
+
+/// The lowest `r` bits set (`r ≤ 64`).
+#[inline]
+fn low_ones(r: u32) -> u64 {
+    if r == 0 {
+        0
+    } else {
+        u64::MAX >> (64 - r)
+    }
+}
+
+/// `C(n, r)` for `n ≤ 64` from a const Pascal triangle (`C(64, 32)`
+/// fits `u64` with headroom).
+#[inline]
+fn binom(n: u32, r: u32) -> u64 {
+    static TABLE: [[u64; 65]; 65] = {
+        let mut t = [[0u64; 65]; 65];
+        let mut n = 0;
+        while n <= 64 {
+            t[n][0] = 1;
+            let mut r = 1;
+            while r <= n {
+                t[n][r] = t[n - 1][r - 1] + if r < n { t[n - 1][r] } else { 0 };
+                r += 1;
+            }
+            n += 1;
+        }
+        t
+    };
+    if r > n {
+        0
+    } else {
+        TABLE[n as usize][r as usize]
+    }
 }
 
 #[cfg(test)]
@@ -906,5 +1259,185 @@ mod tests {
     fn oversized_masks_are_rejected() {
         let mut f = Frontier::new(4);
         f.insert(0b1_0000);
+    }
+
+    /// Flat reference for the border walk: the layer's uncovered masks
+    /// in ascending order.
+    fn flat_uncovered(f: &Frontier, k: u32, layer: u32) -> Vec<u64> {
+        (0..1u64 << k)
+            .filter(|m| m.count_ones() == layer && !f.covers_raw(*m))
+            .collect()
+    }
+
+    /// Expands a [`BorderScan`] into its mask list via Gosper stepping.
+    fn expand(scan: &BorderScan) -> Vec<u64> {
+        let mut out = Vec::new();
+        for run in &scan.runs {
+            let mut m = run.first;
+            for i in 0..run.len {
+                out.push(m);
+                if i + 1 < run.len {
+                    let c = m & m.wrapping_neg();
+                    let r = m + c;
+                    m = (((r ^ m) >> 2) / c) | r;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn border_walk_matches_flat_enumeration_exhaustively() {
+        // A mix of member shapes over k = 9: low singleton, mid pair,
+        // wide straddler — every layer's border checked bit-for-bit.
+        let cases: [&[u64]; 4] = [
+            &[],
+            &[0b0_0000_0001],
+            &[0b0_0110_0000, 0b1_0000_0001, 0b0_0000_1110],
+            &[0b1_1111_1111],
+        ];
+        for members in cases {
+            let f = Frontier::from_masks(9, members.iter().copied());
+            for layer in 0..=9u32 {
+                let scan = f.uncovered_in_layer(layer as usize);
+                let got = expand(&scan);
+                let want = flat_uncovered(&f, 9, layer);
+                assert_eq!(got, want, "members={members:?} layer={layer}");
+                assert_eq!(scan.masks, want.len() as u64);
+                // `next_uncovered` agrees from every starting point.
+                for from in 0..1u64 << 9 {
+                    let next = want.iter().copied().find(|&m| m >= from);
+                    assert_eq!(
+                        f.next_uncovered(from, layer as usize),
+                        next,
+                        "members={members:?} layer={layer} from={from:#b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn border_runs_are_disjoint_ascending_and_jump_counted() {
+        let f = Frontier::from_masks(8, [0b0000_0011, 0b1100_0000]);
+        for layer in 0..=8usize {
+            let scan = f.uncovered_in_layer(layer);
+            assert!(
+                scan.runs.windows(2).all(|w| w[0].first < w[1].first),
+                "ascending runs"
+            );
+            let total: u64 = scan.runs.iter().map(|r| r.len).sum();
+            assert_eq!(total, scan.masks);
+            if layer >= 2 {
+                assert!(scan.jumps > 0, "covered subtrees exist at layer {layer}");
+            }
+        }
+        // Fully covered layer: no runs, at least one jump.
+        let g = Frontier::from_masks(4, [0b0001, 0b0010, 0b0100, 0b1000]);
+        let scan = g.uncovered_in_layer(2);
+        assert!(scan.runs.is_empty() && scan.masks == 0 && scan.jumps > 0);
+    }
+
+    #[test]
+    fn empty_frontier_border_is_one_whole_layer_run() {
+        let f = Frontier::new(24);
+        let scan = f.uncovered_in_layer(5);
+        assert_eq!(scan.runs.len(), 1);
+        assert_eq!(scan.runs[0].first, 0b11111);
+        assert_eq!(scan.runs[0].len, 42_504, "C(24, 5)");
+        assert_eq!(scan.jumps, 0);
+        assert_eq!(f.next_uncovered(0, 5), Some(0b11111));
+    }
+
+    #[test]
+    fn evicting_a_whole_block_recycles_it() {
+        // 780 popcount-2 members (an antichain) fill one 512-slot block
+        // and part of a second; inserting the empty mask evicts them
+        // all, and the emptied trailing blocks are recycled.
+        let k = 40u32;
+        let mut f = Frontier::new(k as usize);
+        for a in 0..k {
+            for b in 0..a {
+                f.insert((1u64 << a) | (1u64 << b));
+            }
+        }
+        assert_eq!(f.len(), 780);
+        assert_eq!(f.live.len(), 2, "two occurrence blocks in use");
+        assert!(f.insert(0));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.live.len(), 1, "trailing empty block recycled");
+        assert!(f.slot_mask.len() <= 512, "second block's slots returned");
+        assert!(f.slot_free.iter().all(|&s| (s as usize) < 512));
+        assert!(f.covers(0b1010) && f.covers(0));
+        // The survivor's block digest reflects only the live member.
+        assert!(!f.insert(0));
+        let g = Frontier::from_masks(k as usize, (0..k as u64).map(|a| 1 << a));
+        assert_eq!(g.len(), 40);
+        assert!((0..k as u64).all(|a| g.dominated_by(1 << a)));
+    }
+
+    #[test]
+    fn block_digest_screens_stay_sound_under_churn() {
+        // Alternate inserts and dominance evictions, checking every
+        // query against a flat scan after each step — exercises stale
+        // AND/OR digests and popcount bounds.
+        let mut f = Frontier::new(10);
+        let mut reference: Vec<u64> = Vec::new();
+        let script: [u64; 12] = [
+            0b11_1100_0000,
+            0b00_0011_1100,
+            0b00_0000_0011,
+            0b01_0100_0000, // evicts the first
+            0b00_0001_0100, // evicts the second
+            0b00_0000_0001, // evicts the third
+            0b10_0000_0000,
+            0b00_1000_0000,
+            0b00_0010_0000,
+            0b00_0000_1000,
+            0b00_0000_0100, // evicts 0b00_0001_0100
+            0b01_0000_0000, // evicts 0b01_0100_0000
+        ];
+        for m in script {
+            if !reference.iter().any(|&a| a | m == m) {
+                reference.retain(|&a| a & m != m);
+                reference.push(m);
+                assert!(f.insert(m));
+            } else {
+                assert!(!f.insert(m));
+            }
+            for q in 0..1u64 << 10 {
+                assert_eq!(f.covers_raw(q), reference.iter().any(|&a| a | q == q));
+                assert_eq!(f.dominated_raw(q), reference.iter().any(|&a| a & q == q));
+            }
+        }
+    }
+
+    #[test]
+    fn border_walk_at_full_width_top_bits() {
+        // k = 64: top-bit members, full-word layers — the mask-width
+        // edge where `below`/`low_ones` shifts saturate.
+        let f = Frontier::from_masks(64, [1u64 << 63, 0b11]);
+        let scan = f.uncovered_in_layer(1);
+        assert_eq!(scan.masks, 63, "singletons minus the member 1<<63");
+        assert_eq!(f.next_uncovered(1u64 << 62, 1), Some(1u64 << 62));
+        assert_eq!(
+            f.next_uncovered((1u64 << 62) + 1, 1),
+            None,
+            "only 1<<63 remains above, and it is covered"
+        );
+        // Layer 64 (the all-ones mask) is covered by any member.
+        let scan = f.uncovered_in_layer(64);
+        assert_eq!(scan.masks, 0);
+        assert_eq!(scan.jumps, 1);
+        // An empty width-64 frontier emits the whole layer as one run.
+        let e = Frontier::new(64);
+        let scan = e.uncovered_in_layer(64);
+        assert_eq!(
+            scan.runs,
+            vec![BorderRun {
+                first: u64::MAX,
+                len: 1
+            }]
+        );
     }
 }

@@ -63,7 +63,7 @@ pub mod wire;
 pub mod worlds;
 
 pub use error::CoreError;
-pub use frontier::Frontier;
+pub use frontier::{BorderRun, BorderScan, Frontier};
 pub use safety::{MemoSafetyOracle, ProbeOutcome, ProbeRequest, SafetyOracle};
 pub use standalone::StandaloneModule;
 pub use sweep::{SweepConfig, SweepStats, WorkflowSweeper};

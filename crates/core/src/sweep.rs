@@ -33,9 +33,17 @@
 //!   ([`crate::frontier`]): the per-mask up-set test is the sublinear
 //!   [`Frontier::covers`] query against a read-only per-layer snapshot,
 //!   and the layer barrier merges each worker's sorted discoveries
-//!   straight into the trie — that is what pushes the sweeps from
-//!   `k = 20` toward the roadmap's `k = 24+`
-//!   ([`minimal_sets_sweep_frontier`] exposes the trie itself).
+//!   straight into the trie ([`minimal_sets_sweep_frontier`] exposes
+//!   the trie itself).
+//! * **Uncovered-border enumeration** (PR 10, [`SweepConfig::border`],
+//!   on by default). Instead of materializing every `C(k, p)` mask of a
+//!   layer and testing each against the frontier, one serial
+//!   [`Frontier::uncovered_in_layer`] trie walk emits only the masks
+//!   *not* covered — skipping covered up-set regions in path-compressed
+//!   jumps — and workers steal disjoint uncovered runs. Enumeration
+//!   cost scales with the border (`SweepStats::border_visited`, exact at
+//!   any thread count) instead of the lattice, which is what pushes the
+//!   sweeps from `k = 24` to `k = 28+`.
 //!
 //! Every entry point reports [`SweepStats`] (visited vs. pruned masks)
 //! for observability; `visited + pruned == lattice` always holds.
@@ -63,7 +71,7 @@
 
 use crate::compose::ModuleLens;
 use crate::error::CoreError;
-use crate::frontier::Frontier;
+use crate::frontier::{BorderRun, Frontier};
 use crate::safety::MemoSafetyOracle;
 use crate::standalone::{StandaloneModule, MAX_DENSE_ATTRS};
 use std::collections::HashMap;
@@ -84,6 +92,17 @@ pub struct SweepConfig {
     /// probes every enumerated mask — the ablation baseline the benches
     /// chart pruning against.
     pub prune: bool,
+    /// Enumerates each popcount layer through the frontier's
+    /// **uncovered-border walk** ([`Frontier::uncovered_in_layer`]):
+    /// workers receive disjoint uncovered runs and never issue a
+    /// per-mask coverage query, so enumeration cost scales with the
+    /// border instead of `C(k, p)`. Disabling it
+    /// ([`without_border`](Self::without_border)) falls back to
+    /// exhaustive layer enumeration with one [`Frontier::covers`] test
+    /// per mask — the PR 6 path, kept as the within-run comparison
+    /// baseline. Only meaningful when `prune` is set (the ablation
+    /// enumerates everything regardless).
+    pub border: bool,
 }
 
 impl Default for SweepConfig {
@@ -93,22 +112,24 @@ impl Default for SweepConfig {
 }
 
 impl SweepConfig {
-    /// Single-threaded, pruned — the default, and the configuration the
-    /// rewired serial entry points use.
+    /// Single-threaded, pruned, border-enumerated — the default, and
+    /// the configuration the rewired serial entry points use.
     #[must_use]
     pub fn serial() -> Self {
         Self {
             threads: 1,
             prune: true,
+            border: true,
         }
     }
 
-    /// Pruned sweep over `threads` workers.
+    /// Pruned, border-enumerated sweep over `threads` workers.
     #[must_use]
     pub fn parallel(threads: usize) -> Self {
         Self {
             threads,
             prune: true,
+            border: true,
         }
     }
 
@@ -127,6 +148,15 @@ impl SweepConfig {
     #[must_use]
     pub fn without_pruning(mut self) -> Self {
         self.prune = false;
+        self
+    }
+
+    /// Disables border enumeration: layers are enumerated exhaustively
+    /// with a per-mask coverage query (the comparison baseline the
+    /// benches gate the border speedup against).
+    #[must_use]
+    pub fn without_border(mut self) -> Self {
+        self.border = false;
         self
     }
 
@@ -151,12 +181,27 @@ pub struct SweepStats {
     /// ([`Frontier::covers`]) during an antichain sweep — one per
     /// enumerated mask, so the count is deterministic at any thread
     /// count (layer barriers make each mask queried exactly once).
-    /// Zero for branch-and-bound sweeps, which carry no frontier.
+    /// Zero under border enumeration (the walk replaces per-mask
+    /// queries) and for the exhaustive branch-and-bound sweep, which
+    /// carries no frontier.
     pub frontier_queries: u64,
     /// Live trie nodes of the final frontier ([`Frontier::node_count`])
     /// — deterministic: the trie shape is canonical in the member set.
-    /// Zero for branch-and-bound sweeps.
+    /// Under border-mode branch-and-bound this is the discovered
+    /// safe-mask antichain; zero for the exhaustive branch-and-bound
+    /// sweep, which carries no frontier.
     pub frontier_nodes: u64,
+    /// Masks emitted by the uncovered-border walks
+    /// ([`Frontier::uncovered_in_layer`]) — the layers' entire
+    /// enumeration cost under `border` mode. Each layer's walk runs
+    /// against the barrier-merged frontier snapshot, so the count is
+    /// exact at any thread count. Zero when border enumeration is off.
+    pub border_visited: u64,
+    /// Covered subtrees the border walks skipped whole (one
+    /// path-compressed descent each, in place of up to `C(k, p)`
+    /// per-mask coverage queries). Exact at any thread count, like
+    /// `border_visited`.
+    pub border_jumps: u64,
     /// Worker threads the sweep ran with.
     pub threads: usize,
 }
@@ -170,6 +215,8 @@ impl SweepStats {
         self.pruned += other.pruned;
         self.frontier_queries += other.frontier_queries;
         self.frontier_nodes += other.frontier_nodes;
+        self.border_visited += other.border_visited;
+        self.border_jumps += other.border_jumps;
         self.threads = self.threads.max(other.threads);
     }
 
@@ -289,7 +336,7 @@ where
     let outer = config.worker_count().min(n_modules);
     let inner = SweepConfig {
         threads: (config.worker_count() / outer).max(1),
-        prune: config.prune,
+        ..*config
     };
     let cursor = AtomicU64::new(0);
     let cancelled = AtomicBool::new(false);
@@ -329,9 +376,23 @@ where
 
 /// Minimum-cost safe hidden set by parallel branch-and-bound sweep.
 ///
-/// Deterministic for every `(threads, prune)` configuration: returns the
-/// lexicographically smallest safe mask of minimum cost, exactly like
-/// the serial reference [`crate::safety::min_cost_safe_hidden`].
+/// Deterministic for every `(threads, prune, border)` configuration:
+/// returns the lexicographically smallest safe mask of minimum cost,
+/// exactly like the serial reference
+/// [`crate::safety::min_cost_safe_hidden`].
+///
+/// Under the default border mode the sweep walks the lattice popcount
+/// layer by popcount layer, keeps the safe masks discovered so far as a
+/// [`Frontier`], and enumerates each layer through its uncovered border
+/// — a mask containing a known safe mask can never beat the recorded
+/// `(cost, mask)`-lexicographic best (costs are non-negative and a
+/// strict superset is numerically larger), so covered subtrees are
+/// skipped whole, bound-aware. Two extra cutoffs fall out: a layer
+/// whose border is empty covers every higher layer (stop), and a layer
+/// whose cheapest-possible cost (sum of the `p` smallest attribute
+/// costs) exceeds the bound cannot improve it, nor can any layer above
+/// (stop). [`SweepConfig::without_border`] falls back to the flat
+/// numeric-order shard sweep.
 ///
 /// # Errors
 /// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
@@ -347,6 +408,9 @@ pub fn min_cost_sweep(
     let k = module.k();
     check_k(k)?;
     assert_eq!(costs.len(), k, "one cost per attribute");
+    if config.prune && config.border {
+        return min_cost_sweep_border(module, costs, gamma, config);
+    }
     let total: u64 = 1u64 << k;
     let workers = config.worker_count();
     let table = CostTable::new(costs);
@@ -424,6 +488,150 @@ pub fn min_cost_sweep(
     Ok((found, stats.into_inner().expect("lock")))
 }
 
+/// The border-enumerated branch-and-bound sweep behind
+/// [`min_cost_sweep`]'s default mode; see its documentation for the
+/// pruning argument.
+fn min_cost_sweep_border(
+    module: &StandaloneModule,
+    costs: &[u64],
+    gamma: u128,
+    config: &SweepConfig,
+) -> Result<(Option<(AttrSet, u64)>, SweepStats), CoreError> {
+    let k = module.k();
+    let workers = config.worker_count();
+    let binom = binomials(k);
+    let table = CostTable::new(costs);
+    // Per-layer cost floor: a popcount-p mask costs at least the sum of
+    // the p smallest attribute costs — non-decreasing in p, so a layer
+    // whose floor exceeds the bound ends the sweep, not just the layer.
+    let mut sorted = costs.to_vec();
+    sorted.sort_unstable();
+    let mut floor = vec![0u64; k + 1];
+    for p in 1..=k {
+        floor[p] = floor[p - 1].saturating_add(sorted[p - 1]);
+    }
+
+    // Antichain of the safe masks discovered so far: covered masks are
+    // supersets of a recorded safe mask and can never improve the
+    // (cost, mask)-lexicographic best.
+    let mut frontier = Frontier::new(k);
+    let mut stats = SweepStats {
+        lattice: 1u64 << k,
+        threads: workers,
+        ..SweepStats::default()
+    };
+    let bound = AtomicU64::new(u64::MAX);
+    let best_mask = AtomicU64::new(u64::MAX);
+    let best = Mutex::new(None::<(u64, u64)>); // (cost, mask)
+    let oracle = MemoSafetyOracle::new(module.clone());
+
+    for p in 0..=k {
+        let layer_total = binom[k][p];
+        if floor[p] > bound.load(Ordering::Acquire) {
+            // Cost floor cutoff: every mask at this layer and above is
+            // strictly costlier than a safe mask already in hand.
+            stats.pruned += binom[k][p..=k].iter().sum::<u64>();
+            break;
+        }
+        let scan = frontier.uncovered_in_layer(p);
+        stats.border_visited += scan.masks;
+        stats.border_jumps += scan.jumps;
+        stats.pruned += layer_total - scan.masks;
+        if scan.masks == 0 && !frontier.is_empty() {
+            // Fully covered layer ⇒ every higher layer is covered too.
+            stats.pruned += binom[k][p + 1..=k].iter().sum::<u64>();
+            break;
+        }
+        let chunks = chunk_runs(&binom, k, p, &scan.runs);
+        let cursor = AtomicU64::new(0);
+        let layer_visited = AtomicU64::new(0);
+        let layer_pruned = AtomicU64::new(0);
+        let runs = Mutex::new(Vec::<Vec<u64>>::new());
+        let layer_workers = workers.min(chunks.len().max(1));
+        run_workers(layer_workers, || {
+            let mut scratch: Vec<u64> = Vec::new();
+            let mut visited = 0u64;
+            let mut pruned = 0u64;
+            let mut local_found: Vec<u64> = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                let Some(&(first, len)) = chunks.get(i) else {
+                    break;
+                };
+                let mut mask = first;
+                for j in 0..len {
+                    let cost = table.cost(mask);
+                    // Same pruning/tie-break contract as the flat sweep:
+                    // the true optimum is never pruned.
+                    let b = bound.load(Ordering::Acquire);
+                    if cost > b || (cost == b && mask >= best_mask.load(Ordering::Acquire)) {
+                        pruned += 1;
+                    } else {
+                        visited += 1;
+                        if oracle.is_safe_hidden_word_with(mask, gamma, &mut scratch) {
+                            local_found.push(mask);
+                            let mut slot = best.lock().expect("lock");
+                            let improves = match *slot {
+                                None => true,
+                                Some((bc, bm)) => cost < bc || (cost == bc && mask < bm),
+                            };
+                            if improves {
+                                *slot = Some((cost, mask));
+                                best_mask.store(mask, Ordering::Release);
+                                bound.store(cost, Ordering::Release);
+                            }
+                        }
+                    }
+                    if j + 1 < len {
+                        mask = next_same_popcount(mask);
+                    }
+                }
+            }
+            layer_visited.fetch_add(visited, Ordering::Relaxed);
+            layer_pruned.fetch_add(pruned, Ordering::Relaxed);
+            if !local_found.is_empty() {
+                runs.lock().expect("lock").push(local_found);
+            }
+        });
+        stats.visited += layer_visited.load(Ordering::Relaxed);
+        stats.pruned += layer_pruned.load(Ordering::Relaxed);
+        merge_layer_runs(&mut frontier, runs.into_inner().expect("lock"));
+    }
+
+    stats.frontier_nodes = frontier.node_count() as u64;
+    let found = best
+        .into_inner()
+        .expect("lock")
+        .map(|(cost, mask)| (AttrSet::from_word(mask), cost));
+    Ok((found, stats))
+}
+
+/// Splits a layer's uncovered runs into work-stealing chunks of at most
+/// [`SHARD`] masks, locating interior chunk starts by combinatorial
+/// rank/unrank instead of stepping mask-by-mask.
+fn chunk_runs(binom: &[Vec<u64>], k: usize, p: usize, runs: &[BorderRun]) -> Vec<(u64, u64)> {
+    let mut chunks = Vec::new();
+    for r in runs {
+        if r.len <= SHARD {
+            chunks.push((r.first, r.len));
+            continue;
+        }
+        let base = rank_combination(binom, r.first);
+        let mut off = 0u64;
+        while off < r.len {
+            let len = SHARD.min(r.len - off);
+            let first = if off == 0 {
+                r.first
+            } else {
+                unrank_combination(binom, k, p, base + off)
+            };
+            chunks.push((first, len));
+            off += len;
+        }
+    }
+    chunks
+}
+
 /// `C(n, r)` table up to `n = MAX_DENSE_ATTRS` (fits `u64` comfortably).
 fn binomials(n: usize) -> Vec<Vec<u64>> {
     let mut rows: Vec<Vec<u64>> = Vec::with_capacity(n + 1);
@@ -460,6 +668,22 @@ fn unrank_combination(binom: &[Vec<u64>], k: usize, p: usize, mut rank: u64) -> 
     mask
 }
 
+/// Inverse of [`unrank_combination`]: the ascending-numeric rank of
+/// `mask` within its popcount layer. Colexicographic rank — sum
+/// `C(b_j, j + 1)` over the set bit positions `b_j` in ascending order.
+fn rank_combination(binom: &[Vec<u64>], mask: u64) -> u64 {
+    let mut rank = 0u64;
+    let mut seen = 0usize;
+    let mut m = mask;
+    while m != 0 {
+        let bit = m.trailing_zeros() as usize;
+        seen += 1;
+        rank += binom[bit][seen];
+        m &= m - 1;
+    }
+    rank
+}
+
 /// Gosper's hack: next mask with the same popcount, ascending. Must not
 /// be called on `0` or the all-ones top mask of the width.
 #[inline]
@@ -494,14 +718,24 @@ pub fn minimal_sets_sweep(
 /// consumers ([`crate::requirements::cardinality_constraints_from_frontier`],
 /// [`WorkflowSweeper::union_of_optima`]) keep querying.
 ///
-/// The per-layer coverage test is the trie's sublinear
-/// [`Frontier::covers`] instead of the old flat `Vec<u64>` scan: each
-/// layer's workers share one read-only snapshot of the frontier (`&self`
-/// queries), and the layer barrier merges their sorted discovery runs
-/// straight into the trie in (popcount, mask) order — no intermediate
-/// collect-and-resort. The whole-layer cutoff fires when the trie
-/// covered every mask the layer enumerated (a coverage count, observable
-/// as `layer pruned == layer total`).
+/// In the default **border mode** (`config.border`, honoured when
+/// pruning is on) each layer is produced by one serial
+/// [`Frontier::uncovered_in_layer`] walk: covered up-set regions are
+/// skipped in path-compressed trie jumps and never materialized, the
+/// surviving ascending runs are split into ≤ 256-mask chunks by
+/// combinatorial rank, and workers claim chunks off an atomic cursor and
+/// probe every mask they are handed — zero per-mask `covers` calls, so
+/// `SweepStats::frontier_queries` is 0 and the exact enumeration effort
+/// is `border_visited`/`border_jumps`. With [`SweepConfig::without_border`]
+/// the pre-PR-10 path runs instead: workers enumerate the whole layer by
+/// rank shards and test each mask with the trie's sublinear
+/// [`Frontier::covers`]. Either way each layer's workers share one
+/// read-only snapshot of the frontier (`&self` queries), and the layer
+/// barrier merges their sorted discovery runs straight into the trie in
+/// (popcount, mask) order — no intermediate collect-and-resort. The
+/// whole-layer cutoff fires when the frontier covered every mask of the
+/// layer (border: the walk emits nothing; exhaustive: coverage count ==
+/// layer total), which covers every higher layer too.
 ///
 /// # Errors
 /// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
@@ -509,6 +743,32 @@ pub fn minimal_sets_sweep_frontier(
     module: &StandaloneModule,
     gamma: u128,
     config: &SweepConfig,
+) -> Result<(Frontier, SweepStats), CoreError> {
+    minimal_sets_sweep_frontier_seeded(module, gamma, config, None)
+}
+
+/// [`minimal_sets_sweep_frontier`] with an optional **seed antichain**
+/// from an earlier sweep of a related module (the memoized re-sweep
+/// path: a streamed append changes the relation but usually perturbs few
+/// minimal sets).
+///
+/// Every seed mask is revalidated against *this* module's oracle before
+/// it enters the frontier — no monotonicity of the data is assumed. A
+/// still-safe seed makes its whole strict up-set skippable from layer 0
+/// (in border mode those masks are never even enumerated); a seed that
+/// stopped being safe is dropped; a seed that stopped being *minimal* is
+/// evicted later by [`Frontier::insert`]'s dominance eviction when the
+/// sweep discovers the smaller safe set below it. Revalidation probes
+/// are deliberately **not** counted in `visited`/`pruned`, so
+/// `visited + pruned == lattice` stays exact in every mode.
+///
+/// # Errors
+/// [`CoreError::TooManyAttributes`] if `k > MAX_DENSE_ATTRS`.
+pub fn minimal_sets_sweep_frontier_seeded(
+    module: &StandaloneModule,
+    gamma: u128,
+    config: &SweepConfig,
+    seeds: Option<&Frontier>,
 ) -> Result<(Frontier, SweepStats), CoreError> {
     let k = module.k();
     check_k(k)?;
@@ -526,8 +786,80 @@ pub fn minimal_sets_sweep_frontier(
     // all others. Workers pin per-worker kernel scratch buffers.
     let oracle = MemoSafetyOracle::new(module.clone());
 
+    if let Some(seeds) = seeds {
+        let mut scratch: Vec<u64> = Vec::new();
+        let mut still_safe: Vec<u64> = seeds
+            .iter()
+            .filter(|&m| {
+                m.checked_shr(k as u32).unwrap_or(0) == 0
+                    && oracle.is_safe_hidden_word_with(m, gamma, &mut scratch)
+            })
+            .collect();
+        // Seeds come from an antichain, so they are pairwise
+        // incomparable and insertion order cannot trigger evictions;
+        // sort anyway so the trie's growth is deterministic.
+        still_safe.sort_unstable_by_key(|&m| (m.count_ones(), m));
+        for m in still_safe {
+            frontier.insert(m);
+        }
+    }
+    let border = config.prune && config.border;
+
     for p in 0..=k {
         let layer_total = binom[k][p];
+        if border {
+            // Border mode: one serial trie walk finds every uncovered
+            // mask of the layer as disjoint ascending runs — covered
+            // up-set regions are skipped in path-compressed jumps and
+            // never enumerated, so workers probe every mask they see
+            // (no per-mask `covers`).
+            let scan = frontier.uncovered_in_layer(p);
+            stats.border_visited += scan.masks;
+            stats.border_jumps += scan.jumps;
+            stats.pruned += layer_total - scan.masks;
+            if scan.masks == 0 {
+                // Fully covered layer ⇒ every higher layer is covered
+                // too (same argument as the exhaustive cutoff below).
+                if !frontier.is_empty() {
+                    stats.pruned += binom[k][p + 1..=k].iter().sum::<u64>();
+                    break;
+                }
+                continue;
+            }
+            let chunks = chunk_runs(&binom, k, p, &scan.runs);
+            let cursor = AtomicU64::new(0);
+            let layer_visited = AtomicU64::new(0);
+            let runs = Mutex::new(Vec::<Vec<u64>>::new());
+            let layer_workers = workers.min(chunks.len());
+            run_workers(layer_workers, || {
+                let mut scratch: Vec<u64> = Vec::new();
+                let mut visited = 0u64;
+                let mut local_found: Vec<u64> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                    let Some(&(first, len)) = chunks.get(i) else {
+                        break;
+                    };
+                    let mut mask = first;
+                    for j in 0..len {
+                        visited += 1;
+                        if oracle.is_safe_hidden_word_with(mask, gamma, &mut scratch) {
+                            local_found.push(mask);
+                        }
+                        if j + 1 < len {
+                            mask = next_same_popcount(mask);
+                        }
+                    }
+                }
+                layer_visited.fetch_add(visited, Ordering::Relaxed);
+                if !local_found.is_empty() {
+                    runs.lock().expect("lock").push(local_found);
+                }
+            });
+            stats.visited += layer_visited.load(Ordering::Relaxed);
+            merge_layer_runs(&mut frontier, runs.into_inner().expect("lock"));
+            continue;
+        }
         let cursor = AtomicU64::new(0);
         // One sorted run per worker: each worker's claimed shards are
         // ascending (atomic cursor) and masks ascend within a shard, so
@@ -1215,15 +1547,23 @@ impl WorkflowSweeper {
     ) -> Result<(Arc<Frontier>, SweepStats), CoreError> {
         let module = &self.mods[idx].module;
         let epoch = module.epoch();
-        {
+        // A stale (pre-append) frontier is not discarded: its members
+        // seed the re-sweep. Each seed is revalidated against the new
+        // relation, and still-safe seeds let the border walk skip their
+        // up-sets from layer 0 — streamed appends re-enumerate only the
+        // border above the stale frontier.
+        let seeds = {
             let caches = self.caches.lock().expect("lock");
-            if let Some(c) = caches.minimal.get(&(idx, gamma)) {
-                if c.epoch == epoch {
+            match caches.minimal.get(&(idx, gamma)) {
+                Some(c) if c.epoch == epoch => {
                     return Ok((Arc::clone(&c.frontier), c.stats));
                 }
+                Some(c) => Some(Arc::clone(&c.frontier)),
+                None => None,
             }
-        }
-        let (frontier, stats) = minimal_sets_sweep_frontier(module, gamma, run_config)?;
+        };
+        let (frontier, stats) =
+            minimal_sets_sweep_frontier_seeded(module, gamma, run_config, seeds.as_deref())?;
         let frontier = Arc::new(frontier);
         let mut caches = self.caches.lock().expect("lock");
         caches.sweeps += 1;
@@ -1293,12 +1633,21 @@ mod tests {
                     safety::min_cost_safe_hidden(&KernelOracle::new(&m), &costs, gamma).unwrap();
                 for threads in [1usize, 2, 4] {
                     for prune in [true, false] {
-                        let cfg = SweepConfig { threads, prune };
-                        let (found, stats) = min_cost_sweep(&m, &costs, gamma, &cfg).unwrap();
-                        assert_eq!(found, serial, "threads={threads} prune={prune}");
-                        assert_eq!(stats.visited + stats.pruned, stats.lattice);
-                        if !prune {
-                            assert_eq!(stats.visited, stats.lattice);
+                        for border in [true, false] {
+                            let cfg = SweepConfig {
+                                threads,
+                                prune,
+                                border,
+                            };
+                            let (found, stats) = min_cost_sweep(&m, &costs, gamma, &cfg).unwrap();
+                            assert_eq!(
+                                found, serial,
+                                "threads={threads} prune={prune} border={border}"
+                            );
+                            assert_eq!(stats.visited + stats.pruned, stats.lattice);
+                            if !prune {
+                                assert_eq!(stats.visited, stats.lattice);
+                            }
                         }
                     }
                 }
@@ -1313,10 +1662,19 @@ mod tests {
             let serial = safety::minimal_safe_hidden_sets(&KernelOracle::new(&m), gamma).unwrap();
             for threads in [1usize, 3] {
                 for prune in [true, false] {
-                    let cfg = SweepConfig { threads, prune };
-                    let (sets, stats) = minimal_sets_sweep(&m, gamma, &cfg).unwrap();
-                    assert_eq!(sets, serial, "threads={threads} prune={prune}");
-                    assert_eq!(stats.visited + stats.pruned, stats.lattice);
+                    for border in [true, false] {
+                        let cfg = SweepConfig {
+                            threads,
+                            prune,
+                            border,
+                        };
+                        let (sets, stats) = minimal_sets_sweep(&m, gamma, &cfg).unwrap();
+                        assert_eq!(
+                            sets, serial,
+                            "threads={threads} prune={prune} border={border}"
+                        );
+                        assert_eq!(stats.visited + stats.pruned, stats.lattice);
+                    }
                 }
             }
         }
@@ -1478,7 +1836,7 @@ mod tests {
                 min_cost_sweep(module, &vec![1u64; module.k()], 2, &SweepConfig::serial()).unwrap();
             assert_eq!(found, fresh);
             assert_eq!(stats.visited + stats.pruned, stats.lattice);
-            assert!(stats.frontier_queries > 0, "stats come from the trie sweep");
+            assert!(stats.border_visited > 0, "stats come from the trie sweep");
         }
         assert_eq!(
             sweeper.sweeps_performed(),
@@ -1493,28 +1851,50 @@ mod tests {
     #[test]
     fn frontier_stats_are_thread_and_prune_independent() {
         // `frontier_nodes` is the canonical trie shape of the final
-        // antichain — identical across threads *and* prune settings.
-        // `frontier_queries` is one `covers()` per enumerated mask, so it
-        // is thread-independent but larger under the prune ablation
-        // (layers past the cutoff are still enumerated and tested).
+        // antichain — identical across threads, prune, and border
+        // settings. `frontier_queries` (exhaustive mode: one `covers()`
+        // per enumerated mask) and `border_visited`/`border_jumps`
+        // (border mode: the serial walk's exact emission/jump counts)
+        // are thread-independent, so either kind gates exactly in CI.
         let m = m1();
         let (f1, s1) = minimal_sets_sweep_frontier(&m, 4, &SweepConfig::serial()).unwrap();
+        // Border mode issues zero per-mask coverage queries; its effort
+        // counters are the border walk's.
+        assert_eq!(s1.frontier_queries, 0);
+        assert!(s1.border_visited > 0);
+        assert_eq!(s1.visited, s1.border_visited, "every emitted mask probed");
         for prune in [true, false] {
-            let serial = SweepConfig { threads: 1, prune };
-            let (fs, ss) = minimal_sets_sweep_frontier(&m, 4, &serial).unwrap();
-            assert_eq!(f1, fs, "prune={prune}");
-            assert_eq!(s1.frontier_nodes, ss.frontier_nodes);
-            for threads in [2usize, 8] {
-                let cfg = SweepConfig { threads, prune };
-                let (f2, s2) = minimal_sets_sweep_frontier(&m, 4, &cfg).unwrap();
-                assert_eq!(f1, f2, "threads={threads} prune={prune}");
-                assert_eq!(ss.frontier_queries, s2.frontier_queries);
-                assert_eq!(ss.frontier_nodes, s2.frontier_nodes);
+            for border in [true, false] {
+                let serial = SweepConfig {
+                    threads: 1,
+                    prune,
+                    border,
+                };
+                let (fs, ss) = minimal_sets_sweep_frontier(&m, 4, &serial).unwrap();
+                assert_eq!(f1, fs, "prune={prune} border={border}");
+                assert_eq!(s1.frontier_nodes, ss.frontier_nodes);
+                for threads in [2usize, 8] {
+                    let cfg = SweepConfig {
+                        threads,
+                        prune,
+                        border,
+                    };
+                    let (f2, s2) = minimal_sets_sweep_frontier(&m, 4, &cfg).unwrap();
+                    assert_eq!(f1, f2, "threads={threads} prune={prune} border={border}");
+                    assert_eq!(ss.frontier_queries, s2.frontier_queries);
+                    assert_eq!(ss.border_visited, s2.border_visited);
+                    assert_eq!(ss.border_jumps, s2.border_jumps);
+                    assert_eq!(ss.frontier_nodes, s2.frontier_nodes);
+                }
             }
         }
         assert_eq!(s1.frontier_nodes, f1.node_count() as u64);
-        // Every enumerated mask is coverage-tested exactly once.
-        assert_eq!(s1.frontier_queries, f1.queries());
+        // The exhaustive fallback coverage-tests every enumerated mask
+        // exactly once.
+        let (fx, sx) =
+            minimal_sets_sweep_frontier(&m, 4, &SweepConfig::serial().without_border()).unwrap();
+        assert_eq!(sx.frontier_queries, fx.queries());
+        assert_eq!(sx.border_visited, 0);
     }
 
     #[test]

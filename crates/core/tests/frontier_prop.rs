@@ -190,13 +190,18 @@ fn trie_sweep_equals_serial_spec_on_random_modules() {
             let spec = safety::minimal_safe_hidden_sets(&KernelOracle::new(&m), gamma).unwrap();
             let spec_words: Vec<u64> = spec.iter().map(|s| s.as_word().expect("k <= 64")).collect();
             for threads in [1usize, 2, 4] {
-                for prune in [true, false] {
-                    let cfg = SweepConfig { threads, prune };
+                for (prune, border) in [(true, true), (true, false), (false, true)] {
+                    let cfg = SweepConfig {
+                        threads,
+                        prune,
+                        border,
+                    };
                     let (f, s) = minimal_sets_sweep_frontier(&m, gamma, &cfg).unwrap();
                     assert_eq!(
                         f.iter().collect::<Vec<_>>(),
                         spec_words,
-                        "trial={trial} k={k} gamma={gamma} threads={threads} prune={prune}"
+                        "trial={trial} k={k} gamma={gamma} threads={threads} \
+                         prune={prune} border={border}"
                     );
                     assert_eq!(s.frontier_nodes, f.node_count() as u64);
                     assert_eq!(s.visited + s.pruned, s.lattice);
@@ -281,16 +286,30 @@ fn full_layer_cutoff_edge_is_exact() {
     let spec = safety::minimal_safe_hidden_sets(&KernelOracle::new(&m), 2).unwrap();
     assert_eq!(spec.len(), k as usize, "one minimal set per attribute");
     for threads in [1usize, 4] {
+        // Border mode: the layer-2 walk finds the whole layer covered
+        // (zero masks emitted) and the cutoff fires with zero coverage
+        // queries issued anywhere.
         let cfg = SweepConfig::parallel(threads);
         let (f, s) = minimal_sets_sweep_frontier(&m, 2, &cfg).unwrap();
         assert_eq!(f.len(), k as usize);
         assert_eq!(s.visited, 1 + k, "empty mask + singletons only");
         assert_eq!(s.lattice, 1 << k);
         assert_eq!(s.pruned, s.lattice - s.visited);
-        // One coverage query per enumerated mask: layers 0, 1 and the
-        // fully-covered layer 2 that triggers the cutoff.
+        assert_eq!(s.frontier_queries, 0, "border walks replace covers()");
+        assert_eq!(s.border_visited, 1 + k, "walks emit only uncovered masks");
+        assert_eq!(s.frontier_nodes, f.node_count() as u64);
+
+        // Exhaustive fallback: one coverage query per enumerated mask —
+        // layers 0, 1 and the fully-covered layer 2 that triggers the
+        // cutoff.
+        let cfg = SweepConfig::parallel(threads).without_border();
+        let (f, s) = minimal_sets_sweep_frontier(&m, 2, &cfg).unwrap();
+        assert_eq!(f.len(), k as usize);
+        assert_eq!(s.visited, 1 + k, "empty mask + singletons only");
+        assert_eq!(s.pruned, s.lattice - s.visited);
         let layer2 = k * (k - 1) / 2;
         assert_eq!(s.frontier_queries, 1 + k + layer2);
+        assert_eq!((s.border_visited, s.border_jumps), (0, 0));
         assert_eq!(s.frontier_nodes, f.node_count() as u64);
     }
     // The prune ablation enumerates every layer but finds the same
@@ -298,9 +317,262 @@ fn full_layer_cutoff_edge_is_exact() {
     let cfg = SweepConfig {
         threads: 1,
         prune: false,
+        border: true, // ignored without pruning
     };
     let (f, s) = minimal_sets_sweep_frontier(&m, 2, &cfg).unwrap();
     assert_eq!(f.len(), k as usize);
     assert_eq!(s.visited, s.lattice, "ablation probes everything");
     assert_eq!(s.frontier_queries, 1 << k);
+}
+
+/// Gosper's hack: next mask of the same popcount, ascending. Must not
+/// be called on `0` or a layer's last (top-packed) mask.
+fn gosper(v: u64) -> u64 {
+    let t = v | (v - 1);
+    let nt = !t;
+    (t + 1) | (((nt & nt.wrapping_neg()) - 1) >> (v.trailing_zeros() + 1))
+}
+
+/// Flat-enumerates the popcount-`p` layer of a `k`-bit lattice in
+/// ascending numeric (Gosper) order. Only call where `C(k, p)` is small.
+fn flat_layer(k: u32, p: u32) -> Vec<u64> {
+    let count = {
+        let mut c = 1u128;
+        for i in 0..u128::from(p) {
+            c = c * (u128::from(k) - i) / (i + 1);
+        }
+        u64::try_from(c).expect("caller keeps C(k, p) small")
+    };
+    let mut out = Vec::with_capacity(count as usize);
+    let mut mask = if p == 0 { 0 } else { u64::MAX >> (64 - p) };
+    for i in 0..count {
+        out.push(mask);
+        if i + 1 < count {
+            // Never called on the layer's last mask, so no overflow
+            // even at k = 64.
+            mask = gosper(mask);
+        }
+    }
+    out
+}
+
+#[test]
+fn full_width_frontier_matches_flat_scan_at_k_63_and_64() {
+    // Satellite: mask-width edges. k = 63 exercises the last partial
+    // shift guard, k = 64 the full-word layers and top-bit masks where
+    // `1u64 << k` and `u64::MAX >> (64 - r)` overflow if mishandled.
+    let mut rng = StdRng::seed_from_u64(0x6364);
+    for k in [63u32, 64] {
+        let all = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+        for trial in 0..6 {
+            // Members biased toward the edges: top-bit-heavy sparse
+            // masks, near-full masks, and a few uniform draws.
+            let n = rng.gen_range(1..=24);
+            let mut raw: Vec<u64> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let m = match rng.gen_range(0..4u32) {
+                    0 => {
+                        // sparse: 1–3 random bits, top bit often set
+                        let mut m = 1u64 << (k - 1);
+                        for _ in 0..rng.gen_range(0..3u32) {
+                            m |= 1u64 << rng.gen_range(0..k);
+                        }
+                        m
+                    }
+                    1 => {
+                        // near-full: clear 1–3 random bits
+                        let mut m = all;
+                        for _ in 0..rng.gen_range(1..=3u32) {
+                            m &= !(1u64 << rng.gen_range(0..k));
+                        }
+                        m
+                    }
+                    2 => rng.gen_range(0..=u64::MAX) & all,
+                    _ => (rng.gen_range(0..=u64::MAX) & rng.gen_range(0..=u64::MAX)) & all,
+                };
+                raw.push(m);
+            }
+            let reference = minimize(raw.clone());
+            let f = Frontier::from_masks(k as usize, raw.clone());
+            assert_eq!(
+                f.iter().collect::<Vec<_>>(),
+                reference,
+                "k={k} trial={trial}: canonical iteration order"
+            );
+
+            // covers / dominated_by ≡ flat scan on adversarial queries.
+            let mut queries: Vec<u64> = vec![0, all, 1u64 << (k - 1), all >> 1];
+            for &m in &reference {
+                queries.push(m);
+                queries.push(m | (1u64 << rng.gen_range(0..k)));
+                queries.push(m & !(1u64 << rng.gen_range(0..k)));
+            }
+            for _ in 0..256 {
+                queries.push(rng.gen_range(0..=u64::MAX) & all);
+            }
+            for q in queries {
+                assert_eq!(
+                    f.covers(q),
+                    flat_covers(&reference, q),
+                    "k={k} covers({q:#x})"
+                );
+                assert_eq!(
+                    f.dominated_by(q),
+                    flat_dominated(&reference, q),
+                    "k={k} dominated_by({q:#x})"
+                );
+            }
+
+            // Border iteration ≡ flat layer scan on the enumerable
+            // layers (both ends of the lattice, where the full-word
+            // edge cases live).
+            for p in [0u32, 1, 2, k - 2, k - 1, k] {
+                let layer = flat_layer(k, p);
+                let uncovered: Vec<u64> = layer.iter().copied().filter(|&m| !f.covers(m)).collect();
+                let scan = f.uncovered_in_layer(p as usize);
+                let mut emitted: Vec<u64> = Vec::new();
+                for r in &scan.runs {
+                    let mut m = r.first;
+                    for j in 0..r.len {
+                        emitted.push(m);
+                        if j + 1 < r.len {
+                            m = gosper(m);
+                        }
+                    }
+                }
+                assert_eq!(emitted, uncovered, "k={k} trial={trial} layer p={p}");
+                assert_eq!(scan.masks, uncovered.len() as u64);
+
+                // next_uncovered agrees with the flat successor at
+                // arbitrary starting points.
+                for _ in 0..8 {
+                    let from = if layer.is_empty() {
+                        0
+                    } else {
+                        layer[rng.gen_range(0..layer.len())]
+                    };
+                    let expect = uncovered.iter().copied().find(|&m| m >= from);
+                    assert_eq!(
+                        f.next_uncovered(from, p as usize),
+                        expect,
+                        "k={k} p={p} from={from:#x}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Random rows over `schema`-shaped domains, deduplicated on `inputs`
+/// against `seen` (so the FD `I → O` holds across the whole stream).
+fn random_rows(
+    rng: &mut StdRng,
+    schema: &Schema,
+    inputs: &AttrSet,
+    seen: &mut Vec<Vec<u32>>,
+    n: usize,
+) -> Vec<Vec<u32>> {
+    let k = schema.len();
+    let mut rows = Vec::new();
+    for _ in 0..n {
+        let row: Vec<u32> = (0..k)
+            .map(|i| rng.gen_range(0..schema.attr(sv_relation::AttrId(i as u32)).domain.size()))
+            .collect();
+        let input_part: Vec<u32> = inputs.iter().map(|a| row[a.index()]).collect();
+        if !seen.contains(&input_part) {
+            seen.push(input_part);
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+#[test]
+fn seeded_resweep_equals_fresh_sweep_after_appends() {
+    // The memoized re-sweep path: a stale frontier seeds the next sweep
+    // after streamed appends. Correctness must not depend on any
+    // monotonicity of the data — seeds are revalidated — so we also
+    // feed deliberately *wrong* seeds (a random antichain unrelated to
+    // the module) and require the same answer.
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for trial in 0..6 {
+        let k = rng.gen_range(4..=9usize);
+        let ni = rng.gen_range(1..k);
+        let attrs: Vec<AttrDef> = (0..k)
+            .map(|i| AttrDef {
+                name: format!("a{i}"),
+                domain: Domain::new(rng.gen_range(2..=3)),
+            })
+            .collect();
+        let schema = Schema::new(attrs);
+        let mut ids: Vec<u32> = (0..k as u32).collect();
+        for i in (1..ids.len()).rev() {
+            ids.swap(i, rng.gen_range(0..=i));
+        }
+        let inputs = AttrSet::from_indices(&ids[..ni]);
+        let outputs = inputs.complement(k);
+
+        let mut seen: Vec<Vec<u32>> = Vec::new();
+        let before = random_rows(&mut rng, &schema, &inputs, &mut seen, 24);
+        let appended = random_rows(&mut rng, &schema, &inputs, &mut seen, 24);
+        if before.is_empty() {
+            continue;
+        }
+        let stale = StandaloneModule::new(
+            Relation::from_values(schema.clone(), before.clone()).unwrap(),
+            inputs.clone(),
+            outputs.clone(),
+        )
+        .unwrap();
+        let mut current = stale.clone();
+        current
+            .append_execution(
+                &appended
+                    .iter()
+                    .cloned()
+                    .map(sv_relation::Tuple::new)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+
+        for gamma in [2u128, 3, 64] {
+            // Seeds from the pre-append sweep (the realistic stale memo)
+            // and from an unrelated random antichain (the adversarial
+            // case revalidation must survive).
+            let (stale_frontier, _) =
+                minimal_sets_sweep_frontier(&stale, gamma, &SweepConfig::serial()).unwrap();
+            let junk = Frontier::from_masks(k, random_masks(&mut rng, k as u32, 12));
+            let spec =
+                safety::minimal_safe_hidden_sets(&KernelOracle::new(&current), gamma).unwrap();
+            let spec_words: Vec<u64> = spec.iter().map(|s| s.as_word().expect("k <= 64")).collect();
+            for seeds in [&stale_frontier, &junk] {
+                for threads in [1usize, 2, 4, 8] {
+                    for border in [true, false] {
+                        let cfg = SweepConfig {
+                            threads,
+                            prune: true,
+                            border,
+                        };
+                        let (f, s) = sv_core::sweep::minimal_sets_sweep_frontier_seeded(
+                            &current,
+                            gamma,
+                            &cfg,
+                            Some(seeds),
+                        )
+                        .unwrap();
+                        assert_eq!(
+                            f.iter().collect::<Vec<_>>(),
+                            spec_words,
+                            "trial={trial} k={k} gamma={gamma} threads={threads} border={border}"
+                        );
+                        assert_eq!(
+                            s.visited + s.pruned,
+                            s.lattice,
+                            "seed revalidation probes stay out of the ledger"
+                        );
+                    }
+                }
+            }
+        }
+    }
 }

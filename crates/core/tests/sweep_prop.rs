@@ -79,21 +79,25 @@ fn parallel_sweep_equals_serial_reference_on_random_modules() {
                 safety::minimal_safe_hidden_sets(&KernelOracle::new(&m), gamma).unwrap();
             for threads in [1usize, 3, 8] {
                 for prune in [true, false] {
-                    let cfg = SweepConfig { threads, prune };
-                    let (found, s1) = min_cost_sweep(&m, &costs, gamma, &cfg).unwrap();
-                    assert_eq!(
-                        found, serial_min,
-                        "min_cost trial={trial} k={k} gamma={gamma} threads={threads} prune={prune}"
-                    );
-                    assert_eq!(s1.visited + s1.pruned, s1.lattice);
-                    let (sets, s2) = minimal_sets_sweep(&m, gamma, &cfg).unwrap();
-                    assert_eq!(
-                        sets, serial_sets,
-                        "minimal trial={trial} k={k} gamma={gamma} threads={threads} prune={prune}"
-                    );
-                    assert_eq!(s2.visited + s2.pruned, s2.lattice);
-                    if !prune {
-                        assert_eq!(s2.visited, s2.lattice, "ablation probes everything");
+                    for border in [true, false] {
+                        let cfg = SweepConfig {
+                            threads,
+                            prune,
+                            border,
+                        };
+                        let ctx = format!(
+                            "trial={trial} k={k} gamma={gamma} threads={threads} \
+                             prune={prune} border={border}"
+                        );
+                        let (found, s1) = min_cost_sweep(&m, &costs, gamma, &cfg).unwrap();
+                        assert_eq!(found, serial_min, "min_cost {ctx}");
+                        assert_eq!(s1.visited + s1.pruned, s1.lattice);
+                        let (sets, s2) = minimal_sets_sweep(&m, gamma, &cfg).unwrap();
+                        assert_eq!(sets, serial_sets, "minimal {ctx}");
+                        assert_eq!(s2.visited + s2.pruned, s2.lattice);
+                        if !prune {
+                            assert_eq!(s2.visited, s2.lattice, "ablation probes everything");
+                        }
                     }
                 }
             }

@@ -25,7 +25,7 @@ pub enum ServeError {
     /// A privacy-core failure during tenant registration
     /// (materialization budget, structural workflow errors).
     Core(CoreError),
-    /// [`TenantRegistry::register`](crate::TenantRegistry::register)
+    /// [`TenantRegistry::create`](crate::TenantRegistry::create)
     /// was asked for an id that is already registered.
     DuplicateTenant {
         /// The already-registered tenant id.

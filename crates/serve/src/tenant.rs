@@ -440,9 +440,8 @@ enum TenantSource<'a> {
 }
 
 /// The one way to describe a tenant: workflow (or pre-built oracles),
-/// streaming flag, materialization budget, admission limits. Replaces
-/// the `register` / `register_streaming` / `insert` triple, which
-/// survive as thin deprecated shims.
+/// streaming flag, materialization budget, admission limits. Replaced
+/// the old `register` / `register_streaming` / `insert` triple.
 ///
 /// # Examples
 /// ```
@@ -576,61 +575,6 @@ impl TenantRegistry {
             TenantSource::Workflow(wf) => WorkflowOracles::for_workflow(wf, config.budget)?,
         };
         self.insert_oracles(id, oracles, config.limits)
-    }
-
-    /// Registers a tenant whose modules are **materialized** over the
-    /// full input domain (budget-capped).
-    ///
-    /// # Errors
-    /// [`ServeError::DuplicateTenant`] if `id` is taken;
-    /// [`ServeError::Core`] if materialization fails (budget).
-    #[deprecated(note = "use TenantRegistry::create with TenantConfig::new(workflow).budget(…)")]
-    pub fn register(
-        &self,
-        id: TenantId,
-        workflow: &Workflow,
-        budget: u128,
-        limits: AdmissionLimits,
-    ) -> Result<Arc<Tenant>, ServeError> {
-        self.create(
-            id,
-            TenantConfig::new(workflow).budget(budget).limits(limits),
-        )
-    }
-
-    /// Registers a **streaming** tenant: every module starts empty and
-    /// grows through ingest.
-    ///
-    /// # Errors
-    /// [`ServeError::DuplicateTenant`] if `id` is taken;
-    /// [`ServeError::Core`] on structural workflow errors.
-    #[deprecated(
-        note = "use TenantRegistry::create with TenantConfig::new(workflow).streaming(true)"
-    )]
-    pub fn register_streaming(
-        &self,
-        id: TenantId,
-        workflow: &Workflow,
-        limits: AdmissionLimits,
-    ) -> Result<Arc<Tenant>, ServeError> {
-        self.create(
-            id,
-            TenantConfig::new(workflow).streaming(true).limits(limits),
-        )
-    }
-
-    /// Registers pre-built oracles (e.g. warmed offline) under `id`.
-    ///
-    /// # Errors
-    /// [`ServeError::DuplicateTenant`] if `id` is taken.
-    #[deprecated(note = "use TenantRegistry::create with TenantConfig::prebuilt(oracles)")]
-    pub fn insert(
-        &self,
-        id: TenantId,
-        oracles: WorkflowOracles,
-        limits: AdmissionLimits,
-    ) -> Result<Arc<Tenant>, ServeError> {
-        self.insert_oracles(id, oracles, limits)
     }
 
     fn insert_oracles(
@@ -829,19 +773,21 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_register() {
-        #![allow(deprecated)]
+    fn create_covers_every_tenant_source() {
+        // Materialized, streaming, and prebuilt registrations all go
+        // through the single `create` entry point (the deprecated
+        // register/register_streaming/insert shims are gone).
         let wf = one_one_chain(1, 2);
         let registry = TenantRegistry::new();
         registry
-            .register(TenantId(1), &wf, 1 << 16, AdmissionLimits::default())
+            .create(TenantId(1), TenantConfig::new(&wf).budget(1 << 16))
             .unwrap();
         registry
-            .register_streaming(TenantId(2), &wf, AdmissionLimits::default())
+            .create(TenantId(2), TenantConfig::new(&wf).streaming(true))
             .unwrap();
         let oracles = sv_core::safety::WorkflowOracles::for_workflow_streaming(&wf).unwrap();
         registry
-            .insert(TenantId(3), oracles, AdmissionLimits::default())
+            .create(TenantId(3), TenantConfig::prebuilt(oracles))
             .unwrap();
         assert_eq!(registry.len(), 3);
     }

@@ -37,12 +37,13 @@ use sv_core::wire::MAX_FRAME_LEN;
 /// use std::sync::Arc;
 /// use sv_core::safety::ProbeRequest;
 /// use sv_relation::AttrSet;
-/// use sv_serve::{AdmissionLimits, Client, LoopbackTransport, Server, TenantId, TenantRegistry};
+/// use sv_serve::{Client, LoopbackTransport, Server, TenantConfig, TenantId, TenantRegistry};
 /// use sv_workflow::{library::fig1_workflow, ModuleId};
 ///
 /// let registry = Arc::new(TenantRegistry::new());
+/// let wf = fig1_workflow();
 /// registry
-///     .register(TenantId(1), &fig1_workflow(), 1 << 20, AdmissionLimits::default())
+///     .create(TenantId(1), TenantConfig::new(&wf))
 ///     .unwrap();
 /// let transport = LoopbackTransport::new(Arc::new(Server::new(registry)));
 ///

@@ -12,12 +12,17 @@
 //! (k = 16, Γ = 16):
 //!
 //! 1. sweep the 65,536-mask lattice and read the engine's own
-//!    instrumentation — masks visited vs. pruned, coverage queries
-//!    issued, trie nodes — all deterministic and CI-gated;
-//! 2. ask the frontier the sweep's two inner-loop questions, `covers`
+//!    instrumentation — masks visited vs. pruned, border masks emitted
+//!    vs. covered subtrees jumped, trie nodes — all deterministic and
+//!    CI-gated;
+//! 2. walk the **uncovered border** (PR 10): `uncovered_in_layer`
+//!    enumerates only the masks the antichain does not already cover,
+//!    so each layer costs its border, not its binomial — the mechanism
+//!    that lifted the sweeps from k = 24 to k = 28;
+//! 3. ask the frontier the sweep's two inner-loop questions, `covers`
 //!    (is this mask safe by Proposition 1?) and `dominated_by`, and
 //!    check them against explicit member scans;
-//! 3. combine frontiers with `union`/`intersect` — the up-set algebra
+//! 4. combine frontiers with `union`/`intersect` — the up-set algebra
 //!    the workflow memo layer runs on — and pick the cheapest safe
 //!    hidden set with `min_cost_member`.
 //!
@@ -52,15 +57,47 @@ fn main() {
         frontier.len(),
     );
     println!(
-        "frontier answered {} coverage queries over {} trie nodes",
-        stats.frontier_queries, stats.frontier_nodes,
+        "border walk emitted {} masks, jumped {} covered subtrees, {} trie nodes",
+        stats.border_visited, stats.border_jumps, stats.frontier_nodes,
     );
+    // Border enumeration replaces per-mask coverage queries entirely.
+    assert_eq!(stats.frontier_queries, 0);
+    assert_eq!(stats.visited, stats.border_visited);
     // The trie shape is canonical: 2n−1 nodes for n members, exactly.
     assert_eq!(stats.frontier_nodes as usize, 2 * frontier.len() - 1);
     // 2⁴·C(8,4) minimal safe hidden sets for this module family.
     assert_eq!(frontier.len(), 1120);
 
-    // ── 2. The sweep's inner-loop questions, answered sublinearly ────
+    // ── 2. Walk the uncovered border of the finished antichain ───────
+    // Once the minimal sets are in, each layer's uncovered masks are
+    // exactly the *unsafe* masks of that layer: the border the next
+    // sweep pass would still have to probe. For this family a mask is
+    // safe iff it touches ≥ 4 distinct wires, so the uncovered count
+    // is a closed form — Σ_j≤3 C(8,j)·C(j,p−j)·2^(2j−p) masks putting
+    // p bits on j ≤ 3 wires (p−j wires contribute both sides, the rest
+    // pick one of two) — shrinking to zero while the binomial grows.
+    let binom = |n: u64, r: u64| (0..r).fold(1u64, |acc, i| acc * (n - i) / (i + 1));
+    println!("\nlayer  C(16,p)  uncovered  covered-jumps");
+    for (p, expect) in [(4u64, 700u64), (5, 336), (6, 56), (7, 0)] {
+        let scan = frontier.uncovered_in_layer(p as usize);
+        println!(
+            "{p:>5}  {:>7}  {:>9}  {:>13}",
+            binom(16, p),
+            scan.masks,
+            scan.jumps
+        );
+        assert_eq!(scan.masks, expect, "closed-form uncovered count");
+        // The runs partition the uncovered set, in ascending order.
+        assert_eq!(scan.runs.iter().map(|r| r.len).sum::<u64>(), scan.masks);
+    }
+    // Layer 7 is fully covered — the sweep's cutoff certificate — and
+    // `next_uncovered` is the same walk in successor-jumping form.
+    assert_eq!(frontier.next_uncovered(0, 7), None);
+    let first = frontier.next_uncovered(0, 5).expect("layer 5 has a border");
+    assert!(!frontier.covers(first) && first.count_ones() == 5);
+    println!("first uncovered layer-5 mask: {first:#06x}");
+
+    // ── 3. The sweep's inner-loop questions, answered sublinearly ────
     let members: Vec<u64> = frontier.iter().collect();
     // Members come out in (popcount, mask) order — layer by layer.
     assert!(members
@@ -82,7 +119,7 @@ fn main() {
         members.len()
     );
 
-    // ── 3. Up-set algebra and cost minimization ──────────────────────
+    // ── 4. Up-set algebra and cost minimization ──────────────────────
     let low = Frontier::from_masks(k, members.iter().copied().take(8));
     let both = frontier.intersect(&low); // masks safe under both
     let either = frontier.union(&low); // masks safe under either
